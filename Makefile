@@ -1,0 +1,39 @@
+# Build/test/reproduce targets. Everything is stdlib-only Go; no external
+# dependencies are fetched.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro check fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/distributed ./internal/parallel ./internal/experiments ./internal/web
+
+# One benchmark per table/figure plus ablations; -benchtime=1x exercises
+# each once (raise for stable timings).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Full paper reproduction at Table-2 scale (500 repetitions; ~15–30 min).
+repro:
+	$(GO) run ./cmd/vcsnav -exp all -reps 500 -o results
+
+# Fast verification that every qualitative claim of §5 holds (~2 min).
+check:
+	$(GO) run ./cmd/vcsnav -exp all -check -reps 50
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

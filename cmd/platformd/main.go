@@ -1,0 +1,140 @@
+// Command platformd runs the crowdsensing platform (Algorithm 2) as a TCP
+// server. It builds a scenario from a dataset and seed, then waits for the
+// user agents (cmd/useragent) to connect, drives the decision-slot protocol
+// to a Nash equilibrium, and prints the outcome.
+//
+// The scenario derivation is shared with useragent: launching both with the
+// same -dataset/-seed/-users/-tasks gives each agent its own preference
+// weights while the platform keeps only the topology.
+//
+// Usage:
+//
+//	platformd -addr :7700 -dataset Shanghai -seed 9 -users 8 -tasks 20 -policy PUU
+//	# then launch 8 agents:
+//	for i in $(seq 0 7); do useragent -addr :7700 -user $i -dataset Shanghai -seed 9 -users 8 -tasks 20 & done
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/web"
+)
+
+// buildInstance derives the shared scenario; platformd and useragent call
+// the same function with the same flags to agree on the game.
+func buildInstance(dataset string, seed uint64, users, tasks int) (*core.Instance, error) {
+	spec, err := trace.SpecByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	w, err := experiments.NewWorld(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := w.BuildScenario(experiments.ScenarioConfig{Users: users, Tasks: tasks}, rng.New(seed).Child())
+	if err != nil {
+		return nil, err
+	}
+	return sc.Instance, nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7700", "listen address")
+		dataset  = flag.String("dataset", "Shanghai", "dataset: Shanghai, Roma, or Epfl")
+		seed     = flag.Uint64("seed", 1, "scenario seed (must match the agents)")
+		users    = flag.Int("users", 8, "number of users (agents expected to connect)")
+		tasks    = flag.Int("tasks", 20, "number of sensing tasks")
+		policy   = flag.String("policy", "SUU", "user update selection: SUU or PUU")
+		instance = flag.String("instance", "", "load the game instance from a JSON file instead of building a scenario")
+		dump     = flag.String("dump-instance", "", "write the game instance as JSON to this file before serving")
+		httpAddr = flag.String("http", "", "serve the monitoring API (GET /api/status, /healthz) on this address")
+	)
+	flag.Parse()
+
+	var in *core.Instance
+	var err error
+	if *instance != "" {
+		f, ferr := os.Open(*instance)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "platformd: %v\n", ferr)
+			os.Exit(1)
+		}
+		in, err = core.ReadJSON(f)
+		f.Close()
+	} else {
+		in, err = buildInstance(*dataset, *seed, *users, *tasks)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "platformd: %v\n", err)
+		os.Exit(1)
+	}
+	if *dump != "" {
+		f, ferr := os.Create(*dump)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "platformd: %v\n", ferr)
+			os.Exit(1)
+		}
+		if err := in.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "platformd: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("platformd: instance written to %s\n", *dump)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "platformd: %v\n", err)
+		os.Exit(1)
+	}
+	defer ln.Close()
+	fmt.Printf("platformd: listening on %s, waiting for %d agents (%s, seed %d)\n",
+		ln.Addr(), in.NumUsers(), *dataset, *seed)
+
+	pcfg := distributed.PlatformConfig{
+		Policy: distributed.SelectionPolicy(*policy),
+		Seed:   *seed,
+	}
+	var mon *web.Server
+	if *httpAddr != "" {
+		mon = web.NewServer(in.NumUsers())
+		pcfg.Observer = mon.Observer()
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mon.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "platformd: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("platformd: monitoring at http://%s/api/status\n", *httpAddr)
+	}
+	stats, err := distributed.ServeTCP(ln, in, pcfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "platformd: %v\n", err)
+		os.Exit(1)
+	}
+	if mon != nil {
+		mon.Finish(stats.Choices)
+	}
+	p, err := core.NewProfile(in, stats.Choices)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "platformd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("converged      %v after %d decision slots (%d updates)\n", stats.Converged, stats.Slots, stats.TotalUpdates)
+	fmt.Printf("nash           %v\n", p.IsNash())
+	fmt.Printf("total profit   %.3f\n", p.TotalProfit())
+	fmt.Printf("coverage       %.3f\n", metrics.Coverage(p))
+	fmt.Printf("jain fairness  %.3f\n", metrics.JainIndex(p))
+	for i := 0; i < in.NumUsers(); i++ {
+		fmt.Printf("  user %-2d -> route %d (profit %.3f)\n", i, p.Choice(core.UserID(i)), p.Profit(core.UserID(i)))
+	}
+}

@@ -1,0 +1,80 @@
+// Command tracegen generates and inspects the synthetic taxi-trace datasets
+// that stand in for the CRAWDAD Shanghai/Roma/Epfl data (§5.1).
+//
+// Usage:
+//
+//	tracegen -dataset Roma -seed 7            # summary statistics
+//	tracegen -dataset Shanghai -dump 3        # dump the first 3 traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "Shanghai", "dataset: Shanghai, Roma, or Epfl")
+		seed    = flag.Uint64("seed", 1, "generation seed")
+		trips   = flag.Int("trips", 0, "override trip count (0 = paper's count)")
+		dump    = flag.Int("dump", 0, "dump the first N traces as CSV fixes")
+		showMap = flag.Bool("map", false, "render the road network and trace endpoints as an ASCII map")
+	)
+	flag.Parse()
+
+	spec, err := trace.SpecByName(*dataset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(2)
+	}
+	if *trips > 0 {
+		spec.Trips = *trips
+	}
+	ds, err := trace.Generate(spec, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	var durations, lengths stats.Acc
+	for _, tr := range ds.Traces {
+		durations.Add(tr.Duration())
+		var dist float64
+		for i := 1; i < len(tr.Fixes); i++ {
+			dist += tr.Fixes[i-1].Pos.Dist(tr.Fixes[i].Pos)
+		}
+		lengths.Add(dist)
+	}
+	ods := ds.ExtractOD()
+	fmt.Printf("dataset    %s (%s city)\n", ds.Name, ds.Kind)
+	fmt.Printf("graph      %d nodes, %d directed edges\n", ds.Graph.NumNodes(), ds.Graph.NumEdges())
+	fmt.Printf("traces     %d\n", len(ds.Traces))
+	fmt.Printf("duration   mean %.0fs (min %.0fs, max %.0fs)\n", durations.Mean(), durations.Min(), durations.Max())
+	fmt.Printf("length     mean %.0fm (min %.0fm, max %.0fm)\n", lengths.Mean(), lengths.Min(), lengths.Max())
+	fmt.Printf("OD pairs   %d extracted\n", len(ods))
+
+	if *showMap {
+		// Mark trace origins as tasks so endpoints show up as '*'.
+		endpoints := &task.Set{}
+		for i, tr := range ds.Traces {
+			endpoints.Tasks = append(endpoints.Tasks, task.Task{ID: task.ID(i), Pos: tr.Origin(), A: 1})
+		}
+		fmt.Println()
+		fmt.Print(viz.RenderMap(ds.Graph, viz.MapConfig{
+			Width: 78, Height: 26, Roads: true, Tasks: endpoints,
+		}))
+	}
+
+	for i := 0; i < *dump && i < len(ds.Traces); i++ {
+		fmt.Printf("\n# trace %d\n", i)
+		fmt.Println("time,x,y")
+		for _, f := range ds.Traces[i].Fixes {
+			fmt.Printf("%.0f,%.1f,%.1f\n", f.Time, f.Pos.X, f.Pos.Y)
+		}
+	}
+}

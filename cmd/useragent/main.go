@@ -1,0 +1,97 @@
+// Command useragent runs one mobile user (Algorithm 1) as a TCP client of
+// cmd/platformd. The agent derives its own preference weights from the
+// shared scenario flags (or takes them explicitly via -alpha/-beta/-gamma)
+// and participates in the distributed route navigation protocol until a
+// Nash equilibrium is reached.
+//
+// Usage:
+//
+//	useragent -addr :7700 -user 3 -dataset Shanghai -seed 9 -users 8 -tasks 20
+//	useragent -addr :7700 -user 3 -alpha 0.8 -beta 0.2 -gamma 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/experiments"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7700", "platform address")
+		user     = flag.Int("user", -1, "user ID (0-based, required)")
+		dataset  = flag.String("dataset", "Shanghai", "dataset (must match platformd)")
+		seed     = flag.Uint64("seed", 1, "scenario seed (must match platformd)")
+		users    = flag.Int("users", 8, "number of users (must match platformd)")
+		tasks    = flag.Int("tasks", 20, "number of tasks (must match platformd)")
+		alpha    = flag.Float64("alpha", 0, "explicit α_i (0 = derive from scenario)")
+		beta     = flag.Float64("beta", 0, "explicit β_i (0 = derive from scenario)")
+		gamma    = flag.Float64("gamma", 0, "explicit γ_i (0 = derive from scenario)")
+		instance = flag.String("instance", "", "derive weights from this instance JSON (written by platformd -dump-instance)")
+	)
+	flag.Parse()
+
+	if *user < 0 {
+		fmt.Fprintln(os.Stderr, "useragent: -user is required")
+		os.Exit(2)
+	}
+	cfg := distributed.AgentConfig{
+		User: *user, Alpha: *alpha, Beta: *beta, Gamma: *gamma,
+		Seed: *seed + uint64(*user),
+	}
+	if *instance != "" && (cfg.Alpha == 0 || cfg.Beta == 0 || cfg.Gamma == 0) {
+		f, err := os.Open(*instance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "useragent: %v\n", err)
+			os.Exit(1)
+		}
+		in, err := core.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "useragent: %v\n", err)
+			os.Exit(1)
+		}
+		if *user >= in.NumUsers() {
+			fmt.Fprintf(os.Stderr, "useragent: user %d outside instance (%d users)\n", *user, in.NumUsers())
+			os.Exit(2)
+		}
+		u := in.Users[*user]
+		cfg.Alpha, cfg.Beta, cfg.Gamma = u.Alpha, u.Beta, u.Gamma
+	}
+	if cfg.Alpha == 0 || cfg.Beta == 0 || cfg.Gamma == 0 {
+		spec, err := trace.SpecByName(*dataset)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "useragent: %v\n", err)
+			os.Exit(2)
+		}
+		w, err := experiments.NewWorld(spec, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "useragent: %v\n", err)
+			os.Exit(1)
+		}
+		sc, err := w.BuildScenario(experiments.ScenarioConfig{Users: *users, Tasks: *tasks}, rng.New(*seed).Child())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "useragent: %v\n", err)
+			os.Exit(1)
+		}
+		if *user >= sc.Instance.NumUsers() {
+			fmt.Fprintf(os.Stderr, "useragent: user %d outside scenario (%d users)\n", *user, sc.Instance.NumUsers())
+			os.Exit(2)
+		}
+		u := sc.Instance.Users[*user]
+		cfg.Alpha, cfg.Beta, cfg.Gamma = u.Alpha, u.Beta, u.Gamma
+	}
+	fmt.Printf("useragent %d: α=%.3f β=%.3f γ=%.3f connecting to %s\n",
+		*user, cfg.Alpha, cfg.Beta, cfg.Gamma, *addr)
+	if err := distributed.DialTCP(*addr, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "useragent: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("useragent %d: equilibrium reached, terminating\n", *user)
+}

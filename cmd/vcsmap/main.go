@@ -1,0 +1,101 @@
+// Command vcsmap renders a scenario and its Nash equilibrium as an ASCII
+// map: the road network, the sensing tasks ('*'), and each user's selected
+// route (digits 1-9, then letters). The terminal companion to Fig. 13.
+//
+// Usage:
+//
+//	vcsmap -dataset Roma -users 4 -tasks 25 -seed 3
+//	vcsmap -dataset Shanghai -width 100 -height 34
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+// routeRune maps user index i to a display rune: 1-9, then a-z.
+func routeRune(i int) rune {
+	if i < 9 {
+		return rune('1' + i)
+	}
+	if i < 9+26 {
+		return rune('a' + i - 9)
+	}
+	return '#'
+}
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "Shanghai", "dataset: Shanghai, Roma, or Epfl")
+		users   = flag.Int("users", 4, "number of users")
+		tasks   = flag.Int("tasks", 25, "number of tasks")
+		seed    = flag.Uint64("seed", 1, "seed")
+		width   = flag.Int("width", 90, "map width in characters")
+		height  = flag.Int("height", 30, "map height in characters")
+		all     = flag.Bool("all-routes", false, "draw every recommended route, not just the selected ones")
+	)
+	flag.Parse()
+
+	spec, err := trace.SpecByName(*dataset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	w, err := experiments.NewWorld(spec, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := rng.New(*seed)
+	sc, err := w.BuildScenario(experiments.ScenarioConfig{Users: *users, Tasks: *tasks}, s.Child())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := engine.Run(sc.Instance, engine.NewSUU, s.Child(), engine.Config{})
+
+	var routes []geo.Polyline
+	var runes []rune
+	for i, polys := range sc.RoutePolys {
+		chosen := res.Profile.Choice(core.UserID(i))
+		if *all {
+			for ri, poly := range polys {
+				if ri != chosen {
+					routes = append(routes, poly)
+					runes = append(runes, '+')
+				}
+			}
+		}
+		routes = append(routes, polys[chosen])
+		runes = append(runes, routeRune(i))
+	}
+	fmt.Printf("%s: %d users, %d tasks — Nash equilibrium after %d slots (total profit %.2f)\n",
+		spec.Name, *users, *tasks, res.Slots, res.Profile.TotalProfit())
+	fmt.Printf("legend: '.' road, '*' task, digits = selected route per user")
+	if *all {
+		fmt.Printf(", '+' unselected recommendations")
+	}
+	fmt.Println()
+	fmt.Print(viz.RenderMap(w.Dataset.Graph, viz.MapConfig{
+		Width: *width, Height: *height,
+		Roads:      true,
+		Tasks:      sc.Tasks,
+		Routes:     routes,
+		RouteRunes: runes,
+	}))
+	for i := 0; i < sc.Instance.NumUsers(); i++ {
+		u := core.UserID(i)
+		r := res.Profile.Route(u)
+		fmt.Printf("user %c: route %d of %d, %d tasks covered, profit %.2f\n",
+			routeRune(i), res.Profile.Choice(u)+1, len(sc.Instance.Users[i].Routes), len(r.Tasks), res.Profile.Profit(u))
+	}
+}

@@ -1,0 +1,132 @@
+// Command vcsnav regenerates the paper's evaluation: every table and figure
+// of §5 can be reproduced by name, on any subset of the three datasets.
+//
+// Usage:
+//
+//	vcsnav -list
+//	vcsnav -exp fig4 -reps 500
+//	vcsnav -exp all -reps 50 -dataset Shanghai
+//	vcsnav -exp table4 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment to run (fig3..fig13, table3..table5, or 'all')")
+		list    = flag.Bool("list", false, "list available experiments")
+		seed    = flag.Uint64("seed", 1, "random seed (all results are deterministic per seed)")
+		reps    = flag.Int("reps", 500, "repetitions per data point (Table 2 uses 500)")
+		dataset = flag.String("dataset", "", "restrict to one dataset: Shanghai, Roma, or Epfl")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		md      = flag.Bool("md", false, "emit GitHub-flavored Markdown tables")
+		outDir  = flag.String("o", "", "also write each table as a CSV file into this directory")
+		workers = flag.Int("workers", 0, "repetition fan-out (0 = one per CPU); results are identical for any value")
+		check   = flag.Bool("check", false, "evaluate the paper's qualitative claims instead of printing tables")
+		bars    = flag.Bool("errorbars", false, "append standard-error columns to the comparison experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "vcsnav: -exp is required (or -list); e.g. -exp fig4")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Seed: *seed, Reps: *reps, Workers: *workers, ErrorBars: *bars}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "vcsnav: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *dataset != "" {
+		spec, err := trace.SpecByName(*dataset)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcsnav: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Datasets = []trace.Spec{spec}
+	}
+	names := []string{*exp}
+	if strings.EqualFold(*exp, "all") {
+		names = experiments.Names()
+	}
+	if *check {
+		failed := false
+		for _, name := range names {
+			lines, err := experiments.CheckClaims(name, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vcsnav: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			for _, l := range lines {
+				fmt.Println(l)
+				if strings.HasPrefix(l, "FAIL") {
+					failed = true
+				}
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range names {
+		driver, err := experiments.ByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcsnav: %v\n", err)
+			os.Exit(2)
+		}
+		tables, err := driver(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcsnav: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for ti, t := range tables {
+			var werr error
+			switch {
+			case *csv:
+				fmt.Printf("# %s\n", t.Title)
+				werr = t.CSV(os.Stdout)
+			case *md:
+				werr = t.Markdown(os.Stdout)
+			default:
+				werr = t.Fprint(os.Stdout)
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "vcsnav: writing output: %v\n", werr)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *outDir != "" {
+				path := filepath.Join(*outDir, fmt.Sprintf("%s_%d.csv", name, ti))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "vcsnav: %v\n", err)
+					os.Exit(1)
+				}
+				if err := t.CSV(f); err != nil {
+					f.Close()
+					fmt.Fprintf(os.Stderr, "vcsnav: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+			}
+		}
+	}
+}

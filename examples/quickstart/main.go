@@ -1,0 +1,67 @@
+// Quickstart: build a tiny route-navigation game by hand, run the
+// distributed game-theoretical route navigation algorithm (DGRN), and watch
+// it reach a Nash equilibrium.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func main() {
+	// Three sensing tasks along two commutes. Task 0 pays best but is on
+	// both users' fast routes, so its reward would be shared.
+	in := &core.Instance{
+		Phi:   0.4, // platform weight on detour distance
+		Theta: 0.4, // platform weight on congestion
+		Tasks: []task.Task{
+			{ID: 0, A: 16, Mu: 0.5},
+			{ID: 1, A: 12, Mu: 0.2},
+			{ID: 2, A: 11, Mu: 0.1},
+		},
+		Users: []core.User{
+			{
+				ID: 0, Alpha: 0.7, Beta: 0.4, Gamma: 0.3,
+				Routes: []core.Route{
+					{User: 0, Tasks: []task.ID{0}, Detour: 0, Congestion: 4},
+					{User: 0, Tasks: []task.ID{1}, Detour: 2, Congestion: 1},
+				},
+			},
+			{
+				ID: 1, Alpha: 0.6, Beta: 0.5, Gamma: 0.2,
+				Routes: []core.Route{
+					{User: 1, Tasks: []task.ID{0}, Detour: 0, Congestion: 3},
+					{User: 1, Tasks: []task.ID{2}, Detour: 3, Congestion: 2},
+				},
+			},
+		},
+	}
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+
+	res := engine.Run(in, engine.NewSUU, rng.New(42), engine.Config{
+		RecordHistory: true, RecordProfits: true,
+	})
+
+	fmt.Printf("converged to a Nash equilibrium in %d decision slots\n\n", res.Slots)
+	fmt.Println("slot  potential  total   P_0     P_1")
+	for _, rec := range res.History {
+		fmt.Printf("%4d  %9.3f  %6.3f  %6.3f  %6.3f\n",
+			rec.Slot, rec.Potential, rec.TotalProfit, rec.Profits[0], rec.Profits[1])
+	}
+	fmt.Println()
+	for i := range in.Users {
+		u := core.UserID(i)
+		fmt.Printf("user %d selects route %d covering tasks %v (profit %.3f)\n",
+			i, res.Profile.Choice(u), res.Profile.Route(u).Tasks, res.Profile.Profit(u))
+	}
+	fmt.Printf("\nis Nash equilibrium: %v (no user can gain by deviating unilaterally)\n",
+		res.Profile.IsNash())
+}

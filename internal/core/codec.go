@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/task"
+)
+
+// jsonInstance is the serialized form of an Instance. The on-disk schema is
+// versioned so saved scenarios stay loadable as the library evolves.
+type jsonInstance struct {
+	Version int        `json:"version"`
+	Phi     float64    `json:"phi"`
+	Theta   float64    `json:"theta"`
+	EMin    float64    `json:"emin,omitempty"`
+	EMax    float64    `json:"emax,omitempty"`
+	Tasks   []jsonTask `json:"tasks"`
+	Users   []jsonUser `json:"users"`
+}
+
+type jsonTask struct {
+	A  float64 `json:"a"`
+	Mu float64 `json:"mu"`
+}
+
+type jsonUser struct {
+	Alpha  float64     `json:"alpha"`
+	Beta   float64     `json:"beta"`
+	Gamma  float64     `json:"gamma"`
+	Routes []jsonRoute `json:"routes"`
+}
+
+type jsonRoute struct {
+	Tasks      []int   `json:"tasks,omitempty"`
+	Detour     float64 `json:"detour"`
+	Congestion float64 `json:"congestion"`
+}
+
+// codecVersion is the current schema version.
+const codecVersion = 1
+
+// WriteJSON serializes the instance. Positions and trace geometry are not
+// part of the game and are not stored; the instance round-trips exactly.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	if err := in.Validate(); err != nil {
+		return fmt.Errorf("core: refusing to serialize invalid instance: %w", err)
+	}
+	doc := jsonInstance{
+		Version: codecVersion,
+		Phi:     in.Phi, Theta: in.Theta,
+		EMin: in.EMin, EMax: in.EMax,
+	}
+	for _, tk := range in.Tasks {
+		doc.Tasks = append(doc.Tasks, jsonTask{A: tk.A, Mu: tk.Mu})
+	}
+	for _, u := range in.Users {
+		ju := jsonUser{Alpha: u.Alpha, Beta: u.Beta, Gamma: u.Gamma}
+		for _, r := range u.Routes {
+			jr := jsonRoute{Detour: r.Detour, Congestion: r.Congestion}
+			for _, k := range r.Tasks {
+				jr.Tasks = append(jr.Tasks, int(k))
+			}
+			ju.Routes = append(ju.Routes, jr)
+		}
+		doc.Users = append(doc.Users, ju)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON deserializes an instance written by WriteJSON, validating it.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var doc jsonInstance
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding instance: %w", err)
+	}
+	if doc.Version != codecVersion {
+		return nil, fmt.Errorf("core: unsupported instance schema version %d (want %d)", doc.Version, codecVersion)
+	}
+	in := &Instance{Phi: doc.Phi, Theta: doc.Theta, EMin: doc.EMin, EMax: doc.EMax}
+	for k, jt := range doc.Tasks {
+		in.Tasks = append(in.Tasks, task.Task{ID: task.ID(k), A: jt.A, Mu: jt.Mu})
+	}
+	for i, ju := range doc.Users {
+		u := User{ID: UserID(i), Alpha: ju.Alpha, Beta: ju.Beta, Gamma: ju.Gamma}
+		for _, jr := range ju.Routes {
+			r := Route{User: u.ID, Detour: jr.Detour, Congestion: jr.Congestion}
+			for _, k := range jr.Tasks {
+				r.Tasks = append(r.Tasks, task.ID(k))
+			}
+			u.Routes = append(u.Routes, r)
+		}
+		in.Users = append(in.Users, u)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded instance invalid: %w", err)
+	}
+	return in, nil
+}

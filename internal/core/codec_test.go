@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := rng.New(50)
+	for trial := 0; trial < 20; trial++ {
+		in := RandomInstance(DefaultRandomConfig(8, 12), s.Child())
+		var buf bytes.Buffer
+		if err := in.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Phi != in.Phi || got.Theta != in.Theta || got.EMin != in.EMin || got.EMax != in.EMax {
+			t.Fatal("scalar fields differ after round trip")
+		}
+		if len(got.Tasks) != len(in.Tasks) || len(got.Users) != len(in.Users) {
+			t.Fatal("sizes differ after round trip")
+		}
+		for k := range in.Tasks {
+			if got.Tasks[k].A != in.Tasks[k].A || got.Tasks[k].Mu != in.Tasks[k].Mu {
+				t.Fatalf("task %d differs", k)
+			}
+		}
+		for i := range in.Users {
+			gu, wu := got.Users[i], in.Users[i]
+			if gu.Alpha != wu.Alpha || gu.Beta != wu.Beta || gu.Gamma != wu.Gamma {
+				t.Fatalf("user %d weights differ", i)
+			}
+			if len(gu.Routes) != len(wu.Routes) {
+				t.Fatalf("user %d route count differs", i)
+			}
+			for ri := range wu.Routes {
+				gr, wr := gu.Routes[ri], wu.Routes[ri]
+				if gr.Detour != wr.Detour || gr.Congestion != wr.Congestion || len(gr.Tasks) != len(wr.Tasks) {
+					t.Fatalf("user %d route %d differs", i, ri)
+				}
+				for ti := range wr.Tasks {
+					if gr.Tasks[ti] != wr.Tasks[ti] {
+						t.Fatalf("user %d route %d task %d differs", i, ri, ti)
+					}
+				}
+			}
+		}
+		// Semantics preserved: same profits on the same profile.
+		p1 := RandomProfile(in, rng.New(trial0(trial)))
+		p2, err := NewProfile(got, p1.Choices())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in.Users {
+			if math.Abs(p1.Profit(UserID(i))-p2.Profit(UserID(i))) > 1e-12 {
+				t.Fatalf("profit differs for user %d after round trip", i)
+			}
+		}
+		if math.Abs(p1.Potential()-p2.Potential()) > 1e-9 {
+			t.Fatal("potential differs after round trip")
+		}
+	}
+}
+
+func trial0(trial int) uint64 { return uint64(trial) + 999 }
+
+func TestWriteJSONRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Instance{}).WriteJSON(&buf); err == nil {
+		t.Error("invalid instance serialized")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":99,"users":[]}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Structurally valid JSON but semantically invalid instance.
+	if _, err := ReadJSON(strings.NewReader(`{"version":1,"phi":0.5,"theta":0.5,"tasks":[],"users":[{"alpha":0,"beta":1,"gamma":1,"routes":[{"detour":0,"congestion":0}]}]}`)); err == nil {
+		t.Error("invalid loaded instance accepted")
+	}
+}
+
+func TestReadJSONOutOfRangeTask(t *testing.T) {
+	doc := `{"version":1,"phi":0.5,"theta":0.5,
+		"tasks":[{"a":10,"mu":0}],
+		"users":[{"alpha":0.5,"beta":0.5,"gamma":0.5,
+		          "routes":[{"tasks":[5],"detour":0,"congestion":0}]}]}`
+	if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+		t.Error("route referencing unknown task accepted")
+	}
+}

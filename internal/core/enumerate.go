@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ForEachProfile enumerates every strategy profile of the instance in
+// odometer order, invoking fn with a reused Profile (do not retain it).
+// Stop early by returning false from fn. The profile count is
+// Π_i |R_i|, so this is only for small instances; callers should bound it
+// with ProfileCount first.
+func ForEachProfile(in *Instance, fn func(p *Profile) bool) error {
+	choices := make([]int, len(in.Users))
+	p, err := NewProfile(in, choices)
+	if err != nil {
+		return err
+	}
+	for {
+		if !fn(p) {
+			return nil
+		}
+		i := 0
+		for ; i < len(choices); i++ {
+			if choices[i]+1 < len(in.Users[i].Routes) {
+				choices[i]++
+				p.SetChoice(UserID(i), choices[i])
+				break
+			}
+			choices[i] = 0
+			p.SetChoice(UserID(i), 0)
+		}
+		if i == len(choices) {
+			return nil
+		}
+	}
+}
+
+// ProfileCount returns the size of the strategy space Π_i |R_i|, saturating
+// at math.MaxInt64.
+func ProfileCount(in *Instance) int64 {
+	total := int64(1)
+	for _, u := range in.Users {
+		n := int64(len(u.Routes))
+		if total > math.MaxInt64/n {
+			return math.MaxInt64
+		}
+		total *= n
+	}
+	return total
+}
+
+// PureEquilibria exhaustively enumerates the pure Nash equilibria of the
+// instance. It refuses strategy spaces larger than limit (0 = 1e6) to keep
+// misuse from hanging callers; Theorem 2 guarantees at least one
+// equilibrium exists, so the result is nonempty for valid instances.
+func PureEquilibria(in *Instance, limit int64) ([][]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	if c := ProfileCount(in); c > limit {
+		return nil, fmt.Errorf("core: strategy space %d exceeds limit %d", c, limit)
+	}
+	var out [][]int
+	err := ForEachProfile(in, func(p *Profile) bool {
+		if p.IsNash() {
+			out = append(out, p.Choices())
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WorstEquilibrium returns the pure Nash equilibrium minimizing total
+// profit and its value — the numerator of the Price of Anarchy (Eq. 21).
+func WorstEquilibrium(in *Instance, limit int64) ([]int, float64, error) {
+	eqs, err := PureEquilibria(in, limit)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(eqs) == 0 {
+		return nil, 0, fmt.Errorf("core: no pure equilibrium found (potential game must have one)")
+	}
+	bestChoices, bestTotal := eqs[0], math.Inf(1)
+	for _, eq := range eqs {
+		p, err := NewProfile(in, eq)
+		if err != nil {
+			return nil, 0, err
+		}
+		if total := p.TotalProfit(); total < bestTotal {
+			bestChoices, bestTotal = eq, total
+		}
+	}
+	return bestChoices, bestTotal, nil
+}

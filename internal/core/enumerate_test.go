@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestProfileCount(t *testing.T) {
+	in := twoUserInstance() // 2 routes × 2 routes
+	if c := ProfileCount(in); c != 4 {
+		t.Errorf("ProfileCount = %d, want 4", c)
+	}
+}
+
+func TestForEachProfileVisitsAll(t *testing.T) {
+	in := twoUserInstance()
+	seen := map[[2]int]bool{}
+	err := ForEachProfile(in, func(p *Profile) bool {
+		seen[[2]int{p.Choice(0), p.Choice(1)}] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Errorf("visited %d profiles, want 4", len(seen))
+	}
+}
+
+func TestForEachProfileEarlyStop(t *testing.T) {
+	in := twoUserInstance()
+	visits := 0
+	err := ForEachProfile(in, func(*Profile) bool {
+		visits++
+		return visits < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits != 2 {
+		t.Errorf("visits = %d, want 2", visits)
+	}
+}
+
+func TestPureEquilibriaExist(t *testing.T) {
+	// Theorem 2: every valid instance has at least one pure equilibrium.
+	s := rng.New(61)
+	for trial := 0; trial < 20; trial++ {
+		in := RandomInstance(DefaultRandomConfig(5, 8), s.Child())
+		eqs, err := PureEquilibria(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eqs) == 0 {
+			t.Fatalf("trial %d: no pure equilibrium (contradicts Theorem 2)", trial)
+		}
+		for _, eq := range eqs {
+			p, err := NewProfile(in, eq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.IsNash() {
+				t.Fatalf("trial %d: enumerated non-equilibrium %v", trial, eq)
+			}
+		}
+	}
+}
+
+func TestPureEquilibriaLimit(t *testing.T) {
+	in := RandomInstance(DefaultRandomConfig(12, 8), rng.New(3))
+	if _, err := PureEquilibria(in, 10); err == nil {
+		t.Error("oversized strategy space accepted")
+	}
+	if _, err := PureEquilibria(&Instance{}, 0); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestWorstEquilibrium(t *testing.T) {
+	s := rng.New(71)
+	for trial := 0; trial < 10; trial++ {
+		in := RandomInstance(DefaultRandomConfig(5, 8), s.Child())
+		choices, total, err := WorstEquilibrium(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProfile(in, choices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.IsNash() {
+			t.Fatal("worst equilibrium is not Nash")
+		}
+		if math.Abs(p.TotalProfit()-total) > 1e-9 {
+			t.Fatalf("reported total %v != realized %v", total, p.TotalProfit())
+		}
+		// No enumerated equilibrium has a lower total.
+		eqs, err := PureEquilibria(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eq := range eqs {
+			q, _ := NewProfile(in, eq)
+			if q.TotalProfit() < total-1e-9 {
+				t.Fatalf("equilibrium %v has lower total than the 'worst'", eq)
+			}
+		}
+	}
+}

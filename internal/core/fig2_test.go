@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/task"
+)
+
+// TestFig2Regimes reproduces the paper's Figure 2: two users at the same
+// origin choose between route r1 (no detour, congested: h=0, c=3) and route
+// r2 (detour, clear: h=2, c=1), each covering its own task. By moving the
+// platform weights (φ, θ) the equilibrium shifts between three regimes:
+//
+//	low φ, low θ   → users split across both routes (maximize task count)
+//	high φ, low θ  → both take r1 (minimize detour)
+//	low φ, high θ  → both take r2 (minimize congestion)
+//
+// The model only admits φ, θ in (0,1), so "high" is 0.99 with task rewards
+// scaled to keep the cost terms decisive, matching the figure's intent.
+func TestFig2Regimes(t *testing.T) {
+	build := func(phi, theta float64) *Instance {
+		routes := func(u UserID) []Route {
+			return []Route{
+				{User: u, Tasks: []task.ID{0}, Detour: 0, Congestion: 3}, // r1
+				{User: u, Tasks: []task.ID{1}, Detour: 2, Congestion: 1}, // r2
+			}
+		}
+		return &Instance{
+			Phi: phi, Theta: theta,
+			Tasks: []task.Task{
+				{ID: 0, A: 1.6, Mu: 0},
+				{ID: 1, A: 1.6, Mu: 0},
+			},
+			Users: []User{
+				{ID: 0, Alpha: 1, Beta: 1, Gamma: 1, Routes: routes(0)},
+				{ID: 1, Alpha: 1, Beta: 1, Gamma: 1, Routes: routes(1)},
+			},
+		}
+	}
+	// Resolve the game by exhaustive equilibrium enumeration (2x2).
+	equilibria := func(in *Instance) [][]int {
+		var out [][]int
+		for _, choices := range [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+			p, err := NewProfile(in, choices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.IsNash() {
+				out = append(out, choices)
+			}
+		}
+		return out
+	}
+	countTasks := func(choices []int) int {
+		seen := map[int]bool{}
+		for _, c := range choices {
+			seen[c] = true // route c covers task c here
+		}
+		return len(seen)
+	}
+
+	// Regime 1: both weights low — splitting (2 tasks) is the equilibrium.
+	lo := build(0.05, 0.05)
+	eqs := equilibria(lo)
+	if len(eqs) == 0 {
+		t.Fatal("low-weight game has no pure equilibrium")
+	}
+	for _, eq := range eqs {
+		if countTasks(eq) != 2 {
+			t.Errorf("low weights: equilibrium %v does not maximize task count", eq)
+		}
+	}
+
+	// Regime 2: φ high — both users end on the zero-detour r1.
+	phiHigh := build(0.99, 0.05)
+	eqs = equilibria(phiHigh)
+	if len(eqs) == 0 {
+		t.Fatal("high-φ game has no pure equilibrium")
+	}
+	for _, eq := range eqs {
+		if eq[0] != 0 || eq[1] != 0 {
+			t.Errorf("high φ: equilibrium %v is not (r1, r1)", eq)
+		}
+	}
+
+	// Regime 3: θ high — both users end on the low-congestion r2.
+	thetaHigh := build(0.05, 0.99)
+	eqs = equilibria(thetaHigh)
+	if len(eqs) == 0 {
+		t.Fatal("high-θ game has no pure equilibrium")
+	}
+	for _, eq := range eqs {
+		if eq[0] != 1 || eq[1] != 1 {
+			t.Errorf("high θ: equilibrium %v is not (r2, r2)", eq)
+		}
+	}
+}

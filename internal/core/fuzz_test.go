@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzReadJSON ensures the instance decoder never panics and that accepted
+// documents describe valid instances that round-trip.
+func FuzzReadJSON(f *testing.F) {
+	// Seed with a real serialized instance plus malformed variants.
+	var buf bytes.Buffer
+	in := RandomInstance(DefaultRandomConfig(3, 4), rng.New(1))
+	if err := in.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"phi":0.5,"theta":0.5,"tasks":[],"users":[]}`)
+	f.Add(`{"version":2}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`{"version":1,"phi":0.5,"theta":0.5,"tasks":[{"a":10,"mu":0}],"users":[{"alpha":0.5,"beta":0.5,"gamma":0.5,"routes":[{"tasks":[0],"detour":1,"congestion":1}]}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		in, err := ReadJSON(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Whatever the decoder accepts must be valid and serializable.
+		if err := in.Validate(); err != nil {
+			t.Fatalf("accepted invalid instance: %v", err)
+		}
+		var out bytes.Buffer
+		if err := in.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted instance failed to re-serialize: %v", err)
+		}
+		again, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.NumUsers() != in.NumUsers() || again.NumTasks() != in.NumTasks() {
+			t.Fatal("round trip changed sizes")
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNashGapZeroAtEquilibrium(t *testing.T) {
+	s := rng.New(31)
+	for trial := 0; trial < 10; trial++ {
+		in := RandomInstance(DefaultRandomConfig(6, 8), s.Child())
+		p := RandomProfile(in, s.Child())
+		// Drive to equilibrium with simple best-response sweeps.
+		for moved := true; moved; {
+			moved = false
+			for i := range in.Users {
+				if d := p.BestResponseSet(UserID(i)); len(d) > 0 {
+					p.SetChoice(UserID(i), d[0])
+					moved = true
+				}
+			}
+		}
+		if !p.IsNash() {
+			t.Fatal("sweep did not reach Nash")
+		}
+		if gap := p.NashGap(); gap > Eps {
+			t.Errorf("trial %d: NashGap = %v at equilibrium", trial, gap)
+		}
+		if !p.IsEpsilonNash(Eps) {
+			t.Error("IsEpsilonNash(Eps) false at equilibrium")
+		}
+	}
+}
+
+func TestNashGapMeasuresImprovement(t *testing.T) {
+	in := twoUserInstance()
+	p := mustProfile(t, in, []int{0, 0})
+	// Compute the expected maximal unilateral improvement by hand.
+	want := 0.0
+	for i := range in.Users {
+		cur := p.Profit(UserID(i))
+		for c := range in.Users[i].Routes {
+			if c == p.Choice(UserID(i)) {
+				continue
+			}
+			if d := p.ProfitIf(UserID(i), c) - cur; d > want {
+				want = d
+			}
+		}
+	}
+	if got := p.NashGap(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("NashGap = %v, want %v", got, want)
+	}
+	if want > 0 && p.IsEpsilonNash(want/2) {
+		t.Error("IsEpsilonNash true below the actual gap")
+	}
+	if !p.IsEpsilonNash(want) {
+		t.Error("IsEpsilonNash false at the actual gap")
+	}
+}
+
+func TestNashGapConsistentWithIsNash(t *testing.T) {
+	s := rng.New(37)
+	for trial := 0; trial < 50; trial++ {
+		in := RandomInstance(DefaultRandomConfig(5, 7), s.Child())
+		p := RandomProfile(in, s.Child())
+		nash := p.IsNash()
+		gap := p.NashGap()
+		if nash && gap > Eps {
+			t.Fatalf("trial %d: IsNash but gap %v", trial, gap)
+		}
+		if !nash && gap <= Eps {
+			t.Fatalf("trial %d: not Nash but gap %v", trial, gap)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// Profile is a strategy profile s = (s_1, ..., s_M): one chosen route per
+// user, together with the incrementally-maintained participant counts
+// n_k(s). All profit and potential evaluations run against a Profile.
+type Profile struct {
+	inst    *Instance
+	choices []int // choices[i] indexes Users[i].Routes
+	nk      []int // nk[k] = number of users whose chosen route covers task k
+
+	scratch []int32 // per-task scratch marks for delta evaluations
+	mark    int32
+}
+
+// NewProfile builds a profile from per-user route indices. The slice is
+// copied. It returns an error if any index is out of range.
+func NewProfile(inst *Instance, choices []int) (*Profile, error) {
+	if len(choices) != len(inst.Users) {
+		return nil, fmt.Errorf("core: %d choices for %d users", len(choices), len(inst.Users))
+	}
+	p := &Profile{
+		inst:    inst,
+		choices: append([]int(nil), choices...),
+		nk:      make([]int, len(inst.Tasks)),
+		scratch: make([]int32, len(inst.Tasks)),
+	}
+	for i, c := range choices {
+		u := inst.Users[i]
+		if c < 0 || c >= len(u.Routes) {
+			return nil, fmt.Errorf("core: user %d choice %d out of range [0,%d)", i, c, len(u.Routes))
+		}
+		for _, k := range u.Routes[c].Tasks {
+			p.nk[k]++
+		}
+	}
+	return p, nil
+}
+
+// Instance returns the underlying game instance.
+func (p *Profile) Instance() *Instance { return p.inst }
+
+// Choice returns the route index chosen by user i.
+func (p *Profile) Choice(i UserID) int { return p.choices[int(i)] }
+
+// Choices returns a copy of all route choices.
+func (p *Profile) Choices() []int { return append([]int(nil), p.choices...) }
+
+// Route returns the route currently chosen by user i.
+func (p *Profile) Route(i UserID) Route {
+	return p.inst.Users[int(i)].Routes[p.choices[int(i)]]
+}
+
+// Count returns n_k(s), the number of users performing task k.
+func (p *Profile) Count(k task.ID) int { return p.nk[int(k)] }
+
+// SetChoice moves user i to route index c, updating the participant counts
+// incrementally (O(|L_old| + |L_new|)).
+func (p *Profile) SetChoice(i UserID, c int) {
+	u := p.inst.Users[int(i)]
+	if c < 0 || c >= len(u.Routes) {
+		panic(fmt.Sprintf("core: SetChoice(%d, %d) out of range", i, c))
+	}
+	old := p.choices[int(i)]
+	if old == c {
+		return
+	}
+	for _, k := range u.Routes[old].Tasks {
+		p.nk[k]--
+	}
+	for _, k := range u.Routes[c].Tasks {
+		p.nk[k]++
+	}
+	p.choices[int(i)] = c
+}
+
+// Clone returns an independent copy of the profile sharing the instance.
+func (p *Profile) Clone() *Profile {
+	return &Profile{
+		inst:    p.inst,
+		choices: append([]int(nil), p.choices...),
+		nk:      append([]int(nil), p.nk...),
+		scratch: make([]int32, len(p.scratch)),
+	}
+}
+
+// nextMark advances the scratch epoch; used to mark the current route's
+// tasks without clearing the whole slice.
+func (p *Profile) nextMark() int32 {
+	p.mark++
+	if p.mark == 0 { // wrapped: reset
+		for i := range p.scratch {
+			p.scratch[i] = 0
+		}
+		p.mark = 1
+	}
+	return p.mark
+}
+
+// Profit returns P_i(s) per Eq. (2) for user i under the current profile.
+func (p *Profile) Profit(i UserID) float64 {
+	u := p.inst.Users[int(i)]
+	r := u.Routes[p.choices[int(i)]]
+	var reward float64
+	for _, k := range r.Tasks {
+		reward += p.inst.Tasks[k].Share(p.nk[k])
+	}
+	return u.Alpha*reward - u.Beta*p.inst.DetourCost(r) - u.Gamma*p.inst.CongestionCost(r)
+}
+
+// RewardOf returns the unweighted task-reward component of user i's profit:
+// Σ_{k∈L_si} w_k(n_k)/n_k. Used by the coverage/reward metrics of §5.3.2.
+func (p *Profile) RewardOf(i UserID) float64 {
+	r := p.Route(i)
+	var reward float64
+	for _, k := range r.Tasks {
+		reward += p.inst.Tasks[k].Share(p.nk[k])
+	}
+	return reward
+}
+
+// ProfitIf returns P_i((c, s_-i)): user i's profit if it unilaterally
+// switched to route index c while everyone else stays put. It does not
+// mutate the profile. Counts are adjusted as in Theorem 2's proof: tasks
+// covered by both routes keep their count; tasks only on the new route gain
+// one participant (user i itself).
+func (p *Profile) ProfitIf(i UserID, c int) float64 {
+	u := p.inst.Users[int(i)]
+	cur := u.Routes[p.choices[int(i)]]
+	cand := u.Routes[c]
+	mark := p.nextMark()
+	for _, k := range cur.Tasks {
+		p.scratch[k] = mark
+	}
+	var reward float64
+	for _, k := range cand.Tasks {
+		n := p.nk[k]
+		if p.scratch[k] != mark {
+			n++ // user i joins task k
+		}
+		reward += p.inst.Tasks[k].Share(n)
+	}
+	return u.Alpha*reward - u.Beta*p.inst.DetourCost(cand) - u.Gamma*p.inst.CongestionCost(cand)
+}
+
+// TotalProfit returns Σ_i P_i(s), the objective of the centralized problem
+// (Eq. 5).
+func (p *Profile) TotalProfit() float64 {
+	var total float64
+	for i := range p.inst.Users {
+		total += p.Profit(UserID(i))
+	}
+	return total
+}
+
+// Potential returns the weighted potential Φ(s) of Eq. (8):
+//
+//	Φ(s) = Σ_k Σ_{q=1..n_k} w_k(q)/q − Σ_i (β_i/α_i)·d(s_i) − Σ_i (γ_i/α_i)·b(s_i).
+func (p *Profile) Potential() float64 {
+	var phi float64
+	for k, tk := range p.inst.Tasks {
+		for q := 1; q <= p.nk[k]; q++ {
+			phi += tk.Share(q)
+		}
+	}
+	for i, u := range p.inst.Users {
+		r := u.Routes[p.choices[i]]
+		phi -= (u.Beta / u.Alpha) * p.inst.DetourCost(r)
+		phi -= (u.Gamma / u.Alpha) * p.inst.CongestionCost(r)
+	}
+	return phi
+}
+
+// BetterResponses returns the route indices that strictly improve user i's
+// profit over its current choice (Definition 1, better response update).
+func (p *Profile) BetterResponses(i UserID) []int {
+	cur := p.Profit(i)
+	var out []int
+	for c := range p.inst.Users[int(i)].Routes {
+		if c == p.choices[int(i)] {
+			continue
+		}
+		if p.ProfitIf(i, c) > cur+Eps {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BestResponseSet returns Δ_i: the set of route indices achieving the
+// maximum profit among all strict improvements (Definition 1, best response
+// update; Algorithm 1 line 10). It is empty when the current choice is
+// already a best response.
+func (p *Profile) BestResponseSet(i UserID) []int {
+	cur := p.Profit(i)
+	best := cur
+	var out []int
+	for c := range p.inst.Users[int(i)].Routes {
+		if c == p.choices[int(i)] {
+			continue
+		}
+		v := p.ProfitIf(i, c)
+		switch {
+		case v > best+Eps:
+			best = v
+			out = out[:0]
+			out = append(out, c)
+		case v > cur+Eps && v >= best-Eps && len(out) > 0:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsNash reports whether no user has a better response (Definition 2).
+func (p *Profile) IsNash() bool {
+	for i := range p.inst.Users {
+		if len(p.BetterResponses(UserID(i))) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NashGap returns the largest profit improvement any user could obtain by a
+// unilateral deviation. It is 0 (up to Eps) exactly at a Nash equilibrium
+// and quantifies how far a profile is from one otherwise.
+func (p *Profile) NashGap() float64 {
+	var gap float64
+	for i := range p.inst.Users {
+		u := UserID(i)
+		cur := p.Profit(u)
+		for c := range p.inst.Users[i].Routes {
+			if c == p.choices[i] {
+				continue
+			}
+			if d := p.ProfitIf(u, c) - cur; d > gap {
+				gap = d
+			}
+		}
+	}
+	return gap
+}
+
+// IsEpsilonNash reports whether no user can improve its profit by more than
+// eps through a unilateral deviation — the approximate-equilibrium notion
+// used when comparing against truncated runs.
+func (p *Profile) IsEpsilonNash(eps float64) bool { return p.NashGap() <= eps }
+
+// Tau returns τ_i = (P_i(c, s_-i) − P_i(s))/α_i for a prospective move of
+// user i to route index c — the per-user potential increase used by the PUU
+// algorithm (Algorithm 3) and the BUAU baseline.
+func (p *Profile) Tau(i UserID, c int) float64 {
+	u := p.inst.Users[int(i)]
+	return (p.ProfitIf(i, c) - p.Profit(i)) / u.Alpha
+}
+
+// MoveTasks returns B_i for a prospective move of user i to route index c:
+// the union of tasks covered by the current and the new route. Two users
+// whose B sets are disjoint can update concurrently without interfering
+// (Algorithm 3).
+func (p *Profile) MoveTasks(i UserID, c int) []task.ID {
+	u := p.inst.Users[int(i)]
+	cur := u.Routes[p.choices[int(i)]]
+	cand := u.Routes[c]
+	mark := p.nextMark()
+	out := make([]task.ID, 0, len(cur.Tasks)+len(cand.Tasks))
+	for _, k := range cur.Tasks {
+		p.scratch[k] = mark
+		out = append(out, k)
+	}
+	for _, k := range cand.Tasks {
+		if p.scratch[k] != mark {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// CoveredTasks returns the number of distinct tasks covered by at least one
+// user's chosen route (the numerator of the §5.3.2 coverage metric).
+func (p *Profile) CoveredTasks() int {
+	n := 0
+	for _, c := range p.nk {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OverlapRatio returns the Table-3 overlap ratio: the number of tasks with
+// more than one participant divided by the total number of tasks.
+func (p *Profile) OverlapRatio() float64 {
+	if len(p.nk) == 0 {
+		return 0
+	}
+	multi := 0
+	for _, c := range p.nk {
+		if c > 1 {
+			multi++
+		}
+	}
+	return float64(multi) / float64(len(p.nk))
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// RandomConfig parametrizes abstract (non-geographic) instance generation,
+// used by tests, property checks, and micro-benchmarks. Field defaults
+// follow Table 2.
+type RandomConfig struct {
+	Users, Tasks             int
+	RoutesMin, RoutesMax     int     // recommended routes per user, 1..5
+	TasksPerRouteMax         int     // routes cover 0..this many tasks
+	AMin, AMax               float64 // base reward, 10..20
+	MuMin, MuMax             float64 // µ, 0..1
+	WeightMin, WeightMax     float64 // α,β,γ, 0.1..0.9
+	DetourMax, CongestionMax float64 // h(r), c(r) upper bounds
+	Phi, Theta               float64 // 0 means: sample from 0.1..0.8
+}
+
+// DefaultRandomConfig returns Table-2 defaults for the given sizes.
+func DefaultRandomConfig(users, tasks int) RandomConfig {
+	return RandomConfig{
+		Users: users, Tasks: tasks,
+		RoutesMin: 1, RoutesMax: 5,
+		TasksPerRouteMax: 4,
+		AMin:             10, AMax: 20,
+		MuMin: 0, MuMax: 1,
+		WeightMin: 0.1, WeightMax: 0.9,
+		DetourMax: 15, CongestionMax: 15,
+	}
+}
+
+// RandomInstance generates a valid random instance from the configuration.
+// The same stream state always yields the same instance.
+func RandomInstance(cfg RandomConfig, s *rng.Stream) *Instance {
+	in := &Instance{
+		Phi:   cfg.Phi,
+		Theta: cfg.Theta,
+		EMin:  cfg.WeightMin,
+		EMax:  cfg.WeightMax,
+	}
+	if in.Phi == 0 {
+		in.Phi = s.Uniform(0.1, 0.8)
+	}
+	if in.Theta == 0 {
+		in.Theta = s.Uniform(0.1, 0.8)
+	}
+	for k := 0; k < cfg.Tasks; k++ {
+		in.Tasks = append(in.Tasks, task.Task{
+			ID: task.ID(k),
+			A:  s.Uniform(cfg.AMin, cfg.AMax),
+			Mu: s.Uniform(cfg.MuMin, cfg.MuMax),
+		})
+	}
+	for i := 0; i < cfg.Users; i++ {
+		u := User{
+			ID:    UserID(i),
+			Alpha: s.Uniform(cfg.WeightMin, cfg.WeightMax),
+			Beta:  s.Uniform(cfg.WeightMin, cfg.WeightMax),
+			Gamma: s.Uniform(cfg.WeightMin, cfg.WeightMax),
+		}
+		nRoutes := s.IntRange(cfg.RoutesMin, cfg.RoutesMax)
+		for r := 0; r < nRoutes; r++ {
+			route := Route{User: u.ID}
+			if r > 0 { // route 0 is the shortest route: zero detour
+				route.Detour = s.Uniform(0, cfg.DetourMax)
+			}
+			route.Congestion = s.Uniform(0, cfg.CongestionMax)
+			if cfg.Tasks > 0 {
+				nT := s.IntRange(0, minI(cfg.TasksPerRouteMax, cfg.Tasks))
+				perm := s.Perm(cfg.Tasks)
+				for _, k := range perm[:nT] {
+					route.Tasks = append(route.Tasks, task.ID(k))
+				}
+			}
+			u.Routes = append(u.Routes, route)
+		}
+		in.Users = append(in.Users, u)
+	}
+	return in
+}
+
+// RandomProfile returns a uniformly random strategy profile over the
+// instance — Algorithm 1's initialization (line 3).
+func RandomProfile(in *Instance, s *rng.Stream) *Profile {
+	choices := make([]int, len(in.Users))
+	for i, u := range in.Users {
+		choices[i] = s.Intn(len(u.Routes))
+	}
+	p, err := NewProfile(in, choices)
+	if err != nil {
+		panic(err) // choices are in range by construction
+	}
+	return p
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

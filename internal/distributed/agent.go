@@ -1,0 +1,242 @@
+package distributed
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// eps is the strict-improvement tolerance; it must match core.Eps so the
+// distributed agents and the sequential engine agree on what counts as a
+// better response.
+const eps = 1e-9
+
+// AgentConfig configures one user agent. The preference weights α, β, γ are
+// the user's own input (Algorithm 1 line 1) and are never sent to the
+// platform.
+type AgentConfig struct {
+	User               int
+	Alpha, Beta, Gamma float64
+	Seed               uint64
+	// Deterministic makes the agent choose route 0 initially and the first
+	// element of its best route set when updating, instead of sampling.
+	// Used by equivalence tests against a sequential reference run.
+	Deterministic bool
+}
+
+// Agent is the user-side state machine of Algorithm 1. It owns no global
+// knowledge: only its recommended routes (with platform-computed costs),
+// the public reward parameters of tasks those routes cover, and the latest
+// participant counts received from the platform.
+type Agent struct {
+	cfg  AgentConfig
+	conn Conn
+	rnd  *rng.Stream
+
+	routes   []wire.RouteInfo
+	tasks    map[int]wire.TaskParam
+	current  int
+	proposed int
+	counts   map[int]int
+}
+
+// NewAgent creates an agent speaking over conn. The connection is wrapped
+// with sequence stamping and duplicate suppression.
+func NewAgent(conn Conn, cfg AgentConfig) *Agent {
+	return &Agent{
+		cfg:      cfg,
+		conn:     WithSeq(conn, cfg.User),
+		rnd:      rng.New(cfg.Seed),
+		proposed: -1,
+	}
+}
+
+// Run executes Algorithm 1 until the termination message arrives. It
+// returns nil on normal termination.
+func (a *Agent) Run() error {
+	if err := a.hello(false); err != nil {
+		return err
+	}
+	return a.runLoop()
+}
+
+// runLoop processes platform messages until termination. Split from Run so
+// a restarted agent (which sends Hello{Resume} itself) can re-enter the
+// loop.
+func (a *Agent) runLoop() error {
+	for {
+		m, err := a.conn.Recv()
+		if err != nil {
+			return fmt.Errorf("agent %d: %w", a.cfg.User, err)
+		}
+		switch m.Kind {
+		case wire.KindInit:
+			if err := a.handleInit(m.Init); err != nil {
+				return err
+			}
+		case wire.KindSlotInfo:
+			if err := a.handleSlot(m.SlotInfo); err != nil {
+				return err
+			}
+		case wire.KindGrant:
+			if err := a.handleGrant(m.Grant); err != nil {
+				return err
+			}
+		case wire.KindTerminate:
+			return nil
+		default:
+			return fmt.Errorf("agent %d: unexpected message %v", a.cfg.User, m.Kind)
+		}
+	}
+}
+
+func (a *Agent) hello(resume bool) error {
+	return a.conn.Send(&wire.Message{
+		Kind:  wire.KindHello,
+		Hello: &wire.Hello{User: a.cfg.User, Resume: resume},
+	})
+}
+
+func (a *Agent) handleInit(in *wire.Init) error {
+	if in.User != a.cfg.User {
+		return fmt.Errorf("agent %d: init addressed to %d", a.cfg.User, in.User)
+	}
+	if len(in.Routes) == 0 {
+		return fmt.Errorf("agent %d: empty recommended route set", a.cfg.User)
+	}
+	a.routes = in.Routes
+	a.tasks = in.Tasks
+	if in.CurrentRoute >= 0 {
+		// Resumed session: the platform has our decision on record.
+		if in.CurrentRoute >= len(a.routes) {
+			return fmt.Errorf("agent %d: resumed route %d out of range", a.cfg.User, in.CurrentRoute)
+		}
+		a.current = in.CurrentRoute
+		return nil
+	}
+	// Algorithm 1 line 3: initialize by randomly selecting a route.
+	if a.cfg.Deterministic {
+		a.current = 0
+	} else {
+		a.current = a.rnd.Intn(len(a.routes))
+	}
+	// Line 4: report the initial decision.
+	return a.conn.Send(&wire.Message{
+		Kind:     wire.KindDecision,
+		Decision: &wire.Decision{Slot: 0, Route: a.current},
+	})
+}
+
+// share returns w_k(n)/n for task k computed from the public parameters.
+func (a *Agent) share(k, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p, ok := a.tasks[k]
+	if !ok {
+		return 0
+	}
+	return (p.A + p.Mu*math.Log(float64(n))) / float64(n)
+}
+
+// profitOf evaluates the agent's profit (Eq. 2) for route index c given the
+// latest counts, adjusting for the agent's own membership exactly as the
+// Theorem-2 proof does: tasks already on the current route keep their
+// count; tasks newly joined gain one participant.
+func (a *Agent) profitOf(c int) float64 {
+	onCurrent := map[int]bool{}
+	for _, k := range a.routes[a.current].Tasks {
+		onCurrent[k] = true
+	}
+	r := a.routes[c]
+	var reward float64
+	for _, k := range r.Tasks {
+		n := a.counts[k]
+		if !onCurrent[k] {
+			n++
+		}
+		reward += a.share(k, n)
+	}
+	return a.cfg.Alpha*reward - a.cfg.Beta*r.DetourCost - a.cfg.Gamma*r.CongestionCost
+}
+
+// bestResponseSet computes Δ_i locally (Algorithm 1 line 10).
+func (a *Agent) bestResponseSet() []int {
+	cur := a.profitOf(a.current)
+	best := cur
+	var out []int
+	for c := range a.routes {
+		if c == a.current {
+			continue
+		}
+		v := a.profitOf(c)
+		switch {
+		case v > best+eps:
+			best = v
+			out = out[:0]
+			out = append(out, c)
+		case v > cur+eps && v >= best-eps && len(out) > 0:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (a *Agent) handleSlot(si *wire.SlotInfo) error {
+	if a.routes == nil {
+		return fmt.Errorf("agent %d: slot info before init", a.cfg.User)
+	}
+	a.counts = si.Counts
+	delta := a.bestResponseSet()
+	req := &wire.Request{Slot: si.Slot}
+	if len(delta) > 0 {
+		// Algorithm 1 line 12: contend for the update opportunity.
+		if a.cfg.Deterministic {
+			a.proposed = delta[0]
+		} else {
+			a.proposed = delta[a.rnd.Intn(len(delta))]
+		}
+		req.HasUpdate = true
+		req.Route = a.proposed
+		req.Tau = (a.profitOf(a.proposed) - a.profitOf(a.current)) / a.cfg.Alpha
+		req.B = a.moveTasks(a.proposed)
+	} else {
+		a.proposed = -1
+	}
+	return a.conn.Send(&wire.Message{Kind: wire.KindRequest, Request: req})
+}
+
+// moveTasks returns B_i: the union of tasks on the current and proposed
+// routes (Algorithm 3 input).
+func (a *Agent) moveTasks(c int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, k := range a.routes[a.current].Tasks {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, k := range a.routes[c].Tasks {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func (a *Agent) handleGrant(g *wire.Grant) error {
+	if a.proposed < 0 {
+		return fmt.Errorf("agent %d: grant without pending proposal", a.cfg.User)
+	}
+	// Algorithm 1 lines 14–15: adopt the proposed route and report it.
+	a.current = a.proposed
+	a.proposed = -1
+	return a.conn.Send(&wire.Message{
+		Kind:     wire.KindDecision,
+		Decision: &wire.Decision{Slot: g.Slot, Route: a.current},
+	})
+}

@@ -1,0 +1,366 @@
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// This file implements an ASYNCHRONOUS variant of the protocol: instead of
+// lock-step decision slots, the platform versions its participant counts,
+// users request updates whenever their latest view admits an improvement,
+// and the platform serializes updates with a single outstanding grant
+// (token). A granted user re-evaluates against its freshest counts before
+// moving, so every applied move is a genuine best response at application
+// time and the potential still ascends — Theorem 2's convergence argument
+// carries over even though there is no global slot barrier.
+//
+// The wire vocabulary is reused: SlotInfo.Slot carries the counts version,
+// Request.Slot echoes the version a user responded to.
+
+// AsyncStats summarizes an asynchronous run.
+type AsyncStats struct {
+	Versions     int // count-state versions (== applied updates + 1)
+	Grants       int // grants issued (some may be no-ops after re-evaluation)
+	TotalUpdates int // decisions that actually changed a route
+	Converged    bool
+	Choices      []int
+}
+
+// asyncEvent is one message from one user, merged across connections.
+type asyncEvent struct {
+	user int
+	msg  *wire.Message
+	err  error
+}
+
+// AsyncPlatform drives the asynchronous protocol.
+type AsyncPlatform struct {
+	in      *core.Instance
+	conns   []Conn
+	nk      []int
+	choices []int
+	version int
+}
+
+// NewAsyncPlatform wraps the connections (with sequence dedup) for an
+// asynchronous run.
+func NewAsyncPlatform(in *core.Instance, conns []Conn) (*AsyncPlatform, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("distributed: %w", err)
+	}
+	if len(conns) != in.NumUsers() {
+		return nil, fmt.Errorf("distributed: %d connections for %d users", len(conns), in.NumUsers())
+	}
+	wrapped := make([]Conn, len(conns))
+	for i, c := range conns {
+		wrapped[i] = WithSeq(c, -1)
+	}
+	return &AsyncPlatform{
+		in:      in,
+		conns:   wrapped,
+		nk:      make([]int, in.NumTasks()),
+		choices: make([]int, in.NumUsers()),
+	}, nil
+}
+
+// initMsg/slotMsg mirror the synchronous platform's views.
+func (p *AsyncPlatform) initMsg(u, currentRoute int) *wire.Message {
+	sync := Platform{in: p.in}
+	return sync.initMsg(u, currentRoute)
+}
+
+func (p *AsyncPlatform) viewMsg(u int) *wire.Message {
+	counts := map[int]int{}
+	for _, r := range p.in.Users[u].Routes {
+		for _, k := range r.Tasks {
+			counts[int(k)] = p.nk[k]
+		}
+	}
+	return &wire.Message{Kind: wire.KindSlotInfo, SlotInfo: &wire.SlotInfo{Slot: p.version, Counts: counts}}
+}
+
+func (p *AsyncPlatform) applyDecision(u, c int, initial bool) error {
+	if c < 0 || c >= len(p.in.Users[u].Routes) {
+		return fmt.Errorf("distributed: user %d decided out-of-range route %d", u, c)
+	}
+	if !initial {
+		for _, k := range p.in.Users[u].Routes[p.choices[u]].Tasks {
+			p.nk[k]--
+		}
+	}
+	for _, k := range p.in.Users[u].Routes[c].Tasks {
+		p.nk[k]++
+	}
+	p.choices[u] = c
+	return nil
+}
+
+// Run executes the asynchronous protocol to convergence.
+func (p *AsyncPlatform) Run() (AsyncStats, error) {
+	var stats AsyncStats
+	n := len(p.conns)
+	// Handshake, synchronous per user as in the slotted protocol.
+	for u := 0; u < n; u++ {
+		m, err := p.conns[u].Recv()
+		if err != nil {
+			return stats, err
+		}
+		if m.Kind != wire.KindHello || m.Hello.User != u {
+			return stats, fmt.Errorf("distributed: bad hello on conn %d", u)
+		}
+		if err := p.conns[u].Send(p.initMsg(u, -1)); err != nil {
+			return stats, err
+		}
+	}
+	for u := 0; u < n; u++ {
+		m, err := p.conns[u].Recv()
+		if err != nil {
+			return stats, err
+		}
+		if m.Kind != wire.KindDecision {
+			return stats, fmt.Errorf("distributed: expected initial decision from %d, got %v", u, m.Kind)
+		}
+		if err := p.applyDecision(u, m.Decision.Route, true); err != nil {
+			return stats, err
+		}
+	}
+	p.version = 1
+	stats.Versions = 1
+
+	// Merge incoming messages from all users.
+	events := make(chan asyncEvent, n*4)
+	stop := make(chan struct{})
+	for u := 0; u < n; u++ {
+		go func(u int) {
+			for {
+				m, err := p.conns[u].Recv()
+				select {
+				case events <- asyncEvent{user: u, msg: m, err: err}:
+				case <-stop:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(u)
+	}
+	defer close(stop)
+
+	// Broadcast the initial view.
+	for u := 0; u < n; u++ {
+		if err := p.conns[u].Send(p.viewMsg(u)); err != nil {
+			return stats, err
+		}
+	}
+
+	// ackVersion[u] = newest version user u declared "no improvement" for.
+	ackVersion := make([]int, n)
+	for i := range ackVersion {
+		ackVersion[i] = -1
+	}
+	granted := -1     // user holding the token, -1 if none
+	var pending []int // users with outstanding improvement requests
+
+	converged := func() bool {
+		if granted != -1 || len(pending) > 0 {
+			return false
+		}
+		for _, v := range ackVersion {
+			if v != p.version {
+				return false
+			}
+		}
+		return true
+	}
+	grantNext := func() error {
+		for granted == -1 && len(pending) > 0 {
+			u := pending[0]
+			pending = pending[1:]
+			granted = u
+			stats.Grants++
+			if err := p.conns[u].Send(&wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: p.version}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for !converged() {
+		ev := <-events
+		if ev.err != nil {
+			return stats, fmt.Errorf("distributed: user %d: %w", ev.user, ev.err)
+		}
+		switch ev.msg.Kind {
+		case wire.KindRequest:
+			r := ev.msg.Request
+			if r.HasUpdate {
+				// Enqueue once; duplicates are harmless but wasteful.
+				already := granted == ev.user
+				for _, q := range pending {
+					if q == ev.user {
+						already = true
+					}
+				}
+				if !already {
+					pending = append(pending, ev.user)
+				}
+			} else if r.Slot > ackVersion[ev.user] {
+				ackVersion[ev.user] = r.Slot
+			}
+			if err := grantNext(); err != nil {
+				return stats, err
+			}
+		case wire.KindDecision:
+			if ev.user != granted {
+				return stats, fmt.Errorf("distributed: decision from %d without the token", ev.user)
+			}
+			granted = -1
+			old := p.choices[ev.user]
+			if err := p.applyDecision(ev.user, ev.msg.Decision.Route, false); err != nil {
+				return stats, err
+			}
+			if p.choices[ev.user] != old {
+				stats.TotalUpdates++
+				p.version++
+				stats.Versions++
+				// Counts changed: rebroadcast views; acks for older
+				// versions become stale automatically.
+				for u := 0; u < n; u++ {
+					if err := p.conns[u].Send(p.viewMsg(u)); err != nil {
+						return stats, err
+					}
+				}
+			} else {
+				// No-op move (the improvement vanished): the user's reply to
+				// the current view will carry its ack.
+				if err := p.conns[ev.user].Send(p.viewMsg(ev.user)); err != nil {
+					return stats, err
+				}
+			}
+			if err := grantNext(); err != nil {
+				return stats, err
+			}
+		case wire.KindHello:
+			// Mid-run restart: re-init and resend the current view.
+			if err := p.conns[ev.user].Send(p.initMsg(ev.user, p.choices[ev.user])); err != nil {
+				return stats, err
+			}
+			if err := p.conns[ev.user].Send(p.viewMsg(ev.user)); err != nil {
+				return stats, err
+			}
+		default:
+			return stats, fmt.Errorf("distributed: unexpected async message %v from %d", ev.msg.Kind, ev.user)
+		}
+	}
+	for u := 0; u < n; u++ {
+		if err := p.conns[u].Send(&wire.Message{Kind: wire.KindTerminate, Terminate: &wire.Terminate{Slot: p.version}}); err != nil {
+			return stats, err
+		}
+	}
+	stats.Converged = true
+	stats.Choices = append([]int(nil), p.choices...)
+	return stats, nil
+}
+
+// AsyncAgent is the user-side loop for the asynchronous protocol. Unlike
+// the slotted Agent it re-evaluates its best response WHEN GRANTED, against
+// the freshest counts it has seen, so stale requests degrade into no-ops
+// instead of profit-losing moves.
+type AsyncAgent struct {
+	inner *Agent
+}
+
+// NewAsyncAgent creates an asynchronous agent over conn.
+func NewAsyncAgent(conn Conn, cfg AgentConfig) *AsyncAgent {
+	return &AsyncAgent{inner: NewAgent(conn, cfg)}
+}
+
+// Run executes the asynchronous user loop until termination.
+func (a *AsyncAgent) Run() error {
+	ag := a.inner
+	if err := ag.hello(false); err != nil {
+		return err
+	}
+	lastVersion := 0
+	for {
+		m, err := ag.conn.Recv()
+		if err != nil {
+			return fmt.Errorf("async agent %d: %w", ag.cfg.User, err)
+		}
+		switch m.Kind {
+		case wire.KindInit:
+			if err := ag.handleInit(m.Init); err != nil {
+				return err
+			}
+		case wire.KindSlotInfo:
+			ag.counts = m.SlotInfo.Counts
+			lastVersion = m.SlotInfo.Slot
+			delta := ag.bestResponseSet()
+			req := &wire.Request{Slot: lastVersion}
+			if len(delta) > 0 {
+				req.HasUpdate = true
+				req.Route = delta[0]
+			}
+			if err := ag.conn.Send(&wire.Message{Kind: wire.KindRequest, Request: req}); err != nil {
+				return err
+			}
+		case wire.KindGrant:
+			// Re-evaluate NOW: the counts may have moved since the request.
+			delta := ag.bestResponseSet()
+			if len(delta) > 0 {
+				ag.current = delta[0]
+			}
+			if err := ag.conn.Send(&wire.Message{
+				Kind:     wire.KindDecision,
+				Decision: &wire.Decision{Slot: lastVersion, Route: ag.current},
+			}); err != nil {
+				return err
+			}
+		case wire.KindTerminate:
+			return nil
+		default:
+			return fmt.Errorf("async agent %d: unexpected %v", ag.cfg.User, m.Kind)
+		}
+	}
+}
+
+// RunAsyncInProcess runs the asynchronous protocol with channel transports:
+// one platform goroutine plus one async agent per user.
+func RunAsyncInProcess(in *core.Instance, agentSeedBase uint64) (AsyncStats, error) {
+	n := in.NumUsers()
+	platConns := make([]Conn, n)
+	agentConns := make([]Conn, n)
+	for i := 0; i < n; i++ {
+		platConns[i], agentConns[i] = ChanPair(4 * n)
+	}
+	plat, err := NewAsyncPlatform(in, platConns)
+	if err != nil {
+		return AsyncStats{}, err
+	}
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			a := NewAsyncAgent(agentConns[i], AgentConfig{
+				User:  i,
+				Alpha: in.Users[i].Alpha, Beta: in.Users[i].Beta, Gamma: in.Users[i].Gamma,
+				Seed: agentSeedBase + uint64(i),
+			})
+			errs[i] = a.Run()
+			done <- i
+		}(i)
+	}
+	stats, perr := plat.Run()
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i, e := range errs {
+		if e != nil && perr == nil {
+			perr = fmt.Errorf("agent %d: %w", i, e)
+		}
+	}
+	return stats, perr
+}

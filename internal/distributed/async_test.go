@@ -1,0 +1,108 @@
+package distributed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestAsyncConvergesToNash(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		in := randomInstance(seed, 10, 14)
+		stats, err := RunAsyncInProcess(in, seed*17)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !stats.Converged {
+			t.Fatalf("seed %d: not converged", seed)
+		}
+		p := profileOf(t, in, stats.Choices)
+		if !p.IsNash() {
+			t.Fatalf("seed %d: async equilibrium is not Nash", seed)
+		}
+		if stats.Versions != stats.TotalUpdates+1 {
+			t.Errorf("seed %d: versions %d != updates+1 (%d)", seed, stats.Versions, stats.TotalUpdates+1)
+		}
+		if stats.Grants < stats.TotalUpdates {
+			t.Errorf("seed %d: grants %d below updates %d", seed, stats.Grants, stats.TotalUpdates)
+		}
+	}
+}
+
+func TestAsyncSingleUser(t *testing.T) {
+	in := randomInstance(3, 1, 5)
+	stats, err := RunAsyncInProcess(in, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatal("single-user async did not converge")
+	}
+	if !profileOf(t, in, stats.Choices).IsNash() {
+		t.Fatal("single-user async not Nash")
+	}
+}
+
+func TestAsyncMatchesSyncQuality(t *testing.T) {
+	// Async and slotted runtimes may reach different equilibria, but both
+	// must be Nash on the same instance; compare potentials for sanity.
+	in := randomInstance(5, 12, 16)
+	async, err := RunAsyncInProcess(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := RunInProcess(in, InProcessOptions{
+		Platform: PlatformConfig{Policy: SUU, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := profileOf(t, in, async.Choices)
+	ps := profileOf(t, in, sync.Choices)
+	if !pa.IsNash() || !ps.IsNash() {
+		t.Fatal("one of the runtimes missed Nash")
+	}
+	// Both potentials are local maxima; they must be finite and positive
+	// for these instances.
+	if pa.Potential() <= 0 || ps.Potential() <= 0 {
+		t.Errorf("degenerate potentials: async %v, sync %v", pa.Potential(), ps.Potential())
+	}
+}
+
+func TestAsyncNoDeadlockUnderContention(t *testing.T) {
+	// Many users sharing few tasks: heavy request contention. Guard with a
+	// timeout so a protocol deadlock fails fast instead of hanging the
+	// suite.
+	in := core.RandomInstance(core.RandomConfig{
+		Users: 20, Tasks: 5,
+		RoutesMin: 2, RoutesMax: 4,
+		TasksPerRouteMax: 3,
+		AMin:             10, AMax: 20,
+		WeightMin: 0.1, WeightMax: 0.9,
+		DetourMax: 10, CongestionMax: 10,
+	}, rng.New(11))
+	done := make(chan error, 1)
+	go func() {
+		stats, err := RunAsyncInProcess(in, 4)
+		if err == nil && !stats.Converged {
+			err = errNotConverged
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("async runtime deadlocked under contention")
+	}
+}
+
+var errNotConverged = &notConvergedError{}
+
+type notConvergedError struct{}
+
+func (*notConvergedError) Error() string { return "did not converge" }

@@ -1,0 +1,256 @@
+// Package distributed implements the paper's system as genuinely
+// distributed code: the platform (Algorithm 2) and every user agent
+// (Algorithm 1) run as independent goroutines — or separate processes over
+// TCP — exchanging only the wire messages of package wire. An agent sees
+// nothing but its own recommended routes, platform-computed route costs,
+// and the participant counts of tasks on its own routes; it computes its
+// best responses locally.
+package distributed
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// Conn is a reliable, ordered, bidirectional message connection.
+type Conn interface {
+	Send(*wire.Message) error
+	Recv() (*wire.Message, error)
+	Close() error
+}
+
+// --- In-process channel transport ---
+
+type chanConn struct {
+	out  chan<- *wire.Message
+	in   <-chan *wire.Message
+	once *sync.Once
+	done chan struct{}
+}
+
+// ChanPair returns the two ends of an in-process connection with the given
+// buffer depth. Closing either end tears down the connection for both, like
+// a socket close.
+func ChanPair(buf int) (Conn, Conn) {
+	ab := make(chan *wire.Message, buf)
+	ba := make(chan *wire.Message, buf)
+	done := make(chan struct{})
+	once := new(sync.Once)
+	a := &chanConn{out: ab, in: ba, once: once, done: done}
+	b := &chanConn{out: ba, in: ab, once: once, done: done}
+	return a, b
+}
+
+func (c *chanConn) Send(m *wire.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("distributed: send on closed connection")
+	}
+}
+
+func (c *chanConn) Recv() (*wire.Message, error) {
+	select {
+	case m := <-c.in:
+		if m == nil {
+			return nil, fmt.Errorf("distributed: connection closed by peer")
+		}
+		return m, nil
+	case <-c.done:
+		return nil, fmt.Errorf("distributed: recv on closed connection")
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// --- TCP (gob) transport ---
+
+type netConn struct {
+	nc          net.Conn
+	codec       *wire.Codec
+	wmu         sync.Mutex
+	recvTimeout time.Duration
+}
+
+// NewNetConn wraps a net.Conn with the gob codec.
+func NewNetConn(nc net.Conn) Conn {
+	return &netConn{nc: nc, codec: wire.NewCodec(nc, nc)}
+}
+
+// NewNetConnTimeout wraps a net.Conn with the gob codec and applies the
+// given read deadline to every Recv, so a crashed or stalled peer surfaces
+// as an error instead of blocking the platform forever.
+func NewNetConnTimeout(nc net.Conn, recvTimeout time.Duration) Conn {
+	return &netConn{nc: nc, codec: wire.NewCodec(nc, nc), recvTimeout: recvTimeout}
+}
+
+func (c *netConn) Send(m *wire.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.codec.Encode(m)
+}
+
+func (c *netConn) Recv() (*wire.Message, error) {
+	if c.recvTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.recvTimeout)); err != nil {
+			return nil, err
+		}
+	}
+	return c.codec.Decode()
+}
+
+func (c *netConn) Close() error { return c.nc.Close() }
+
+// --- Message accounting ---
+
+// Counter tallies traffic through a connection; wrap with WithCounter.
+// Safe for concurrent use via the connection's own synchronization (counts
+// are updated under the conn's send/recv paths).
+type Counter struct {
+	mu         sync.Mutex
+	sent, recv int
+}
+
+// Sent returns the number of messages sent through the counted connection.
+func (c *Counter) Sent() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+// Recv returns the number of messages received through the counted
+// connection.
+func (c *Counter) Recv() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recv
+}
+
+type countedConn struct {
+	inner Conn
+	ctr   *Counter
+}
+
+// WithCounter wraps a connection so all traffic is tallied in ctr.
+func WithCounter(inner Conn, ctr *Counter) Conn {
+	return &countedConn{inner: inner, ctr: ctr}
+}
+
+func (c *countedConn) Send(m *wire.Message) error {
+	if err := c.inner.Send(m); err != nil {
+		return err
+	}
+	c.ctr.mu.Lock()
+	c.ctr.sent++
+	c.ctr.mu.Unlock()
+	return nil
+}
+
+func (c *countedConn) Recv() (*wire.Message, error) {
+	m, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.ctr.mu.Lock()
+	c.ctr.recv++
+	c.ctr.mu.Unlock()
+	return m, nil
+}
+
+func (c *countedConn) Close() error { return c.inner.Close() }
+
+// --- Sequence numbering and duplicate suppression ---
+
+// seqConn stamps outgoing messages with increasing sequence numbers and
+// drops incoming duplicates (messages whose Seq was already delivered).
+// This makes the protocol safe under at-least-once delivery, which the
+// failure-injection transport below exploits.
+type seqConn struct {
+	inner    Conn
+	from     int
+	nextSeq  uint64
+	lastSeen map[uint64]bool
+	mu       sync.Mutex
+}
+
+// WithSeq wraps a connection with sequence stamping (as sender identity
+// `from`; use -1 for the platform) and duplicate suppression.
+func WithSeq(inner Conn, from int) Conn {
+	return &seqConn{inner: inner, from: from, lastSeen: make(map[uint64]bool)}
+}
+
+func (c *seqConn) Send(m *wire.Message) error {
+	c.mu.Lock()
+	c.nextSeq++
+	m.Seq = c.nextSeq
+	m.From = c.from
+	c.mu.Unlock()
+	return c.inner.Send(m)
+}
+
+func (c *seqConn) Recv() (*wire.Message, error) {
+	for {
+		m, err := c.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		dup := c.lastSeen[m.Seq]
+		if !dup {
+			c.lastSeen[m.Seq] = true
+		}
+		c.mu.Unlock()
+		if dup {
+			continue // duplicate delivery: drop
+		}
+		return m, nil
+	}
+}
+
+func (c *seqConn) Close() error { return c.inner.Close() }
+
+// --- Failure injection ---
+
+// FaultyConn duplicates outgoing messages with probability DupProb,
+// simulating at-least-once delivery over a flaky link. (Messages are never
+// dropped: the slot-synchronous protocol assumes reliable delivery, as does
+// the paper; duplication exercises the dedup layer.)
+type FaultyConn struct {
+	Inner   Conn
+	DupProb float64
+	Rand    *rng.Stream
+	mu      sync.Mutex
+}
+
+// Send forwards the message, sometimes twice.
+func (c *FaultyConn) Send(m *wire.Message) error {
+	if err := c.Inner.Send(m); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	dup := c.Rand != nil && c.Rand.Bool(c.DupProb)
+	c.mu.Unlock()
+	if dup {
+		cp := *m // shallow copy; payloads are read-only after send
+		return c.Inner.Send(&cp)
+	}
+	return nil
+}
+
+// Recv forwards to the inner connection.
+func (c *FaultyConn) Recv() (*wire.Message, error) { return c.Inner.Recv() }
+
+// Close forwards to the inner connection.
+func (c *FaultyConn) Close() error { return c.Inner.Close() }

@@ -1,0 +1,304 @@
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// SelectionPolicy names the platform's user-update selection rule.
+type SelectionPolicy string
+
+// Platform selection policies.
+const (
+	// SUU grants one uniformly random requester per slot (§4.2).
+	SUU SelectionPolicy = "SUU"
+	// PUU grants a greedy disjoint batch per Algorithm 3.
+	PUU SelectionPolicy = "PUU"
+	// Deterministic grants the lowest-ID requester; used by equivalence
+	// tests against a sequential reference run.
+	Deterministic SelectionPolicy = "DET"
+)
+
+// PlatformConfig configures a platform run.
+type PlatformConfig struct {
+	Policy   SelectionPolicy
+	MaxSlots int // 0 = engine.DefaultMaxSlots
+	Seed     uint64
+	// Observer, when non-nil, is invoked after initialization (slot 0) and
+	// after every decision slot with the slot number, the number of update
+	// requests, the number of granted updates, and a copy of the current
+	// route choices. Used by the HTTP monitoring endpoint.
+	Observer func(slot, requests, granted int, choices []int)
+}
+
+// RunStats summarizes a completed distributed run.
+type RunStats struct {
+	Slots        int
+	Converged    bool
+	Choices      []int
+	TotalUpdates int
+	// RequestsPerSlot and SelectedPerSlot record per-slot contention and
+	// batch sizes (SelectedPerSlot feeds Table 3).
+	RequestsPerSlot []int
+	SelectedPerSlot []int
+	// MessagesSent and MessagesReceived count the platform-side traffic
+	// over the whole run — the communication cost of the protocol.
+	MessagesSent, MessagesReceived int
+}
+
+// Platform is the platform-side state machine of Algorithm 2. It knows the
+// full instance topology (routes, tasks, costs) but never the users'
+// preference weights, which stay on the agents.
+type Platform struct {
+	in    *core.Instance
+	conns []Conn
+	cfg   PlatformConfig
+	rnd   *rng.Stream
+
+	nk      []int
+	choices []int
+	ctr     *Counter
+}
+
+// NewPlatform creates a platform serving len(conns) users; conns[i] must be
+// connected to the agent for user i. Connections are wrapped with sequence
+// stamping and duplicate suppression.
+func NewPlatform(in *core.Instance, conns []Conn, cfg PlatformConfig) (*Platform, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("distributed: %w", err)
+	}
+	if len(conns) != in.NumUsers() {
+		return nil, fmt.Errorf("distributed: %d connections for %d users", len(conns), in.NumUsers())
+	}
+	ctr := &Counter{}
+	wrapped := make([]Conn, len(conns))
+	for i, c := range conns {
+		wrapped[i] = WithSeq(WithCounter(c, ctr), -1)
+	}
+	switch cfg.Policy {
+	case SUU, PUU, Deterministic:
+	case "":
+		cfg.Policy = SUU
+	default:
+		return nil, fmt.Errorf("distributed: unknown policy %q", cfg.Policy)
+	}
+	if cfg.MaxSlots <= 0 {
+		cfg.MaxSlots = engine.DefaultMaxSlots
+	}
+	return &Platform{
+		in:      in,
+		conns:   wrapped,
+		cfg:     cfg,
+		rnd:     rng.New(cfg.Seed),
+		nk:      make([]int, in.NumTasks()),
+		choices: make([]int, in.NumUsers()),
+		ctr:     ctr,
+	}, nil
+}
+
+// initMsg builds the Init payload for user u: its recommended routes with
+// platform-weighted costs and the public reward parameters of covered
+// tasks (Algorithm 2 lines 1 and 4).
+func (p *Platform) initMsg(u int, currentRoute int) *wire.Message {
+	user := p.in.Users[u]
+	routes := make([]wire.RouteInfo, len(user.Routes))
+	taskParams := map[int]wire.TaskParam{}
+	for ri, r := range user.Routes {
+		info := wire.RouteInfo{
+			DetourCost:     p.in.DetourCost(r),
+			CongestionCost: p.in.CongestionCost(r),
+		}
+		for _, k := range r.Tasks {
+			info.Tasks = append(info.Tasks, int(k))
+			tk := p.in.Tasks[k]
+			taskParams[int(k)] = wire.TaskParam{A: tk.A, Mu: tk.Mu}
+		}
+		routes[ri] = info
+	}
+	return &wire.Message{
+		Kind: wire.KindInit,
+		Init: &wire.Init{User: u, Routes: routes, Tasks: taskParams, CurrentRoute: currentRoute},
+	}
+}
+
+// slotMsg builds the SlotInfo for user u: n_k restricted to tasks its
+// routes cover (Algorithm 2 line 4 / Algorithm 1 line 9).
+func (p *Platform) slotMsg(u, slot int) *wire.Message {
+	counts := map[int]int{}
+	for _, r := range p.in.Users[u].Routes {
+		for _, k := range r.Tasks {
+			counts[int(k)] = p.nk[k]
+		}
+	}
+	return &wire.Message{Kind: wire.KindSlotInfo, SlotInfo: &wire.SlotInfo{Slot: slot, Counts: counts}}
+}
+
+// applyDecision moves user u to route c, updating counts.
+func (p *Platform) applyDecision(u, c int, initial bool) error {
+	if c < 0 || c >= len(p.in.Users[u].Routes) {
+		return fmt.Errorf("distributed: user %d decided out-of-range route %d", u, c)
+	}
+	if !initial {
+		for _, k := range p.in.Users[u].Routes[p.choices[u]].Tasks {
+			p.nk[k]--
+		}
+	}
+	for _, k := range p.in.Users[u].Routes[c].Tasks {
+		p.nk[k]++
+	}
+	p.choices[u] = c
+	return nil
+}
+
+// expect reads messages from user u until one of the wanted kind arrives,
+// transparently handling mid-run agent restarts (Hello with Resume: the
+// platform re-sends Init with the recorded decision, plus the current slot
+// info when inSlot >= 1, and keeps waiting).
+func (p *Platform) expect(u int, kind wire.Kind, inSlot int) (*wire.Message, error) {
+	for {
+		m, err := p.conns[u].Recv()
+		if err != nil {
+			return nil, fmt.Errorf("distributed: user %d: %w", u, err)
+		}
+		if m.Kind == wire.KindHello && m.Hello.Resume {
+			if err := p.conns[u].Send(p.initMsg(u, p.choices[u])); err != nil {
+				return nil, err
+			}
+			if inSlot >= 1 {
+				if err := p.conns[u].Send(p.slotMsg(u, inSlot)); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if m.Kind != kind {
+			return nil, fmt.Errorf("distributed: user %d sent %v, want %v", u, m.Kind, kind)
+		}
+		return m, nil
+	}
+}
+
+// Run executes Algorithm 2 to completion and returns the run statistics.
+func (p *Platform) Run() (stats RunStats, err error) {
+	defer func() {
+		stats.MessagesSent = p.ctr.Sent()
+		stats.MessagesReceived = p.ctr.Recv()
+	}()
+	// Initialization: greet every user, send R_i, and collect initial
+	// decisions (Algorithm 2 lines 1–4).
+	for u := range p.conns {
+		m, err := p.expect(u, wire.KindHello, 0)
+		if err != nil {
+			return stats, err
+		}
+		if m.Hello.User != u {
+			return stats, fmt.Errorf("distributed: conn %d claimed by user %d", u, m.Hello.User)
+		}
+		if err := p.conns[u].Send(p.initMsg(u, -1)); err != nil {
+			return stats, err
+		}
+	}
+	for u := range p.conns {
+		m, err := p.expect(u, wire.KindDecision, 0)
+		if err != nil {
+			return stats, err
+		}
+		if err := p.applyDecision(u, m.Decision.Route, true); err != nil {
+			return stats, err
+		}
+	}
+	p.observe(0, 0, 0)
+	// Decision slots (Algorithm 2 lines 5–10).
+	for slot := 1; slot <= p.cfg.MaxSlots; slot++ {
+		for u := range p.conns {
+			if err := p.conns[u].Send(p.slotMsg(u, slot)); err != nil {
+				return stats, err
+			}
+		}
+		var requests []engine.Request
+		for u := range p.conns {
+			m, err := p.expect(u, wire.KindRequest, slot)
+			if err != nil {
+				return stats, err
+			}
+			r := m.Request
+			if r.Slot != slot {
+				return stats, fmt.Errorf("distributed: user %d replied for slot %d in slot %d", u, r.Slot, slot)
+			}
+			if r.HasUpdate {
+				requests = append(requests, engine.Request{
+					User: core.UserID(u), Route: r.Route, Tau: r.Tau, B: r.B,
+				})
+			}
+		}
+		if len(requests) == 0 {
+			// Algorithm 2 lines 11–12: equilibrium; terminate everyone.
+			for u := range p.conns {
+				if err := p.conns[u].Send(&wire.Message{Kind: wire.KindTerminate, Terminate: &wire.Terminate{Slot: slot}}); err != nil {
+					return stats, err
+				}
+			}
+			stats.Converged = true
+			stats.Choices = append([]int(nil), p.choices...)
+			return stats, nil
+		}
+		stats.Slots = slot
+		stats.RequestsPerSlot = append(stats.RequestsPerSlot, len(requests))
+		winners := p.selectWinners(requests)
+		stats.SelectedPerSlot = append(stats.SelectedPerSlot, len(winners))
+		stats.TotalUpdates += len(winners)
+		for _, w := range winners {
+			u := int(w.User)
+			if err := p.conns[u].Send(&wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: slot}}); err != nil {
+				return stats, err
+			}
+		}
+		for _, w := range winners {
+			u := int(w.User)
+			m, err := p.expect(u, wire.KindDecision, slot)
+			if err != nil {
+				return stats, err
+			}
+			if m.Decision.Slot != slot {
+				return stats, fmt.Errorf("distributed: user %d decision for slot %d in slot %d", u, m.Decision.Slot, slot)
+			}
+			if err := p.applyDecision(u, m.Decision.Route, false); err != nil {
+				return stats, err
+			}
+		}
+		p.observe(slot, len(requests), len(winners))
+	}
+	stats.Choices = append([]int(nil), p.choices...)
+	return stats, fmt.Errorf("distributed: no convergence within %d slots", p.cfg.MaxSlots)
+}
+
+// observe invokes the configured observer with a copy of the choices.
+func (p *Platform) observe(slot, requests, granted int) {
+	if p.cfg.Observer == nil {
+		return
+	}
+	p.cfg.Observer(slot, requests, granted, append([]int(nil), p.choices...))
+}
+
+// selectWinners applies the configured selection policy to the slot's
+// requests (Algorithm 2 line 8).
+func (p *Platform) selectWinners(requests []engine.Request) []engine.Request {
+	switch p.cfg.Policy {
+	case PUU:
+		return engine.SelectPUU(requests)
+	case Deterministic:
+		best := requests[0]
+		for _, r := range requests[1:] {
+			if r.User < best.User {
+				best = r
+			}
+		}
+		return []engine.Request{best}
+	default: // SUU
+		return []engine.Request{requests[p.rnd.Intn(len(requests))]}
+	}
+}

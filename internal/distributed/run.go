@@ -1,0 +1,149 @@
+package distributed
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// InProcessOptions configures RunInProcess.
+type InProcessOptions struct {
+	Platform PlatformConfig
+	// AgentSeedBase seeds agent i with AgentSeedBase + i.
+	AgentSeedBase uint64
+	// Deterministic propagates to every agent (see AgentConfig).
+	Deterministic bool
+	// DupProb injects duplicate deliveries on every agent link with the
+	// given probability (0 = reliable links).
+	DupProb float64
+}
+
+// RunInProcess runs the full distributed protocol inside one process: one
+// platform goroutine plus one agent goroutine per user, connected by
+// channel transports. It blocks until the protocol terminates and returns
+// the platform's statistics. Agent errors are joined into the returned
+// error.
+func RunInProcess(in *core.Instance, opts InProcessOptions) (RunStats, error) {
+	n := in.NumUsers()
+	platConns := make([]Conn, n)
+	agentConns := make([]Conn, n)
+	for i := 0; i < n; i++ {
+		pc, ac := ChanPair(16)
+		if opts.DupProb > 0 {
+			// Fault injection uses a child RNG per link for determinism.
+			pc = &FaultyConn{Inner: pc, DupProb: opts.DupProb, Rand: faultStream(opts.AgentSeedBase, i, 0)}
+			ac = &FaultyConn{Inner: ac, DupProb: opts.DupProb, Rand: faultStream(opts.AgentSeedBase, i, 1)}
+		}
+		platConns[i], agentConns[i] = pc, ac
+	}
+	plat, err := NewPlatform(in, platConns, opts.Platform)
+	if err != nil {
+		return RunStats{}, err
+	}
+	u := in.Users
+	var wg sync.WaitGroup
+	agentErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := NewAgent(agentConns[i], AgentConfig{
+				User:          i,
+				Alpha:         u[i].Alpha,
+				Beta:          u[i].Beta,
+				Gamma:         u[i].Gamma,
+				Seed:          opts.AgentSeedBase + uint64(i),
+				Deterministic: opts.Deterministic,
+			})
+			agentErrs[i] = a.Run()
+		}(i)
+	}
+	stats, perr := plat.Run()
+	wg.Wait()
+	for i, e := range agentErrs {
+		if e != nil && perr == nil {
+			perr = fmt.Errorf("agent %d: %w", i, e)
+		}
+	}
+	return stats, perr
+}
+
+func faultStream(base uint64, user, side int) *rng.Stream {
+	return rng.New(base*2654435761 + uint64(user)*97 + uint64(side))
+}
+
+// ServeTCP runs the platform over TCP: it accepts in.NumUsers() agent
+// connections on the listener, identifies each by its Hello, and then runs
+// Algorithm 2 to completion. The consumed Hello messages are replayed to the
+// protocol via a pushback connection.
+func ServeTCP(ln net.Listener, in *core.Instance, cfg PlatformConfig) (RunStats, error) {
+	n := in.NumUsers()
+	conns := make([]Conn, n)
+	for accepted := 0; accepted < n; accepted++ {
+		nc, err := ln.Accept()
+		if err != nil {
+			return RunStats{}, fmt.Errorf("distributed: accept: %w", err)
+		}
+		conn := NewNetConn(nc)
+		m, err := conn.Recv()
+		if err != nil {
+			return RunStats{}, fmt.Errorf("distributed: reading hello: %w", err)
+		}
+		if m.Kind != wire.KindHello {
+			return RunStats{}, fmt.Errorf("distributed: first message was %v, want hello", m.Kind)
+		}
+		u := m.Hello.User
+		if u < 0 || u >= n {
+			return RunStats{}, fmt.Errorf("distributed: hello from unknown user %d", u)
+		}
+		if conns[u] != nil {
+			return RunStats{}, fmt.Errorf("distributed: duplicate connection for user %d", u)
+		}
+		conns[u] = &pushbackConn{Conn: conn, pending: []*wire.Message{m}}
+	}
+	plat, err := NewPlatform(in, conns, cfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	return plat.Run()
+}
+
+// DialTCP connects a user agent to a platform at addr and runs Algorithm 1
+// to completion.
+func DialTCP(addr string, cfg AgentConfig) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("distributed: dial %s: %w", addr, err)
+	}
+	defer nc.Close()
+	return NewAgent(NewNetConn(nc), cfg).Run()
+}
+
+// pushbackConn re-delivers stashed messages before reading from the inner
+// connection.
+type pushbackConn struct {
+	Conn
+	mu      sync.Mutex
+	pending []*wire.Message
+}
+
+func (c *pushbackConn) Recv() (*wire.Message, error) {
+	c.mu.Lock()
+	if len(c.pending) > 0 {
+		m := c.pending[0]
+		c.pending = c.pending[1:]
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	return c.Conn.Recv()
+}

@@ -1,0 +1,365 @@
+// Package engine simulates the decision-slot protocol of Algorithms 1 and 2:
+// in each slot the platform collects update requests from users whose best
+// route set is nonempty, selects a subset of them via an update policy (SUU,
+// PUU/Algorithm 3, or one of the §5.2 baselines), and lets the selected
+// users update their route decisions. The run terminates when no user
+// requests an update — a Nash equilibrium by Definition 2.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Request is one user's update request in a decision slot: the user, its
+// chosen new route (from its best route set unless the policy says
+// otherwise), the potential gain τ_i, and the touched task set B_i.
+type Request struct {
+	User  core.UserID
+	Route int // proposed new route index
+	Tau   float64
+	B     []int // task IDs touched by the move (as ints for compactness)
+}
+
+// Policy selects, from the slot's requesters, the users that update this
+// slot. Implementations may be stateful (BATS); fresh state is created per
+// run via New.
+type Policy interface {
+	// Name returns the paper's name for the algorithm (DGRN, MUUN, ...).
+	Name() string
+	// SelectAndUpdate inspects the profile, applies this slot's updates in
+	// place, and reports how many users requested an update and which users
+	// actually moved. A slot with zero requesters means convergence.
+	SelectAndUpdate(p *core.Profile, s *rng.Stream) (requesters int, updated []core.UserID)
+}
+
+// PolicyFactory creates a fresh policy instance for one run.
+type PolicyFactory func() Policy
+
+// SlotRecord captures the state after one decision slot.
+type SlotRecord struct {
+	Slot        int
+	Potential   float64
+	TotalProfit float64
+	Updated     []core.UserID
+	// Profits is per-user profit after the slot; populated only when
+	// Config.RecordProfits is set.
+	Profits []float64
+	// Selected is the number of users that updated in this slot (Table 3).
+	Selected int
+}
+
+// Result of one engine run.
+type Result struct {
+	Policy    string
+	Slots     int // decision slots consumed before the termination slot
+	Converged bool
+	Profile   *core.Profile
+	History   []SlotRecord
+	// TotalUpdates counts individual user decision updates across the run.
+	TotalUpdates int
+}
+
+// Config controls a run.
+type Config struct {
+	// MaxSlots caps the run; 0 means DefaultMaxSlots. A run that hits the
+	// cap reports Converged=false.
+	MaxSlots int
+	// RecordHistory stores a SlotRecord per slot (including slot 0, the
+	// initial state).
+	RecordHistory bool
+	// RecordProfits additionally stores per-user profits in each record.
+	RecordProfits bool
+}
+
+// DefaultMaxSlots bounds runaway runs; Theorem 4 guarantees finite
+// convergence, so hitting this indicates a bug or a pathological Eps issue.
+const DefaultMaxSlots = 100000
+
+// Run executes Algorithm 1 + Algorithm 2 on a fresh random initial profile
+// (Algorithm 1 line 3) drawn from the stream.
+func Run(in *core.Instance, factory PolicyFactory, s *rng.Stream, cfg Config) Result {
+	p := core.RandomProfile(in, s.Child())
+	return RunFrom(p, factory, s.Child(), cfg)
+}
+
+// RunFrom executes the protocol starting from the given profile, mutating it
+// in place.
+func RunFrom(p *core.Profile, factory PolicyFactory, s *rng.Stream, cfg Config) Result {
+	maxSlots := cfg.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = DefaultMaxSlots
+	}
+	policy := factory()
+	res := Result{Policy: policy.Name(), Profile: p}
+	record := func(slot int, updated []core.UserID) {
+		if !cfg.RecordHistory {
+			return
+		}
+		rec := SlotRecord{
+			Slot:        slot,
+			Potential:   p.Potential(),
+			TotalProfit: p.TotalProfit(),
+			Updated:     updated,
+			Selected:    len(updated),
+		}
+		if cfg.RecordProfits {
+			rec.Profits = make([]float64, p.Instance().NumUsers())
+			for i := range rec.Profits {
+				rec.Profits[i] = p.Profit(core.UserID(i))
+			}
+		}
+		res.History = append(res.History, rec)
+	}
+	record(0, nil)
+	for slot := 1; slot <= maxSlots; slot++ {
+		requesters, updated := policy.SelectAndUpdate(p, s)
+		if requesters == 0 {
+			// Algorithm 2 line 11: no requests → send termination message.
+			res.Converged = true
+			return res
+		}
+		res.Slots = slot
+		res.TotalUpdates += len(updated)
+		record(slot, updated)
+	}
+	return res
+}
+
+// collectRequests gathers this slot's update requests: every user whose best
+// route set Δ_i is nonempty, with a proposed route chosen uniformly from
+// Δ_i (Algorithm 1 line 14).
+func collectRequests(p *core.Profile, s *rng.Stream, withMeta bool) []Request {
+	var reqs []Request
+	for i := 0; i < p.Instance().NumUsers(); i++ {
+		u := core.UserID(i)
+		delta := p.BestResponseSet(u)
+		if len(delta) == 0 {
+			continue
+		}
+		route := delta[s.Intn(len(delta))]
+		req := Request{User: u, Route: route}
+		if withMeta {
+			req.Tau = p.Tau(u, route)
+			for _, k := range p.MoveTasks(u, route) {
+				req.B = append(req.B, int(k))
+			}
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs
+}
+
+// --- SUU: Single User Update (the DGRN configuration) ---
+
+type suu struct{}
+
+// NewSUU returns the Single User Update policy: the platform picks one
+// requester uniformly at random and lets it apply its best response. This is
+// the DGRN algorithm of §5.2.
+func NewSUU() Policy { return suu{} }
+
+func (suu) Name() string { return "DGRN" }
+
+func (suu) SelectAndUpdate(p *core.Profile, s *rng.Stream) (int, []core.UserID) {
+	reqs := collectRequests(p, s, false)
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	r := reqs[s.Intn(len(reqs))]
+	p.SetChoice(r.User, r.Route)
+	return len(reqs), []core.UserID{r.User}
+}
+
+// --- PUU: Parallel User Update (Algorithm 3; the MUUN configuration) ---
+
+type puu struct{}
+
+// NewPUU returns the Parallel User Update policy (Algorithm 3): requesters
+// are sorted by δ_i = τ_i/|B_i| non-ascending and greedily admitted while
+// their touched task sets B_i stay pairwise disjoint; all admitted users
+// update concurrently in the same decision slot. This is the MUUN algorithm
+// of §5.2.
+func NewPUU() Policy { return puu{} }
+
+func (puu) Name() string { return "MUUN" }
+
+func (puu) SelectAndUpdate(p *core.Profile, s *rng.Stream) (int, []core.UserID) {
+	reqs := collectRequests(p, s, true)
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	selected := SelectPUU(reqs)
+	updated := make([]core.UserID, 0, len(selected))
+	for _, r := range selected {
+		p.SetChoice(r.User, r.Route)
+		updated = append(updated, r.User)
+	}
+	return len(reqs), updated
+}
+
+// SelectPUU implements the greedy core of Algorithm 3 on a request set: sort
+// by δ_i = τ_i/|B_i| non-ascending (a move touching no tasks interferes with
+// nothing and has δ = +Inf, sorted first), then admit requests whose B sets
+// do not intersect the union of already-admitted B sets. Exported for direct
+// testing of Theorem 3's guarantee.
+func SelectPUU(reqs []Request) []Request {
+	idx := make([]int, len(reqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	delta := func(r Request) float64 {
+		if len(r.B) == 0 {
+			return math.Inf(1)
+		}
+		return r.Tau / float64(len(r.B))
+	}
+	// Insertion sort by non-ascending δ (request counts are small, and ties
+	// keep user order deterministic for reproducibility).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && delta(reqs[idx[j]]) > delta(reqs[idx[j-1]]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	taken := map[int]bool{}
+	var out []Request
+	for _, ii := range idx {
+		r := reqs[ii]
+		conflict := false
+		for _, k := range r.B {
+			if taken[k] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for _, k := range r.B {
+			taken[k] = true
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// --- BRUN: Better Response Update Navigation ---
+
+type brun struct{}
+
+// NewBRUN returns the BRUN baseline: a random requester applies a uniformly
+// random *better* (not necessarily best) response.
+func NewBRUN() Policy { return brun{} }
+
+func (brun) Name() string { return "BRUN" }
+
+func (brun) SelectAndUpdate(p *core.Profile, s *rng.Stream) (int, []core.UserID) {
+	// Requesters are users with any better response.
+	var users []core.UserID
+	for i := 0; i < p.Instance().NumUsers(); i++ {
+		if len(p.BetterResponses(core.UserID(i))) > 0 {
+			users = append(users, core.UserID(i))
+		}
+	}
+	if len(users) == 0 {
+		return 0, nil
+	}
+	u := users[s.Intn(len(users))]
+	better := p.BetterResponses(u)
+	p.SetChoice(u, better[s.Intn(len(better))])
+	return len(users), []core.UserID{u}
+}
+
+// --- BUAU: Best Update of All Users ---
+
+type buau struct{}
+
+// NewBUAU returns the BUAU baseline: the platform inspects all requesters
+// and selects the single user whose best response maximizes the potential
+// increase τ_i.
+func NewBUAU() Policy { return buau{} }
+
+func (buau) Name() string { return "BUAU" }
+
+func (buau) SelectAndUpdate(p *core.Profile, s *rng.Stream) (int, []core.UserID) {
+	reqs := collectRequests(p, s, true)
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	best := 0
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Tau > reqs[best].Tau {
+			best = i
+		}
+	}
+	r := reqs[best]
+	p.SetChoice(r.User, r.Route)
+	return len(reqs), []core.UserID{r.User}
+}
+
+// --- BATS: Bayesian Asynchronous Task Selection (adapted from [5]) ---
+
+type bats struct {
+	next int
+}
+
+// NewBATS returns the BATS baseline adapted to the route-navigation setting:
+// users re-optimize one at a time in a fixed cyclic order. The scheduled
+// user adopts its best route even when that brings no strict improvement, so
+// decision slots are consumed on users that cannot improve — the behaviour
+// §5.3.1 cites for BATS's slow convergence.
+func NewBATS() Policy { return &bats{} }
+
+func (*bats) Name() string { return "BATS" }
+
+func (b *bats) SelectAndUpdate(p *core.Profile, s *rng.Stream) (int, []core.UserID) {
+	n := p.Instance().NumUsers()
+	requesters := 0
+	for i := 0; i < n; i++ {
+		if len(p.BestResponseSet(core.UserID(i))) > 0 {
+			requesters++
+		}
+	}
+	if requesters == 0 {
+		return 0, nil
+	}
+	u := core.UserID(b.next % n)
+	b.next++
+	delta := p.BestResponseSet(u)
+	if len(delta) == 0 {
+		// Slot consumed with no movement: the scheduled user re-selects its
+		// current best route.
+		return requesters, nil
+	}
+	p.SetChoice(u, delta[s.Intn(len(delta))])
+	return requesters, []core.UserID{u}
+}
+
+// --- RRN: Random Route Navigation ---
+
+// RunRRN returns the RRN baseline result: every user picks a uniformly
+// random route; no decision slots are consumed and no equilibrium is sought.
+func RunRRN(in *core.Instance, s *rng.Stream) Result {
+	p := core.RandomProfile(in, s)
+	return Result{Policy: "RRN", Slots: 0, Converged: true, Profile: p}
+}
+
+// FactoryByName maps the paper's algorithm names to policy factories.
+func FactoryByName(name string) (PolicyFactory, error) {
+	switch name {
+	case "DGRN":
+		return NewSUU, nil
+	case "MUUN":
+		return NewPUU, nil
+	case "BRUN":
+		return NewBRUN, nil
+	case "BUAU":
+		return NewBUAU, nil
+	case "BATS":
+		return NewBATS, nil
+	}
+	return nil, fmt.Errorf("engine: unknown policy %q", name)
+}

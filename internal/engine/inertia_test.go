@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestInertialName(t *testing.T) {
+	if NewInertialParallel(0.5)().Name() != "IPAR" {
+		t.Error("IPAR name wrong")
+	}
+}
+
+func TestInertialDefaultsBadProb(t *testing.T) {
+	// Out-of-range probabilities fall back to 0.5 and still converge.
+	for _, p := range []float64{-1, 0, 1, 7} {
+		in := contendedInstance()
+		prof, err := core.NewProfile(in, []int{0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunFrom(prof, NewInertialParallel(p), rng.New(3), Config{MaxSlots: 2000})
+		if !res.Converged {
+			t.Fatalf("stayProb=%v: did not converge", p)
+		}
+	}
+}
+
+// The instance that traps UPAR in a deterministic 2-cycle is escaped by
+// inertia: IPAR converges to a Nash equilibrium.
+func TestInertialEscapesOscillation(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := contendedInstance()
+		p, err := core.NewProfile(in, []int{0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunFrom(p, NewInertialParallel(0.5), rng.New(seed), Config{MaxSlots: 2000})
+		if !res.Converged {
+			t.Fatalf("seed %d: IPAR trapped", seed)
+		}
+		if !res.Profile.IsNash() {
+			t.Fatalf("seed %d: IPAR result not Nash", seed)
+		}
+	}
+}
+
+// IPAR converges on generic random instances and ends at Nash equilibria.
+func TestInertialConvergesRandom(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := core.RandomInstance(core.DefaultRandomConfig(15, 12), rng.New(seed))
+		res := Run(in, NewInertialParallel(0.5), rng.New(seed+77), Config{MaxSlots: 20000})
+		if !res.Converged {
+			t.Fatalf("seed %d: IPAR did not converge", seed)
+		}
+		if !res.Profile.IsNash() {
+			t.Fatalf("seed %d: not Nash", seed)
+		}
+	}
+}
+
+// IPAR moves several users per slot when contention allows: it should
+// converge in fewer slots than SUU on average despite occasional potential
+// dips.
+func TestInertialFasterThanSUU(t *testing.T) {
+	var ipar, suu float64
+	const reps = 25
+	for r := 0; r < reps; r++ {
+		in := core.RandomInstance(core.DefaultRandomConfig(30, 25), rng.New(uint64(r)))
+		ipar += float64(Run(in, NewInertialParallel(0.5), rng.New(uint64(r)+500), Config{MaxSlots: 20000}).Slots)
+		suu += float64(Run(in, NewSUU, rng.New(uint64(r)+500), Config{}).Slots)
+	}
+	if ipar >= suu {
+		t.Errorf("IPAR avg slots %v >= SUU %v", ipar/reps, suu/reps)
+	}
+}

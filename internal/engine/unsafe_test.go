@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func TestUnsafeParallelName(t *testing.T) {
+	if NewUnsafeParallel().Name() != "UPAR" {
+		t.Error("UPAR name wrong")
+	}
+}
+
+// contendedInstance: two identical users, two tasks of equal value, two
+// routes each covering one task. Simultaneous best responses oscillate:
+// both users hop between the tasks forever (the classic simultaneous-move
+// pathology PUU's disjointness prevents).
+func contendedInstance() *core.Instance {
+	routes := func(u core.UserID) []core.Route {
+		return []core.Route{
+			{User: u, Tasks: []task.ID{0}},
+			{User: u, Tasks: []task.ID{1}},
+		}
+	}
+	return &core.Instance{
+		Phi: 0.5, Theta: 0.5,
+		Tasks: []task.Task{
+			{ID: 0, A: 10, Mu: 0},
+			{ID: 1, A: 10, Mu: 0},
+		},
+		Users: []core.User{
+			{ID: 0, Alpha: 1, Beta: 1, Gamma: 1, Routes: routes(0)},
+			{ID: 1, Alpha: 1, Beta: 1, Gamma: 1, Routes: routes(1)},
+		},
+	}
+}
+
+func TestUnsafeParallelOscillates(t *testing.T) {
+	in := contendedInstance()
+	// Start both users on task 0: each prefers the free task 1, both jump,
+	// now both share task 1, each prefers task 0, both jump back — forever.
+	p, err := core.NewProfile(in, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunFrom(p, NewUnsafeParallel, rng.New(1), Config{MaxSlots: 50, RecordHistory: true})
+	if res.Converged {
+		t.Fatal("expected oscillation, got convergence")
+	}
+	if res.Slots != 50 {
+		t.Fatalf("expected to hit the 50-slot cap, ran %d", res.Slots)
+	}
+	// Verify the 2-cycle: choices flip every slot.
+	if p.Choice(0) != p.Choice(1) {
+		t.Error("oscillating users should stay synchronized")
+	}
+}
+
+// The same instance under PUU converges: disjointness serializes the
+// interfering moves.
+func TestPUUHandlesContention(t *testing.T) {
+	in := contendedInstance()
+	p, err := core.NewProfile(in, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunFrom(p, NewPUU, rng.New(1), Config{RecordHistory: true})
+	if !res.Converged {
+		t.Fatal("PUU failed on the contended instance")
+	}
+	if !res.Profile.IsNash() {
+		t.Fatal("PUU result not Nash")
+	}
+	if PotentialDropped(res.History, 1e-9) {
+		t.Fatal("PUU decreased the potential")
+	}
+}
+
+// Unsafe parallelism can decrease the potential within a slot; PUU cannot.
+func TestUnsafeParallelCanDropPotential(t *testing.T) {
+	in := contendedInstance()
+	p, err := core.NewProfile(in, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunFrom(p, NewUnsafeParallel, rng.New(1), Config{MaxSlots: 10, RecordHistory: true})
+	// Both users jumping onto the same task halves both shares; the move
+	// from (10,?) splits... concretely the potential alternates between the
+	// two symmetric states, so some slot must not increase it while profits
+	// keep chasing. Either a drop happened or the potential stayed flat
+	// while choices changed (also a violation of strict improvement).
+	if !PotentialDropped(res.History, 1e-9) {
+		same := true
+		for i := 1; i < len(res.History); i++ {
+			if res.History[i].Potential != res.History[0].Potential {
+				same = false
+			}
+		}
+		if !same {
+			t.Fatal("expected a potential drop or a flat cycle")
+		}
+	}
+	if MaxPotentialDrop(res.History) < 0 {
+		t.Fatal("MaxPotentialDrop returned negative")
+	}
+}
+
+// On generic random instances, unsafe parallelism sometimes drops the
+// potential where MUUN never does.
+func TestUnsafeVsPUUPotentialMonotonicity(t *testing.T) {
+	droppedSomewhere := false
+	for seed := uint64(0); seed < 20; seed++ {
+		in := core.RandomInstance(core.DefaultRandomConfig(15, 10), rng.New(seed))
+		resU := Run(in, NewUnsafeParallel, rng.New(seed+500), Config{MaxSlots: 300, RecordHistory: true})
+		if PotentialDropped(resU.History, 1e-9) {
+			droppedSomewhere = true
+		}
+		resP := Run(in, NewPUU, rng.New(seed+500), Config{RecordHistory: true})
+		if PotentialDropped(resP.History, 1e-9) {
+			t.Fatalf("seed %d: PUU dropped the potential", seed)
+		}
+		if !resP.Converged {
+			t.Fatalf("seed %d: PUU did not converge", seed)
+		}
+	}
+	if !droppedSomewhere {
+		t.Log("note: UPAR never dropped the potential in 20 seeds (contention too low)")
+	}
+}
+
+func TestMaxPotentialDropEmpty(t *testing.T) {
+	if MaxPotentialDrop(nil) != 0 {
+		t.Error("empty history drop != 0")
+	}
+	hist := []SlotRecord{{Potential: 5}, {Potential: 7}}
+	if MaxPotentialDrop(hist) != 0 {
+		t.Error("monotone history drop != 0")
+	}
+	hist = []SlotRecord{{Potential: 5}, {Potential: 2}, {Potential: 4}}
+	if MaxPotentialDrop(hist) != 3 {
+		t.Errorf("drop = %v, want 3", MaxPotentialDrop(hist))
+	}
+	if !PotentialDropped(hist, 1e-9) {
+		t.Error("PotentialDropped missed the drop")
+	}
+	if PotentialDropped(hist, 10) {
+		t.Error("PotentialDropped ignored tolerance")
+	}
+}

@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/report"
+)
+
+// Claim is one qualitative assertion the paper makes about an experiment's
+// outcome — an ordering, a monotonicity, or a bound. Claims are what a
+// reproduction must preserve even when absolute numbers differ; the vcsnav
+// -check flag evaluates them against freshly generated tables.
+type Claim struct {
+	// Experiment is the registry ID the claim applies to.
+	Experiment string
+	// Name is a short label, Description the paper's wording.
+	Name        string
+	Description string
+	// Check inspects the experiment's tables and returns nil when the claim
+	// holds.
+	Check func(tables []*report.Table) error
+}
+
+// cellF parses a table cell as float64.
+func cellF(t *report.Table, row, col int) (float64, error) {
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		return 0, fmt.Errorf("cell (%d,%d) out of range in %q", row, col, t.Title)
+	}
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		return 0, fmt.Errorf("cell (%d,%d) of %q is not numeric: %w", row, col, t.Title, err)
+	}
+	return v, nil
+}
+
+// columnOrdered asserts colA <= colB (within slack) on every row of every
+// table.
+func columnOrdered(tables []*report.Table, colA, colB int, slack float64, what string) error {
+	for _, t := range tables {
+		for r := range t.Rows {
+			a, err := cellF(t, r, colA)
+			if err != nil {
+				return err
+			}
+			b, err := cellF(t, r, colB)
+			if err != nil {
+				return err
+			}
+			if a > b+slack {
+				return fmt.Errorf("%s violated in %q row %s: %v > %v", what, t.Title, t.Rows[r][0], a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// columnGrowsDown asserts the column is nondecreasing down the rows (within
+// slack) in every table.
+func columnGrowsDown(tables []*report.Table, col int, slack float64, what string) error {
+	for _, t := range tables {
+		for r := 1; r < len(t.Rows); r++ {
+			prev, err := cellF(t, r-1, col)
+			if err != nil {
+				return err
+			}
+			cur, err := cellF(t, r, col)
+			if err != nil {
+				return err
+			}
+			if cur < prev-slack {
+				return fmt.Errorf("%s violated in %q: row %s (%v) below row %s (%v)",
+					what, t.Title, t.Rows[r][0], cur, t.Rows[r-1][0], prev)
+			}
+		}
+	}
+	return nil
+}
+
+// Claims returns every registered claim, in experiment order.
+func Claims() []Claim {
+	return []Claim{
+		{
+			Experiment:  "fig4",
+			Name:        "convergence-ordering",
+			Description: "decision slots rank MUUN < BUAU <= DGRN < BRUN < BATS on every user count",
+			Check: func(tables []*report.Table) error {
+				// columns: users, DGRN(1), BRUN(2), BUAU(3), BATS(4), MUUN(5)
+				for _, pair := range [][2]int{{5, 3}, {3, 1}, {1, 2}, {2, 4}} {
+					if err := columnOrdered(tables, pair[0], pair[1], 1e-9, "slot ordering"); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Experiment:  "fig4",
+			Name:        "slots-grow-with-users",
+			Description: "every algorithm needs more slots as the user count grows",
+			Check: func(tables []*report.Table) error {
+				for col := 1; col <= 5; col++ {
+					if err := columnGrowsDown(tables, col, 1e-9, "slot growth"); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Experiment:  "fig5",
+			Name:        "convergence-ordering",
+			Description: "the Fig-4 ordering also holds as the task count varies",
+			Check: func(tables []*report.Table) error {
+				for _, pair := range [][2]int{{5, 3}, {3, 1}, {1, 2}, {2, 4}} {
+					if err := columnOrdered(tables, pair[0], pair[1], 1e-9, "slot ordering"); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Experiment:  "fig6",
+			Name:        "potential-monotone",
+			Description: "the potential function value never decreases across decision slots (Theorem 2)",
+			Check: func(tables []*report.Table) error {
+				return columnGrowsDown(tables, 1, 1e-6, "potential monotonicity")
+			},
+		},
+		{
+			Experiment:  "fig7",
+			Name:        "profit-ordering",
+			Description: "total profit ranks RRN < DGRN <= CORN on every user count",
+			Check: func(tables []*report.Table) error {
+				if err := columnOrdered(tables, 3, 1, 1e-9, "RRN <= DGRN"); err != nil {
+					return err
+				}
+				return columnOrdered(tables, 1, 2, 1e-6, "DGRN <= CORN")
+			},
+		},
+		{
+			Experiment:  "fig8",
+			Name:        "coverage-ordering",
+			Description: "coverage ranks RRN < BATS < DGRN and rises with users",
+			Check: func(tables []*report.Table) error {
+				if err := columnOrdered(tables, 3, 2, 0.01, "RRN <= BATS"); err != nil {
+					return err
+				}
+				if err := columnOrdered(tables, 2, 1, 0.01, "BATS <= DGRN"); err != nil {
+					return err
+				}
+				return columnGrowsDown(tables, 1, 0.01, "coverage growth")
+			},
+		},
+		{
+			Experiment:  "fig9",
+			Name:        "reward-ordering",
+			Description: "average reward ranks RRN < BATS <= DGRN and rises with tasks",
+			Check: func(tables []*report.Table) error {
+				if err := columnOrdered(tables, 3, 2, 0.05, "RRN <= BATS"); err != nil {
+					return err
+				}
+				if err := columnOrdered(tables, 2, 1, 0.05, "BATS <= DGRN"); err != nil {
+					return err
+				}
+				return columnGrowsDown(tables, 1, 0.05, "reward growth")
+			},
+		},
+		{
+			Experiment:  "fig10",
+			Name:        "fairness-ordering",
+			Description: "Jain's index ranks RRN < DGRN and CORN < DGRN (DGRN fairest)",
+			Check: func(tables []*report.Table) error {
+				if err := columnOrdered(tables, 3, 1, 0.01, "RRN <= DGRN"); err != nil {
+					return err
+				}
+				return columnOrdered(tables, 2, 1, 0.01, "CORN <= DGRN")
+			},
+		},
+		{
+			Experiment:  "fig11",
+			Name:        "reward-surface",
+			Description: "average reward rises with tasks (rows) and falls with users (columns)",
+			Check: func(tables []*report.Table) error {
+				for _, t := range tables {
+					// Rising down every user column.
+					for col := 1; col < len(t.Columns); col++ {
+						if err := columnGrowsDown([]*report.Table{t}, col, 1e-9, "reward vs tasks"); err != nil {
+							return err
+						}
+					}
+					// Falling across each row.
+					for r := range t.Rows {
+						for col := 2; col < len(t.Columns); col++ {
+							a, err := cellF(t, r, col-1)
+							if err != nil {
+								return err
+							}
+							b, err := cellF(t, r, col)
+							if err != nil {
+								return err
+							}
+							if b > a+1e-9 {
+								return fmt.Errorf("reward rose with users in %q row %s", t.Title, t.Rows[r][0])
+							}
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Experiment:  "fig12",
+			Name:        "platform-levers",
+			Description: "reward falls as φ grows; detour falls as φ grows; congestion falls as θ grows",
+			Check: func(tables []*report.Table) error {
+				if len(tables) != 3 {
+					return fmt.Errorf("fig12 produced %d tables, want 3", len(tables))
+				}
+				reward, detour, congestion := tables[0], tables[1], tables[2]
+				n := len(reward.Rows)
+				// Reward at lowest φ beats reward at highest φ (col 1).
+				lo, err := cellF(reward, 0, 1)
+				if err != nil {
+					return err
+				}
+				hi, err := cellF(reward, n-1, 1)
+				if err != nil {
+					return err
+				}
+				if hi > lo+1e-9 {
+					return fmt.Errorf("reward rose with φ: %v -> %v", lo, hi)
+				}
+				// Detour strictly falls with φ at every θ column.
+				for col := 1; col < len(detour.Columns); col++ {
+					first, err := cellF(detour, 0, col)
+					if err != nil {
+						return err
+					}
+					last, err := cellF(detour, n-1, col)
+					if err != nil {
+						return err
+					}
+					if last > first {
+						return fmt.Errorf("detour rose with φ at θ column %d", col)
+					}
+				}
+				// Congestion falls with θ on every φ row.
+				for r := 0; r < n; r++ {
+					first, err := cellF(congestion, r, 1)
+					if err != nil {
+						return err
+					}
+					last, err := cellF(congestion, r, len(congestion.Columns)-1)
+					if err != nil {
+						return err
+					}
+					if last > first {
+						return fmt.Errorf("congestion rose with θ on φ row %d", r)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Experiment:  "table4",
+			Name:        "poa-bound",
+			Description: "the DGRN/CORN ratio stays within [bound, 1] (Theorem 5)",
+			Check: func(tables []*report.Table) error {
+				for _, t := range tables {
+					for r := range t.Rows {
+						ratio, err := cellF(t, r, 3)
+						if err != nil {
+							return err
+						}
+						bound, err := cellF(t, r, 4)
+						if err != nil {
+							return err
+						}
+						if ratio < bound-0.05 || ratio > 1+1e-9 {
+							return fmt.Errorf("row %s: ratio %v outside [%v, 1]", t.Rows[r][0], ratio, bound)
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Experiment:  "table5",
+			Name:        "user-levers",
+			Description: "reward rises with α; detour falls with β; congestion does not rise with γ",
+			Check: func(tables []*report.Table) error {
+				t := tables[0]
+				n := len(t.Rows)
+				first := func(col int) (float64, error) { return cellF(t, 0, col) }
+				last := func(col int) (float64, error) { return cellF(t, n-1, col) }
+				fr, err := first(1)
+				if err != nil {
+					return err
+				}
+				lr, err := last(1)
+				if err != nil {
+					return err
+				}
+				if lr < fr {
+					return fmt.Errorf("reward fell with α: %v -> %v", fr, lr)
+				}
+				fd, err := first(2)
+				if err != nil {
+					return err
+				}
+				ld, err := last(2)
+				if err != nil {
+					return err
+				}
+				if ld > fd {
+					return fmt.Errorf("detour rose with β: %v -> %v", fd, ld)
+				}
+				fc, err := first(3)
+				if err != nil {
+					return err
+				}
+				lc, err := last(3)
+				if err != nil {
+					return err
+				}
+				if lc > fc+0.5 {
+					return fmt.Errorf("congestion rose with γ: %v -> %v", fc, lc)
+				}
+				return nil
+			},
+		},
+		{
+			Experiment:  "extra-theorem4",
+			Name:        "bound-never-violated",
+			Description: "measured convergence slots never reach the Theorem-4 bound",
+			Check: func(tables []*report.Table) error {
+				for _, t := range tables {
+					for r := range t.Rows {
+						v, err := cellF(t, r, 4)
+						if err != nil {
+							return err
+						}
+						if v != 0 {
+							return fmt.Errorf("row %s: %v violations", t.Rows[r][0], v)
+						}
+					}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// ClaimsFor returns the claims registered for one experiment.
+func ClaimsFor(experiment string) []Claim {
+	var out []Claim
+	for _, c := range Claims() {
+		if c.Experiment == experiment {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CheckClaims runs an experiment and evaluates its claims, returning one
+// line per claim ("PASS <exp>/<name>" or "FAIL <exp>/<name>: reason").
+func CheckClaims(experiment string, opts Options) ([]string, error) {
+	driver, err := ByName(experiment)
+	if err != nil {
+		return nil, err
+	}
+	claims := ClaimsFor(experiment)
+	if len(claims) == 0 {
+		return nil, nil
+	}
+	tables, err := driver(opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, c := range claims {
+		if err := c.Check(tables); err != nil {
+			out = append(out, fmt.Sprintf("FAIL %s/%s: %v", c.Experiment, c.Name, err))
+		} else {
+			out = append(out, fmt.Sprintf("PASS %s/%s — %s", c.Experiment, c.Name, c.Description))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestClaimsRegistryCoherent(t *testing.T) {
+	for _, c := range Claims() {
+		if c.Experiment == "" || c.Name == "" || c.Description == "" || c.Check == nil {
+			t.Errorf("claim %+v incomplete", c)
+		}
+		if _, err := ByName(c.Experiment); err != nil {
+			t.Errorf("claim %s/%s references unknown experiment", c.Experiment, c.Name)
+		}
+	}
+	if len(ClaimsFor("fig4")) != 2 {
+		t.Errorf("fig4 claims = %d, want 2", len(ClaimsFor("fig4")))
+	}
+	if len(ClaimsFor("fig13")) != 0 {
+		t.Error("fig13 should have no programmatic claims")
+	}
+}
+
+func TestCheckClaimsFig6(t *testing.T) {
+	// Fig 6's potential-monotone claim is deterministic per seed: it must
+	// pass even at tiny scale.
+	lines, err := CheckClaims("fig6", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "PASS fig6/potential-monotone") {
+		t.Errorf("fig6 claim failed: %s", lines[0])
+	}
+}
+
+func TestCheckClaimsUnknownExperiment(t *testing.T) {
+	if _, err := CheckClaims("fig99", tinyOpts()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	lines, err := CheckClaims("fig13", tinyOpts())
+	if err != nil || lines != nil {
+		t.Errorf("claimless experiment: %v, %v", lines, err)
+	}
+}
+
+func TestClaimCheckersDetectViolations(t *testing.T) {
+	// Feed deliberately wrong tables and verify the checkers fire.
+	badOrdered := report.New("t", "x", "a", "b")
+	badOrdered.Add("1", "5", "3") // a > b
+	if err := columnOrdered([]*report.Table{badOrdered}, 1, 2, 0, "test"); err == nil {
+		t.Error("columnOrdered missed a violation")
+	}
+	badGrow := report.New("t", "x", "v")
+	badGrow.Add("1", "5")
+	badGrow.Add("2", "3")
+	if err := columnGrowsDown([]*report.Table{badGrow}, 1, 0, "test"); err == nil {
+		t.Error("columnGrowsDown missed a decrease")
+	}
+	nonNumeric := report.New("t", "x", "v")
+	nonNumeric.Add("1", "not-a-number")
+	nonNumeric.Add("2", "also-not")
+	if err := columnGrowsDown([]*report.Table{nonNumeric}, 1, 0, "test"); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+	// Fig-12 claim fires on a rising-reward grid.
+	rising := report.New("r", "phi", "0.1", "0.5")
+	rising.Add("0.1", "1", "1")
+	rising.Add("0.8", "9", "9") // reward rose with φ
+	flat := report.New("d", "phi", "0.1", "0.5")
+	flat.Add("0.1", "1", "1")
+	flat.Add("0.8", "1", "1")
+	for _, c := range ClaimsFor("fig12") {
+		if err := c.Check([]*report.Table{rising, flat, flat}); err == nil {
+			t.Error("fig12 claim missed a rising reward")
+		}
+	}
+}

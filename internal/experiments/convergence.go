@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Fig3 reproduces Figure 3: the per-user profit trajectory over the first
+// 20 decision slots for 15 randomly selected users, one table per dataset.
+// Profits move while users update and flatten once the game reaches its
+// Nash equilibrium; some profits dip when other users join shared tasks.
+func Fig3(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	const users, tasks, slots = 15, 40, 20
+	var tables []*report.Table
+	for _, spec := range opts.Datasets {
+		w, err := worldFor(spec, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s := repStream(opts.Seed, "fig3-"+spec.Name, 0)
+		sc, err := w.BuildScenario(ScenarioConfig{Users: users, Tasks: tasks}, s.Child())
+		if err != nil {
+			return nil, err
+		}
+		res := engine.Run(sc.Instance, engine.NewSUU, s.Child(), engine.Config{
+			RecordHistory: true, RecordProfits: true,
+		})
+		cols := []string{"slot"}
+		for i := 1; i <= users; i++ {
+			cols = append(cols, fmt.Sprintf("u%d", i))
+		}
+		t := report.New(fmt.Sprintf("Fig 3 (%s): user profit vs decision slot (NE at slot %d)", spec.Name, res.Slots), cols...)
+		for slot := 0; slot <= slots; slot++ {
+			rec := res.History[len(res.History)-1]
+			if slot < len(res.History) {
+				rec = res.History[slot]
+			}
+			row := []string{report.I(slot)}
+			for i := 0; i < users; i++ {
+				row = append(row, report.F(rec.Profits[i]))
+			}
+			t.Add(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// convergenceSweep runs every §5.2 update algorithm over a sweep of one
+// scenario dimension and reports mean decision slots to convergence.
+func convergenceSweep(opts Options, expID, dimension string, values []int, build func(v int) ScenarioConfig) ([]*report.Table, error) {
+	algorithms := []string{"DGRN", "BRUN", "BUAU", "BATS", "MUUN"}
+	var tables []*report.Table
+	for _, spec := range opts.Datasets {
+		w, err := worldFor(spec, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t := report.New(
+			fmt.Sprintf("%s (%s): decision slots to Nash equilibrium vs %s (mean over %d reps)", expID, spec.Name, dimension, opts.Reps),
+			append([]string{dimension}, algorithms...)...)
+		for _, v := range values {
+			v := v
+			vals, err := perRep(opts, func(rep int) ([]float64, error) {
+				s := repStream(opts.Seed, expID+spec.Name, rep*len(values)+v)
+				sc, err := w.BuildScenario(build(v), s.Child())
+				if err != nil {
+					return nil, err
+				}
+				// All algorithms start from the same initial profile for a
+				// paired comparison.
+				init := core.RandomProfile(sc.Instance, s.Child())
+				out := make([]float64, len(algorithms))
+				for ai, alg := range algorithms {
+					factory, err := engine.FactoryByName(alg)
+					if err != nil {
+						return nil, err
+					}
+					res := engine.RunFrom(init.Clone(), factory, s.Child(), engine.Config{})
+					if !res.Converged {
+						return nil, fmt.Errorf("experiments: %s did not converge (%s, %s=%d, rep %d)", alg, spec.Name, dimension, v, rep)
+					}
+					out[ai] = float64(res.Slots)
+				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			accs := accumulate(vals, len(algorithms))
+			row := []string{report.I(v)}
+			for ai := range algorithms {
+				row = append(row, report.F(accs[ai].Mean()))
+			}
+			t.Add(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig4 reproduces Figure 4: decision slots to convergence as the user
+// number grows from 20 to 100 (tasks fixed), for DGRN, BRUN, BUAU, BATS and
+// MUUN. Expected ordering: MUUN < BUAU < DGRN < BRUN < BATS.
+func Fig4(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	return convergenceSweep(opts, "Fig 4", "users", []int{20, 40, 60, 80, 100},
+		func(v int) ScenarioConfig { return ScenarioConfig{Users: v, Tasks: 60} })
+}
+
+// Fig5 reproduces Figure 5: decision slots to convergence as the task
+// number grows from 20 to 100 (users fixed).
+func Fig5(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	return convergenceSweep(opts, "Fig 5", "tasks", []int{20, 40, 60, 80, 100},
+		func(v int) ScenarioConfig { return ScenarioConfig{Users: 20, Tasks: v} })
+}
+
+// Fig6 reproduces Figure 6: the potential function value and the total user
+// profit per decision slot of one DGRN run per dataset. The potential rises
+// monotonically to a plateau (Theorem 2); the total profit rises overall
+// but may fluctuate, since users maximize their own profit.
+func Fig6(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	const users, tasks, maxShown = 30, 60, 35
+	var tables []*report.Table
+	for _, spec := range opts.Datasets {
+		w, err := worldFor(spec, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s := repStream(opts.Seed, "fig6-"+spec.Name, 0)
+		sc, err := w.BuildScenario(ScenarioConfig{Users: users, Tasks: tasks}, s.Child())
+		if err != nil {
+			return nil, err
+		}
+		res := engine.Run(sc.Instance, engine.NewSUU, s.Child(), engine.Config{RecordHistory: true})
+		t := report.New(
+			fmt.Sprintf("Fig 6 (%s): potential function and total profit vs decision slot (NE at slot %d)", spec.Name, res.Slots),
+			"slot", "potential", "total_profit")
+		for slot := 0; slot <= maxShown; slot++ {
+			rec := res.History[len(res.History)-1]
+			if slot < len(res.History) {
+				rec = res.History[slot]
+			}
+			t.Add(report.I(slot), report.F(rec.Potential), report.F(rec.TotalProfit))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Table3 reproduces Table 3: in MUUN on the Shanghai dataset, the mean
+// number of users selected per decision slot versus the overlap ratio,
+// swept by varying the total task number from 50 to 90. More overlap means
+// fewer non-interfering users can update in parallel.
+func Table3(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	spec := opts.Datasets[0] // paper uses Shanghai; honor the option order
+	w, err := worldFor(spec, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New(
+		fmt.Sprintf("Table 3 (%s): selected user number vs overlap ratio (MUUN, %d reps)", spec.Name, opts.Reps),
+		"total_tasks", "overlap_ratio", "selected_users")
+	const users = 40
+	for _, tasks := range []int{50, 60, 70, 80, 90} {
+		tasks := tasks
+		vals, err := perRep(opts, func(rep int) ([]float64, error) {
+			s := repStream(opts.Seed, "table3", rep*1000+tasks)
+			sc, err := w.BuildScenario(ScenarioConfig{Users: users, Tasks: tasks}, s.Child())
+			if err != nil {
+				return nil, err
+			}
+			res := engine.Run(sc.Instance, engine.NewPUU, s.Child(), engine.Config{RecordHistory: true})
+			sel := math.NaN()
+			if res.Slots > 0 {
+				sel = float64(res.TotalUpdates) / float64(res.Slots)
+			}
+			return []float64{res.Profile.OverlapRatio(), sel}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var overlap, selected stats.Acc
+		for _, row := range vals {
+			overlap.Add(row[0])
+			if !math.IsNaN(row[1]) {
+				selected.Add(row[1])
+			}
+		}
+		t.Add(report.I(tasks), report.F(overlap.Mean()), report.F(selected.Mean()))
+	}
+	return []*report.Table{t}, nil
+}

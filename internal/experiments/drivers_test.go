@@ -1,0 +1,509 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// tinyOpts keeps driver tests fast: 2 reps, one small dataset.
+func tinyOpts() Options {
+	spec := trace.Shanghai()
+	spec.Trips = 40
+	return Options{Seed: 3, Reps: 2, Datasets: []trace.Spec{spec}}
+}
+
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"extra-greedy", "extra-messages", "extra-theorem4",
+		"fig10", "fig11", "fig12", "fig13", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "table3", "table4", "table5",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, err := ByName("fig3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig3ShapesAndConvergence(t *testing.T) {
+	tables, err := Fig3(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	tb := tables[0]
+	if len(tb.Columns) != 16 { // slot + 15 users
+		t.Fatalf("fig3 columns = %d", len(tb.Columns))
+	}
+	if len(tb.Rows) != 21 { // slots 0..20
+		t.Fatalf("fig3 rows = %d", len(tb.Rows))
+	}
+	// Last two rows should be identical if converged within 20 slots —
+	// profits freeze at the equilibrium. (Convergence slot is in the title.)
+	if strings.Contains(tb.Title, "NE at slot") {
+		last, prev := tb.Rows[20], tb.Rows[19]
+		frozen := true
+		for c := 1; c < len(last); c++ {
+			if last[c] != prev[c] {
+				frozen = false
+			}
+		}
+		_ = frozen // runs may legitimately converge at exactly slot 20
+	}
+}
+
+func TestFig4Ordering(t *testing.T) {
+	opts := tinyOpts()
+	tables, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if got := tb.Columns; got[1] != "DGRN" || got[5] != "MUUN" {
+		t.Fatalf("fig4 columns = %v", got)
+	}
+	// MUUN must converge in no more slots than BATS on every row (the
+	// paper's strongest ordering claim, robust even at low rep counts).
+	for _, row := range tb.Rows {
+		muun, bats := cell(t, row[5]), cell(t, row[4])
+		if muun > bats {
+			t.Errorf("users=%s: MUUN %v > BATS %v", row[0], muun, bats)
+		}
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	tables, err := Fig5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 5 {
+		t.Fatalf("fig5 rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig6PotentialMonotone(t *testing.T) {
+	tables, err := Fig6(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	prev := cell(t, tb.Rows[0][1])
+	for _, row := range tb.Rows[1:] {
+		cur := cell(t, row[1])
+		if cur < prev-1e-6 {
+			t.Fatalf("potential decreased: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestFig7ProfitOrdering(t *testing.T) {
+	tables, err := Fig7(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		dgrn, corn, rrn := cell(t, row[1]), cell(t, row[2]), cell(t, row[3])
+		if dgrn > corn+1e-6 {
+			t.Errorf("users=%s: DGRN %v exceeds CORN %v", row[0], dgrn, corn)
+		}
+		if rrn > dgrn {
+			t.Errorf("users=%s: RRN %v above DGRN %v", row[0], rrn, dgrn)
+		}
+	}
+}
+
+func TestFig8CoverageRange(t *testing.T) {
+	tables, err := Fig8(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		for c := 1; c <= 3; c++ {
+			v := cell(t, row[c])
+			if v < 0 || v > 1 {
+				t.Fatalf("coverage %v out of [0,1]", v)
+			}
+		}
+		// DGRN (coverage-tuned) at least matches RRN.
+		if cell(t, row[1]) < cell(t, row[3])-0.05 {
+			t.Errorf("users=%s: DGRN coverage %v below RRN %v", row[0], cell(t, row[1]), cell(t, row[3]))
+		}
+	}
+}
+
+func TestFig9RewardPositive(t *testing.T) {
+	tables, err := Fig9(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	for _, row := range rows {
+		if cell(t, row[1]) <= 0 {
+			t.Errorf("tasks=%s: DGRN reward %v not positive", row[0], cell(t, row[1]))
+		}
+		// DGRN (reward-tuned) beats RRN.
+		if cell(t, row[1]) < cell(t, row[3]) {
+			t.Errorf("tasks=%s: DGRN reward below RRN", row[0])
+		}
+	}
+	// Reward rises with task count overall (first to last row).
+	if cell(t, rows[len(rows)-1][1]) <= cell(t, rows[0][1]) {
+		t.Errorf("DGRN reward did not grow with task count: %v -> %v",
+			cell(t, rows[0][1]), cell(t, rows[len(rows)-1][1]))
+	}
+}
+
+func TestFig10JainRange(t *testing.T) {
+	tables, err := Fig10(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		for c := 1; c <= 3; c++ {
+			v := cell(t, row[c])
+			if v < 0 || v > 1+1e-9 {
+				t.Fatalf("Jain index %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tables, err := Fig11(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 7 || len(tb.Columns) != 5 {
+		t.Fatalf("fig11 shape = %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+	// Reward rises with tasks at fixed users (first vs last row, col 1).
+	if cell(t, tb.Rows[6][1]) <= cell(t, tb.Rows[0][1]) {
+		t.Errorf("fig11: reward did not rise with tasks: %v -> %v",
+			cell(t, tb.Rows[0][1]), cell(t, tb.Rows[6][1]))
+	}
+	// Reward falls with users at high task count (row 6: 200 tasks).
+	if cell(t, tb.Rows[6][4]) >= cell(t, tb.Rows[6][1]) {
+		t.Errorf("fig11: reward did not fall with users: %v -> %v",
+			cell(t, tb.Rows[6][1]), cell(t, tb.Rows[6][4]))
+	}
+}
+
+func TestFig12Monotonicity(t *testing.T) {
+	tables, err := Fig12(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("fig12 tables = %d", len(tables))
+	}
+	reward, detour, congestion := tables[0], tables[1], tables[2]
+	n := len(fig12Grid)
+	// Reward at the lowest weights exceeds reward at the highest weights.
+	if cell(t, reward.Rows[0][1]) <= cell(t, reward.Rows[n-1][n]) {
+		t.Errorf("fig12a: reward did not fall with φ,θ: %v vs %v",
+			cell(t, reward.Rows[0][1]), cell(t, reward.Rows[n-1][n]))
+	}
+	// Detour falls as φ grows (compare first and last φ rows at mid θ).
+	mid := (n + 1) / 2
+	if cell(t, detour.Rows[n-1][mid]) > cell(t, detour.Rows[0][mid])+1e-9 {
+		t.Errorf("fig12b: detour rose with φ: %v -> %v",
+			cell(t, detour.Rows[0][mid]), cell(t, detour.Rows[n-1][mid]))
+	}
+	// Congestion falls as θ grows (compare first and last θ columns at mid φ).
+	if cell(t, congestion.Rows[mid-1][n]) > cell(t, congestion.Rows[mid-1][1])+1e-9 {
+		t.Errorf("fig12c: congestion rose with θ: %v -> %v",
+			cell(t, congestion.Rows[mid-1][1]), cell(t, congestion.Rows[mid-1][n]))
+	}
+}
+
+func TestFig13GeoJSONValid(t *testing.T) {
+	tables, err := Fig13(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 1 {
+		t.Fatalf("fig13 rows = %d", len(tb.Rows))
+	}
+	var doc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type string `json:"type"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal([]byte(tb.Rows[0][3]), &doc); err != nil {
+		t.Fatalf("fig13 GeoJSON invalid: %v", err)
+	}
+	if doc.Type != "FeatureCollection" || len(doc.Features) == 0 {
+		t.Fatal("fig13 GeoJSON empty")
+	}
+	selected := 0
+	for _, f := range doc.Features {
+		if f.Properties["kind"] == "route" && f.Properties["selected"] == true {
+			selected++
+		}
+	}
+	if selected != 2 {
+		t.Errorf("fig13: %d selected routes, want 2 (one per user)", selected)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tables, err := Table3(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("table3 rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		overlap, selected := cell(t, row[1]), cell(t, row[2])
+		if overlap < 0 || overlap > 1 {
+			t.Fatalf("overlap ratio %v out of range", overlap)
+		}
+		if selected < 1 {
+			t.Fatalf("selected users %v below 1", selected)
+		}
+	}
+}
+
+func TestTable4BoundHolds(t *testing.T) {
+	opts := tinyOpts()
+	opts.Reps = 3
+	tables, err := Table4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		ratio, bound := cell(t, row[3]), cell(t, row[4])
+		if ratio > 1+1e-9 {
+			t.Errorf("users=%s: ratio %v above 1", row[0], ratio)
+		}
+		if ratio < bound-0.05 { // means of ratios vs means of bounds: small slack
+			t.Errorf("users=%s: ratio %v below PoA bound %v", row[0], ratio, bound)
+		}
+	}
+}
+
+func TestTable5Monotonicity(t *testing.T) {
+	opts := tinyOpts()
+	opts.Reps = 4
+	tables, err := Table5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 8 {
+		t.Fatalf("table5 rows = %d", len(tb.Rows))
+	}
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	// α=0.8 yields at least the reward of α=0.1 (up to noise at tiny reps).
+	if cell(t, last[1]) < cell(t, first[1])-1.0 {
+		t.Errorf("table5: reward fell sharply with α: %v -> %v", cell(t, first[1]), cell(t, last[1]))
+	}
+	// β=0.8 yields no more detour than β=0.1.
+	if cell(t, last[2]) > cell(t, first[2])+1.0 {
+		t.Errorf("table5: detour rose with β: %v -> %v", cell(t, first[2]), cell(t, last[2]))
+	}
+	// γ=0.8 yields no more congestion than γ=0.1.
+	if cell(t, last[3]) > cell(t, first[3])+1.0 {
+		t.Errorf("table5: congestion rose with γ: %v -> %v", cell(t, first[3]), cell(t, last[3]))
+	}
+}
+
+func TestExtraTheorem4BoundNeverViolated(t *testing.T) {
+	opts := tinyOpts()
+	opts.Reps = 3
+	tables, err := ExtraTheorem4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if v := cell(t, row[4]); v != 0 {
+			t.Errorf("users=%s: %v Theorem-4 violations", row[0], v)
+		}
+		if cell(t, row[3]) < 1 {
+			t.Errorf("users=%s: bound/measured ratio below 1", row[0])
+		}
+	}
+}
+
+func TestExtraMessagesPUUCheaper(t *testing.T) {
+	opts := tinyOpts()
+	opts.Reps = 2
+	tables, err := ExtraMessages(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		suuSlots, puuSlots := cell(t, row[3]), cell(t, row[6])
+		if puuSlots > suuSlots {
+			t.Errorf("users=%s: PUU slots %v exceed SUU %v", row[0], puuSlots, suuSlots)
+		}
+		if cell(t, row[1]) <= 0 || cell(t, row[4]) <= 0 {
+			t.Errorf("users=%s: zero message counts", row[0])
+		}
+	}
+}
+
+// Parallel fan-out must be invisible in the results: any worker count
+// produces byte-identical tables.
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	base := tinyOpts()
+	base.Reps = 4
+	for _, name := range []string{"fig4", "fig7", "fig12", "table5"} {
+		driver, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := base
+		seq.Workers = 1
+		par := base
+		par.Workers = 8
+		tSeq, err := driver(seq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		tPar, err := driver(par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if len(tSeq) != len(tPar) {
+			t.Fatalf("%s: table counts differ", name)
+		}
+		for ti := range tSeq {
+			if tSeq[ti].String() != tPar[ti].String() {
+				t.Errorf("%s table %d differs between 1 and 8 workers:\n%s\nvs\n%s",
+					name, ti, tSeq[ti].String(), tPar[ti].String())
+			}
+		}
+	}
+}
+
+func TestExtraGreedyOrdering(t *testing.T) {
+	opts := tinyOpts()
+	opts.Reps = 2
+	tables, err := ExtraGreedy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		dgrn, gls, rrn := cell(t, row[1]), cell(t, row[2]), cell(t, row[3])
+		if rrn > dgrn {
+			t.Errorf("users=%s: RRN %v above DGRN %v", row[0], rrn, dgrn)
+		}
+		if dgrn > gls*1.02 {
+			t.Errorf("users=%s: DGRN %v implausibly above Greedy+LS %v", row[0], dgrn, gls)
+		}
+	}
+}
+
+func TestErrorBarsColumns(t *testing.T) {
+	opts := tinyOpts()
+	opts.ErrorBars = true
+	tables, err := Fig9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	want := []string{"tasks", "DGRN", "BATS", "RRN", "DGRN_se", "BATS_se", "RRN_se"}
+	if len(tb.Columns) != len(want) {
+		t.Fatalf("columns = %v", tb.Columns)
+	}
+	for i := range want {
+		if tb.Columns[i] != want[i] {
+			t.Errorf("column %d = %q, want %q", i, tb.Columns[i], want[i])
+		}
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(want) {
+			t.Fatalf("row width = %d", len(row))
+		}
+		for c := 4; c <= 6; c++ {
+			if cell(t, row[c]) < 0 {
+				t.Errorf("negative standard error %s", row[c])
+			}
+		}
+	}
+	// Without the flag, the original shape is unchanged.
+	plain, err := Fig9(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain[0].Columns) != 4 {
+		t.Errorf("plain columns = %v", plain[0].Columns)
+	}
+}
+
+// The drivers must run on all three datasets, not just Shanghai.
+func TestDriversAcrossDatasets(t *testing.T) {
+	var specs []trace.Spec
+	for _, s := range trace.AllSpecs() {
+		s.Trips = 30
+		specs = append(specs, s)
+	}
+	opts := Options{Seed: 5, Reps: 1, Datasets: specs}
+	for _, name := range []string{"fig3", "fig6", "fig13"} {
+		driver, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables, err := driver(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := 3
+		if name == "fig13" {
+			want = 1 // one table with a row per dataset
+		}
+		if len(tables) != want {
+			t.Errorf("%s produced %d tables, want %d", name, len(tables), want)
+		}
+	}
+}
+
+func TestOptionsHonorsDatasetSubset(t *testing.T) {
+	roma := trace.Roma()
+	roma.Trips = 30
+	opts := Options{Seed: 2, Reps: 1, Datasets: []trace.Spec{roma}}
+	tables, err := Fig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || !strings.Contains(tables[0].Title, "Roma") {
+		t.Errorf("dataset subset not honored: %v", tables[0].Title)
+	}
+}

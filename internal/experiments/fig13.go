@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/report"
+)
+
+// geoJSON is a minimal GeoJSON document model sufficient for Fig. 13.
+type geoJSON struct {
+	Type     string       `json:"type"`
+	Features []geoFeature `json:"features"`
+}
+
+type geoFeature struct {
+	Type       string         `json:"type"`
+	Geometry   geoGeometry    `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geoGeometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+// Fig13 reproduces Figure 13's presentation: for each dataset, two users
+// are navigated through the task field; the recommended routes and the
+// equilibrium-selected route of each user, plus all task locations, are
+// exported as a GeoJSON FeatureCollection (one table row per dataset with
+// the document inline) that renders directly in any GeoJSON viewer — the
+// offline stand-in for the paper's Google-Maps screenshots.
+func Fig13(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	t := report.New("Fig 13: route presentation (GeoJSON per dataset)", "dataset", "users", "selected_routes", "geojson")
+	for _, spec := range opts.Datasets {
+		w, err := worldFor(spec, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s := repStream(opts.Seed, "fig13-"+spec.Name, 0)
+		sc, err := w.BuildScenario(ScenarioConfig{Users: 2, Tasks: 25}, s.Child())
+		if err != nil {
+			return nil, err
+		}
+		res := engine.Run(sc.Instance, engine.NewSUU, s.Child(), engine.Config{})
+		doc := geoJSON{Type: "FeatureCollection"}
+		for _, tk := range sc.Tasks.Tasks {
+			doc.Features = append(doc.Features, geoFeature{
+				Type:     "Feature",
+				Geometry: geoGeometry{Type: "Point", Coordinates: []float64{tk.Pos.X, tk.Pos.Y}},
+				Properties: map[string]any{
+					"kind":   "task",
+					"task":   int(tk.ID),
+					"reward": tk.A,
+				},
+			})
+		}
+		var selected []string
+		for ui, polys := range sc.RoutePolys {
+			chosen := res.Profile.Choice(core.UserID(ui))
+			selected = append(selected, fmt.Sprintf("u%d:r%d", ui+1, chosen+1))
+			for ri, poly := range polys {
+				coords := make([][]float64, len(poly))
+				for pi, p := range poly {
+					coords[pi] = []float64{p.X, p.Y}
+				}
+				doc.Features = append(doc.Features, geoFeature{
+					Type:     "Feature",
+					Geometry: geoGeometry{Type: "LineString", Coordinates: coords},
+					Properties: map[string]any{
+						"kind":     "route",
+						"user":     ui + 1,
+						"route":    ri + 1,
+						"selected": ri == chosen,
+						"tasks":    len(sc.Instance.Users[ui].Routes[ri].Tasks),
+					},
+				})
+			}
+		}
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(spec.Name, report.I(len(sc.RoutePolys)), fmt.Sprint(selected), string(raw))
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// TestEquilibriumExecutesOnRoad is the end-to-end check: build a scenario,
+// converge to a Nash equilibrium, then actually DRIVE the selected routes
+// through the road network with the discrete-event simulator. Every task
+// the game model says a chosen route covers must be sensed by that vehicle,
+// and the realized participant counts must equal the game's n_k.
+func TestEquilibriumExecutesOnRoad(t *testing.T) {
+	w := testWorld(t)
+	s := rng.New(77)
+	sc, err := w.BuildScenario(ScenarioConfig{Users: 15, Tasks: 40}, s.Child())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Run(sc.Instance, engine.NewSUU, s.Child(), engine.Config{})
+	if !res.Converged {
+		t.Fatal("no equilibrium")
+	}
+	// Build one vehicle per user driving its selected route.
+	var vehicles []sim.Vehicle
+	for i := 0; i < sc.Instance.NumUsers(); i++ {
+		choice := res.Profile.Choice(core.UserID(i))
+		od := sc.ODs[i]
+		paths, _, err := w.routesFor(od, len(sc.Instance.Users[i].Routes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vehicles = append(vehicles, sim.Vehicle{ID: i, Route: paths[choice], Depart: float64(i) * 10})
+	}
+	simRes, err := sim.Run(w.Dataset.Graph, vehicles, sim.Config{
+		SenseRadius: CoverRadius,
+		Tasks:       sc.Tasks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each vehicle sensed exactly the tasks its route covers in the game.
+	for i, rep := range simRes.Reports {
+		want := map[task.ID]bool{}
+		for _, k := range res.Profile.Route(core.UserID(i)).Tasks {
+			want[k] = true
+		}
+		got := map[task.ID]bool{}
+		for _, k := range rep.Sensed {
+			got[k] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("user %d: sensed %d tasks, game says %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("user %d: game covers task %d but drive did not sense it", i, k)
+			}
+		}
+	}
+	// Realized counts equal the game's n_k.
+	for k := range sc.Instance.Tasks {
+		if simRes.Completions[task.ID(k)] != res.Profile.Count(task.ID(k)) {
+			t.Fatalf("task %d: realized count %d != game count %d",
+				k, simRes.Completions[task.ID(k)], res.Profile.Count(task.ID(k)))
+		}
+	}
+	// Realized detours match the game's h(r) (same geometry source).
+	for i := 0; i < sc.Instance.NumUsers(); i++ {
+		route := res.Profile.Route(core.UserID(i))
+		paths, _, err := w.routesFor(sc.ODs[i], len(sc.Instance.Users[i].Routes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDetour := (simRes.Reports[i].Distance - paths[0].Length) * DetourScale
+		if wantDetour < 0 {
+			wantDetour = 0
+		}
+		if math.Abs(route.Detour-wantDetour) > 1e-6 {
+			t.Fatalf("user %d: game detour %v != realized %v", i, route.Detour, wantDetour)
+		}
+	}
+}
+
+// TestDistributedScenarioEndToEnd runs the full pipeline with the
+// message-passing runtime instead of the sequential engine: dataset →
+// scenario → distributed protocol → Nash equilibrium.
+func TestDistributedScenarioEndToEnd(t *testing.T) {
+	w := testWorld(t)
+	sc, err := w.BuildScenario(ScenarioConfig{Users: 10, Tasks: 25}, rng.New(5).Child())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := distributed.RunInProcess(sc.Instance, distributed.InProcessOptions{
+		Platform:      distributed.PlatformConfig{Policy: distributed.PUU, Seed: 4},
+		AgentSeedBase: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatal("distributed scenario run did not converge")
+	}
+	p, err := core.NewProfile(sc.Instance, stats.Choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsNash() {
+		t.Fatal("distributed scenario result is not Nash")
+	}
+	if stats.MessagesSent == 0 || stats.MessagesReceived == 0 {
+		t.Error("message accounting empty")
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// fig12Grid is the φ/θ sweep grid (the paper sweeps 0.0–0.8; φ, θ must be
+// strictly positive in the model, so the grid starts at 0.05).
+var fig12Grid = []float64{0.05, 0.2, 0.4, 0.6, 0.8}
+
+// Fig12 reproduces Figure 12: the influence of the system parameters φ and
+// θ on the Shanghai dataset. Three surfaces are reported — average reward
+// (falls as either weight grows), average detour distance (falls as φ
+// grows) and average congestion level (falls as θ grows).
+func Fig12(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	spec := opts.Datasets[0]
+	w, err := worldFor(spec, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	const users, tasks = 30, 60
+	kinds := []struct {
+		name    string
+		measure func(res engine.Result) float64
+	}{
+		{"average reward", func(r engine.Result) float64 { return metrics.AverageReward(r.Profile) }},
+		{"detour distance", func(r engine.Result) float64 { return metrics.AverageDetour(r.Profile) }},
+		{"congestion level", func(r engine.Result) float64 { return metrics.AverageCongestion(r.Profile) }},
+	}
+	// results[k][i][j]: metric k at φ=grid[i], θ=grid[j].
+	results := make([][][]*stats.Acc, len(kinds))
+	for k := range results {
+		results[k] = make([][]*stats.Acc, len(fig12Grid))
+		for i := range results[k] {
+			results[k][i] = make([]*stats.Acc, len(fig12Grid))
+			for j := range results[k][i] {
+				results[k][i][j] = &stats.Acc{}
+			}
+		}
+	}
+	// Paired design: every (φ, θ) cell of one repetition sees the same
+	// users, routes, and tasks (the stream is derived from the repetition
+	// only, and explicit weights consume no draws), so the surfaces reflect
+	// the weights alone. Repetitions fan out across the worker pool; each
+	// returns its full cell grid, reduced in repetition order.
+	n := len(fig12Grid)
+	vals, err := perRep(opts, func(rep int) ([]float64, error) {
+		s := repStream(opts.Seed, "fig12", rep)
+		out := make([]float64, len(kinds)*n*n)
+		for i, phi := range fig12Grid {
+			for j, theta := range fig12Grid {
+				sc, err := w.BuildScenario(ScenarioConfig{Users: users, Tasks: tasks, Phi: phi, Theta: theta}, s.ChildN(1))
+				if err != nil {
+					return nil, err
+				}
+				res := engine.Run(sc.Instance, engine.NewSUU, s.ChildN(2), engine.Config{})
+				for k := range kinds {
+					out[(k*n+i)*n+j] = kinds[k].measure(res)
+				}
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range vals {
+		for k := range kinds {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					results[k][i][j].Add(row[(k*n+i)*n+j])
+				}
+			}
+		}
+	}
+	var tables []*report.Table
+	for k, kind := range kinds {
+		cols := []string{"phi\\theta"}
+		for _, theta := range fig12Grid {
+			cols = append(cols, report.F(theta))
+		}
+		t := report.New(
+			fmt.Sprintf("Fig 12%c (%s): %s vs system parameters (%d reps)", 'a'+k, spec.Name, kind.name, opts.Reps),
+			cols...)
+		for i, phi := range fig12Grid {
+			row := []string{report.F(phi)}
+			for j := range fig12Grid {
+				row = append(row, report.F(results[k][i][j].Mean()))
+			}
+			t.Add(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Table5 reproduces Table 5: the influence of the user preference weights.
+// One probed user sweeps α_i (observing its obtained reward), β_i
+// (observing its detour distance) and γ_i (observing its congestion level)
+// from 0.1 to 0.8 while everything else stays sampled per Table 2.
+func Table5(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	spec := opts.Datasets[0]
+	w, err := worldFor(spec, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	const users, tasks = 20, 40
+	sweep := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	t := report.New(
+		fmt.Sprintf("Table 5 (%s): influence of the user parameters (probed user, %d reps)", spec.Name, opts.Reps),
+		"value", "alpha->reward", "beta->detour", "gamma->congestion")
+	// Paired design: every sweep value of one (repetition, sub-experiment)
+	// sees the same scenario — only the probed user's weight changes.
+	// Repetitions fan out; each returns the full sweep × sub grid.
+	results := make([][3]stats.Acc, len(sweep))
+	vals, err := perRep(opts, func(rep int) ([]float64, error) {
+		out := make([]float64, len(sweep)*3)
+		for sub := 0; sub < 3; sub++ {
+			s := repStream(opts.Seed, fmt.Sprintf("table5-%d", sub), rep)
+			for vi, v := range sweep {
+				weights := [3]float64{0.5, 0.5, 0.5}
+				weights[sub] = v
+				sc, err := w.BuildScenario(ScenarioConfig{Users: users, Tasks: tasks, Phi: 0.4, Theta: 0.4, FixedWeights: &weights}, s.ChildN(1))
+				if err != nil {
+					return nil, err
+				}
+				res := engine.Run(sc.Instance, engine.NewSUU, s.ChildN(2), engine.Config{})
+				probe := res.Profile.Route(0)
+				switch sub {
+				case 0:
+					out[vi*3+0] = res.Profile.RewardOf(0)
+				case 1:
+					out[vi*3+1] = probe.Detour
+				case 2:
+					out[vi*3+2] = probe.Congestion
+				}
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range vals {
+		for vi := range sweep {
+			for sub := 0; sub < 3; sub++ {
+				results[vi][sub].Add(row[vi*3+sub])
+			}
+		}
+	}
+	for vi, v := range sweep {
+		t.Add(report.F(v), report.F(results[vi][0].Mean()), report.F(results[vi][1].Mean()), report.F(results[vi][2].Mean()))
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// Driver runs one table/figure reproduction and returns its tables.
+type Driver func(Options) ([]*report.Table, error)
+
+// registry maps experiment IDs to drivers, covering every table and figure
+// of §5.
+var registry = map[string]Driver{
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"table3": Table3,
+	"table4": Table4,
+	"table5": Table5,
+	// Extensions beyond the paper's published evaluation:
+	"extra-theorem4": ExtraTheorem4,
+	"extra-greedy":   ExtraGreedy,
+	"extra-messages": ExtraMessages,
+}
+
+// Names returns the registered experiment IDs in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the driver for an experiment ID.
+func ByName(name string) (Driver, error) {
+	d, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return d, nil
+}

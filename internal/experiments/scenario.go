@@ -1,0 +1,317 @@
+// Package experiments builds the §5 evaluation scenarios on the three
+// trace-based datasets and provides one driver per table and figure of the
+// paper. Every driver is deterministic under (seed, repetitions) and
+// returns report.Tables that the vcsnav CLI prints and the benchmark
+// harness regenerates.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/parallel"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/roadnet"
+	"repro/internal/spatial"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// DetourScale converts a detour in meters to the dimensionless h(r) used in
+// the profit function, so that typical urban detours land in the paper's
+// ~0–15 range (one 300 m block ≈ 10) and the detour cost is commensurable
+// with task-reward shares — the regime in which the platform weight φ
+// actually steers route choices (Fig. 12).
+const DetourScale = 1.0 / 30.0
+
+// CoverRadius is the sensing radius in meters: a route covers a task if the
+// task lies within this distance of the route polyline.
+const CoverRadius = 100.0
+
+// RoutePenalty is the edge-reuse penalty of the route diversification (see
+// roadnet.AlternativeRoutes); 0.4 yields Google-Maps-like alternatives with
+// distinct corridors and meaningful detour/congestion differences.
+const RoutePenalty = 0.4
+
+// World is a generated dataset plus the derived artifacts shared across the
+// repetitions of an experiment: extracted OD pairs and a route cache. Build
+// one World per (dataset, seed) and derive many instances from it.
+type World struct {
+	Spec    trace.Spec
+	Dataset *trace.Dataset
+	ODs     []trace.ODPair
+
+	mu         sync.Mutex // guards the route caches (repetitions run in parallel)
+	routeCache map[trace.ODPair][]roadnet.Path
+	polyCache  map[trace.ODPair][]geo.Polyline
+	area       geo.Rect
+}
+
+// NewWorld generates the dataset for spec under the given seed and extracts
+// its OD pairs (§5.1).
+func NewWorld(spec trace.Spec, seed uint64) (*World, error) {
+	ds, err := trace.Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	ods := ds.ExtractOD()
+	if len(ods) == 0 {
+		return nil, fmt.Errorf("experiments: dataset %s produced no OD pairs", spec.Name)
+	}
+	pts := make([]geo.Point, ds.Graph.NumNodes())
+	for i := range pts {
+		pts[i] = ds.Graph.Pos(roadnet.NodeID(i))
+	}
+	return &World{
+		Spec:       spec,
+		Dataset:    ds,
+		ODs:        ods,
+		routeCache: map[trace.ODPair][]roadnet.Path{},
+		polyCache:  map[trace.ODPair][]geo.Polyline{},
+		area:       geo.Bound(pts),
+	}, nil
+}
+
+// routesFor returns up to max recommended routes for the OD pair, cached.
+// Route 0 is the shortest route (Yen ordering), so h(route 0) = 0.
+func (w *World) routesFor(od trace.ODPair, max int) ([]roadnet.Path, []geo.Polyline, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	paths, ok := w.routeCache[od]
+	if !ok {
+		var err error
+		paths, err = w.Dataset.Graph.AlternativeRoutes(od.Origin, od.Destination, 5, RoutePenalty)
+		if err != nil {
+			return nil, nil, err
+		}
+		w.routeCache[od] = paths
+		polys := make([]geo.Polyline, len(paths))
+		for i, p := range paths {
+			polys[i] = w.Dataset.Graph.Polyline(p)
+		}
+		w.polyCache[od] = polys
+	}
+	if max > len(paths) {
+		max = len(paths)
+	}
+	return paths[:max], w.polyCache[od][:max], nil
+}
+
+// RoutesForUser returns the cached road-network paths (and polylines)
+// behind user i's recommended routes in a scenario built from this world —
+// the geometry needed to drive an equilibrium with internal/sim.
+func (w *World) RoutesForUser(sc *Scenario, i int) ([]roadnet.Path, []geo.Polyline, error) {
+	if i < 0 || i >= len(sc.ODs) {
+		return nil, nil, fmt.Errorf("experiments: user %d outside scenario", i)
+	}
+	return w.routesFor(sc.ODs[i], len(sc.Instance.Users[i].Routes))
+}
+
+// ScenarioConfig parametrizes one game instance drawn from a World.
+type ScenarioConfig struct {
+	Users int
+	Tasks int
+	// Phi/Theta: platform weights. Zero means "sample from Table 2".
+	Phi, Theta float64
+	// FixedWeights, when non-nil, overrides the sampled (α, β, γ) of user 0
+	// — used by the Table-5 parameter study.
+	FixedWeights *[3]float64
+}
+
+// Scenario is a built instance plus the geometry needed for presentation
+// (Fig. 13).
+type Scenario struct {
+	Instance *core.Instance
+	Tasks    *task.Set
+	// RoutePolys[i][c] is the polyline of user i's route c.
+	RoutePolys [][]geo.Polyline
+	ODs        []trace.ODPair
+}
+
+// BuildScenario samples a game instance from the world: users are random OD
+// pairs with Yen-recommended routes (1–5 each, Table 2), tasks are placed
+// over the map, route coverage uses the sensing radius, detours are
+// measured against the shortest route and congestion from edge speeds.
+func (w *World) BuildScenario(cfg ScenarioConfig, s *rng.Stream) (*Scenario, error) {
+	tab := rng.DefaultTable2()
+	in := &core.Instance{Phi: cfg.Phi, Theta: cfg.Theta, EMin: tab.UserWeightMin, EMax: tab.UserWeightMax}
+	if in.Phi == 0 {
+		in.Phi = tab.SampleSystemWeight(s)
+	}
+	if in.Theta == 0 {
+		in.Theta = tab.SampleSystemWeight(s)
+	}
+	// Tasks are road-side sensing locations (air quality, traffic cameras,
+	// road surface): place each near a random intersection with a small
+	// offset, drawing rewards from the Table-2 ranges. A quadtree over the
+	// task positions answers the per-route coverage queries.
+	tset := w.roadSideTasks(cfg.Tasks, tab, s.Child())
+	in.Tasks = tset.Tasks
+	items := make([]spatial.Item, len(tset.Tasks))
+	for i, tk := range tset.Tasks {
+		items[i] = spatial.Item{Pos: tk.Pos, ID: int(tk.ID)}
+	}
+	taskIndex := spatial.FromItems(items)
+
+	sc := &Scenario{Instance: in, Tasks: tset}
+	userStream := s.Child()
+	for i := 0; i < cfg.Users; i++ {
+		od := w.ODs[userStream.Intn(len(w.ODs))]
+		k := tab.SampleRoutesPerUser(userStream)
+		paths, polys, err := w.routesFor(od, k)
+		if err != nil {
+			return nil, err
+		}
+		u := core.User{
+			ID:    core.UserID(i),
+			Alpha: tab.SampleUserWeight(userStream),
+			Beta:  tab.SampleUserWeight(userStream),
+			Gamma: tab.SampleUserWeight(userStream),
+		}
+		if i == 0 && cfg.FixedWeights != nil {
+			u.Alpha, u.Beta, u.Gamma = cfg.FixedWeights[0], cfg.FixedWeights[1], cfg.FixedWeights[2]
+		}
+		shortest := paths[0].Length
+		for ri, p := range paths {
+			r := core.Route{
+				User:       u.ID,
+				Detour:     (p.Length - shortest) * DetourScale,
+				Congestion: w.Dataset.Graph.Congestion(p),
+			}
+			if r.Detour < 0 {
+				r.Detour = 0
+			}
+			// Coverage: tasks within the sensing radius of the route.
+			for _, id := range taskIndex.WithinRadiusOfPolyline(polys[ri], CoverRadius, nil) {
+				r.Tasks = append(r.Tasks, task.ID(id))
+			}
+			u.Routes = append(u.Routes, r)
+		}
+		in.Users = append(in.Users, u)
+		sc.RoutePolys = append(sc.RoutePolys, polys)
+		sc.ODs = append(sc.ODs, od)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: built invalid instance: %w", err)
+	}
+	return sc, nil
+}
+
+// roadSideTasks places n tasks near random road intersections (within the
+// sensing radius, so at least passing traffic on adjacent roads can sense
+// them), with Table-2 reward parameters.
+func (w *World) roadSideTasks(n int, tab rng.Table2, s *rng.Stream) *task.Set {
+	set := &task.Set{Tasks: make([]task.Task, 0, n)}
+	g := w.Dataset.Graph
+	for i := 0; i < n; i++ {
+		node := roadnet.NodeID(s.Intn(g.NumNodes()))
+		pos := g.Pos(node)
+		off := CoverRadius * 0.6
+		set.Tasks = append(set.Tasks, task.Task{
+			ID:  task.ID(i),
+			Pos: geo.Pt(pos.X+s.Uniform(-off, off), pos.Y+s.Uniform(-off, off)),
+			A:   tab.SampleTaskReward(s),
+			Mu:  tab.SampleMu(s),
+		})
+	}
+	return set
+}
+
+// Options configures an experiment driver.
+type Options struct {
+	// Seed makes the whole experiment reproducible.
+	Seed uint64
+	// Reps is the number of repeated simulations per data point (Table 2
+	// uses 500; tests and benches use fewer).
+	Reps int
+	// Datasets restricts which datasets run (default: all three).
+	Datasets []trace.Spec
+	// Workers caps the repetition fan-out (0 = one per CPU, max 16).
+	// Results are identical for any worker count: every repetition derives
+	// its RNG stream from its index and reduction happens in index order.
+	Workers int
+	// ErrorBars appends a standard-error column per series to the
+	// algorithm-comparison experiments (the paper's error bars, §5.3.2).
+	ErrorBars bool
+}
+
+// withDefaults normalizes options.
+func (o Options) withDefaults() Options {
+	if o.Reps <= 0 {
+		o.Reps = 500
+	}
+	if len(o.Datasets) == 0 {
+		o.Datasets = trace.AllSpecs()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// worldFor builds the World for one dataset of an experiment run.
+func worldFor(spec trace.Spec, seed uint64) (*World, error) {
+	return NewWorld(spec, seed^0x9e3779b97f4a7c15)
+}
+
+// repStream derives the RNG stream for repetition r of experiment expID.
+func repStream(seed uint64, expID string, r int) *rng.Stream {
+	h := seed
+	for _, c := range expID {
+		h = h*1099511628211 + uint64(c)
+	}
+	return rng.New(h).ChildN(r)
+}
+
+// almostEqual is shared by experiment sanity checks.
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// perRep fans the repetitions of one data point across the worker pool and
+// returns each repetition's value vector in repetition order, so reductions
+// are deterministic regardless of scheduling.
+func perRep(opts Options, fn func(rep int) ([]float64, error)) ([][]float64, error) {
+	return parallel.Map(opts.Reps, opts.Workers, fn)
+}
+
+// accumulate folds per-rep value vectors into one stats.Acc per column.
+func accumulate(vals [][]float64, cols int) []stats.Acc {
+	accs := make([]stats.Acc, cols)
+	for _, row := range vals {
+		for c := 0; c < cols && c < len(row); c++ {
+			accs[c].Add(row[c])
+		}
+	}
+	return accs
+}
+
+// colsWithBars returns label + series headers, appending "<series>_se"
+// columns when error bars are requested.
+func colsWithBars(opts Options, label string, series ...string) []string {
+	cols := append([]string{label}, series...)
+	if opts.ErrorBars {
+		for _, s := range series {
+			cols = append(cols, s+"_se")
+		}
+	}
+	return cols
+}
+
+// rowWithBars renders label + per-series means, appending standard errors
+// when error bars are requested.
+func rowWithBars(opts Options, label string, accs []stats.Acc) []string {
+	row := []string{label}
+	for i := range accs {
+		row = append(row, report.F(accs[i].Mean()))
+	}
+	if opts.ErrorBars {
+		for i := range accs {
+			row = append(row, report.F(accs[i].StdErr()))
+		}
+	}
+	return row
+}

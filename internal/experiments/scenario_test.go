@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	spec := trace.Shanghai()
+	spec.Trips = 40 // smaller dataset for unit tests
+	w, err := NewWorld(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBuildScenarioValid(t *testing.T) {
+	w := testWorld(t)
+	sc, err := w.BuildScenario(ScenarioConfig{Users: 12, Tasks: 30}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sc.Instance
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumUsers() != 12 || in.NumTasks() != 30 {
+		t.Fatalf("sizes = %d users, %d tasks", in.NumUsers(), in.NumTasks())
+	}
+	for i, u := range in.Users {
+		if len(u.Routes) < 1 || len(u.Routes) > 5 {
+			t.Fatalf("user %d has %d routes, want 1..5 (Table 2)", i, len(u.Routes))
+		}
+		// Route 0 is the shortest: zero detour.
+		if u.Routes[0].Detour != 0 {
+			t.Errorf("user %d route 0 detour = %v, want 0", i, u.Routes[0].Detour)
+		}
+		for ri, r := range u.Routes {
+			if r.Detour < 0 || r.Congestion < 0 {
+				t.Fatalf("user %d route %d negative measures", i, ri)
+			}
+		}
+		if len(sc.RoutePolys[i]) != len(u.Routes) {
+			t.Fatalf("user %d has %d polylines for %d routes", i, len(sc.RoutePolys[i]), len(u.Routes))
+		}
+	}
+}
+
+func TestBuildScenarioDeterministic(t *testing.T) {
+	w := testWorld(t)
+	a, err := w.BuildScenario(ScenarioConfig{Users: 8, Tasks: 20}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.BuildScenario(ScenarioConfig{Users: 8, Tasks: 20}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Instance.Phi != b.Instance.Phi || a.Instance.Theta != b.Instance.Theta {
+		t.Error("platform weights differ across same-seed builds")
+	}
+	for i := range a.Instance.Users {
+		ua, ub := a.Instance.Users[i], b.Instance.Users[i]
+		if ua.Alpha != ub.Alpha || len(ua.Routes) != len(ub.Routes) {
+			t.Fatalf("user %d differs across same-seed builds", i)
+		}
+		for ri := range ua.Routes {
+			if len(ua.Routes[ri].Tasks) != len(ub.Routes[ri].Tasks) {
+				t.Fatalf("user %d route %d coverage differs", i, ri)
+			}
+		}
+	}
+}
+
+func TestBuildScenarioCoverage(t *testing.T) {
+	w := testWorld(t)
+	sc, err := w.BuildScenario(ScenarioConfig{Users: 20, Tasks: 60}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coverage must match the radius definition exactly.
+	covered := 0
+	for i, u := range sc.Instance.Users {
+		for ri, r := range u.Routes {
+			onRoute := map[int]bool{}
+			for _, k := range r.Tasks {
+				onRoute[int(k)] = true
+			}
+			for _, tk := range sc.Tasks.Tasks {
+				want := sc.RoutePolys[i][ri].DistToPoint(tk.Pos) <= CoverRadius
+				if want != onRoute[int(tk.ID)] {
+					t.Fatalf("user %d route %d task %d: coverage mismatch", i, ri, tk.ID)
+				}
+			}
+			covered += len(r.Tasks)
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no route covers any task; scenario is degenerate")
+	}
+}
+
+func TestBuildScenarioFixedWeights(t *testing.T) {
+	w := testWorld(t)
+	weights := [3]float64{0.77, 0.33, 0.11}
+	sc, err := w.BuildScenario(ScenarioConfig{Users: 5, Tasks: 10, FixedWeights: &weights}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := sc.Instance.Users[0]
+	if u0.Alpha != 0.77 || u0.Beta != 0.33 || u0.Gamma != 0.11 {
+		t.Errorf("probed user weights = %v %v %v", u0.Alpha, u0.Beta, u0.Gamma)
+	}
+}
+
+func TestBuildScenarioExplicitPhiTheta(t *testing.T) {
+	w := testWorld(t)
+	sc, err := w.BuildScenario(ScenarioConfig{Users: 4, Tasks: 10, Phi: 0.15, Theta: 0.75}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Instance.Phi != 0.15 || sc.Instance.Theta != 0.75 {
+		t.Errorf("explicit weights not honored: φ=%v θ=%v", sc.Instance.Phi, sc.Instance.Theta)
+	}
+}
+
+func TestChildNScenarioTwinning(t *testing.T) {
+	// The Fig-8/9 pattern: two scenarios built from ChildN(1) with different
+	// explicit weights must have identical structure.
+	w := testWorld(t)
+	s := rng.New(21)
+	a, err := w.BuildScenario(ScenarioConfig{Users: 6, Tasks: 15, Phi: 0.1, Theta: 0.1}, s.ChildN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.BuildScenario(ScenarioConfig{Users: 6, Tasks: 15, Phi: 0.45, Theta: 0.45}, s.ChildN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Instance.Users {
+		ua, ub := a.Instance.Users[i], b.Instance.Users[i]
+		if ua.Alpha != ub.Alpha || len(ua.Routes) != len(ub.Routes) {
+			t.Fatalf("twin scenarios differ at user %d", i)
+		}
+	}
+	if a.Instance.Phi == b.Instance.Phi {
+		t.Error("twin scenarios should differ only in weights")
+	}
+}
+
+func TestRepStreamDeterministic(t *testing.T) {
+	a := repStream(1, "exp", 7)
+	b := repStream(1, "exp", 7)
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("repStream not deterministic")
+		}
+	}
+	c := repStream(1, "exp", 8)
+	d := repStream(1, "other", 7)
+	if c.Float64() == repStream(1, "exp", 7).Float64() && d.Float64() == repStream(1, "exp", 7).Float64() {
+		t.Error("repStream does not separate reps/experiments")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Reps != 500 {
+		t.Errorf("default reps = %d, want 500 (Table 2)", o.Reps)
+	}
+	if len(o.Datasets) != 3 {
+		t.Errorf("default datasets = %d, want 3", len(o.Datasets))
+	}
+	if o.Seed == 0 {
+		t.Error("default seed must be nonzero")
+	}
+}
+
+func TestRandomProfileChoicesWithinScenario(t *testing.T) {
+	w := testWorld(t)
+	sc, err := w.BuildScenario(ScenarioConfig{Users: 10, Tasks: 20}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.RandomProfile(sc.Instance, rng.New(5))
+	for i := range sc.Instance.Users {
+		if c := p.Choice(core.UserID(i)); c < 0 || c >= len(sc.Instance.Users[i].Routes) {
+			t.Fatalf("choice out of range for user %d", i)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); !almostEq(d, 5, 1e-12) {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if n := Pt(3, 4).Norm(); !almostEq(n, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", n)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	cases := []struct {
+		p     Point
+		want  Point
+		wantT float64
+	}{
+		{Pt(5, 3), Pt(5, 0), 0.5},
+		{Pt(-5, 3), Pt(0, 0), 0},   // clamped to A
+		{Pt(20, -1), Pt(10, 0), 1}, // clamped to B
+		{Pt(0, 0), Pt(0, 0), 0},
+	}
+	for _, c := range cases {
+		got, gotT := s.ClosestPoint(c.p)
+		if got.Dist(c.want) > 1e-12 || !almostEq(gotT, c.wantT, 1e-12) {
+			t.Errorf("ClosestPoint(%v) = %v,%v want %v,%v", c.p, got, gotT, c.want, c.wantT)
+		}
+	}
+}
+
+func TestSegmentDegenerate(t *testing.T) {
+	s := Segment{Pt(2, 2), Pt(2, 2)}
+	got, tt := s.ClosestPoint(Pt(5, 6))
+	if got != Pt(2, 2) || tt != 0 {
+		t.Errorf("degenerate ClosestPoint = %v,%v", got, tt)
+	}
+	if d := s.DistToPoint(Pt(5, 6)); !almostEq(d, 5, 1e-12) {
+		t.Errorf("degenerate DistToPoint = %v", d)
+	}
+	if s.Length() != 0 {
+		t.Errorf("degenerate Length = %v", s.Length())
+	}
+}
+
+func TestSegmentMidpoint(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(4, 6)}
+	if m := s.Midpoint(); m != Pt(2, 3) {
+		t.Errorf("Midpoint = %v", m)
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(3, 4), Pt(3, 10)}
+	if l := pl.Length(); !almostEq(l, 11, 1e-12) {
+		t.Errorf("Length = %v, want 11", l)
+	}
+	if l := (Polyline{}).Length(); l != 0 {
+		t.Errorf("empty Length = %v", l)
+	}
+	if l := (Polyline{Pt(1, 1)}).Length(); l != 0 {
+		t.Errorf("single Length = %v", l)
+	}
+}
+
+func TestPolylineDistToPoint(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
+	if d := pl.DistToPoint(Pt(5, 2)); !almostEq(d, 2, 1e-12) {
+		t.Errorf("DistToPoint = %v, want 2", d)
+	}
+	if d := pl.DistToPoint(Pt(12, 5)); !almostEq(d, 2, 1e-12) {
+		t.Errorf("DistToPoint = %v, want 2", d)
+	}
+	if d := (Polyline{}).DistToPoint(Pt(0, 0)); !math.IsInf(d, 1) {
+		t.Errorf("empty DistToPoint = %v", d)
+	}
+	if d := (Polyline{Pt(3, 0)}).DistToPoint(Pt(0, 4)); !almostEq(d, 5, 1e-12) {
+		t.Errorf("single DistToPoint = %v", d)
+	}
+}
+
+func TestPolylinePointAt(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
+	if p := pl.PointAt(-1); p != Pt(0, 0) {
+		t.Errorf("PointAt(-1) = %v", p)
+	}
+	if p := pl.PointAt(5); p != Pt(5, 0) {
+		t.Errorf("PointAt(5) = %v", p)
+	}
+	if p := pl.PointAt(15); p != Pt(10, 5) {
+		t.Errorf("PointAt(15) = %v", p)
+	}
+	if p := pl.PointAt(1000); p != Pt(10, 10) {
+		t.Errorf("PointAt(big) = %v", p)
+	}
+	if p := (Polyline{}).PointAt(3); p != (Point{}) {
+		t.Errorf("empty PointAt = %v", p)
+	}
+}
+
+func TestPolylineResample(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(10, 0)}
+	rs := pl.Resample(5)
+	if len(rs) != 5 {
+		t.Fatalf("Resample len = %d", len(rs))
+	}
+	if rs[0] != Pt(0, 0) || rs[4] != Pt(10, 0) {
+		t.Errorf("Resample endpoints = %v %v", rs[0], rs[4])
+	}
+	if !almostEq(rs[2].X, 5, 1e-9) {
+		t.Errorf("Resample mid = %v", rs[2])
+	}
+	// Degenerate inputs return a copy.
+	short := Polyline{Pt(1, 1)}
+	got := short.Resample(10)
+	if len(got) != 1 || got[0] != Pt(1, 1) {
+		t.Errorf("short Resample = %v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{Pt(0, 0), Pt(10, 20)}
+	if !r.Contains(Pt(5, 5)) || !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 20)) {
+		t.Error("Contains failed for inside/boundary points")
+	}
+	if r.Contains(Pt(-1, 5)) || r.Contains(Pt(5, 21)) {
+		t.Error("Contains accepted outside points")
+	}
+	if r.Width() != 10 || r.Height() != 20 {
+		t.Errorf("Width/Height = %v/%v", r.Width(), r.Height())
+	}
+	if c := r.Center(); c != Pt(5, 10) {
+		t.Errorf("Center = %v", c)
+	}
+	e := r.Expand(2)
+	if e.Min != Pt(-2, -2) || e.Max != Pt(12, 22) {
+		t.Errorf("Expand = %v", e)
+	}
+}
+
+func TestBound(t *testing.T) {
+	pts := []Point{Pt(3, 1), Pt(-2, 8), Pt(5, -4)}
+	r := Bound(pts)
+	if r.Min != Pt(-2, -4) || r.Max != Pt(5, 8) {
+		t.Errorf("Bound = %v", r)
+	}
+	if z := Bound(nil); z != (Rect{}) {
+		t.Errorf("Bound(nil) = %v", z)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("Bound does not contain %v", p)
+		}
+	}
+}
+
+// Property: the closest point of a segment is never farther than either endpoint.
+func TestQuickClosestPointOptimal(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		s := Segment{Pt(clamp(ax), clamp(ay)), Pt(clamp(bx), clamp(by))}
+		p := Pt(clamp(px), clamp(py))
+		d := s.DistToPoint(p)
+		return d <= p.Dist(s.A)+1e-9 && d <= p.Dist(s.B)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(clamp(ax), clamp(ay)), Pt(clamp(bx), clamp(by)), Pt(clamp(cx), clamp(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PointAt(d) lies on the polyline (distance 0 to it) for d in range.
+func TestQuickPointAtOnPolyline(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, frac float64) bool {
+		pl := Polyline{Pt(clamp(x1), clamp(y1)), Pt(clamp(x2), clamp(y2)), Pt(clamp(x3), clamp(y3))}
+		fr := math.Abs(math.Mod(frac, 1))
+		p := pl.PointAt(pl.Length() * fr)
+		return pl.DistToPoint(p) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp maps arbitrary float64 quick-check inputs into a sane finite range.
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e4)
+}

@@ -1,0 +1,250 @@
+// Package loadgame extends the paper's model to LOAD-DEPENDENT congestion.
+//
+// §3.1 assumes "the congestion level of a route ... is irrelevant to other
+// users' route decisions", which is what makes Eq. (8) a potential for the
+// game. This package drops that assumption: a route's congestion grows with
+// the number of participating users routed over it,
+//
+//	c_load(r, s) = c(r) · (1 + κ·(n_r(s) − 1)),
+//
+// where n_r(s) counts users whose chosen route shares road segments with r
+// (approximated here by route-group identity: routes of the same corridor
+// group congest each other). The resulting game is NOT a weighted potential
+// game in general — best-response dynamics may cycle — which this package
+// demonstrates constructively, and it provides a damped (inertial)
+// dynamics that still converges empirically. This is the "what if
+// congestion were endogenous" question the paper leaves open.
+package loadgame
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Game wraps a core.Instance with load-dependent congestion.
+type Game struct {
+	Inst *core.Instance
+	// Kappa is the congestion sensitivity κ ≥ 0; 0 recovers the paper's
+	// exogenous model exactly.
+	Kappa float64
+	// Group[i][c] assigns user i's route c to a corridor group; routes in
+	// the same group congest each other. Group IDs are arbitrary ints.
+	Group [][]int
+}
+
+// New validates and builds a load game. Group must have one entry per
+// user routes slice.
+func New(in *core.Instance, kappa float64, group [][]int) (*Game, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("loadgame: %w", err)
+	}
+	if kappa < 0 {
+		return nil, fmt.Errorf("loadgame: negative κ")
+	}
+	if len(group) != len(in.Users) {
+		return nil, fmt.Errorf("loadgame: %d group rows for %d users", len(group), len(in.Users))
+	}
+	for i, u := range in.Users {
+		if len(group[i]) != len(u.Routes) {
+			return nil, fmt.Errorf("loadgame: user %d has %d groups for %d routes", i, len(group[i]), len(u.Routes))
+		}
+	}
+	return &Game{Inst: in, Kappa: kappa, Group: group}, nil
+}
+
+// groupLoad counts users whose chosen route is in group g.
+func (g *Game) groupLoad(choices []int, grp int) int {
+	n := 0
+	for i, c := range choices {
+		if g.Group[i][c] == grp {
+			n++
+		}
+	}
+	return n
+}
+
+// Profit evaluates user i's profit under choices, with congestion scaled by
+// the load of its route's corridor group.
+func (g *Game) Profit(choices []int, i int) float64 {
+	in := g.Inst
+	u := in.Users[i]
+	c := choices[i]
+	r := u.Routes[c]
+	// Reward part: recompute n_k from choices.
+	var reward float64
+	for _, k := range r.Tasks {
+		n := 0
+		for j, cj := range choices {
+			for _, kj := range in.Users[j].Routes[cj].Tasks {
+				if kj == k {
+					n++
+					break
+				}
+			}
+		}
+		reward += in.Tasks[k].Share(n)
+	}
+	load := g.groupLoad(choices, g.Group[i][c])
+	congestion := r.Congestion * (1 + g.Kappa*float64(load-1))
+	return u.Alpha*reward - u.Beta*in.DetourCost(r) - u.Gamma*in.Theta*congestion
+}
+
+// BestResponse returns user i's profit-maximizing route index under the
+// (simultaneous) choices, and whether it strictly improves on the current
+// choice.
+func (g *Game) BestResponse(choices []int, i int) (int, bool) {
+	cur := g.Profit(choices, i)
+	bestC, bestV := choices[i], cur
+	scratch := append([]int(nil), choices...)
+	for c := range g.Inst.Users[i].Routes {
+		if c == choices[i] {
+			continue
+		}
+		scratch[i] = c
+		if v := g.Profit(scratch, i); v > bestV+core.Eps {
+			bestC, bestV = c, v
+		}
+	}
+	return bestC, bestC != choices[i]
+}
+
+// IsNash reports whether no user has a strictly improving deviation.
+func (g *Game) IsNash(choices []int) bool {
+	for i := range g.Inst.Users {
+		if _, improves := g.BestResponse(choices, i); improves {
+			return false
+		}
+	}
+	return true
+}
+
+// Result of a dynamics run.
+type Result struct {
+	Choices   []int
+	Rounds    int
+	Converged bool
+	// CycleDetected is set when the trajectory revisited a state (proof of
+	// non-convergence for the deterministic dynamics).
+	CycleDetected bool
+}
+
+// RunBestResponse runs deterministic round-robin best-response dynamics for
+// at most maxRounds full passes. With κ > 0 the game need not be a
+// potential game, so the trajectory may cycle; revisited states are
+// detected and reported.
+func (g *Game) RunBestResponse(start []int, maxRounds int) Result {
+	choices := append([]int(nil), start...)
+	seen := map[string]bool{key(choices): true}
+	for round := 1; round <= maxRounds; round++ {
+		moved := false
+		for i := range g.Inst.Users {
+			if c, improves := g.BestResponse(choices, i); improves {
+				choices[i] = c
+				moved = true
+			}
+		}
+		if !moved {
+			return Result{Choices: choices, Rounds: round, Converged: true}
+		}
+		k := key(choices)
+		if seen[k] {
+			return Result{Choices: choices, Rounds: round, CycleDetected: true}
+		}
+		seen[k] = true
+	}
+	return Result{Choices: choices, Rounds: maxRounds}
+}
+
+// RunInertial runs damped simultaneous dynamics: each round, every user
+// with an improving deviation adopts it independently with probability
+// 1−stayProb. Inertia breaks deterministic cycles; convergence is
+// empirical, not guaranteed.
+func (g *Game) RunInertial(start []int, stayProb float64, maxRounds int, s *rng.Stream) Result {
+	if stayProb <= 0 || stayProb >= 1 {
+		stayProb = 0.5
+	}
+	choices := append([]int(nil), start...)
+	for round := 1; round <= maxRounds; round++ {
+		type move struct{ i, c int }
+		var moves []move
+		for i := range g.Inst.Users {
+			if c, improves := g.BestResponse(choices, i); improves {
+				moves = append(moves, move{i, c})
+			}
+		}
+		if len(moves) == 0 {
+			return Result{Choices: choices, Rounds: round, Converged: true}
+		}
+		for _, m := range moves {
+			if !s.Bool(stayProb) {
+				choices[m.i] = m.c
+			}
+		}
+	}
+	return Result{Choices: choices, Rounds: maxRounds}
+}
+
+// UniformGroups builds a Group assignment where user i's route c belongs to
+// group c — the simplest corridor model: all users' k-th alternatives share
+// the k-th corridor. Handy for tests and demos.
+func UniformGroups(in *core.Instance) [][]int {
+	out := make([][]int, len(in.Users))
+	for i, u := range in.Users {
+		out[i] = make([]int, len(u.Routes))
+		for c := range u.Routes {
+			out[i][c] = c
+		}
+	}
+	return out
+}
+
+func key(choices []int) string {
+	b := make([]byte, 0, len(choices)*2)
+	for _, c := range choices {
+		if c > 255 {
+			c = 255
+		}
+		b = append(b, byte(c), ',')
+	}
+	return string(b)
+}
+
+// PotentialGapWitness searches (by exhaustive enumeration over tiny
+// instances) for a violation of the weighted-potential property under
+// load-dependent congestion: a 4-cycle of unilateral improvements whose
+// profit deltas cannot be consistent with any potential. It returns a
+// human-readable description, or "" if none found within the instance.
+func (g *Game) PotentialGapWitness() string {
+	in := g.Inst
+	if len(in.Users) != 2 {
+		return "" // witness search implemented for 2-user games
+	}
+	// For a weighted potential game, around any unit cycle
+	// (a,b)→(a',b)→(a',b')→(a,b')→(a,b) the weighted sum of profit changes
+	// of the deviating player must vanish:
+	// ΔP_1/α_1 + ΔP_2/α_2 + ΔP_1'/α_1 + ΔP_2'/α_2 = 0.
+	for a := 0; a < len(in.Users[0].Routes); a++ {
+		for a2 := a + 1; a2 < len(in.Users[0].Routes); a2++ {
+			for b := 0; b < len(in.Users[1].Routes); b++ {
+				for b2 := b + 1; b2 < len(in.Users[1].Routes); b2++ {
+					s00 := []int{a, b}
+					s10 := []int{a2, b}
+					s11 := []int{a2, b2}
+					s01 := []int{a, b2}
+					sum := (g.Profit(s10, 0)-g.Profit(s00, 0))/in.Users[0].Alpha +
+						(g.Profit(s11, 1)-g.Profit(s10, 1))/in.Users[1].Alpha +
+						(g.Profit(s01, 0)-g.Profit(s11, 0))/in.Users[0].Alpha +
+						(g.Profit(s00, 1)-g.Profit(s01, 1))/in.Users[1].Alpha
+					if math.Abs(sum) > 1e-9 {
+						return fmt.Sprintf("cycle (%d,%d)->(%d,%d)->(%d,%d)->(%d,%d) has weighted profit sum %.6f != 0",
+							a, b, a2, b, a2, b2, a, b2, sum)
+					}
+				}
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,197 @@
+package loadgame
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// corridorInstance: two users, two corridors. Corridor 0 is short but
+// congestible; corridor 1 is longer but empty. Tasks make staying valuable.
+func corridorInstance() *core.Instance {
+	routes := func(u core.UserID) []core.Route {
+		return []core.Route{
+			{User: u, Tasks: []task.ID{0}, Detour: 0, Congestion: 5},
+			{User: u, Tasks: []task.ID{1}, Detour: 4, Congestion: 1},
+		}
+	}
+	return &core.Instance{
+		Phi: 0.5, Theta: 0.5,
+		Tasks: []task.Task{
+			{ID: 0, A: 12, Mu: 0},
+			{ID: 1, A: 12, Mu: 0},
+		},
+		Users: []core.User{
+			// Asymmetric γ: the congestion externality user 0 suffers from
+			// user 1 differs from the reverse, which is exactly what breaks
+			// the weighted-potential property once κ > 0. (With symmetric
+			// users the load game is a Rosenthal congestion game and stays
+			// a potential game.)
+			{ID: 0, Alpha: 1, Beta: 0.5, Gamma: 0.8, Routes: routes(0)},
+			{ID: 1, Alpha: 1, Beta: 0.5, Gamma: 0.3, Routes: routes(1)},
+		},
+	}
+}
+
+func mustGame(t *testing.T, kappa float64) *Game {
+	t.Helper()
+	in := corridorInstance()
+	g, err := New(in, kappa, UniformGroups(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	in := corridorInstance()
+	if _, err := New(&core.Instance{}, 0.5, nil); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	if _, err := New(in, -1, UniformGroups(in)); err == nil {
+		t.Error("negative kappa accepted")
+	}
+	if _, err := New(in, 0.5, [][]int{{0, 0}}); err == nil {
+		t.Error("wrong group rows accepted")
+	}
+	if _, err := New(in, 0.5, [][]int{{0}, {0}}); err == nil {
+		t.Error("wrong group cols accepted")
+	}
+}
+
+// With κ = 0 the model reduces exactly to the paper's: Profit matches
+// core.Profile.Profit on every state.
+func TestKappaZeroMatchesCore(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := core.RandomInstance(core.DefaultRandomConfig(5, 8), rng.New(seed))
+		g, err := New(in, 0, UniformGroups(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := core.RandomProfile(in, rng.New(seed+50))
+		choices := p.Choices()
+		for i := range in.Users {
+			want := p.Profit(core.UserID(i))
+			if got := g.Profit(choices, i); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d user %d: load profit %v != core %v at κ=0", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// With κ = 0 the game is a potential game: no witness exists.
+func TestNoWitnessAtKappaZero(t *testing.T) {
+	g := mustGame(t, 0)
+	if w := g.PotentialGapWitness(); w != "" {
+		t.Errorf("κ=0 produced a potential-gap witness: %s", w)
+	}
+}
+
+// With κ > 0 the corridor game violates the weighted-potential property.
+func TestWitnessAtPositiveKappa(t *testing.T) {
+	g := mustGame(t, 0.8)
+	if w := g.PotentialGapWitness(); w == "" {
+		t.Error("κ>0 corridor game has no potential-gap witness; extension is vacuous")
+	}
+}
+
+// Load raises congestion: sharing a corridor lowers profit versus having
+// it alone.
+func TestLoadLowersProfit(t *testing.T) {
+	g := mustGame(t, 0.8)
+	alone := g.Profit([]int{0, 1}, 0)  // user 0 alone on corridor 0
+	shared := g.Profit([]int{0, 0}, 0) // both on corridor 0
+	if shared >= alone {
+		t.Errorf("shared-corridor profit %v >= alone %v", shared, alone)
+	}
+}
+
+func TestBestResponseAndNash(t *testing.T) {
+	g := mustGame(t, 0.8)
+	// From both-on-0, someone should want to leave (congestion + shared task).
+	if g.IsNash([]int{0, 0}) {
+		t.Error("congested state unexpectedly Nash")
+	}
+	c, improves := g.BestResponse([]int{0, 0}, 0)
+	if !improves || c != 1 {
+		t.Errorf("best response = %d, %v; want 1, true", c, improves)
+	}
+	// The split state is Nash for this parameterization.
+	if !g.IsNash([]int{0, 1}) && !g.IsNash([]int{1, 0}) {
+		t.Error("no split state is Nash; parameterization degenerate")
+	}
+}
+
+func TestRunBestResponseConvergesHere(t *testing.T) {
+	g := mustGame(t, 0.8)
+	res := g.RunBestResponse([]int{0, 0}, 100)
+	// Round-robin (sequential within a round) resolves this instance.
+	if !res.Converged {
+		t.Fatalf("round-robin did not converge: %+v", res)
+	}
+	if !g.IsNash(res.Choices) {
+		t.Error("converged state is not Nash")
+	}
+}
+
+// A symmetric instance where simultaneous-flavored dynamics cycle: with
+// high κ and symmetric users, round-robin still converges, but we can
+// build a cycling case by making both users tie-break identically via
+// simultaneous updates inside RunInertial with stayProb ~ 0; instead we
+// verify cycles are DETECTED when they happen by constructing an
+// anti-coordination game with negative affinity.
+func TestCycleDetection(t *testing.T) {
+	// Matching-pennies-like: each user wants to be where the other is NOT
+	// rewarded... construct via shared task whose value collapses when
+	// shared and strong load congestion, and give the two users OPPOSITE
+	// group labellings so one chases the other.
+	in := corridorInstance()
+	group := [][]int{{0, 1}, {1, 0}} // user 1's routes belong to swapped corridors
+	g, err := New(in, 3.0, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.RunBestResponse([]int{0, 0}, 50)
+	// Either it converges (fine) or the cycle must be detected — never an
+	// silent exhaustion of rounds.
+	if !res.Converged && !res.CycleDetected && res.Rounds < 50 {
+		t.Errorf("dynamics stopped without verdict: %+v", res)
+	}
+}
+
+func TestRunInertialConverges(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := core.RandomInstance(core.DefaultRandomConfig(10, 10), rng.New(seed))
+		g, err := New(in, 0.6, UniformGroups(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := core.RandomProfile(in, rng.New(seed+20)).Choices()
+		res := g.RunInertial(start, 0.5, 5000, rng.New(seed+40))
+		if !res.Converged {
+			t.Fatalf("seed %d: inertial dynamics did not converge", seed)
+		}
+		if !g.IsNash(res.Choices) {
+			t.Fatalf("seed %d: inertial endpoint not Nash", seed)
+		}
+	}
+}
+
+func TestRunInertialBadProb(t *testing.T) {
+	g := mustGame(t, 0.5)
+	res := g.RunInertial([]int{0, 0}, -3, 5000, rng.New(1))
+	if !res.Converged {
+		t.Error("inertial with clamped prob did not converge")
+	}
+}
+
+func TestUniformGroups(t *testing.T) {
+	in := corridorInstance()
+	grp := UniformGroups(in)
+	if len(grp) != 2 || grp[0][0] != 0 || grp[0][1] != 1 {
+		t.Errorf("UniformGroups = %v", grp)
+	}
+}

@@ -1,0 +1,185 @@
+// Package metrics implements the evaluation metrics of §5.3 — total profit,
+// task coverage, average reward, Jain's fairness index — and the theoretical
+// bounds of Theorem 4 (convergence slots) and Theorem 5 (Price of Anarchy).
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// TotalProfit returns Σ_i P_i(s) (the Fig. 7 metric).
+func TotalProfit(p *core.Profile) float64 { return p.TotalProfit() }
+
+// Coverage returns the ratio between the number of covered tasks and the
+// total number of tasks (the Fig. 8 metric).
+func Coverage(p *core.Profile) float64 {
+	n := p.Instance().NumTasks()
+	if n == 0 {
+		return 0
+	}
+	return float64(p.CoveredTasks()) / float64(n)
+}
+
+// AverageReward returns the total (unweighted) task reward of all users
+// divided by the number of users (the Fig. 9 / Fig. 11 metric).
+func AverageReward(p *core.Profile) float64 {
+	m := p.Instance().NumUsers()
+	if m == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < m; i++ {
+		total += p.RewardOf(core.UserID(i))
+	}
+	return total / float64(m)
+}
+
+// AverageDetour returns the mean detour distance h(s_i) over users (the
+// Fig. 12b metric).
+func AverageDetour(p *core.Profile) float64 {
+	m := p.Instance().NumUsers()
+	if m == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < m; i++ {
+		total += p.Route(core.UserID(i)).Detour
+	}
+	return total / float64(m)
+}
+
+// AverageCongestion returns the mean congestion level c(s_i) over users
+// (the Fig. 12c metric).
+func AverageCongestion(p *core.Profile) float64 {
+	m := p.Instance().NumUsers()
+	if m == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < m; i++ {
+		total += p.Route(core.UserID(i)).Congestion
+	}
+	return total / float64(m)
+}
+
+// JainIndex returns Jain's fairness index over per-user profits,
+// (Σ P_i)² / (|U|·Σ P_i²) (the Fig. 10 metric). It is 1 when all profits
+// are equal and approaches 1/|U| under maximal imbalance. Returns 0 for an
+// empty instance or all-zero profits.
+func JainIndex(p *core.Profile) float64 {
+	m := p.Instance().NumUsers()
+	if m == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for i := 0; i < m; i++ {
+		v := p.Profit(core.UserID(i))
+		sum += v
+		sumsq += v * v
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(m) * sumsq)
+}
+
+// JainOf computes Jain's index over an arbitrary value vector.
+func JainOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, v := range vals {
+		sum += v
+		sumsq += v * v
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(vals)) * sumsq)
+}
+
+// ConvergenceBound evaluates the Theorem-4 upper bound on the number of
+// decision slots:
+//
+//	C < (e_max/ΔP_min)·|U|·(|L|(g_max−g_min) + (e_max/e_min)·d_max + (e_max/e_min)·b_max)
+//
+// with g_min/g_max the extreme per-participant shares w_k(q)/q over tasks
+// and feasible counts, and d_max/b_max the extreme route costs. dPMin is the
+// smallest profit improvement that counts as an update (the caller can pass
+// a measured value or core.Eps for the analytic worst case).
+func ConvergenceBound(in *core.Instance, dPMin float64) float64 {
+	if dPMin <= 0 || in.NumUsers() == 0 {
+		return math.Inf(1)
+	}
+	eMin, eMax := in.WeightBounds()
+	if eMin <= 0 {
+		return math.Inf(1)
+	}
+	gMin, gMax := math.Inf(1), math.Inf(-1)
+	maxCount := in.NumUsers() // n_k(s) ≤ |U|
+	for _, tk := range in.Tasks {
+		for q := 1; q <= maxCount; q++ {
+			g := tk.Share(q)
+			if g < gMin {
+				gMin = g
+			}
+			if g > gMax {
+				gMax = g
+			}
+		}
+	}
+	if math.IsInf(gMin, 1) { // no tasks
+		gMin, gMax = 0, 0
+	}
+	var dMax, bMax float64
+	for _, u := range in.Users {
+		for _, r := range u.Routes {
+			if d := in.DetourCost(r); d > dMax {
+				dMax = d
+			}
+			if b := in.CongestionCost(r); b > bMax {
+				bMax = b
+			}
+		}
+	}
+	U := float64(in.NumUsers())
+	L := float64(in.NumTasks())
+	return (eMax / dPMin) * U * (L*(gMax-gMin) + (eMax/eMin)*dMax + (eMax/eMin)*bMax)
+}
+
+// PoABoundInput carries the parameters of the Theorem-5 special case: each
+// user i has a private route worth PBar[i] (the profit of r'_i) plus access
+// to a shared route set R covering LPrime common tasks, each rewarded
+// w_k = A + ln(x).
+type PoABoundInput struct {
+	PBar   []float64 // P̄_i: profit of user i's private route r'_i
+	LPrime int       // |L′|: number of common tasks
+	A      float64   // common-task base reward a
+}
+
+// PoALowerBound evaluates the Theorem-5 lower bound on the Price of Anarchy:
+//
+//	Σ_i max{P̄_i, P_min} / Σ_i max{P̄_i, P_max}
+//
+// with P_min = (a + ln p)/p, p = (|U|+|L′|−1)/|L′|, and P_max = a.
+func PoALowerBound(in PoABoundInput) float64 {
+	if in.LPrime <= 0 || len(in.PBar) == 0 {
+		return 0
+	}
+	u := float64(len(in.PBar))
+	p := (u + float64(in.LPrime) - 1) / float64(in.LPrime)
+	pMin := (in.A + math.Log(p)) / p
+	pMax := in.A
+	var num, den float64
+	for _, pb := range in.PBar {
+		num += math.Max(pb, pMin)
+		den += math.Max(pb, pMax)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

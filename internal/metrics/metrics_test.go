@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func uniformInstance() *core.Instance {
+	// Two users, two tasks; user routes pick exactly one task each.
+	return &core.Instance{
+		Phi: 0.5, Theta: 0.5,
+		Tasks: []task.Task{
+			{ID: 0, A: 10, Mu: 0},
+			{ID: 1, A: 10, Mu: 0},
+		},
+		Users: []core.User{
+			{ID: 0, Alpha: 1, Beta: 1, Gamma: 1, Routes: []core.Route{
+				{User: 0, Tasks: []task.ID{0}, Detour: 2, Congestion: 4},
+				{User: 0, Tasks: []task.ID{1}},
+			}},
+			{ID: 1, Alpha: 1, Beta: 1, Gamma: 1, Routes: []core.Route{
+				{User: 1, Tasks: []task.ID{0}},
+				{User: 1, Tasks: []task.ID{1}, Detour: 6, Congestion: 2},
+			}},
+		},
+	}
+}
+
+func mustProfile(t *testing.T, in *core.Instance, choices []int) *core.Profile {
+	t.Helper()
+	p, err := core.NewProfile(in, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCoverage(t *testing.T) {
+	in := uniformInstance()
+	if got := Coverage(mustProfile(t, in, []int{0, 0})); got != 0.5 {
+		t.Errorf("Coverage = %v, want 0.5", got)
+	}
+	if got := Coverage(mustProfile(t, in, []int{0, 1})); got != 1 {
+		t.Errorf("Coverage = %v, want 1", got)
+	}
+}
+
+func TestAverageReward(t *testing.T) {
+	in := uniformInstance()
+	// Both on task 0: each share 5 → average 5.
+	if got := AverageReward(mustProfile(t, in, []int{0, 0})); math.Abs(got-5) > 1e-12 {
+		t.Errorf("AverageReward = %v, want 5", got)
+	}
+	// Split: each gets 10 → average 10.
+	if got := AverageReward(mustProfile(t, in, []int{0, 1})); math.Abs(got-10) > 1e-12 {
+		t.Errorf("AverageReward split = %v, want 10", got)
+	}
+}
+
+func TestAverageDetourCongestion(t *testing.T) {
+	in := uniformInstance()
+	p := mustProfile(t, in, []int{0, 1})
+	if got := AverageDetour(p); math.Abs(got-4) > 1e-12 { // (2+6)/2
+		t.Errorf("AverageDetour = %v, want 4", got)
+	}
+	if got := AverageCongestion(p); math.Abs(got-3) > 1e-12 { // (4+2)/2
+		t.Errorf("AverageCongestion = %v, want 3", got)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	// Equal profits → 1.
+	if got := JainOf([]float64{3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("JainOf equal = %v", got)
+	}
+	// One user takes all → 1/n.
+	if got := JainOf([]float64{6, 0, 0}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("JainOf skewed = %v, want 1/3", got)
+	}
+	if got := JainOf(nil); got != 0 {
+		t.Errorf("JainOf(nil) = %v", got)
+	}
+	if got := JainOf([]float64{0, 0}); got != 0 {
+		t.Errorf("JainOf zeros = %v", got)
+	}
+	in := uniformInstance()
+	p := mustProfile(t, in, []int{1, 0}) // both earn 10 with no costs
+	if got := JainIndex(p); math.Abs(got-1) > 1e-12 {
+		t.Errorf("JainIndex = %v, want 1", got)
+	}
+}
+
+// Property: Jain's index of positive vectors lies in [1/n, 1].
+func TestQuickJainRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			vals[i] = 0.01 + math.Abs(math.Mod(v, 100))
+		}
+		j := JainOf(vals)
+		n := float64(len(vals))
+		return j >= 1/n-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 4: measured convergence slots never exceed the bound evaluated
+// with the observed minimum improvement.
+func TestConvergenceBoundHolds(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := core.RandomInstance(core.DefaultRandomConfig(8, 10), rng.New(seed))
+		res := engine.Run(in, engine.NewSUU, rng.New(seed+99), engine.Config{RecordHistory: true})
+		if !res.Converged {
+			t.Fatalf("seed %d: no convergence", seed)
+		}
+		// Observed minimum per-update potential-weighted profit change.
+		dPMin := math.Inf(1)
+		for i := 1; i < len(res.History); i++ {
+			d := res.History[i].Potential - res.History[i-1].Potential
+			if d > 0 && d < dPMin {
+				dPMin = d
+			}
+		}
+		if math.IsInf(dPMin, 1) {
+			continue // converged immediately
+		}
+		eMin, _ := in.WeightBounds()
+		bound := ConvergenceBound(in, dPMin*eMin) // ΔP ≥ α_i·ΔΦ ≥ e_min·ΔΦ
+		if float64(res.Slots) >= bound {
+			t.Errorf("seed %d: slots %d >= Theorem-4 bound %v", seed, res.Slots, bound)
+		}
+	}
+}
+
+func TestConvergenceBoundEdge(t *testing.T) {
+	in := core.RandomInstance(core.DefaultRandomConfig(4, 5), rng.New(1))
+	if !math.IsInf(ConvergenceBound(in, 0), 1) {
+		t.Error("zero dPMin should yield +Inf")
+	}
+	if !math.IsInf(ConvergenceBound(&core.Instance{}, 1), 1) {
+		t.Error("empty instance should yield +Inf")
+	}
+	// No tasks: bound is finite and driven by costs only.
+	noTasks := &core.Instance{
+		Phi: 0.5, Theta: 0.5,
+		Users: []core.User{{ID: 0, Alpha: 0.5, Beta: 0.5, Gamma: 0.5,
+			Routes: []core.Route{{User: 0, Detour: 3, Congestion: 1}}}},
+	}
+	b := ConvergenceBound(noTasks, 0.1)
+	if math.IsInf(b, 1) || b <= 0 {
+		t.Errorf("no-task bound = %v", b)
+	}
+}
+
+func TestPoALowerBound(t *testing.T) {
+	// Symmetric case: 4 users, 2 common tasks, a = 10, no private routes
+	// (P̄_i = 0). p = (4+2-1)/2 = 2.5; P_min = (10+ln2.5)/2.5; P_max = 10.
+	in := PoABoundInput{PBar: []float64{0, 0, 0, 0}, LPrime: 2, A: 10}
+	p := 2.5
+	want := ((10 + math.Log(p)) / p) / 10
+	if got := PoALowerBound(in); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PoALowerBound = %v, want %v", got, want)
+	}
+	// Private routes better than P_max dominate both sides → bound 1.
+	in2 := PoABoundInput{PBar: []float64{100, 100}, LPrime: 3, A: 10}
+	if got := PoALowerBound(in2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("dominant private bound = %v, want 1", got)
+	}
+	if got := PoALowerBound(PoABoundInput{}); got != 0 {
+		t.Errorf("empty input bound = %v", got)
+	}
+}
+
+// Property: the Theorem-5 bound always lies in (0, 1].
+func TestQuickPoABoundRange(t *testing.T) {
+	f := func(nRaw, lRaw uint8, aRaw float64, pbarRaw []float64) bool {
+		n := 1 + int(nRaw)%20
+		l := 1 + int(lRaw)%10
+		a := 1 + math.Abs(math.Mod(aRaw, 19))
+		pbar := make([]float64, n)
+		for i := range pbar {
+			if i < len(pbarRaw) && !math.IsNaN(pbarRaw[i]) && !math.IsInf(pbarRaw[i], 0) {
+				pbar[i] = math.Abs(math.Mod(pbarRaw[i], 30))
+			}
+		}
+		b := PoALowerBound(PoABoundInput{PBar: pbar, LPrime: l, A: a})
+		return b > 0 && b <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalProfitDelegates(t *testing.T) {
+	in := uniformInstance()
+	p := mustProfile(t, in, []int{0, 1})
+	if TotalProfit(p) != p.TotalProfit() {
+		t.Error("TotalProfit mismatch")
+	}
+}

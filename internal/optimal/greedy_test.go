@@ -1,0 +1,144 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestGreedyValid(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		in := randomInstance(seed, 12, 15)
+		g, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewProfile(in, g.Choices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.TotalProfit()-g.Total) > 1e-9 {
+			t.Fatalf("seed %d: greedy total %v not realized (%v)", seed, g.Total, p.TotalProfit())
+		}
+		if g.Exact {
+			t.Error("greedy claims exactness")
+		}
+	}
+}
+
+func TestGreedyNeverBeatsOptimum(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		in := randomInstance(seed, 7, 10)
+		g, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Total > opt.Total+1e-9 {
+			t.Fatalf("seed %d: greedy %v beats optimum %v", seed, g.Total, opt.Total)
+		}
+	}
+}
+
+func TestLocalSearchImprovesOrKeeps(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		in := randomInstance(seed, 10, 12)
+		g, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := LocalSearch(in, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ls.Total < g.Total-1e-9 {
+			t.Fatalf("seed %d: local search regressed %v -> %v", seed, g.Total, ls.Total)
+		}
+		// Local optimality of the 1-swap neighborhood.
+		p, err := core.NewProfile(in, ls.Choices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := p.TotalProfit()
+		for i := range in.Users {
+			cur := p.Choice(core.UserID(i))
+			for c := range in.Users[i].Routes {
+				if c == cur {
+					continue
+				}
+				q := p.Clone()
+				q.SetChoice(core.UserID(i), c)
+				if q.TotalProfit() > base+1e-9 {
+					t.Fatalf("seed %d: 1-swap improvement remains after local search", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalSearchBounded(t *testing.T) {
+	in := randomInstance(9, 10, 12)
+	g, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := LocalSearch(in, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := LocalSearch(in, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Total > full.Total+1e-9 {
+		t.Error("1-round local search beats unbounded")
+	}
+}
+
+func TestGreedyWithLocalSearchSandwich(t *testing.T) {
+	// greedy <= greedy+LS <= optimum, on solvable sizes.
+	for seed := uint64(30); seed < 45; seed++ {
+		in := randomInstance(seed, 8, 10)
+		g, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gls, err := GreedyWithLocalSearch(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gls.Total < g.Total-1e-9 || gls.Total > opt.Total+1e-9 {
+			t.Fatalf("seed %d: sandwich violated: %v <= %v <= %v", seed, g.Total, gls.Total, opt.Total)
+		}
+	}
+}
+
+func TestGreedyLargeInstance(t *testing.T) {
+	// Sizes far beyond CORN's reach stay fast.
+	in := core.RandomInstance(core.DefaultRandomConfig(200, 150), rng.New(1))
+	g, err := GreedyWithLocalSearch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Choices) != 200 {
+		t.Fatalf("choices = %d", len(g.Choices))
+	}
+}
+
+func TestGreedyRejectsInvalid(t *testing.T) {
+	if _, err := Greedy(&core.Instance{}); err == nil {
+		t.Error("invalid instance accepted by Greedy")
+	}
+	if _, err := LocalSearch(&core.Instance{}, Solution{}, 0); err == nil {
+		t.Error("invalid instance accepted by LocalSearch")
+	}
+}

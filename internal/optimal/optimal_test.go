@@ -1,0 +1,196 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func randomInstance(seed uint64, users, tasks int) *core.Instance {
+	return core.RandomInstance(core.DefaultRandomConfig(users, tasks), rng.New(seed))
+}
+
+// Solve must agree with brute force on many small random instances.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		in := randomInstance(seed, 2+int(seed%5), 3+int(seed%8))
+		bf, err := BruteForce(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bf.Total-bb.Total) > 1e-9 {
+			t.Fatalf("seed %d: B&B total %v != brute force %v", seed, bb.Total, bf.Total)
+		}
+		if !bb.Exact {
+			t.Fatalf("seed %d: Solve reported inexact", seed)
+		}
+		// The returned choices must actually realize the reported total.
+		p, err := bb.Profile(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.TotalProfit()-bb.Total) > 1e-9 {
+			t.Fatalf("seed %d: choices realize %v, reported %v", seed, p.TotalProfit(), bb.Total)
+		}
+	}
+}
+
+// The optimum must dominate any equilibrium's total profit.
+func TestOptimalDominatesEquilibrium(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := randomInstance(seed, 8, 10)
+		res := engine.Run(in, engine.NewSUU, rng.New(seed+50), engine.Config{})
+		opt, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Profile.TotalProfit(); got > opt.Total+1e-9 {
+			t.Fatalf("seed %d: equilibrium total %v exceeds optimum %v", seed, got, opt.Total)
+		}
+	}
+}
+
+// Figure 1's structure: the centralized optimum can exceed the best
+// distributed equilibrium. Build the motivating 3-user example and check
+// CORN finds the $12 solution.
+func TestFigure1Example(t *testing.T) {
+	// Tasks: t0 worth 5 (only r1), t1 worth 6 (shared, routes r2/r3/r4),
+	// t2 worth 1 (only r5). Mirrors Fig. 1's rewards with µ=0.
+	in := &core.Instance{
+		Phi: 0.5, Theta: 0.5,
+		Tasks: []task.Task{
+			{ID: 0, A: 5, Mu: 0},
+			{ID: 1, A: 6, Mu: 0},
+			{ID: 2, A: 1, Mu: 0},
+		},
+		Users: []core.User{
+			{ID: 0, Alpha: 1, Beta: 1, Gamma: 1, Routes: []core.Route{
+				{User: 0, Tasks: []task.ID{0}}, // r1: private $5
+				{User: 0, Tasks: []task.ID{1}}, // r2: shared $6
+			}},
+			{ID: 1, Alpha: 1, Beta: 1, Gamma: 1, Routes: []core.Route{
+				{User: 1, Tasks: []task.ID{1}}, // r3
+			}},
+			{ID: 2, Alpha: 1, Beta: 1, Gamma: 1, Routes: []core.Route{
+				{User: 2, Tasks: []task.ID{1}}, // r4: shared $6
+				{User: 2, Tasks: []task.ID{2}}, // r5: private $1
+			}},
+		},
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: u0->r1 ($5), u1->r3 ($6), u2->r5 ($1) = $12.
+	if math.Abs(opt.Total-12) > 1e-9 {
+		t.Fatalf("Fig.1 optimum = %v, want 12", opt.Total)
+	}
+	if opt.Choices[0] != 0 || opt.Choices[1] != 0 || opt.Choices[2] != 1 {
+		t.Errorf("Fig.1 optimal choices = %v", opt.Choices)
+	}
+	// The optimal profile is NOT a Nash equilibrium (u2 prefers r4: 6/2=3 > 1).
+	p, _ := opt.Profile(in)
+	if p.IsNash() {
+		t.Error("Fig.1 optimum should not be a Nash equilibrium")
+	}
+	// The distributed equilibrium of Fig. 1 totals $11 and is Nash.
+	eq, err := core.NewProfile(in, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eq.TotalProfit()-11) > 1e-9 {
+		t.Errorf("Fig.1 equilibrium total = %v, want 11", eq.TotalProfit())
+	}
+	if !eq.IsNash() {
+		t.Error("Fig.1 distributed solution should be a Nash equilibrium")
+	}
+}
+
+func TestSolveBudget(t *testing.T) {
+	in := randomInstance(3, 10, 12)
+	sol, err := SolveBudget(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Exact {
+		t.Error("3-node budget should not complete a 10-user search")
+	}
+	// Incumbent is still a valid profile (greedy seed).
+	if _, err := sol.Profile(in); err != nil {
+		t.Fatal(err)
+	}
+	full, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Total > full.Total+1e-9 {
+		t.Error("budgeted incumbent exceeds true optimum")
+	}
+}
+
+func TestSolveRejectsInvalid(t *testing.T) {
+	in := &core.Instance{}
+	if _, err := Solve(in); err == nil {
+		t.Error("invalid instance accepted by Solve")
+	}
+	if _, err := BruteForce(in); err == nil {
+		t.Error("invalid instance accepted by BruteForce")
+	}
+}
+
+func TestBruteForceNodeCount(t *testing.T) {
+	in := randomInstance(5, 4, 6)
+	want := 1
+	for _, u := range in.Users {
+		want *= len(u.Routes)
+	}
+	bf, err := BruteForce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Nodes != want {
+		t.Errorf("brute force visited %d profiles, want %d", bf.Nodes, want)
+	}
+}
+
+func TestBnBPrunes(t *testing.T) {
+	in := randomInstance(6, 9, 10)
+	bf, err := BruteForce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.Nodes >= bf.Nodes {
+		t.Errorf("B&B explored %d nodes, brute force %d — no pruning?", bb.Nodes, bf.Nodes)
+	}
+}
+
+func TestSolve14Users(t *testing.T) {
+	// The paper's largest CORN runs use 14 users (Table 4); make sure the
+	// solver handles that size comfortably.
+	in := randomInstance(7, 14, 20)
+	sol, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Exact {
+		t.Error("14-user solve not exact")
+	}
+	if len(sol.Choices) != 14 {
+		t.Errorf("choices len = %d", len(sol.Choices))
+	}
+}

@@ -1,0 +1,115 @@
+// Package parallel provides deterministic fan-out helpers for the
+// experiment harness: repetitions run concurrently across a worker pool,
+// but every repetition derives its own RNG stream from its index and
+// results are reduced in index order, so parallel runs produce bit-identical
+// tables to sequential ones.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes 0:
+// the machine's logical CPUs, capped at 16 to avoid oversubscription on
+// large hosts (the tasks are CPU-bound and short).
+func DefaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		return 16
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for i in [0, n) across a pool of workers. It returns
+// the first error encountered (other tasks still run to completion; work is
+// not cancelled mid-flight, keeping side effects deterministic). workers <=
+// 0 selects DefaultWorkers(). fn must be safe for concurrent invocation
+// with distinct indices.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if err == nil || i < errIndexOf(err, i) {
+						// Keep the lowest-index error for determinism.
+						err = indexedError{i, e}
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ie, ok := err.(indexedError); ok {
+		return ie.err
+	}
+	return err
+}
+
+type indexedError struct {
+	i   int
+	err error
+}
+
+func (e indexedError) Error() string { return e.err.Error() }
+func (e indexedError) Unwrap() error { return e.err }
+
+func errIndexOf(err error, fallback int) int {
+	if ie, ok := err.(indexedError); ok {
+		return ie.i
+	}
+	return fallback
+}
+
+// Map runs fn(i) for i in [0,n) concurrently and returns the results in
+// index order. Determinism: out[i] depends only on i, never on scheduling.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, e := fn(i)
+		if e != nil {
+			return e
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	const n = 100
+	var hits [n]int32
+	err := ForEach(n, 4, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachSequentialFallback(t *testing.T) {
+	order := []int{}
+	err := ForEach(5, 1, func(i int) error {
+		order = append(order, i) // safe: workers==1 runs inline
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	if err := ForEach(0, 4, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Error("n=0 ran tasks")
+	}
+	if err := ForEach(-3, 4, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Error("negative n ran tasks")
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int32
+	if err := ForEach(50, 0, func(int) error {
+		atomic.AddInt32(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("ran %d of 50", count)
+	}
+	if DefaultWorkers() < 1 || DefaultWorkers() > 16 {
+		t.Errorf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}
+
+func TestForEachErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	var count int32
+	err := ForEach(20, 4, func(i int) error {
+		atomic.AddInt32(&count, 1)
+		if i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	// All tasks still ran (no cancellation, keeps side effects deterministic).
+	if count != 20 {
+		t.Fatalf("ran %d of 20 after error", count)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out, err := Map(50, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(10, 4, func(i int) (int, error) {
+		if i == 3 {
+			return 0, fmt.Errorf("bad %d", i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+// Determinism: a parallel computation seeded per index must equal the
+// sequential one exactly — the property the experiment harness relies on.
+func TestParallelDeterminism(t *testing.T) {
+	compute := func(workers int) []float64 {
+		out, err := Map(64, workers, func(i int) (float64, error) {
+			s := rng.New(uint64(i) + 1)
+			v := 0.0
+			for j := 0; j < 100; j++ {
+				v += s.Float64()
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := compute(1)
+	par := compute(8)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: parallel %v != sequential %v", i, par[i], seq[i])
+		}
+	}
+}

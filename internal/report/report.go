@@ -1,0 +1,198 @@
+// Package report renders experiment results as fixed-width text tables and
+// CSV, the formats the benchmark harness and the vcsnav CLI print.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row. Short rows are padded with empty cells; long rows are
+// accepted as-is (the extra cells get headerless columns when printed).
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	for len(row) < len(t.Columns) {
+		row = append(row, "")
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddF appends a row of float64 cells formatted with F, prefixed by a label.
+func (t *Table) AddF(label string, vals ...float64) {
+	row := []string{label}
+	for _, v := range vals {
+		row = append(row, F(v))
+	}
+	t.Add(row...)
+}
+
+// F formats a float compactly (3 decimals, trailing zeros trimmed).
+func F(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// I formats an int.
+func I(v int) string { return strconv.Itoa(v) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, 0, len(t.Columns))
+	for _, c := range t.Columns {
+		widths = append(widths, len(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", width-len(cell)))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if len(t.Columns) > 0 {
+		if err := line(t.Columns); err != nil {
+			return err
+		}
+		sep := make([]string, len(widths))
+		for i, wd := range widths {
+			sep[i] = strings.Repeat("-", wd)
+		}
+		if err := line(sep); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Fprint(&b)
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table, with the
+// title as a heading. Pipes in cells are escaped.
+func (t *Table) Markdown(w io.Writer) error {
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	cols := t.Columns
+	if len(cols) == 0 && len(t.Rows) > 0 {
+		cols = make([]string, len(t.Rows[0]))
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		b.WriteString("|")
+		for i := range cols {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			b.WriteString(" ")
+			b.WriteString(esc(cell))
+			b.WriteString(" |")
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := writeRow(cols); err != nil {
+		return err
+	}
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if len(t.Columns) > 0 {
+		if err := writeRow(t.Columns); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

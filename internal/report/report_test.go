@@ -1,0 +1,137 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestF(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{2, "2"},
+		{0.123456, "0.123"},
+		{-3.10, "-3.1"},
+		{0, "0"},
+		{-0.0001, "-0"},
+	}
+	for _, c := range cases {
+		if got := F(c.in); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestI(t *testing.T) {
+	if I(42) != "42" || I(-7) != "-7" {
+		t.Error("I formatting wrong")
+	}
+}
+
+func TestAddPadsRows(t *testing.T) {
+	tb := New("t", "a", "b", "c")
+	tb.Add("1")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+	tb.Add("1", "2", "3", "4") // longer than header: kept
+	if len(tb.Rows[1]) != 4 {
+		t.Fatalf("long row truncated: %v", tb.Rows[1])
+	}
+}
+
+func TestAddF(t *testing.T) {
+	tb := New("t", "label", "x", "y")
+	tb.AddF("row", 1.25, 3)
+	if tb.Rows[0][0] != "row" || tb.Rows[0][1] != "1.25" || tb.Rows[0][2] != "3" {
+		t.Errorf("AddF row = %v", tb.Rows[0])
+	}
+}
+
+func TestFprintAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("b", "22222")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "# demo") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Columns align: "value" starts at the same offset in all body lines.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatal("header missing value column")
+	}
+	if lines[3][idx] != '1' && lines[3][idx] != ' ' {
+		t.Errorf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestFprintNoTitleNoColumns(t *testing.T) {
+	tb := &Table{}
+	tb.Add("x", "y")
+	out := tb.String()
+	if strings.Contains(out, "#") {
+		t.Error("untitled table printed a title")
+	}
+	if !strings.Contains(out, "x  y") {
+		t.Errorf("row not printed: %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.Add("1", "hello")
+	tb.Add("with,comma", `with"quote`)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,hello\n\"with,comma\",\"with\"\"quote\"\n"
+	if b.String() != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", b.String(), want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("a|b", "1")
+	tb.Add("c", "2")
+	var b strings.Builder
+	if err := tb.Markdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "### Demo\n\n") {
+		t.Errorf("missing heading: %q", out)
+	}
+	if !strings.Contains(out, "| name | value |") {
+		t.Errorf("missing header row: %q", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("missing separator: %q", out)
+	}
+	if !strings.Contains(out, `| a\|b | 1 |`) {
+		t.Errorf("pipe not escaped: %q", out)
+	}
+	if !strings.Contains(out, "| c | 2 |") {
+		t.Errorf("missing data row: %q", out)
+	}
+}
+
+func TestMarkdownNoTitle(t *testing.T) {
+	tb := &Table{Columns: []string{"x"}}
+	tb.Add("1")
+	var b strings.Builder
+	if err := tb.Markdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "###") {
+		t.Error("untitled table printed a heading")
+	}
+}

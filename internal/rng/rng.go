@@ -1,0 +1,140 @@
+// Package rng provides deterministic, splittable random number streams and
+// the parameter samplers used across the simulation (Table 2 of the paper).
+//
+// Every experiment in this repository is seeded: the same (seed, repetition)
+// pair always produces the same instance, so any row of any table or figure
+// can be regenerated exactly.
+package rng
+
+import (
+	"math"
+	"math/rand"
+)
+
+// splitmix64 advances the given state and returns the next 64-bit value.
+// It is used only to derive independent child seeds; the streams themselves
+// are math/rand PCG-style generators seeded from it.
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Stream is a deterministic random stream. It wraps *rand.Rand and supports
+// deriving statistically independent child streams, so parallel workers can
+// be seeded without sharing state.
+type Stream struct {
+	r     *rand.Rand
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Stream {
+	st, z := splitmix64(seed)
+	return &Stream{r: rand.New(rand.NewSource(int64(z))), state: st}
+}
+
+// Child derives a new independent stream. Successive calls yield distinct
+// streams; the derivation is deterministic in the parent's seed and the call
+// ordinal, not in how much randomness the parent has consumed.
+func (s *Stream) Child() *Stream {
+	var z uint64
+	s.state, z = splitmix64(s.state)
+	return New(z)
+}
+
+// ChildN derives the n-th child without disturbing the parent's own child
+// counter; useful for indexing repetition streams.
+func (s *Stream) ChildN(n int) *Stream {
+	state := s.state + uint64(n+1)*0xd1342543de82ef95
+	_, z := splitmix64(state)
+	return New(z)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*s.r.Float64() }
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0, matching math/rand.
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+
+// IntRange returns a uniform int in [lo, hi] inclusive.
+func (s *Stream) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + s.r.Intn(hi-lo+1)
+}
+
+// Norm returns a normally distributed value with the given mean and stddev.
+func (s *Stream) Norm(mean, stddev float64) float64 { return mean + stddev*s.r.NormFloat64() }
+
+// Exp returns an exponentially distributed value with the given mean.
+func (s *Stream) Exp(mean float64) float64 { return s.r.ExpFloat64() * mean }
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool { return s.r.Float64() < p }
+
+// Perm returns a random permutation of [0,n).
+func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle shuffles n elements using the provided swap function.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Pick returns a uniformly random element index of a slice of length n.
+// It panics when n == 0.
+func (s *Stream) Pick(n int) int { return s.r.Intn(n) }
+
+// LogNormal returns exp(Norm(mu, sigma)); handy for trip-length distributions.
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Norm(mu, sigma))
+}
+
+// Table2 holds the simulation parameter ranges from Table 2 of the paper.
+type Table2 struct {
+	RoutesPerUserMin, RoutesPerUserMax int     // 1..5
+	TaskRewardMin, TaskRewardMax       float64 // a_k in 10..20
+	MuMin, MuMax                       float64 // µ_k in 0..1
+	UserWeightMin, UserWeightMax       float64 // α,β,γ in 0.1..0.9
+	SystemWeightMin, SystemWeightMax   float64 // φ,θ in 0.1..0.8
+	Repetitions                        int     // 500
+}
+
+// DefaultTable2 returns the ranges exactly as printed in Table 2.
+func DefaultTable2() Table2 {
+	return Table2{
+		RoutesPerUserMin: 1, RoutesPerUserMax: 5,
+		TaskRewardMin: 10, TaskRewardMax: 20,
+		MuMin: 0, MuMax: 1,
+		UserWeightMin: 0.1, UserWeightMax: 0.9,
+		SystemWeightMin: 0.1, SystemWeightMax: 0.8,
+		Repetitions: 500,
+	}
+}
+
+// SampleRoutesPerUser draws the recommended-route count for one user.
+func (t Table2) SampleRoutesPerUser(s *Stream) int {
+	return s.IntRange(t.RoutesPerUserMin, t.RoutesPerUserMax)
+}
+
+// SampleTaskReward draws a base task reward a_k.
+func (t Table2) SampleTaskReward(s *Stream) float64 {
+	return s.Uniform(t.TaskRewardMin, t.TaskRewardMax)
+}
+
+// SampleMu draws a reward-increment weight µ_k.
+func (t Table2) SampleMu(s *Stream) float64 { return s.Uniform(t.MuMin, t.MuMax) }
+
+// SampleUserWeight draws one of α_i, β_i, γ_i.
+func (t Table2) SampleUserWeight(s *Stream) float64 {
+	return s.Uniform(t.UserWeightMin, t.UserWeightMax)
+}
+
+// SampleSystemWeight draws one of φ, θ.
+func (t Table2) SampleSystemWeight(s *Stream) float64 {
+	return s.Uniform(t.SystemWeightMin, t.SystemWeightMax)
+}

@@ -1,0 +1,218 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestChildIndependence(t *testing.T) {
+	// Children derived from the same parent ordinal are identical across
+	// parents with the same seed, regardless of parent consumption.
+	p1, p2 := New(7), New(7)
+	p2.Float64() // consume from p2 only
+	c1, c2 := p1.Child(), p2.Child()
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("child stream depends on parent consumption")
+		}
+	}
+}
+
+func TestChildSequenceDistinct(t *testing.T) {
+	p := New(9)
+	c1, c2 := p.Child(), p.Child()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("successive children identical")
+	}
+}
+
+func TestChildN(t *testing.T) {
+	p1, p2 := New(11), New(11)
+	a, b := p1.ChildN(5), p2.ChildN(5)
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("ChildN not deterministic")
+		}
+	}
+	c, d := New(11).ChildN(5), New(11).ChildN(6)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("ChildN(5) == ChildN(6)")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(4)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(1, 5)
+		if v < 1 || v > 5 {
+			t.Fatalf("IntRange out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	for v := 1; v <= 5; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange never produced %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntRange(5,1) did not panic")
+		}
+	}()
+	s.IntRange(5, 1)
+}
+
+func TestIntRangeSingleton(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10; i++ {
+		if v := s.IntRange(3, 3); v != 3 {
+			t.Fatalf("IntRange(3,3) = %d", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(6)
+	n := 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(std-2) > 0.1 {
+		t.Errorf("Norm std = %v", std)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(7)
+	n := 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3)
+	}
+	if mean := sum / float64(n); math.Abs(mean-3) > 0.15 {
+		t.Errorf("Exp mean = %v", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(8)
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced %v", v)
+		}
+	}
+}
+
+func TestDefaultTable2(t *testing.T) {
+	tab := DefaultTable2()
+	if tab.RoutesPerUserMin != 1 || tab.RoutesPerUserMax != 5 {
+		t.Error("route count range wrong")
+	}
+	if tab.TaskRewardMin != 10 || tab.TaskRewardMax != 20 {
+		t.Error("reward range wrong")
+	}
+	if tab.Repetitions != 500 {
+		t.Error("repetitions wrong")
+	}
+}
+
+func TestTable2Samplers(t *testing.T) {
+	tab := DefaultTable2()
+	s := New(11)
+	for i := 0; i < 500; i++ {
+		if v := tab.SampleRoutesPerUser(s); v < 1 || v > 5 {
+			t.Fatalf("routes per user = %d", v)
+		}
+		if v := tab.SampleTaskReward(s); v < 10 || v >= 20 {
+			t.Fatalf("task reward = %v", v)
+		}
+		if v := tab.SampleMu(s); v < 0 || v >= 1 {
+			t.Fatalf("mu = %v", v)
+		}
+		if v := tab.SampleUserWeight(s); v < 0.1 || v >= 0.9 {
+			t.Fatalf("user weight = %v", v)
+		}
+		if v := tab.SampleSystemWeight(s); v < 0.1 || v >= 0.8 {
+			t.Fatalf("system weight = %v", v)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAlternativeRoutesBasics(t *testing.T) {
+	g := GenerateCity(DefaultCity(GridCity), rng.New(1))
+	src, dst := NodeID(0), NodeID(g.NumNodes()-1)
+	paths, err := g.AlternativeRoutes(src, dst, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("only %d alternatives", len(paths))
+	}
+	// First is the true shortest.
+	sp, _ := g.ShortestPath(src, dst, ByLength)
+	if math.Abs(paths[0].Length-sp.Length) > 1e-9 {
+		t.Errorf("first alternative %v != shortest %v", paths[0].Length, sp.Length)
+	}
+	// All distinct, all valid walks src->dst.
+	for i, p := range paths {
+		if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+			t.Errorf("path %d has wrong endpoints", i)
+		}
+		for j := 0; j < i; j++ {
+			if PathEqual(paths[i], paths[j]) {
+				t.Errorf("paths %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestAlternativeRoutesDiverge(t *testing.T) {
+	// On a grid, penalized alternatives for a same-row OD pair must leave
+	// the straight-line corridor and be genuinely longer than the shortest
+	// route. (Corner-to-corner pairs legitimately admit many equal-length
+	// staircases; a straight-line pair does not.)
+	cfg := DefaultCity(GridCity)
+	g := GenerateCity(cfg, rng.New(2))
+	src, dst := NodeID(0), NodeID(cfg.Cols-1) // opposite ends of row 0
+	paths, err := g.AlternativeRoutes(src, dst, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longer := 0
+	for _, p := range paths[1:] {
+		if p.Length > paths[0].Length*1.02 {
+			longer++
+		}
+	}
+	if longer == 0 {
+		t.Error("no alternative is meaningfully longer than the shortest route")
+	}
+	// Edge overlap with the shortest route should drop for later routes.
+	base := map[EdgeID]bool{}
+	for _, e := range paths[0].Edges {
+		base[e] = true
+	}
+	last := paths[len(paths)-1]
+	shared := 0
+	for _, e := range last.Edges {
+		if base[e] {
+			shared++
+		}
+	}
+	if frac := float64(shared) / float64(len(last.Edges)); frac > 0.9 {
+		t.Errorf("last alternative shares %.0f%% of edges with the shortest", frac*100)
+	}
+}
+
+func TestAlternativeRoutesEdgeCases(t *testing.T) {
+	g := GenerateCity(DefaultCity(RadialCity), rng.New(3))
+	if ps, err := g.AlternativeRoutes(0, 5, 0, 0.4); err != nil || ps != nil {
+		t.Errorf("k=0: %v %v", ps, err)
+	}
+	ps, err := g.AlternativeRoutes(4, 4, 3, 0.4)
+	if err != nil || len(ps) != 1 {
+		t.Errorf("self: %v %v", ps, err)
+	}
+	ps, err = g.AlternativeRoutes(0, 5, 1, 0.4)
+	if err != nil || len(ps) != 1 {
+		t.Errorf("k=1: %v %v", ps, err)
+	}
+	g2 := NewGraph()
+	g2.AddNode(g.Pos(0))
+	g2.AddNode(g.Pos(1))
+	if _, err := g2.AlternativeRoutes(0, 1, 3, 0.4); err == nil {
+		t.Error("unreachable pair did not error")
+	}
+}
+
+func TestAlternativeRoutesDeterministic(t *testing.T) {
+	g := GenerateCity(DefaultCity(HillCity), rng.New(4))
+	a, err := g.AlternativeRoutes(0, NodeID(g.NumNodes()-1), 4, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.AlternativeRoutes(0, NodeID(g.NumNodes()-1), 4, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic alternative count")
+	}
+	for i := range a {
+		if !PathEqual(a[i], b[i]) {
+			t.Fatalf("alternative %d differs between runs", i)
+		}
+	}
+}
+
+func TestReverseEdgeMap(t *testing.T) {
+	g := GenerateCity(DefaultCity(GridCity), rng.New(5))
+	rev := g.reverseEdgeMap()
+	// Every road is bidirectional in generated cities: every edge must have
+	// a twin, and twins must be mutual.
+	for _, e := range g.Edges {
+		twin, ok := rev[e.ID]
+		if !ok {
+			t.Fatalf("edge %d has no twin", e.ID)
+		}
+		te := g.Edges[twin]
+		if te.From != e.To || te.To != e.From {
+			t.Fatalf("edge %d twin %d endpoints wrong", e.ID, twin)
+		}
+		if back, ok := rev[twin]; !ok || back != e.ID {
+			t.Fatalf("twin relation not mutual for %d", e.ID)
+		}
+	}
+}

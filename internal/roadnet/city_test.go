@@ -1,0 +1,125 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCityKindString(t *testing.T) {
+	if GridCity.String() != "grid" || RadialCity.String() != "radial" || HillCity.String() != "hill" {
+		t.Error("CityKind.String wrong")
+	}
+	if CityKind(99).String() != "unknown" {
+		t.Error("unknown CityKind.String wrong")
+	}
+}
+
+func TestDefaultCityShapes(t *testing.T) {
+	for _, kind := range []CityKind{GridCity, RadialCity, HillCity} {
+		cfg := DefaultCity(kind)
+		if cfg.Kind != kind {
+			t.Errorf("DefaultCity(%v).Kind = %v", kind, cfg.Kind)
+		}
+		if cfg.FreeSpeed <= 0 {
+			t.Errorf("%v: FreeSpeed = %v", kind, cfg.FreeSpeed)
+		}
+	}
+}
+
+func TestGenerateGridCounts(t *testing.T) {
+	cfg := DefaultCity(GridCity)
+	g := GenerateCity(cfg, rng.New(1))
+	wantNodes := cfg.Rows * cfg.Cols
+	if g.NumNodes() != wantNodes {
+		t.Errorf("grid nodes = %d, want %d", g.NumNodes(), wantNodes)
+	}
+	// Bidirectional: 2 * (rows*(cols-1) + cols*(rows-1)).
+	wantEdges := 2 * (cfg.Rows*(cfg.Cols-1) + cfg.Cols*(cfg.Rows-1))
+	if g.NumEdges() != wantEdges {
+		t.Errorf("grid edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+}
+
+func TestGenerateRadialCounts(t *testing.T) {
+	cfg := DefaultCity(RadialCity)
+	g := GenerateCity(cfg, rng.New(2))
+	wantNodes := 1 + cfg.Rings*cfg.Spokes
+	if g.NumNodes() != wantNodes {
+		t.Errorf("radial nodes = %d, want %d", g.NumNodes(), wantNodes)
+	}
+}
+
+func TestGeneratedCitiesStronglyConnected(t *testing.T) {
+	for _, kind := range []CityKind{GridCity, RadialCity, HillCity} {
+		g := GenerateCity(DefaultCity(kind), rng.New(3))
+		dist := g.AllShortestDists(0, ByLength)
+		for i, d := range dist {
+			if math.IsInf(d, 1) {
+				t.Errorf("%v: node %d unreachable", kind, i)
+				break
+			}
+		}
+	}
+}
+
+func TestGeneratedSpeedsValid(t *testing.T) {
+	for _, kind := range []CityKind{GridCity, RadialCity, HillCity} {
+		g := GenerateCity(DefaultCity(kind), rng.New(4))
+		for _, e := range g.Edges {
+			if e.Speed <= 0 || e.FreeSpeed <= 0 {
+				t.Fatalf("%v: invalid speeds on edge %d: %v/%v", kind, e.ID, e.Speed, e.FreeSpeed)
+			}
+			if e.Speed > e.FreeSpeed*1.21 { // expressways allow up to 1.2x
+				t.Fatalf("%v: speed above free-flow: %v > %v", kind, e.Speed, e.FreeSpeed)
+			}
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	for _, kind := range []CityKind{GridCity, RadialCity, HillCity} {
+		g1 := GenerateCity(DefaultCity(kind), rng.New(7))
+		g2 := GenerateCity(DefaultCity(kind), rng.New(7))
+		if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+			t.Fatalf("%v: nondeterministic sizes", kind)
+		}
+		for i := range g1.Edges {
+			if g1.Edges[i].Speed != g2.Edges[i].Speed {
+				t.Fatalf("%v: nondeterministic speeds at edge %d", kind, i)
+			}
+		}
+		for i := range g1.Nodes {
+			if g1.Nodes[i].Pos != g2.Nodes[i].Pos {
+				t.Fatalf("%v: nondeterministic positions at node %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestDowntownMoreCongested(t *testing.T) {
+	// In the grid city the CBD bias should make central edges slower than
+	// peripheral ones on average.
+	cfg := DefaultCity(GridCity)
+	g := GenerateCity(cfg, rng.New(11))
+	center := g.Pos(g.NearestNode(g.Pos(0).Lerp(g.Pos(NodeID(g.NumNodes()-1)), 0.5)))
+	var cSum, cN, pSum, pN float64
+	for _, e := range g.Edges {
+		mid := g.Pos(e.From).Lerp(g.Pos(e.To), 0.5)
+		d := mid.Dist(center)
+		if d < 3*cfg.BlockLen {
+			cSum += e.CongestionFactor()
+			cN++
+		} else if d > 5*cfg.BlockLen {
+			pSum += e.CongestionFactor()
+			pN++
+		}
+	}
+	if cN == 0 || pN == 0 {
+		t.Skip("classification produced empty buckets")
+	}
+	if cSum/cN >= pSum/pN {
+		t.Errorf("central congestion factor %v >= peripheral %v", cSum/cN, pSum/pN)
+	}
+}

@@ -1,0 +1,171 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// lineGraph builds a simple 4-node path graph 0-1-2-3 with unit spacing.
+func lineGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for i := 0; i < 4; i++ {
+		g.AddNode(geo.Pt(float64(i)*100, 0))
+	}
+	for i := 0; i < 3; i++ {
+		if err := g.AddRoad(NodeID(i), NodeID(i+1), 10, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddNodeEdge(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0))
+	b := g.AddNode(geo.Pt(100, 0))
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	id, err := g.AddEdge(a, b, 100, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	e := g.Edges[id]
+	if e.From != a || e.To != b || e.Length != 100 {
+		t.Errorf("edge = %+v", e)
+	}
+	if got := e.TravelTime(); got != 10 {
+		t.Errorf("TravelTime = %v", got)
+	}
+	if got := e.CongestionFactor(); math.Abs(got-10.0/12.0) > 1e-12 {
+		t.Errorf("CongestionFactor = %v", got)
+	}
+	if out := g.Out(a); len(out) != 1 || out[0] != id {
+		t.Errorf("Out = %v", out)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0))
+	if _, err := g.AddEdge(a, NodeID(5), 1, 1, 1); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := g.AddEdge(a, a, 0, 1, 1); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := g.AddEdge(a, a, 1, -1, 1); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestEdgeDegenerateMeasures(t *testing.T) {
+	e := Edge{Length: 100, Speed: 0, FreeSpeed: 0}
+	if !math.IsInf(e.TravelTime(), 1) {
+		t.Error("TravelTime with zero speed should be +Inf")
+	}
+	if e.CongestionFactor() != 1 {
+		t.Error("CongestionFactor with zero free speed should be 1")
+	}
+}
+
+func TestNewPathContinuity(t *testing.T) {
+	g := lineGraph(t)
+	// Edges 0 (0->1) and 2 (1->2) are continuous; 0 and 4 (2->3) are not.
+	p, err := g.NewPath([]EdgeID{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 3 || p.Nodes[0] != 0 || p.Nodes[2] != 2 {
+		t.Errorf("path nodes = %v", p.Nodes)
+	}
+	if math.Abs(p.Length-200) > 1e-9 {
+		t.Errorf("path length = %v", p.Length)
+	}
+	if math.Abs(p.Time-20) > 1e-9 {
+		t.Errorf("path time = %v", p.Time)
+	}
+	if _, err := g.NewPath([]EdgeID{0, 4}); err == nil {
+		t.Error("discontinuous path accepted")
+	}
+	if _, err := g.NewPath(nil); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	g := lineGraph(t)
+	if n := g.NearestNode(geo.Pt(120, 5)); n != 1 {
+		t.Errorf("NearestNode = %v", n)
+	}
+	if n := g.NearestNode(geo.Pt(1e6, 0)); n != 3 {
+		t.Errorf("NearestNode far = %v", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NearestNode on empty graph did not panic")
+		}
+	}()
+	NewGraph().NearestNode(geo.Pt(0, 0))
+}
+
+func TestPolyline(t *testing.T) {
+	g := lineGraph(t)
+	p, err := g.NewPath([]EdgeID{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := g.Polyline(p)
+	if len(pl) != 4 {
+		t.Fatalf("polyline len = %d", len(pl))
+	}
+	if math.Abs(pl.Length()-300) > 1e-9 {
+		t.Errorf("polyline length = %v", pl.Length())
+	}
+}
+
+func TestCongestionIndex(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0))
+	b := g.AddNode(geo.Pt(100, 0))
+	c := g.AddNode(geo.Pt(200, 0))
+	// Free-flow edge: congestion contribution 0.
+	e1, _ := g.AddEdge(a, b, 100, 10, 10)
+	// Half-speed edge: FreeSpeed/Speed - 1 = 1.
+	e2, _ := g.AddEdge(b, c, 100, 5, 10)
+	p, err := g.NewPath([]EdgeID{e1, e2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted mean = (100*0 + 100*1)/200 = 0.5, scaled by 10 -> 5.
+	if got := g.Congestion(p); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Congestion = %v, want 5", got)
+	}
+	if got := g.Congestion(Path{}); got != 0 {
+		t.Errorf("Congestion(empty) = %v", got)
+	}
+}
+
+func TestPathEqual(t *testing.T) {
+	a := Path{Edges: []EdgeID{1, 2, 3}}
+	b := Path{Edges: []EdgeID{1, 2, 3}}
+	c := Path{Edges: []EdgeID{1, 2}}
+	d := Path{Edges: []EdgeID{1, 2, 4}}
+	if !PathEqual(a, b) || PathEqual(a, c) || PathEqual(a, d) {
+		t.Error("PathEqual misbehaved")
+	}
+}
+
+func TestIsSimple(t *testing.T) {
+	simple := Path{Nodes: []NodeID{0, 1, 2}}
+	loopy := Path{Nodes: []NodeID{0, 1, 0}}
+	if !simple.IsSimple() || loopy.IsSimple() {
+		t.Error("IsSimple misbehaved")
+	}
+}

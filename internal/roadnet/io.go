@@ -1,0 +1,71 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+)
+
+// jsonGraph is the versioned serialized form of a Graph.
+type jsonGraph struct {
+	Version int        `json:"version"`
+	Nodes   []jsonNode `json:"nodes"`
+	Edges   []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type jsonEdge struct {
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Length    float64 `json:"length"`
+	Speed     float64 `json:"speed"`
+	FreeSpeed float64 `json:"free_speed"`
+}
+
+// graphCodecVersion is the current schema version.
+const graphCodecVersion = 1
+
+// WriteJSON serializes the graph so externally-built road networks (e.g.
+// extracted from OpenStreetMap) can be loaded with ReadGraphJSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	doc := jsonGraph{Version: graphCodecVersion}
+	for _, n := range g.Nodes {
+		doc.Nodes = append(doc.Nodes, jsonNode{X: n.Pos.X, Y: n.Pos.Y})
+	}
+	for _, e := range g.Edges {
+		doc.Edges = append(doc.Edges, jsonEdge{
+			From: int(e.From), To: int(e.To),
+			Length: e.Length, Speed: e.Speed, FreeSpeed: e.FreeSpeed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadGraphJSON deserializes a graph written by WriteJSON, validating every
+// edge as it is added.
+func ReadGraphJSON(r io.Reader) (*Graph, error) {
+	var doc jsonGraph
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("roadnet: decoding graph: %w", err)
+	}
+	if doc.Version != graphCodecVersion {
+		return nil, fmt.Errorf("roadnet: unsupported graph schema version %d (want %d)", doc.Version, graphCodecVersion)
+	}
+	g := NewGraph()
+	for _, n := range doc.Nodes {
+		g.AddNode(geo.Pt(n.X, n.Y))
+	}
+	for i, e := range doc.Edges {
+		if _, err := g.AddEdge(NodeID(e.From), NodeID(e.To), e.Length, e.Speed, e.FreeSpeed); err != nil {
+			return nil, fmt.Errorf("roadnet: edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,57 @@
+package roadnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := GenerateCity(DefaultCity(RadialCity), rng.New(3))
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraphJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i := range g.Nodes {
+		if got.Nodes[i].Pos != g.Nodes[i].Pos {
+			t.Fatalf("node %d position differs", i)
+		}
+	}
+	for i := range g.Edges {
+		a, b := got.Edges[i], g.Edges[i]
+		if a.From != b.From || a.To != b.To || a.Length != b.Length || a.Speed != b.Speed || a.FreeSpeed != b.FreeSpeed {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	// Adjacency is rebuilt: shortest paths agree.
+	p1, err1 := g.ShortestPath(0, NodeID(g.NumNodes()-1), ByLength)
+	p2, err2 := got.ShortestPath(0, NodeID(got.NumNodes()-1), ByLength)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if p1.Length != p2.Length {
+		t.Fatalf("shortest paths differ after round trip: %v vs %v", p1.Length, p2.Length)
+	}
+}
+
+func TestReadGraphJSONErrors(t *testing.T) {
+	if _, err := ReadGraphJSON(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadGraphJSON(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	bad := `{"version":1,"nodes":[{"x":0,"y":0}],"edges":[{"from":0,"to":5,"length":1,"speed":1,"free_speed":1}]}`
+	if _, err := ReadGraphJSON(strings.NewReader(bad)); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}

@@ -1,0 +1,274 @@
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Weight selects the edge cost used by the shortest-path routines.
+type Weight int
+
+const (
+	// ByLength weights edges by their length in meters (used for detour
+	// distance h(r), which the paper defines against the shortest route).
+	ByLength Weight = iota
+	// ByTime weights edges by expected travel time (length/speed).
+	ByTime
+)
+
+func (w Weight) cost(e Edge) float64 {
+	if w == ByTime {
+		return e.TravelTime()
+	}
+	return e.Length
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+// pq is a binary min-heap over pqItem.
+type pq []pqItem
+
+func (h pq) Len() int            { return len(h) }
+func (h pq) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the minimum-cost path from src to dst under the given
+// weight, using binary-heap Dijkstra with lazy deletion. It returns an error
+// if dst is unreachable. banned edges/nodes (may be nil) are skipped — Yen's
+// algorithm uses this to force spur paths off the root.
+func (g *Graph) ShortestPath(src, dst NodeID, w Weight) (Path, error) {
+	return g.shortestPathBanned(src, dst, w, nil, nil)
+}
+
+func (g *Graph) shortestPathBanned(src, dst NodeID, w Weight, bannedEdges map[EdgeID]bool, bannedNodes map[NodeID]bool) (Path, error) {
+	n := g.NumNodes()
+	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
+		return Path{}, fmt.Errorf("roadnet: shortest path endpoints out of range: %d->%d", src, dst)
+	}
+	dist := make([]float64, n)
+	prevEdge := make([]EdgeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+	h := &pq{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		u := it.node
+		if done[u] || it.dist > dist[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, eid := range g.out[u] {
+			if bannedEdges != nil && bannedEdges[eid] {
+				continue
+			}
+			e := g.Edges[eid]
+			if bannedNodes != nil && bannedNodes[e.To] {
+				continue
+			}
+			nd := dist[u] + w.cost(e)
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prevEdge[e.To] = eid
+				heap.Push(h, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, fmt.Errorf("roadnet: node %d unreachable from %d", dst, src)
+	}
+	if src == dst {
+		return Path{Nodes: []NodeID{src}}, nil
+	}
+	// Reconstruct edge sequence backwards.
+	var rev []EdgeID
+	for at := dst; at != src; {
+		eid := prevEdge[at]
+		rev = append(rev, eid)
+		at = g.Edges[eid].From
+	}
+	edges := make([]EdgeID, len(rev))
+	for i := range rev {
+		edges[i] = rev[len(rev)-1-i]
+	}
+	return g.NewPath(edges)
+}
+
+// AllShortestDists runs Dijkstra from src and returns the distance to every
+// node (Inf for unreachable) under the given weight.
+func (g *Graph) AllShortestDists(src NodeID, w Weight) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &pq{{node: src, dist: 0}}
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, eid := range g.out[u] {
+			e := g.Edges[eid]
+			if nd := dist[u] + w.cost(e); nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(h, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// increasing cost order, using Yen's algorithm. This is the stand-in for the
+// Google Maps API route recommendation of §5.1: the first path is the
+// shortest route, and the alternatives are the next-best simple detours. It
+// returns fewer than k paths when the graph does not contain that many
+// simple paths. An error is returned only if no path exists at all.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int, w Weight) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := g.ShortestPath(src, dst, w)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	if src == dst {
+		return paths, nil
+	}
+	// Candidate pool: potential k-th shortest paths discovered from spurs.
+	var candidates []Path
+	costOf := func(p Path) float64 {
+		if w == ByTime {
+			return p.Time
+		}
+		return p.Length
+	}
+	seen := map[string]bool{pathKey(first): true}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Spur from every node of the previous path except the last.
+		for i := 0; i < len(prev.Edges); i++ {
+			spurNode := prev.Nodes[i]
+			rootEdges := prev.Edges[:i]
+
+			bannedEdges := map[EdgeID]bool{}
+			for _, p := range paths {
+				if len(p.Edges) > i && edgesPrefixEqual(p.Edges, rootEdges) {
+					bannedEdges[p.Edges[i]] = true
+				}
+			}
+			bannedNodes := map[NodeID]bool{}
+			for _, nd := range prev.Nodes[:i] {
+				bannedNodes[nd] = true
+			}
+
+			spur, err := g.shortestPathBanned(spurNode, dst, w, bannedEdges, bannedNodes)
+			if err != nil {
+				continue
+			}
+			total := append(append([]EdgeID(nil), rootEdges...), spur.Edges...)
+			cand, err := g.NewPath(total)
+			if err != nil {
+				continue
+			}
+			key := pathKey(cand)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, cand)
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Extract the cheapest candidate.
+		bi, bc := 0, costOf(candidates[0])
+		for i := 1; i < len(candidates); i++ {
+			if c := costOf(candidates[i]); c < bc {
+				bi, bc = i, c
+			}
+		}
+		paths = append(paths, candidates[bi])
+		candidates = append(candidates[:bi], candidates[bi+1:]...)
+	}
+	return paths, nil
+}
+
+// edgesPrefixEqual reports whether p begins with the given prefix.
+func edgesPrefixEqual(p, prefix []EdgeID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathKey returns a canonical identity string for a path's edge sequence.
+func pathKey(p Path) string {
+	b := make([]byte, 0, len(p.Edges)*3)
+	for _, e := range p.Edges {
+		b = appendInt(b, int(e))
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// IsSimple reports whether the path visits each node at most once.
+func (p Path) IsSimple() bool {
+	seen := make(map[NodeID]bool, len(p.Nodes))
+	for _, n := range p.Nodes {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	return true
+}

@@ -1,0 +1,239 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// diamondGraph: 0 -> 3 via 1 (short) or 2 (long), plus a slow shortcut.
+//
+//	  1
+//	 / \
+//	0   3
+//	 \ /
+//	  2
+func diamondGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	g.AddNode(geo.Pt(0, 0))    // 0
+	g.AddNode(geo.Pt(50, 40))  // 1
+	g.AddNode(geo.Pt(50, -80)) // 2
+	g.AddNode(geo.Pt(100, 0))  // 3
+	for _, r := range [][2]NodeID{{0, 1}, {1, 3}, {0, 2}, {2, 3}} {
+		if err := g.AddRoad(r[0], r[1], 10, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestShortestPathPicksShortRoute(t *testing.T) {
+	g := diamondGraph(t)
+	p, err := g.ShortestPath(0, 3, ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 3 || p.Nodes[1] != 1 {
+		t.Errorf("path via %v, want via node 1", p.Nodes)
+	}
+	want := geo.Pt(0, 0).Dist(geo.Pt(50, 40)) * 2
+	if math.Abs(p.Length-want) > 1e-9 {
+		t.Errorf("length = %v, want %v", p.Length, want)
+	}
+}
+
+func TestShortestPathByTime(t *testing.T) {
+	// Short-but-slow vs long-but-fast.
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0))
+	m := g.AddNode(geo.Pt(1, 50))
+	b := g.AddNode(geo.Pt(100, 0))
+	g.AddEdge(a, b, 100, 2, 10)  // direct: 50 s
+	g.AddEdge(a, m, 100, 10, 10) // detour: 10 s + 10 s
+	g.AddEdge(m, b, 100, 10, 10)
+	pt, err := g.ShortestPath(a, b, ByTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Nodes) != 3 {
+		t.Errorf("ByTime path = %v, want detour", pt.Nodes)
+	}
+	pl, err := g.ShortestPath(a, b, ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Nodes) != 2 {
+		t.Errorf("ByLength path = %v, want direct", pl.Nodes)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0))
+	b := g.AddNode(geo.Pt(1, 0))
+	if _, err := g.ShortestPath(a, b, ByLength); err == nil {
+		t.Error("unreachable destination did not error")
+	}
+	if _, err := g.ShortestPath(a, NodeID(9), ByLength); err == nil {
+		t.Error("out-of-range destination did not error")
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := diamondGraph(t)
+	p, err := g.ShortestPath(2, 2, ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Length != 0 || len(p.Edges) != 0 {
+		t.Errorf("self path = %+v", p)
+	}
+}
+
+func TestAllShortestDists(t *testing.T) {
+	g := diamondGraph(t)
+	dist := g.AllShortestDists(0, ByLength)
+	p13, _ := g.ShortestPath(0, 3, ByLength)
+	if math.Abs(dist[3]-p13.Length) > 1e-9 {
+		t.Errorf("dist[3] = %v, want %v", dist[3], p13.Length)
+	}
+	if dist[0] != 0 {
+		t.Errorf("dist[0] = %v", dist[0])
+	}
+	// Disconnected node.
+	g2 := NewGraph()
+	g2.AddNode(geo.Pt(0, 0))
+	g2.AddNode(geo.Pt(1, 1))
+	d := g2.AllShortestDists(0, ByLength)
+	if !math.IsInf(d[1], 1) {
+		t.Errorf("unreachable dist = %v", d[1])
+	}
+}
+
+func TestKShortestPathsOrderAndSimplicity(t *testing.T) {
+	s := rng.New(1)
+	g := GenerateCity(DefaultCity(GridCity), s)
+	src, dst := NodeID(0), NodeID(g.NumNodes()-1)
+	paths, err := g.KShortestPaths(src, dst, 5, ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 5 {
+		t.Fatalf("got %d paths, want 5", len(paths))
+	}
+	for i, p := range paths {
+		if !p.IsSimple() {
+			t.Errorf("path %d is not simple", i)
+		}
+		if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+			t.Errorf("path %d endpoints wrong", i)
+		}
+		if i > 0 && p.Length < paths[i-1].Length-1e-9 {
+			t.Errorf("paths out of order at %d: %v < %v", i, p.Length, paths[i-1].Length)
+		}
+		for j := 0; j < i; j++ {
+			if PathEqual(p, paths[j]) {
+				t.Errorf("paths %d and %d identical", i, j)
+			}
+		}
+	}
+	// First path must be THE shortest path.
+	sp, _ := g.ShortestPath(src, dst, ByLength)
+	if math.Abs(paths[0].Length-sp.Length) > 1e-9 {
+		t.Errorf("first path length %v != shortest %v", paths[0].Length, sp.Length)
+	}
+}
+
+func TestKShortestPathsSmallGraph(t *testing.T) {
+	g := diamondGraph(t)
+	paths, err := g.KShortestPaths(0, 3, 10, ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diamond has exactly 2 simple paths 0->3.
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	if paths[0].Length > paths[1].Length {
+		t.Error("paths out of order")
+	}
+}
+
+func TestKShortestPathsEdgeCases(t *testing.T) {
+	g := diamondGraph(t)
+	if ps, err := g.KShortestPaths(0, 3, 0, ByLength); err != nil || ps != nil {
+		t.Errorf("k=0: %v %v", ps, err)
+	}
+	if _, err := g.KShortestPaths(0, 3, -1, ByLength); err != nil {
+		t.Errorf("k=-1 errored: %v", err)
+	}
+	ps, err := g.KShortestPaths(1, 1, 3, ByLength)
+	if err != nil || len(ps) != 1 {
+		t.Errorf("self k-paths: %v %v", ps, err)
+	}
+	g2 := NewGraph()
+	g2.AddNode(geo.Pt(0, 0))
+	g2.AddNode(geo.Pt(1, 0))
+	if _, err := g2.KShortestPaths(0, 1, 3, ByLength); err == nil {
+		t.Error("unreachable k-paths did not error")
+	}
+}
+
+// Property: on random grid cities, Dijkstra distance respects the triangle
+// inequality through any intermediate node.
+func TestQuickDijkstraTriangle(t *testing.T) {
+	s := rng.New(99)
+	cfg := DefaultCity(GridCity)
+	cfg.Rows, cfg.Cols = 6, 6
+	g := GenerateCity(cfg, s)
+	f := func(a, b, c uint8) bool {
+		n := g.NumNodes()
+		na, nb, nc := NodeID(int(a)%n), NodeID(int(b)%n), NodeID(int(c)%n)
+		dab := g.AllShortestDists(na, ByLength)[nb]
+		dbc := g.AllShortestDists(nb, ByLength)[nc]
+		dac := g.AllShortestDists(na, ByLength)[nc]
+		return dac <= dab+dbc+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Yen paths are strictly increasing in cost or equal, and all
+// distinct, on random OD pairs of a radial city.
+func TestQuickYenProperties(t *testing.T) {
+	s := rng.New(123)
+	g := GenerateCity(DefaultCity(RadialCity), s)
+	f := func(a, b uint8) bool {
+		n := g.NumNodes()
+		src, dst := NodeID(int(a)%n), NodeID(int(b)%n)
+		if src == dst {
+			return true
+		}
+		paths, err := g.KShortestPaths(src, dst, 4, ByLength)
+		if err != nil {
+			return false // radial city is strongly connected
+		}
+		for i := range paths {
+			if !paths[i].IsSimple() {
+				return false
+			}
+			if i > 0 && paths[i].Length < paths[i-1].Length-1e-9 {
+				return false
+			}
+			for j := 0; j < i; j++ {
+				if PathEqual(paths[i], paths[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package sim is the execution substrate: a discrete-event simulator that
+// drives vehicles along their equilibrium-selected routes through the road
+// network, has them perform the sensing tasks they pass, and reports the
+// realized outcome (completion times, sensed tasks, travel times).
+//
+// The game of internal/core decides *what* each user does; this package
+// simulates *what then happens on the road* — the part of the paper's
+// trace-based evaluation where selected routes are actually driven. It lets
+// integration tests verify end-to-end consistency: every task the game
+// says a route covers is sensed when the route is driven, and route costs
+// (detour, congestion) match the realized drive.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/task"
+)
+
+// EventKind discriminates simulation events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventDepart fires when a vehicle enters the network.
+	EventDepart EventKind = iota
+	// EventEdgeEnter fires when a vehicle starts traversing an edge.
+	EventEdgeEnter
+	// EventSense fires when a vehicle passes within sensing range of a task.
+	EventSense
+	// EventArrive fires when a vehicle reaches its destination.
+	EventArrive
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventDepart:
+		return "depart"
+	case EventEdgeEnter:
+		return "edge-enter"
+	case EventSense:
+		return "sense"
+	case EventArrive:
+		return "arrive"
+	}
+	return "unknown"
+}
+
+// Event is one timestamped simulation occurrence.
+type Event struct {
+	Time    float64
+	Kind    EventKind
+	Vehicle int
+	// Edge is set for EventEdgeEnter.
+	Edge roadnet.EdgeID
+	// Task is set for EventSense.
+	Task task.ID
+	// Pos is the vehicle position at the event.
+	Pos geo.Point
+}
+
+// Vehicle is one simulated driver: a route to drive and a departure time.
+type Vehicle struct {
+	ID     int
+	Route  roadnet.Path
+	Depart float64
+}
+
+// Config parametrizes a simulation run.
+type Config struct {
+	// SenseRadius is the distance within which a passing vehicle performs a
+	// task (matches the scenario builder's coverage radius).
+	SenseRadius float64
+	// Tasks to sense; may be nil for a pure mobility run.
+	Tasks *task.Set
+	// RecordEvents keeps the full event log in the result (memory-heavy for
+	// large runs; per-vehicle summaries are always kept).
+	RecordEvents bool
+}
+
+// VehicleReport summarizes one vehicle's realized drive.
+type VehicleReport struct {
+	Vehicle    int
+	DepartTime float64
+	ArriveTime float64
+	// TravelTime = ArriveTime - DepartTime.
+	TravelTime float64
+	// Distance driven in meters.
+	Distance float64
+	// Sensed lists the tasks performed, in sensing order.
+	Sensed []task.ID
+	// SenseTimes[i] is when Sensed[i] was performed.
+	SenseTimes []float64
+}
+
+// Result of a simulation run.
+type Result struct {
+	Reports []VehicleReport
+	Events  []Event // only when Config.RecordEvents
+	// Completions maps each task to the number of distinct vehicles that
+	// sensed it (the realized n_k).
+	Completions map[task.ID]int
+	// Makespan is the latest arrival time.
+	Makespan float64
+}
+
+// eventHeap orders pending events by time, breaking ties by vehicle then
+// kind for determinism.
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	if h[i].Vehicle != h[j].Vehicle {
+		return h[i].Vehicle < h[j].Vehicle
+	}
+	return h[i].Kind < h[j].Kind
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Run simulates all vehicles through the network. Vehicles are independent
+// (congestion is already baked into edge speeds), so the event interleaving
+// is deterministic given the inputs.
+func Run(g *roadnet.Graph, vehicles []Vehicle, cfg Config) (*Result, error) {
+	res := &Result{Completions: map[task.ID]int{}}
+	h := &eventHeap{}
+	type vstate struct {
+		report   VehicleReport
+		edgeIdx  int
+		sensed   map[task.ID]bool
+		route    roadnet.Path
+		finished bool
+	}
+	states := make(map[int]*vstate, len(vehicles))
+	for _, v := range vehicles {
+		if len(v.Route.Nodes) == 0 {
+			return nil, fmt.Errorf("sim: vehicle %d has an empty route", v.ID)
+		}
+		if _, dup := states[v.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate vehicle ID %d", v.ID)
+		}
+		states[v.ID] = &vstate{
+			report: VehicleReport{Vehicle: v.ID, DepartTime: v.Depart},
+			sensed: map[task.ID]bool{},
+			route:  v.Route,
+		}
+		heap.Push(h, Event{Time: v.Depart, Kind: EventDepart, Vehicle: v.ID, Pos: g.Pos(v.Route.Nodes[0])})
+	}
+	record := func(e Event) {
+		if cfg.RecordEvents {
+			res.Events = append(res.Events, e)
+		}
+	}
+	// scheduleEdge enqueues the edge-enter event for state s's next edge (or
+	// arrival when the route is exhausted).
+	scheduleEdge := func(s *vstate, now float64) {
+		if s.edgeIdx >= len(s.route.Edges) {
+			heap.Push(h, Event{
+				Time: now, Kind: EventArrive, Vehicle: s.report.Vehicle,
+				Pos: g.Pos(s.route.Nodes[len(s.route.Nodes)-1]),
+			})
+			return
+		}
+		eid := s.route.Edges[s.edgeIdx]
+		heap.Push(h, Event{
+			Time: now, Kind: EventEdgeEnter, Vehicle: s.report.Vehicle, Edge: eid,
+			Pos: g.Pos(g.Edges[eid].From),
+		})
+	}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(Event)
+		s := states[e.Vehicle]
+		switch e.Kind {
+		case EventDepart:
+			record(e)
+			scheduleEdge(s, e.Time)
+		case EventEdgeEnter:
+			record(e)
+			edge := g.Edges[e.Edge]
+			// Sense tasks along this edge, ordered by position along it.
+			if cfg.Tasks != nil {
+				seg := geo.Segment{A: g.Pos(edge.From), B: g.Pos(edge.To)}
+				type hit struct {
+					tk task.ID
+					t  float64
+				}
+				var hits []hit
+				for _, tk := range cfg.Tasks.Tasks {
+					if s.sensed[tk.ID] {
+						continue
+					}
+					closest, tt := seg.ClosestPoint(tk.Pos)
+					if closest.Dist(tk.Pos) <= cfg.SenseRadius {
+						hits = append(hits, hit{tk.ID, tt})
+					}
+				}
+				sort.Slice(hits, func(i, j int) bool {
+					if hits[i].t != hits[j].t {
+						return hits[i].t < hits[j].t
+					}
+					return hits[i].tk < hits[j].tk
+				})
+				for _, hh := range hits {
+					s.sensed[hh.tk] = true
+					at := e.Time + hh.t*edge.TravelTime()
+					heap.Push(h, Event{
+						Time: at, Kind: EventSense, Vehicle: e.Vehicle, Task: hh.tk,
+						Pos: seg.A.Lerp(seg.B, hh.t),
+					})
+				}
+			}
+			s.report.Distance += edge.Length
+			s.edgeIdx++
+			scheduleEdge(s, e.Time+edge.TravelTime())
+		case EventSense:
+			record(e)
+			s.report.Sensed = append(s.report.Sensed, e.Task)
+			s.report.SenseTimes = append(s.report.SenseTimes, e.Time)
+			res.Completions[e.Task]++
+		case EventArrive:
+			record(e)
+			if s.finished {
+				return nil, fmt.Errorf("sim: vehicle %d arrived twice", e.Vehicle)
+			}
+			s.finished = true
+			s.report.ArriveTime = e.Time
+			s.report.TravelTime = e.Time - s.report.DepartTime
+			if e.Time > res.Makespan {
+				res.Makespan = e.Time
+			}
+		}
+	}
+	// Emit reports in vehicle order.
+	ids := make([]int, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := states[id]
+		if !s.finished {
+			return nil, fmt.Errorf("sim: vehicle %d never arrived", id)
+		}
+		res.Reports = append(res.Reports, s.report)
+	}
+	return res, nil
+}
+
+// MeanTravelTime returns the mean realized travel time across vehicles.
+func (r *Result) MeanTravelTime() float64 {
+	if len(r.Reports) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, rep := range r.Reports {
+		sum += rep.TravelTime
+	}
+	return sum / float64(len(r.Reports))
+}
+
+// TasksSensed returns the number of distinct tasks sensed at least once.
+func (r *Result) TasksSensed() int { return len(r.Completions) }
+
+// RealizedReward returns the total realized reward under the shared reward
+// function: Σ_k w_k(n_k) over sensed tasks, with n_k the realized
+// completion counts.
+func (r *Result) RealizedReward(tasks *task.Set) float64 {
+	var total float64
+	for id, n := range r.Completions {
+		total += tasks.Get(id).Reward(n)
+	}
+	return total
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/roadnet"
+	"repro/internal/task"
+)
+
+// lineWorld builds a 3-node straight road 0 -(100m)- 1 -(100m)- 2 at 10 m/s
+// with two tasks: one on the road, one far away.
+func lineWorld(t *testing.T) (*roadnet.Graph, *task.Set, roadnet.Path) {
+	t.Helper()
+	g := roadnet.NewGraph()
+	g.AddNode(geo.Pt(0, 0))
+	g.AddNode(geo.Pt(100, 0))
+	g.AddNode(geo.Pt(200, 0))
+	if err := g.AddRoad(0, 1, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRoad(1, 2, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	tasks := &task.Set{Tasks: []task.Task{
+		{ID: 0, Pos: geo.Pt(150, 5), A: 10},   // on the second edge
+		{ID: 1, Pos: geo.Pt(150, 500), A: 10}, // far off the road
+	}}
+	path, err := g.ShortestPath(0, 2, roadnet.ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tasks, path
+}
+
+func TestSingleVehicleDrive(t *testing.T) {
+	g, tasks, path := lineWorld(t)
+	res, err := Run(g, []Vehicle{{ID: 0, Route: path, Depart: 5}}, Config{
+		SenseRadius: 20, Tasks: tasks, RecordEvents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 1 {
+		t.Fatalf("reports = %d", len(res.Reports))
+	}
+	rep := res.Reports[0]
+	if rep.DepartTime != 5 {
+		t.Errorf("depart = %v", rep.DepartTime)
+	}
+	// 200 m at 10 m/s = 20 s travel.
+	if math.Abs(rep.TravelTime-20) > 1e-9 {
+		t.Errorf("travel time = %v, want 20", rep.TravelTime)
+	}
+	if math.Abs(rep.ArriveTime-25) > 1e-9 {
+		t.Errorf("arrive = %v, want 25", rep.ArriveTime)
+	}
+	if math.Abs(rep.Distance-200) > 1e-9 {
+		t.Errorf("distance = %v", rep.Distance)
+	}
+	// Task 0 sensed at x=150 → 15 s after depart → t=20.
+	if len(rep.Sensed) != 1 || rep.Sensed[0] != 0 {
+		t.Fatalf("sensed = %v, want [0]", rep.Sensed)
+	}
+	if math.Abs(rep.SenseTimes[0]-20) > 1e-9 {
+		t.Errorf("sense time = %v, want 20", rep.SenseTimes[0])
+	}
+	if res.Completions[0] != 1 || res.Completions[1] != 0 {
+		t.Errorf("completions = %v", res.Completions)
+	}
+	if res.TasksSensed() != 1 {
+		t.Errorf("TasksSensed = %d", res.TasksSensed())
+	}
+	if math.Abs(res.Makespan-25) > 1e-9 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	g, tasks, path := lineWorld(t)
+	res, err := Run(g, []Vehicle{{ID: 0, Route: path}}, Config{
+		SenseRadius: 20, Tasks: tasks, RecordEvents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].Time < res.Events[i-1].Time-1e-12 {
+			t.Fatalf("events out of order at %d: %v after %v", i, res.Events[i].Time, res.Events[i-1].Time)
+		}
+	}
+	// First event is the departure, last is the arrival.
+	if res.Events[0].Kind != EventDepart {
+		t.Errorf("first event = %v", res.Events[0].Kind)
+	}
+	if res.Events[len(res.Events)-1].Kind != EventArrive {
+		t.Errorf("last event = %v", res.Events[len(res.Events)-1].Kind)
+	}
+}
+
+func TestNoEventsWithoutFlag(t *testing.T) {
+	g, tasks, path := lineWorld(t)
+	res, err := Run(g, []Vehicle{{ID: 0, Route: path}}, Config{SenseRadius: 20, Tasks: tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 0 {
+		t.Error("events recorded without RecordEvents")
+	}
+	if len(res.Reports[0].Sensed) != 1 {
+		t.Error("sensing must work without event recording")
+	}
+}
+
+func TestSharedTaskCompletions(t *testing.T) {
+	g, tasks, path := lineWorld(t)
+	res, err := Run(g, []Vehicle{
+		{ID: 0, Route: path, Depart: 0},
+		{ID: 1, Route: path, Depart: 100},
+	}, Config{SenseRadius: 20, Tasks: tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions[0] != 2 {
+		t.Errorf("completions[0] = %d, want 2", res.Completions[0])
+	}
+	// Realized reward: w_0(2) = 10 + 0·ln2 = 10 (µ=0).
+	if got := res.RealizedReward(tasks); math.Abs(got-10) > 1e-9 {
+		t.Errorf("realized reward = %v", got)
+	}
+	if math.Abs(res.Makespan-120) > 1e-9 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+	if mt := res.MeanTravelTime(); math.Abs(mt-20) > 1e-9 {
+		t.Errorf("mean travel = %v", mt)
+	}
+}
+
+func TestVehicleSensesTaskOnce(t *testing.T) {
+	// A route that passes the same task on two consecutive edges must sense
+	// it only once.
+	g := roadnet.NewGraph()
+	g.AddNode(geo.Pt(0, 0))
+	g.AddNode(geo.Pt(100, 0))
+	g.AddNode(geo.Pt(100, 100))
+	g.AddRoad(0, 1, 10, 10)
+	g.AddRoad(1, 2, 10, 10)
+	tasks := &task.Set{Tasks: []task.Task{{ID: 0, Pos: geo.Pt(100, 5), A: 10}}}
+	path, err := g.ShortestPath(0, 2, roadnet.ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, []Vehicle{{ID: 0, Route: path}}, Config{SenseRadius: 30, Tasks: tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions[0] != 1 {
+		t.Errorf("task sensed %d times by one vehicle", res.Completions[0])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g, _, path := lineWorld(t)
+	if _, err := Run(g, []Vehicle{{ID: 0}}, Config{}); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, err := Run(g, []Vehicle{{ID: 0, Route: path}, {ID: 0, Route: path}}, Config{}); err == nil {
+		t.Error("duplicate vehicle IDs accepted")
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	g, _, _ := lineWorld(t)
+	res, err := Run(g, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 0 || res.Makespan != 0 || res.MeanTravelTime() != 0 {
+		t.Error("empty run produced non-empty result")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventDepart.String() != "depart" || EventArrive.String() != "arrive" ||
+		EventSense.String() != "sense" || EventEdgeEnter.String() != "edge-enter" {
+		t.Error("EventKind strings wrong")
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Error("unknown EventKind string wrong")
+	}
+}
+
+// Integration: on a generated city, sim travel times equal the path's
+// analytic time, and every vehicle arrives.
+func TestCityDriveConsistency(t *testing.T) {
+	g := roadnet.GenerateCity(roadnet.DefaultCity(roadnet.GridCity), rng.New(7))
+	s := rng.New(8)
+	var vehicles []Vehicle
+	var wantTimes []float64
+	for i := 0; i < 20; i++ {
+		src := roadnet.NodeID(s.Intn(g.NumNodes()))
+		dst := roadnet.NodeID(s.Intn(g.NumNodes()))
+		if src == dst {
+			continue
+		}
+		p, err := g.ShortestPath(src, dst, roadnet.ByTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vehicles = append(vehicles, Vehicle{ID: len(vehicles), Route: p, Depart: s.Uniform(0, 100)})
+		wantTimes = append(wantTimes, p.Time)
+	}
+	res, err := Run(g, vehicles, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range res.Reports {
+		if math.Abs(rep.TravelTime-wantTimes[i]) > 1e-6 {
+			t.Fatalf("vehicle %d: realized travel %v != path time %v", i, rep.TravelTime, wantTimes[i])
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package spatial
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func randomItems(s *rng.Stream, n int, area geo.Rect) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Pos: geo.Pt(s.Uniform(area.Min.X, area.Max.X), s.Uniform(area.Min.Y, area.Max.Y)),
+			ID:  i,
+		}
+	}
+	return items
+}
+
+func bruteWithinPoint(items []Item, p geo.Point, r float64) []int {
+	var out []int
+	for _, it := range items {
+		if it.Pos.Dist(p) <= r {
+			out = append(out, it.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func bruteWithinPolyline(items []Item, pl geo.Polyline, r float64) []int {
+	var out []int
+	for _, it := range items {
+		if pl.DistToPoint(it.Pos) <= r {
+			out = append(out, it.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertAndLen(t *testing.T) {
+	area := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)}
+	idx := New(area)
+	if idx.Len() != 0 {
+		t.Error("new index not empty")
+	}
+	for i := 0; i < 50; i++ {
+		idx.Insert(Item{Pos: geo.Pt(float64(i), float64(i)), ID: i})
+	}
+	if idx.Len() != 50 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	if idx.Bounds() != area {
+		t.Errorf("Bounds = %v", idx.Bounds())
+	}
+}
+
+func TestPointQueryMatchesBruteForce(t *testing.T) {
+	s := rng.New(1)
+	area := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	items := randomItems(s, 500, area)
+	idx := FromItems(items)
+	for trial := 0; trial < 100; trial++ {
+		p := geo.Pt(s.Uniform(0, 1000), s.Uniform(0, 1000))
+		r := s.Uniform(1, 200)
+		got := idx.WithinRadiusOfPoint(p, r, nil)
+		sort.Ints(got)
+		want := bruteWithinPoint(items, p, r)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestPolylineQueryMatchesBruteForce(t *testing.T) {
+	s := rng.New(2)
+	area := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	items := randomItems(s, 400, area)
+	idx := FromItems(items)
+	for trial := 0; trial < 50; trial++ {
+		pl := geo.Polyline{}
+		for i := 0; i < 4; i++ {
+			pl = append(pl, geo.Pt(s.Uniform(0, 1000), s.Uniform(0, 1000)))
+		}
+		r := s.Uniform(10, 150)
+		got := idx.WithinRadiusOfPolyline(pl, r, nil)
+		want := bruteWithinPolyline(items, pl, r)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: got %d items, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestPolylineQueryDedup(t *testing.T) {
+	// A U-shaped polyline passing the same point twice must report it once.
+	idx := New(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)})
+	idx.Insert(Item{Pos: geo.Pt(50, 50), ID: 7})
+	pl := geo.Polyline{geo.Pt(40, 0), geo.Pt(40, 100), geo.Pt(60, 100), geo.Pt(60, 0)}
+	got := idx.WithinRadiusOfPolyline(pl, 15, nil)
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("got %v, want [7]", got)
+	}
+}
+
+func TestEmptyQueries(t *testing.T) {
+	idx := New(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(10, 10)})
+	if got := idx.WithinRadiusOfPoint(geo.Pt(5, 5), 3, nil); len(got) != 0 {
+		t.Errorf("empty index returned %v", got)
+	}
+	if got := idx.WithinRadiusOfPolyline(nil, 3, nil); len(got) != 0 {
+		t.Errorf("empty polyline returned %v", got)
+	}
+}
+
+func TestClampOutOfBounds(t *testing.T) {
+	idx := New(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(10, 10)})
+	idx.Insert(Item{Pos: geo.Pt(-100, 500), ID: 1})
+	got := idx.WithinRadiusOfPoint(geo.Pt(0, 10), 1, nil)
+	if len(got) != 1 {
+		t.Errorf("clamped item not found: %v", got)
+	}
+}
+
+func TestDuplicatePointsDoNotOverflow(t *testing.T) {
+	// Many identical points must not split forever (maxDepth bound).
+	idx := New(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(10, 10)})
+	for i := 0; i < 200; i++ {
+		idx.Insert(Item{Pos: geo.Pt(5, 5), ID: i})
+	}
+	got := idx.WithinRadiusOfPoint(geo.Pt(5, 5), 0.1, nil)
+	if len(got) != 200 {
+		t.Errorf("got %d of 200 duplicates", len(got))
+	}
+}
+
+func TestDstReuse(t *testing.T) {
+	s := rng.New(3)
+	area := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)}
+	items := randomItems(s, 100, area)
+	idx := FromItems(items)
+	buf := make([]int, 0, 64)
+	a := idx.WithinRadiusOfPoint(geo.Pt(50, 50), 30, buf)
+	b := idx.WithinRadiusOfPoint(geo.Pt(50, 50), 30, buf)
+	if len(a) != len(b) {
+		t.Error("dst reuse changed results")
+	}
+}
+
+// Property: quadtree point queries always agree with brute force.
+func TestQuickPointQuery(t *testing.T) {
+	f := func(seed uint64, px, py, rRaw float64) bool {
+		s := rng.New(seed)
+		area := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(500, 500)}
+		items := randomItems(s, 1+int(seed%200), area)
+		idx := FromItems(items)
+		p := geo.Pt(mod(px, 500), mod(py, 500))
+		r := 1 + mod(rRaw, 100)
+		got := idx.WithinRadiusOfPoint(p, r, nil)
+		sort.Ints(got)
+		return equalInts(got, bruteWithinPoint(items, p, r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod(v, m float64) float64 {
+	if v != v || v > 1e300 || v < -1e300 { // NaN/Inf guard
+		return 0
+	}
+	x := v
+	for x < 0 {
+		x += m
+	}
+	for x >= m {
+		x -= m * float64(int(x/m))
+		if x >= m {
+			x -= m
+		}
+	}
+	return x
+}

@@ -1,0 +1,124 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: means, standard deviations, standard errors (the paper's error
+// bars), and running accumulators for repeated simulations.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of vals (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Var returns the unbiased sample variance (0 for fewer than 2 values).
+func Var(vals []float64) float64 {
+	n := len(vals)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(vals)
+	var acc float64
+	for _, v := range vals {
+		d := v - m
+		acc += d * d
+	}
+	return acc / float64(n-1)
+}
+
+// Std returns the sample standard deviation.
+func Std(vals []float64) float64 { return math.Sqrt(Var(vals)) }
+
+// StdErr returns the standard error of the mean (the error-bar half-width
+// used in §5.3's repeated simulations).
+func StdErr(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return Std(vals) / math.Sqrt(float64(len(vals)))
+}
+
+// MinMax returns the extreme values (0,0 for empty input).
+func MinMax(vals []float64) (float64, float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Acc is a running accumulator: add samples one at a time, then read the
+// summary. The zero value is ready to use.
+type Acc struct {
+	n          int
+	sum, sumsq float64
+	min, max   float64
+}
+
+// Add records one sample.
+func (a *Acc) Add(v float64) {
+	if a.n == 0 || v < a.min {
+		a.min = v
+	}
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.n++
+	a.sum += v
+	a.sumsq += v * v
+}
+
+// N returns the sample count.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the running mean.
+func (a *Acc) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Var returns the running unbiased variance.
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := (a.sumsq - float64(a.n)*m*m) / float64(a.n-1)
+	if v < 0 { // numerical floor
+		return 0
+	}
+	return v
+}
+
+// Std returns the running standard deviation.
+func (a *Acc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// StdErr returns the running standard error of the mean.
+func (a *Acc) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.Std() / math.Sqrt(float64(a.n))
+}
+
+// Min returns the smallest sample (0 if none).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 if none).
+func (a *Acc) Max() float64 { return a.max }

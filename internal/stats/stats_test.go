@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestVarStd(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic set is 32/7.
+	if got := Var(vals); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, 32.0/7)
+	}
+	if got := Std(vals); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Std = %v", got)
+	}
+	if Var([]float64{5}) != 0 || Var(nil) != 0 {
+		t.Error("degenerate Var should be 0")
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	want := Std(vals) / math.Sqrt(5)
+	if got := StdErr(vals); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdErr = %v, want %v", got, want)
+	}
+	if StdErr(nil) != 0 {
+		t.Error("StdErr(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Errorf("MinMax(nil) = %v,%v", lo, hi)
+	}
+}
+
+func TestAccMatchesSliceFunctions(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var a Acc
+	for _, v := range vals {
+		a.Add(v)
+	}
+	if a.N() != len(vals) {
+		t.Errorf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-Mean(vals)) > 1e-12 {
+		t.Errorf("Acc.Mean = %v, want %v", a.Mean(), Mean(vals))
+	}
+	if math.Abs(a.Var()-Var(vals)) > 1e-9 {
+		t.Errorf("Acc.Var = %v, want %v", a.Var(), Var(vals))
+	}
+	if math.Abs(a.StdErr()-StdErr(vals)) > 1e-9 {
+		t.Errorf("Acc.StdErr = %v, want %v", a.StdErr(), StdErr(vals))
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Acc min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccEmpty(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 || a.Var() != 0 || a.StdErr() != 0 || a.N() != 0 {
+		t.Error("empty Acc not all-zero")
+	}
+}
+
+func TestAccSingle(t *testing.T) {
+	var a Acc
+	a.Add(42)
+	if a.Mean() != 42 || a.Var() != 0 || a.Min() != 42 || a.Max() != 42 {
+		t.Error("single-sample Acc wrong")
+	}
+}
+
+// Property: Acc agrees with the slice implementations on random data.
+func TestQuickAccConsistency(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		var a Acc
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			v = math.Mod(v, 1e6)
+			vals = append(vals, v)
+			a.Add(v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		lo, hi := MinMax(vals)
+		return math.Abs(a.Mean()-Mean(vals)) < 1e-6 &&
+			math.Abs(a.Var()-Var(vals)) < 1e-3 &&
+			a.Min() == lo && a.Max() == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is never negative.
+func TestQuickVarNonNegative(t *testing.T) {
+	f := func(raw []float64) bool {
+		var a Acc
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			a.Add(math.Mod(v, 1e9))
+		}
+		return a.Var() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package task implements the sensing-task substrate: task placement over a
+// city map, the shared reward function w_k(x) = a_k + µ_k·ln(x) from Eq. (1)
+// of the paper, and route-coverage computation (which tasks a route passes).
+package task
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// ID identifies a task.
+type ID int
+
+// Task is a location-dependent sensing task. Its reward when x users
+// perform it is Reward(x) = A + Mu*ln(x), shared equally among them.
+type Task struct {
+	ID ID
+	// Pos is the task location on the map.
+	Pos geo.Point
+	// A is the base reward a_k (reward when exactly one user performs it).
+	A float64
+	// Mu is the reward-increment weight µ_k in [0,1].
+	Mu float64
+}
+
+// Reward returns w_k(x) = a_k + µ_k·ln(x) per Eq. (1). For x <= 0 it
+// returns 0: an unperformed task pays nothing.
+func (t Task) Reward(x int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return t.A + t.Mu*math.Log(float64(x))
+}
+
+// Share returns the per-user share w_k(x)/x when x users perform the task.
+func (t Task) Share(x int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return t.Reward(x) / float64(x)
+}
+
+// Validate checks the invariants the paper assumes (a_k > 0, µ_k in [0,1]).
+func (t Task) Validate() error {
+	if t.A <= 0 {
+		return fmt.Errorf("task %d: base reward %v must be positive", t.ID, t.A)
+	}
+	if t.Mu < 0 || t.Mu > 1 {
+		return fmt.Errorf("task %d: µ=%v outside [0,1]", t.ID, t.Mu)
+	}
+	return nil
+}
+
+// Set is an ordered collection of tasks indexed by ID.
+type Set struct {
+	Tasks []Task
+}
+
+// Len returns the task count.
+func (s *Set) Len() int { return len(s.Tasks) }
+
+// Get returns the task with the given ID.
+func (s *Set) Get(id ID) Task { return s.Tasks[id] }
+
+// GenConfig parametrizes random task generation (Table 2 ranges).
+type GenConfig struct {
+	N       int      // number of tasks
+	Area    geo.Rect // placement area
+	AMin    float64  // base reward range, Table 2: 10..20
+	AMax    float64
+	MuMin   float64 // µ range, Table 2: 0..1
+	MuMax   float64
+	Cluster float64 // in [0,1): fraction of tasks placed near hotspots
+}
+
+// DefaultGenConfig returns Table-2 parameter ranges over the given area.
+func DefaultGenConfig(n int, area geo.Rect) GenConfig {
+	return GenConfig{N: n, Area: area, AMin: 10, AMax: 20, MuMin: 0, MuMax: 1, Cluster: 0.3}
+}
+
+// Generate places cfg.N tasks in the area. A Cluster fraction of tasks is
+// placed around a few hotspots (sensing campaigns target specific districts)
+// and the rest uniformly, all drawn from the given stream.
+func Generate(cfg GenConfig, s *rng.Stream) *Set {
+	set := &Set{Tasks: make([]Task, 0, cfg.N)}
+	nHot := 3
+	hotspots := make([]geo.Point, nHot)
+	for i := range hotspots {
+		hotspots[i] = geo.Pt(
+			s.Uniform(cfg.Area.Min.X, cfg.Area.Max.X),
+			s.Uniform(cfg.Area.Min.Y, cfg.Area.Max.Y),
+		)
+	}
+	spread := 0.12 * math.Max(cfg.Area.Width(), cfg.Area.Height())
+	for i := 0; i < cfg.N; i++ {
+		var pos geo.Point
+		if s.Bool(cfg.Cluster) {
+			h := hotspots[s.Intn(nHot)]
+			pos = geo.Pt(
+				clampTo(h.X+s.Norm(0, spread), cfg.Area.Min.X, cfg.Area.Max.X),
+				clampTo(h.Y+s.Norm(0, spread), cfg.Area.Min.Y, cfg.Area.Max.Y),
+			)
+		} else {
+			pos = geo.Pt(
+				s.Uniform(cfg.Area.Min.X, cfg.Area.Max.X),
+				s.Uniform(cfg.Area.Min.Y, cfg.Area.Max.Y),
+			)
+		}
+		set.Tasks = append(set.Tasks, Task{
+			ID:  ID(i),
+			Pos: pos,
+			A:   s.Uniform(cfg.AMin, cfg.AMax),
+			Mu:  s.Uniform(cfg.MuMin, cfg.MuMax),
+		})
+	}
+	return set
+}
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Covered returns the IDs of tasks within radius of the polyline (a route
+// covers the tasks a driver passes close enough to sense), in ID order.
+func (s *Set) Covered(route geo.Polyline, radius float64) []ID {
+	var ids []ID
+	for _, t := range s.Tasks {
+		if route.DistToPoint(t.Pos) <= radius {
+			ids = append(ids, t.ID)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,147 @@
+package task
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func TestRewardEq1(t *testing.T) {
+	tk := Task{A: 10, Mu: 0.5}
+	if got := tk.Reward(1); got != 10 {
+		t.Errorf("Reward(1) = %v, want a_k", got)
+	}
+	want := 10 + 0.5*math.Log(3)
+	if got := tk.Reward(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Reward(3) = %v, want %v", got, want)
+	}
+	if got := tk.Reward(0); got != 0 {
+		t.Errorf("Reward(0) = %v", got)
+	}
+	if got := tk.Reward(-2); got != 0 {
+		t.Errorf("Reward(-2) = %v", got)
+	}
+}
+
+func TestShare(t *testing.T) {
+	tk := Task{A: 12, Mu: 0.2}
+	if got := tk.Share(1); got != 12 {
+		t.Errorf("Share(1) = %v", got)
+	}
+	want := (12 + 0.2*math.Log(4)) / 4
+	if got := tk.Share(4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Share(4) = %v, want %v", got, want)
+	}
+	if got := tk.Share(0); got != 0 {
+		t.Errorf("Share(0) = %v", got)
+	}
+}
+
+// Property: with µ in [0,1] and a >= 1, the per-user share strictly
+// decreases in the participant count — the paper's "reward is shared"
+// premise (more participants, lower individual payoff).
+func TestQuickShareDecreasing(t *testing.T) {
+	f := func(aRaw, muRaw float64, xRaw uint8) bool {
+		a := 1 + math.Abs(math.Mod(aRaw, 19)) // [1,20)
+		mu := math.Abs(math.Mod(muRaw, 1))    // [0,1)
+		x := 1 + int(xRaw)%50                 // [1,50]
+		tk := Task{A: a, Mu: mu}
+		return tk.Share(x+1) < tk.Share(x)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total reward w_k(x) is nondecreasing in x (Eq. 1 with µ >= 0):
+// more users slightly improve completion quality.
+func TestQuickRewardMonotone(t *testing.T) {
+	f := func(aRaw, muRaw float64, xRaw uint8) bool {
+		a := 1 + math.Abs(math.Mod(aRaw, 19))
+		mu := math.Abs(math.Mod(muRaw, 1))
+		x := 1 + int(xRaw)%50
+		tk := Task{A: a, Mu: mu}
+		return tk.Reward(x+1) >= tk.Reward(x)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Task{A: 10, Mu: 0.5}).Validate(); err != nil {
+		t.Errorf("valid task rejected: %v", err)
+	}
+	if err := (Task{A: 0, Mu: 0.5}).Validate(); err == nil {
+		t.Error("zero base reward accepted")
+	}
+	if err := (Task{A: 10, Mu: -0.1}).Validate(); err == nil {
+		t.Error("negative µ accepted")
+	}
+	if err := (Task{A: 10, Mu: 1.5}).Validate(); err == nil {
+		t.Error("µ>1 accepted")
+	}
+}
+
+func testArea() geo.Rect { return geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)} }
+
+func TestGenerateCountAndRanges(t *testing.T) {
+	cfg := DefaultGenConfig(80, testArea())
+	set := Generate(cfg, rng.New(5))
+	if set.Len() != 80 {
+		t.Fatalf("Len = %d", set.Len())
+	}
+	for _, tk := range set.Tasks {
+		if err := tk.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tk.A < 10 || tk.A >= 20 {
+			t.Fatalf("A = %v out of Table-2 range", tk.A)
+		}
+		if !cfg.Area.Contains(tk.Pos) {
+			t.Fatalf("task at %v outside area", tk.Pos)
+		}
+	}
+	// IDs are dense and ordered.
+	for i, tk := range set.Tasks {
+		if tk.ID != ID(i) {
+			t.Fatalf("task %d has ID %d", i, tk.ID)
+		}
+		if set.Get(tk.ID).Pos != tk.Pos {
+			t.Fatalf("Get(%d) mismatched", tk.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(40, testArea())
+	a := Generate(cfg, rng.New(9))
+	b := Generate(cfg, rng.New(9))
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestCovered(t *testing.T) {
+	set := &Set{Tasks: []Task{
+		{ID: 0, Pos: geo.Pt(5, 1), A: 10},
+		{ID: 1, Pos: geo.Pt(5, 100), A: 10},
+		{ID: 2, Pos: geo.Pt(9, -2), A: 10},
+	}}
+	route := geo.Polyline{geo.Pt(0, 0), geo.Pt(10, 0)}
+	got := set.Covered(route, 3)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Covered = %v, want [0 2]", got)
+	}
+	if got := set.Covered(route, 0.5); len(got) != 0 {
+		t.Errorf("tight radius Covered = %v", got)
+	}
+	if got := set.Covered(nil, 1000); len(got) != 0 {
+		t.Errorf("empty route Covered = %v", got)
+	}
+}

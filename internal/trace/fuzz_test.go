@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures the CSV parser never panics and that everything it
+// accepts round-trips through WriteCSV and parses again to the same
+// structure.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("taxi,time,x,y\n0,1,2,3\n0,2,4,5\n")
+	f.Add("1,0.5,-3.25,7\n1,0.75,0,0\n2,1,9,9\n2,3,1,1\n")
+	f.Add("# comment only\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("0,1,2\n")
+	f.Add("0,1,2,3\n0,1,2,3\n") // duplicate time: must error
+	f.Fuzz(func(t *testing.T, doc string) {
+		traces, err := ReadCSV(strings.NewReader(doc))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, traces); err != nil {
+			t.Fatalf("accepted traces failed to serialize: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized traces failed to parse: %v", err)
+		}
+		if len(again) != len(traces) {
+			t.Fatalf("round trip changed trace count: %d -> %d", len(traces), len(again))
+		}
+		for i := range traces {
+			if again[i].TaxiID != traces[i].TaxiID || len(again[i].Fixes) != len(traces[i].Fixes) {
+				t.Fatalf("round trip changed trace %d structure", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/roadnet"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	spec := Shanghai()
+	spec.Trips = 8
+	ds, err := Generate(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds.Traces); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds.Traces) {
+		t.Fatalf("round trip: %d traces, want %d", len(got), len(ds.Traces))
+	}
+	for i, tr := range got {
+		want := ds.Traces[i]
+		if tr.TaxiID != want.TaxiID || len(tr.Fixes) != len(want.Fixes) {
+			t.Fatalf("trace %d structure differs", i)
+		}
+		for j := range tr.Fixes {
+			// CSV stores 3 decimal places (millimetres): check within that.
+			if dist := tr.Fixes[j].Pos.Dist(want.Fixes[j].Pos); dist > 0.01 {
+				t.Fatalf("trace %d fix %d off by %v", i, j, dist)
+			}
+		}
+	}
+}
+
+func TestReadCSVFormats(t *testing.T) {
+	// Header optional, comments and blank lines skipped, taxis interleaved.
+	doc := `# comment
+taxi,time,x,y
+0,1.0,10,20
+
+1,1.5,50,60
+0,2.0,11,21
+# trailing comment
+1,2.5,51,61
+`
+	traces, err := ReadCSV(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	if traces[0].TaxiID != 0 || len(traces[0].Fixes) != 2 {
+		t.Errorf("taxi 0 = %+v", traces[0])
+	}
+	if traces[1].TaxiID != 1 || len(traces[1].Fixes) != 2 {
+		t.Errorf("taxi 1 = %+v", traces[1])
+	}
+	// Headerless data works too.
+	traces, err = ReadCSV(strings.NewReader("3,1,2,3\n3,2,4,5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].TaxiID != 3 {
+		t.Errorf("headerless parse = %+v", traces)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"wrong fields", "taxi,time,x,y\n1,2,3\n"},
+		{"bad taxi", "x,2,3,4\n"},
+		{"bad time", "1,zz,3,4\n"},
+		{"bad x", "1,2,zz,4\n"},
+		{"bad y", "1,2,3,zz\n"},
+		{"time not increasing", "1,5,0,0\n1,5,1,1\n"},
+		{"time decreasing", "1,5,0,0\n1,4,1,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	g := roadnet.GenerateCity(roadnet.DefaultCity(roadnet.GridCity), rng.New(1))
+	spec := Shanghai()
+	spec.Trips = 5
+	ds, err := Generate(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset("External", g, ds.Traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "External" || len(loaded.Traces) != 5 {
+		t.Errorf("loaded = %s, %d traces", loaded.Name, len(loaded.Traces))
+	}
+	if ods := loaded.ExtractOD(); len(ods) == 0 {
+		t.Error("loaded dataset yields no OD pairs")
+	}
+	// Validation failures.
+	if _, err := LoadDataset("x", nil, ds.Traces); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := LoadDataset("x", g, nil); err == nil {
+		t.Error("empty traces accepted")
+	}
+	if _, err := LoadDataset("x", g, []Trace{{TaxiID: 0}}); err == nil {
+		t.Error("fixless trace accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"math"
+)
+
+// SegmentConfig controls trip segmentation of raw GPS streams. Real taxi
+// feeds (the CRAWDAD sets) are continuous per-vehicle position streams, not
+// per-trip files; segmentation splits them into trips at long time gaps and
+// long dwells, which is how §5.1's "traces" are obtained from the raw data.
+type SegmentConfig struct {
+	// MaxGap splits when consecutive fixes are further apart in time than
+	// this (sensor off / data hole), in seconds.
+	MaxGap float64
+	// DwellRadius and DwellTime split when the vehicle stays within
+	// DwellRadius meters for at least DwellTime seconds (passenger
+	// drop-off, parking).
+	DwellRadius float64
+	DwellTime   float64
+	// MinFixes drops segments shorter than this many fixes.
+	MinFixes int
+	// MinLength drops segments whose path length is below this (meters);
+	// GPS jitter around a parked car is not a trip.
+	MinLength float64
+}
+
+// DefaultSegmentConfig returns thresholds suitable for 15-second urban taxi
+// feeds.
+func DefaultSegmentConfig() SegmentConfig {
+	return SegmentConfig{
+		MaxGap:      120,
+		DwellRadius: 40,
+		DwellTime:   180,
+		MinFixes:    4,
+		MinLength:   500,
+	}
+}
+
+// Segment splits one continuous vehicle stream into trips. Trip TaxiIDs
+// inherit the stream's TaxiID. Fixes must be time-ordered (ReadCSV
+// guarantees this).
+func Segment(stream Trace, cfg SegmentConfig) []Trace {
+	if len(stream.Fixes) == 0 {
+		return nil
+	}
+	var trips []Trace
+	var cur []Fix
+	flush := func() {
+		if keepSegment(cur, cfg) {
+			trips = append(trips, Trace{TaxiID: stream.TaxiID, Fixes: append([]Fix(nil), cur...)})
+		}
+		cur = cur[:0]
+	}
+	dwellStart := -1 // index into cur where the current dwell begins
+	for _, f := range stream.Fixes {
+		if n := len(cur); n > 0 {
+			if f.Time-cur[n-1].Time > cfg.MaxGap {
+				flush()
+				dwellStart = -1
+			}
+		}
+		cur = append(cur, f)
+		// Dwell detection: find the earliest fix still within DwellRadius
+		// of the newest.
+		if cfg.DwellRadius > 0 && cfg.DwellTime > 0 {
+			if dwellStart < 0 || dwellStart >= len(cur) ||
+				cur[len(cur)-1].Pos.Dist(cur[dwellStart].Pos) > cfg.DwellRadius {
+				// Restart the dwell window at the first fix within radius,
+				// scanning back from the end.
+				dwellStart = len(cur) - 1
+				for dwellStart > 0 && cur[len(cur)-1].Pos.Dist(cur[dwellStart-1].Pos) <= cfg.DwellRadius {
+					dwellStart--
+				}
+			}
+			if cur[len(cur)-1].Time-cur[dwellStart].Time >= cfg.DwellTime {
+				// The vehicle has been parked: close the trip at the dwell
+				// start and begin fresh from the dwell.
+				head := append([]Fix(nil), cur[:dwellStart+1]...)
+				tailStart := len(cur) - 1
+				savedCur := cur
+				cur = head
+				flush()
+				cur = append(cur[:0], savedCur[tailStart:]...)
+				dwellStart = -1
+			}
+		}
+	}
+	flush()
+	return trips
+}
+
+// keepSegment applies the MinFixes / MinLength filters.
+func keepSegment(fixes []Fix, cfg SegmentConfig) bool {
+	if len(fixes) < cfg.MinFixes {
+		return false
+	}
+	var length float64
+	for i := 1; i < len(fixes); i++ {
+		length += fixes[i-1].Pos.Dist(fixes[i].Pos)
+	}
+	return length >= cfg.MinLength
+}
+
+// SegmentAll segments every stream and returns the trips in stream order.
+func SegmentAll(streams []Trace, cfg SegmentConfig) []Trace {
+	var out []Trace
+	for _, st := range streams {
+		out = append(out, Segment(st, cfg)...)
+	}
+	return out
+}
+
+// TripStats summarizes segmentation output for sanity checks.
+type TripStats struct {
+	Trips          int
+	MeanDuration   float64
+	MeanLength     float64
+	ShortestLength float64
+	LongestLength  float64
+}
+
+// Summarize computes TripStats over segmented trips.
+func Summarize(trips []Trace) TripStats {
+	st := TripStats{Trips: len(trips), ShortestLength: math.Inf(1)}
+	if len(trips) == 0 {
+		st.ShortestLength = 0
+		return st
+	}
+	for _, tr := range trips {
+		st.MeanDuration += tr.Duration()
+		var l float64
+		for i := 1; i < len(tr.Fixes); i++ {
+			l += tr.Fixes[i-1].Pos.Dist(tr.Fixes[i].Pos)
+		}
+		st.MeanLength += l
+		if l < st.ShortestLength {
+			st.ShortestLength = l
+		}
+		if l > st.LongestLength {
+			st.LongestLength = l
+		}
+	}
+	st.MeanDuration /= float64(len(trips))
+	st.MeanLength /= float64(len(trips))
+	return st
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// driveFixes emits fixes along +x at 10 m/s every 15 s starting at (x0, 0)
+// and time t0.
+func driveFixes(t0, x0 float64, n int) []Fix {
+	fixes := make([]Fix, n)
+	for i := range fixes {
+		fixes[i] = Fix{Pos: geo.Pt(x0+float64(i)*150, 0), Time: t0 + float64(i)*15}
+	}
+	return fixes
+}
+
+func TestSegmentSplitsOnGap(t *testing.T) {
+	cfg := DefaultSegmentConfig()
+	stream := Trace{TaxiID: 3}
+	stream.Fixes = append(stream.Fixes, driveFixes(0, 0, 10)...)
+	// 10-minute hole, then a second trip elsewhere.
+	stream.Fixes = append(stream.Fixes, driveFixes(15*9+600, 5000, 10)...)
+	trips := Segment(stream, cfg)
+	if len(trips) != 2 {
+		t.Fatalf("got %d trips, want 2", len(trips))
+	}
+	for i, tr := range trips {
+		if tr.TaxiID != 3 {
+			t.Errorf("trip %d taxi = %d", i, tr.TaxiID)
+		}
+		if len(tr.Fixes) != 10 {
+			t.Errorf("trip %d has %d fixes", i, len(tr.Fixes))
+		}
+	}
+}
+
+func TestSegmentSplitsOnDwell(t *testing.T) {
+	cfg := DefaultSegmentConfig()
+	stream := Trace{TaxiID: 1}
+	stream.Fixes = append(stream.Fixes, driveFixes(0, 0, 10)...)
+	// Park for 5 minutes at the end of the first leg (within DwellRadius).
+	parkX := stream.Fixes[len(stream.Fixes)-1].Pos.X
+	parkT := stream.Fixes[len(stream.Fixes)-1].Time
+	for i := 1; i <= 20; i++ {
+		stream.Fixes = append(stream.Fixes, Fix{
+			Pos:  geo.Pt(parkX+math.Mod(float64(i)*7, 20), 5),
+			Time: parkT + float64(i)*15,
+		})
+	}
+	// Drive away again.
+	lastT := stream.Fixes[len(stream.Fixes)-1].Time
+	stream.Fixes = append(stream.Fixes, driveFixes(lastT+15, parkX+100, 10)...)
+	trips := Segment(stream, cfg)
+	if len(trips) != 2 {
+		t.Fatalf("got %d trips, want 2 (split at the dwell)", len(trips))
+	}
+}
+
+func TestSegmentFilters(t *testing.T) {
+	cfg := DefaultSegmentConfig()
+	// Too few fixes.
+	if trips := Segment(Trace{Fixes: driveFixes(0, 0, 3)}, cfg); len(trips) != 0 {
+		t.Errorf("3-fix segment kept: %d", len(trips))
+	}
+	// Long enough in fixes but too short in distance (parked jitter).
+	jitter := Trace{}
+	for i := 0; i < 10; i++ {
+		jitter.Fixes = append(jitter.Fixes, Fix{Pos: geo.Pt(float64(i%2)*5, 0), Time: float64(i) * 15})
+	}
+	if trips := Segment(jitter, cfg); len(trips) != 0 {
+		t.Errorf("jitter segment kept: %d", len(trips))
+	}
+	// A clean trip passes.
+	if trips := Segment(Trace{Fixes: driveFixes(0, 0, 10)}, cfg); len(trips) != 1 {
+		t.Errorf("clean trip dropped")
+	}
+	// Empty stream.
+	if trips := Segment(Trace{}, cfg); trips != nil {
+		t.Errorf("empty stream produced trips")
+	}
+}
+
+func TestSegmentAll(t *testing.T) {
+	cfg := DefaultSegmentConfig()
+	streams := []Trace{
+		{TaxiID: 0, Fixes: driveFixes(0, 0, 10)},
+		{TaxiID: 1, Fixes: driveFixes(0, 9999, 10)},
+	}
+	trips := SegmentAll(streams, cfg)
+	if len(trips) != 2 {
+		t.Fatalf("got %d trips", len(trips))
+	}
+	if trips[0].TaxiID != 0 || trips[1].TaxiID != 1 {
+		t.Error("stream order not preserved")
+	}
+}
+
+func TestSegmentPreservesOrderAndTimes(t *testing.T) {
+	cfg := DefaultSegmentConfig()
+	stream := Trace{Fixes: driveFixes(100, 0, 20)}
+	trips := Segment(stream, cfg)
+	if len(trips) != 1 {
+		t.Fatalf("got %d trips", len(trips))
+	}
+	for i := 1; i < len(trips[0].Fixes); i++ {
+		if trips[0].Fixes[i].Time <= trips[0].Fixes[i-1].Time {
+			t.Fatal("fix times not increasing in trip")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	trips := []Trace{
+		{Fixes: driveFixes(0, 0, 11)}, // 1500 m, 150 s
+		{Fixes: driveFixes(0, 0, 21)}, // 3000 m, 300 s
+	}
+	st := Summarize(trips)
+	if st.Trips != 2 {
+		t.Errorf("Trips = %d", st.Trips)
+	}
+	if math.Abs(st.MeanLength-2250) > 1e-9 {
+		t.Errorf("MeanLength = %v", st.MeanLength)
+	}
+	if math.Abs(st.MeanDuration-225) > 1e-9 {
+		t.Errorf("MeanDuration = %v", st.MeanDuration)
+	}
+	if st.ShortestLength != 1500 || st.LongestLength != 3000 {
+		t.Errorf("extremes = %v / %v", st.ShortestLength, st.LongestLength)
+	}
+	empty := Summarize(nil)
+	if empty.Trips != 0 || empty.ShortestLength != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+// Synthetic end-to-end: concatenate generated trips into one raw stream
+// with gaps, segment it, and recover the same trip count.
+func TestSegmentRecoversGeneratedTrips(t *testing.T) {
+	spec := Shanghai()
+	spec.Trips = 6
+	ds, err := Generate(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := Trace{TaxiID: 0}
+	clock := 0.0
+	for _, tr := range ds.Traces {
+		for i, f := range tr.Fixes {
+			stream.Fixes = append(stream.Fixes, Fix{
+				Pos:  f.Pos,
+				Time: clock + f.Time - tr.Fixes[0].Time + float64(i)*0, // shift to the running clock
+			})
+		}
+		clock = stream.Fixes[len(stream.Fixes)-1].Time + 600 // 10-min gap between trips
+	}
+	cfg := DefaultSegmentConfig()
+	cfg.MinLength = 0 // generated trips can be short
+	cfg.MinFixes = 2
+	trips := Segment(stream, cfg)
+	if len(trips) != len(ds.Traces) {
+		t.Fatalf("recovered %d trips from %d generated", len(trips), len(ds.Traces))
+	}
+}

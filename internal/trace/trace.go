@@ -1,0 +1,212 @@
+// Package trace implements the taxi-trace substrate. The paper evaluates on
+// three CRAWDAD GPS datasets (Shanghai, Roma, Epfl/San Francisco); those are
+// not redistributable, so this package generates synthetic trace sets with
+// the same structure: timestamped GPS trajectories of taxis driving through
+// a city, from which origin–destination pairs are extracted exactly as §5.1
+// does with the real data. Generation is fully deterministic under a seed.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/roadnet"
+)
+
+// Fix is one GPS sample: a position and a timestamp in seconds since the
+// start of the observation day.
+type Fix struct {
+	Pos  geo.Point
+	Time float64
+}
+
+// Trace is one taxi trip as a sequence of fixes.
+type Trace struct {
+	TaxiID int
+	Fixes  []Fix
+}
+
+// Duration returns the trip duration in seconds.
+func (t Trace) Duration() float64 {
+	if len(t.Fixes) < 2 {
+		return 0
+	}
+	return t.Fixes[len(t.Fixes)-1].Time - t.Fixes[0].Time
+}
+
+// Origin returns the first fix position. It panics on an empty trace.
+func (t Trace) Origin() geo.Point { return t.Fixes[0].Pos }
+
+// Destination returns the last fix position. It panics on an empty trace.
+func (t Trace) Destination() geo.Point { return t.Fixes[len(t.Fixes)-1].Pos }
+
+// Dataset is a named collection of traces over a city graph.
+type Dataset struct {
+	Name   string
+	Kind   roadnet.CityKind
+	Graph  *roadnet.Graph
+	Traces []Trace
+}
+
+// Spec describes one of the paper's three datasets (§5.1).
+type Spec struct {
+	Name string
+	Kind roadnet.CityKind
+	// Trips is the number of selected traces (200 / 150 / 200 in the paper).
+	Trips int
+	// CenterBias in [0,1]: probability a trip endpoint is drawn near the
+	// city center rather than uniformly (Roma traces are center-selected).
+	CenterBias float64
+	// SampleInterval is the GPS sampling period in seconds.
+	SampleInterval float64
+	// NoiseStd is the GPS noise standard deviation in meters.
+	NoiseStd float64
+}
+
+// Shanghai mirrors the Shanghai taxi dataset: 200 one-day traces over a
+// large dense grid.
+func Shanghai() Spec {
+	return Spec{Name: "Shanghai", Kind: roadnet.GridCity, Trips: 200, CenterBias: 0.3, SampleInterval: 15, NoiseStd: 8}
+}
+
+// Roma mirrors the Roma taxi dataset: 150 traces selected in the city
+// center of a radial-ring network.
+func Roma() Spec {
+	return Spec{Name: "Roma", Kind: roadnet.RadialCity, Trips: 150, CenterBias: 0.65, SampleInterval: 15, NoiseStd: 10}
+}
+
+// Epfl mirrors the Epfl (San Francisco Bay Area) mobility dataset: 200
+// traces over a speed-heterogeneous grid.
+func Epfl() Spec {
+	return Spec{Name: "Epfl", Kind: roadnet.HillCity, Trips: 200, CenterBias: 0.35, SampleInterval: 15, NoiseStd: 8}
+}
+
+// AllSpecs returns the three dataset specs in the paper's order.
+func AllSpecs() []Spec { return []Spec{Shanghai(), Roma(), Epfl()} }
+
+// SpecByName returns the spec with the given (case-sensitive) name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range AllSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("trace: unknown dataset %q (want Shanghai, Roma, or Epfl)", name)
+}
+
+// Generate builds the dataset: a city graph plus Trips synthetic taxi
+// trajectories driven along shortest paths with per-edge speeds and GPS
+// noise.
+func Generate(spec Spec, seed uint64) (*Dataset, error) {
+	s := rng.New(seed)
+	g := roadnet.GenerateCity(roadnet.DefaultCity(spec.Kind), s.Child())
+	ds := &Dataset{Name: spec.Name, Kind: spec.Kind, Graph: g}
+	tripStream := s.Child()
+	for i := 0; i < spec.Trips; i++ {
+		tr, err := generateTrip(spec, g, i, tripStream.Child())
+		if err != nil {
+			return nil, fmt.Errorf("trace: trip %d: %w", i, err)
+		}
+		ds.Traces = append(ds.Traces, tr)
+	}
+	return ds, nil
+}
+
+// sampleEndpoint draws a trip endpoint node, biased toward the city center
+// with probability spec.CenterBias.
+func sampleEndpoint(spec Spec, g *roadnet.Graph, s *rng.Stream, bounds geo.Rect) roadnet.NodeID {
+	if s.Bool(spec.CenterBias) {
+		c := bounds.Center()
+		spread := 0.18 * math.Max(bounds.Width(), bounds.Height())
+		p := geo.Pt(c.X+s.Norm(0, spread), c.Y+s.Norm(0, spread))
+		return g.NearestNode(p)
+	}
+	return roadnet.NodeID(s.Intn(g.NumNodes()))
+}
+
+func graphBounds(g *roadnet.Graph) geo.Rect {
+	pts := make([]geo.Point, g.NumNodes())
+	for i := range pts {
+		pts[i] = g.Pos(roadnet.NodeID(i))
+	}
+	return geo.Bound(pts)
+}
+
+func generateTrip(spec Spec, g *roadnet.Graph, taxi int, s *rng.Stream) (Trace, error) {
+	bounds := graphBounds(g)
+	var path roadnet.Path
+	for attempt := 0; ; attempt++ {
+		src := sampleEndpoint(spec, g, s, bounds)
+		dst := sampleEndpoint(spec, g, s, bounds)
+		if src == dst {
+			continue
+		}
+		p, err := g.ShortestPath(src, dst, roadnet.ByTime)
+		if err != nil {
+			if attempt > 50 {
+				return Trace{}, err
+			}
+			continue
+		}
+		// Reject degenerate one-block hops so trips look like real taxi rides.
+		if p.Length < 2.5*avgEdgeLen(g) && attempt <= 50 {
+			continue
+		}
+		path = p
+		break
+	}
+	pl := g.Polyline(path)
+	start := s.Uniform(0, 20*3600) // departure some time during the day
+	tr := Trace{TaxiID: taxi}
+	// Walk the polyline at the average path speed, emitting fixes every
+	// SampleInterval seconds with GPS noise.
+	speed := path.Length / path.Time
+	total := pl.Length()
+	for d, tm := 0.0, start; ; d, tm = d+speed*spec.SampleInterval, tm+spec.SampleInterval {
+		at := pl.PointAt(d)
+		noisy := geo.Pt(at.X+s.Norm(0, spec.NoiseStd), at.Y+s.Norm(0, spec.NoiseStd))
+		tr.Fixes = append(tr.Fixes, Fix{Pos: noisy, Time: tm})
+		if d >= total {
+			break
+		}
+	}
+	return tr, nil
+}
+
+func avgEdgeLen(g *roadnet.Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range g.Edges {
+		sum += e.Length
+	}
+	return sum / float64(g.NumEdges())
+}
+
+// ODPair is an origin–destination node pair extracted from a trace.
+type ODPair struct {
+	Origin, Destination roadnet.NodeID
+}
+
+// ExtractOD maps each trace to the road-network nodes nearest its first and
+// last fixes — the §5.1 procedure ("we extract the origin and the
+// destination from the traces"). Traces that snap to identical nodes are
+// skipped.
+func (d *Dataset) ExtractOD() []ODPair {
+	var out []ODPair
+	for _, tr := range d.Traces {
+		if len(tr.Fixes) == 0 {
+			continue
+		}
+		o := d.Graph.NearestNode(tr.Origin())
+		t := d.Graph.NearestNode(tr.Destination())
+		if o == t {
+			continue
+		}
+		out = append(out, ODPair{Origin: o, Destination: t})
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+func TestSpecs(t *testing.T) {
+	specs := AllSpecs()
+	if len(specs) != 3 {
+		t.Fatalf("AllSpecs len = %d", len(specs))
+	}
+	wantTrips := map[string]int{"Shanghai": 200, "Roma": 150, "Epfl": 200}
+	for _, s := range specs {
+		if s.Trips != wantTrips[s.Name] {
+			t.Errorf("%s trips = %d, want %d (paper §5.1)", s.Name, s.Trips, wantTrips[s.Name])
+		}
+	}
+	if Shanghai().Kind != roadnet.GridCity || Roma().Kind != roadnet.RadialCity || Epfl().Kind != roadnet.HillCity {
+		t.Error("dataset city kinds wrong")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("Roma")
+	if err != nil || s.Name != "Roma" {
+		t.Errorf("SpecByName(Roma) = %v, %v", s, err)
+	}
+	if _, err := SpecByName("Atlantis"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func genSmall(t *testing.T, spec Spec) *Dataset {
+	t.Helper()
+	spec.Trips = 25 // keep unit tests fast; full counts exercised in benches
+	ds, err := Generate(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateBasics(t *testing.T) {
+	for _, spec := range AllSpecs() {
+		ds := genSmall(t, spec)
+		if len(ds.Traces) != 25 {
+			t.Fatalf("%s: got %d traces", spec.Name, len(ds.Traces))
+		}
+		if ds.Graph.NumNodes() == 0 {
+			t.Fatalf("%s: empty graph", spec.Name)
+		}
+		for i, tr := range ds.Traces {
+			if len(tr.Fixes) < 2 {
+				t.Fatalf("%s trace %d: only %d fixes", spec.Name, i, len(tr.Fixes))
+			}
+			if tr.TaxiID != i {
+				t.Errorf("%s trace %d: TaxiID = %d", spec.Name, i, tr.TaxiID)
+			}
+			if tr.Duration() <= 0 {
+				t.Errorf("%s trace %d: duration %v", spec.Name, i, tr.Duration())
+			}
+			// Timestamps strictly increase.
+			for j := 1; j < len(tr.Fixes); j++ {
+				if tr.Fixes[j].Time <= tr.Fixes[j-1].Time {
+					t.Fatalf("%s trace %d: non-increasing time at %d", spec.Name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Shanghai()
+	spec.Trips = 10
+	a, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Traces {
+		if len(a.Traces[i].Fixes) != len(b.Traces[i].Fixes) {
+			t.Fatalf("trace %d: fix counts differ", i)
+		}
+		for j := range a.Traces[i].Fixes {
+			if a.Traces[i].Fixes[j] != b.Traces[i].Fixes[j] {
+				t.Fatalf("trace %d fix %d differs", i, j)
+			}
+		}
+	}
+	c, err := Generate(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Traces[0].Fixes) == len(a.Traces[0].Fixes) &&
+		c.Traces[0].Fixes[0] == a.Traces[0].Fixes[0] {
+		t.Error("different seeds produced identical first trace")
+	}
+}
+
+func TestTracesFollowRoads(t *testing.T) {
+	// Every fix should be near the road network (within a few noise sigmas
+	// of some node-to-node segment). We check distance to the nearest node
+	// is bounded by a block length plus noise.
+	ds := genSmall(t, Shanghai())
+	cfg := roadnet.DefaultCity(roadnet.GridCity)
+	maxDist := cfg.BlockLen + 6*Shanghai().NoiseStd
+	for i, tr := range ds.Traces {
+		for j, f := range tr.Fixes {
+			n := ds.Graph.NearestNode(f.Pos)
+			if d := ds.Graph.Pos(n).Dist(f.Pos); d > maxDist {
+				t.Fatalf("trace %d fix %d is %vm from any node", i, j, d)
+			}
+		}
+	}
+}
+
+func TestExtractOD(t *testing.T) {
+	ds := genSmall(t, Roma())
+	ods := ds.ExtractOD()
+	if len(ods) == 0 {
+		t.Fatal("no OD pairs extracted")
+	}
+	if len(ods) > len(ds.Traces) {
+		t.Fatalf("more OD pairs (%d) than traces (%d)", len(ods), len(ds.Traces))
+	}
+	for _, od := range ods {
+		if od.Origin == od.Destination {
+			t.Fatal("degenerate OD pair survived extraction")
+		}
+		// Both endpoints routable.
+		if _, err := ds.Graph.ShortestPath(od.Origin, od.Destination, roadnet.ByLength); err != nil {
+			t.Fatalf("OD pair unroutable: %v", err)
+		}
+	}
+}
+
+func TestRomaCenterBias(t *testing.T) {
+	// Roma endpoints should be center-heavy relative to uniform sampling.
+	spec := Roma()
+	spec.Trips = 60
+	ds, err := Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geo.Point, ds.Graph.NumNodes())
+	for i := range pts {
+		pts[i] = ds.Graph.Pos(roadnet.NodeID(i))
+	}
+	bounds := geo.Bound(pts)
+	center := bounds.Center()
+	radius := 0.45 * math.Max(bounds.Width(), bounds.Height()) / 2
+	inner := 0
+	total := 0
+	for _, od := range ds.ExtractOD() {
+		for _, n := range []roadnet.NodeID{od.Origin, od.Destination} {
+			total++
+			if ds.Graph.Pos(n).Dist(center) <= radius {
+				inner++
+			}
+		}
+	}
+	// Uniform over a disc-ish radial city would put well under half the
+	// endpoints within 45% of the radius; the bias should push it higher.
+	if frac := float64(inner) / float64(total); frac < 0.35 {
+		t.Errorf("center fraction = %v, expected center bias", frac)
+	}
+}
+
+func TestTraceAccessorsPanicOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Origin on empty trace did not panic")
+		}
+	}()
+	(Trace{}).Origin()
+}
+
+func TestDurationEdge(t *testing.T) {
+	if d := (Trace{}).Duration(); d != 0 {
+		t.Errorf("empty Duration = %v", d)
+	}
+	tr := Trace{Fixes: []Fix{{Time: 5}}}
+	if d := tr.Duration(); d != 0 {
+		t.Errorf("single-fix Duration = %v", d)
+	}
+}

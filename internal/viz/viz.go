@@ -1,0 +1,137 @@
+// Package viz renders road networks, tasks, and selected routes as ASCII
+// maps for terminal inspection — the lightweight companion to the GeoJSON
+// export of Fig. 13. Rendering is deterministic and purely textual, so
+// tests can assert on map contents.
+package viz
+
+import (
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/task"
+)
+
+// Canvas is a character grid over a world-coordinate viewport.
+type Canvas struct {
+	w, h   int
+	cells  []rune
+	bounds geo.Rect
+}
+
+// NewCanvas creates a w×h canvas mapped onto the given world bounds.
+// Degenerate bounds are expanded slightly so projection stays finite.
+func NewCanvas(w, h int, bounds geo.Rect) *Canvas {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	if bounds.Width() == 0 {
+		bounds.Max.X = bounds.Min.X + 1
+	}
+	if bounds.Height() == 0 {
+		bounds.Max.Y = bounds.Min.Y + 1
+	}
+	c := &Canvas{w: w, h: h, cells: make([]rune, w*h), bounds: bounds}
+	for i := range c.cells {
+		c.cells[i] = ' '
+	}
+	return c
+}
+
+// project maps a world point to cell coordinates (may be out of range).
+func (c *Canvas) project(p geo.Point) (int, int) {
+	fx := (p.X - c.bounds.Min.X) / c.bounds.Width()
+	fy := (p.Y - c.bounds.Min.Y) / c.bounds.Height()
+	x := int(fx * float64(c.w-1))
+	// Y grows upward in world space but downward on the terminal.
+	y := int((1 - fy) * float64(c.h-1))
+	return x, y
+}
+
+// Set draws ch at the world point if it projects inside the canvas.
+// Priority: an existing non-space character is only overwritten when
+// overwrite is true.
+func (c *Canvas) Set(p geo.Point, ch rune, overwrite bool) {
+	x, y := c.project(p)
+	if x < 0 || x >= c.w || y < 0 || y >= c.h {
+		return
+	}
+	i := y*c.w + x
+	if c.cells[i] != ' ' && !overwrite {
+		return
+	}
+	c.cells[i] = ch
+}
+
+// Line draws ch along the world segment from a to b (sampled densely
+// enough to leave no gaps at the canvas resolution).
+func (c *Canvas) Line(a, b geo.Point, ch rune, overwrite bool) {
+	steps := 2 * (c.w + c.h)
+	for i := 0; i <= steps; i++ {
+		c.Set(a.Lerp(b, float64(i)/float64(steps)), ch, overwrite)
+	}
+}
+
+// String renders the canvas.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	b.Grow((c.w + 1) * c.h)
+	for y := 0; y < c.h; y++ {
+		row := strings.TrimRight(string(c.cells[y*c.w:(y+1)*c.w]), " ")
+		b.WriteString(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MapConfig selects what RenderMap draws.
+type MapConfig struct {
+	Width, Height int
+	// Roads draws the network with light dots.
+	Roads bool
+	// Tasks marks task locations with '*'.
+	Tasks *task.Set
+	// Routes draws each polyline with its rune ('1'-'9' typically);
+	// Selected routes (same index set) are drawn last so they sit on top.
+	Routes     []geo.Polyline
+	RouteRunes []rune
+}
+
+// RenderMap draws a road network with optional tasks and routes. Layering:
+// roads underneath, routes above them, tasks on top.
+func RenderMap(g *roadnet.Graph, cfg MapConfig) string {
+	if cfg.Width <= 0 {
+		cfg.Width = 72
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 24
+	}
+	pts := make([]geo.Point, g.NumNodes())
+	for i := range pts {
+		pts[i] = g.Pos(roadnet.NodeID(i))
+	}
+	canvas := NewCanvas(cfg.Width, cfg.Height, geo.Bound(pts).Expand(1))
+	if cfg.Roads {
+		for _, e := range g.Edges {
+			canvas.Line(g.Pos(e.From), g.Pos(e.To), '.', false)
+		}
+	}
+	for i, route := range cfg.Routes {
+		ch := '#'
+		if i < len(cfg.RouteRunes) {
+			ch = cfg.RouteRunes[i]
+		}
+		for j := 1; j < len(route); j++ {
+			canvas.Line(route[j-1], route[j], ch, true)
+		}
+	}
+	if cfg.Tasks != nil {
+		for _, tk := range cfg.Tasks.Tasks {
+			canvas.Set(tk.Pos, '*', true)
+		}
+	}
+	return canvas.String()
+}

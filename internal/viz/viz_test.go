@@ -1,0 +1,147 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/roadnet"
+	"repro/internal/task"
+)
+
+func TestCanvasSetAndString(t *testing.T) {
+	c := NewCanvas(10, 5, geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)})
+	c.Set(geo.Pt(0, 100), 'A', true)   // top-left
+	c.Set(geo.Pt(100, 0), 'B', true)   // bottom-right
+	c.Set(geo.Pt(50, 50), 'C', true)   // middle
+	c.Set(geo.Pt(500, 500), 'X', true) // out of bounds: ignored
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("canvas has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "A") {
+		t.Errorf("top-left: %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[4], "B") {
+		t.Errorf("bottom-right: %q", lines[4])
+	}
+	if !strings.Contains(out, "C") {
+		t.Error("middle point missing")
+	}
+	if strings.Contains(out, "X") {
+		t.Error("out-of-bounds point drawn")
+	}
+}
+
+func TestCanvasOverwritePriority(t *testing.T) {
+	c := NewCanvas(5, 5, geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(10, 10)})
+	p := geo.Pt(5, 5)
+	c.Set(p, 'a', true)
+	c.Set(p, 'b', false) // must not overwrite
+	if !strings.Contains(c.String(), "a") || strings.Contains(c.String(), "b") {
+		t.Error("overwrite=false replaced existing rune")
+	}
+	c.Set(p, 'c', true) // must overwrite
+	if !strings.Contains(c.String(), "c") {
+		t.Error("overwrite=true did not replace")
+	}
+}
+
+func TestCanvasLineContinuity(t *testing.T) {
+	c := NewCanvas(20, 20, geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)})
+	c.Line(geo.Pt(0, 0), geo.Pt(100, 100), '#', true)
+	// Every row the diagonal crosses must contain a '#'.
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	hashRows := 0
+	for _, ln := range lines {
+		if strings.Contains(ln, "#") {
+			hashRows++
+		}
+	}
+	if hashRows != 20 {
+		t.Errorf("diagonal covers %d of 20 rows", hashRows)
+	}
+}
+
+func TestCanvasDegenerateBounds(t *testing.T) {
+	c := NewCanvas(5, 5, geo.Rect{Min: geo.Pt(3, 3), Max: geo.Pt(3, 3)})
+	c.Set(geo.Pt(3, 3), 'Z', true)
+	if !strings.Contains(c.String(), "Z") {
+		t.Error("degenerate bounds cannot draw")
+	}
+	c2 := NewCanvas(0, 0, geo.Rect{})
+	_ = c2.String() // must not panic
+}
+
+func TestRenderMap(t *testing.T) {
+	g := roadnet.GenerateCity(roadnet.DefaultCity(roadnet.GridCity), rng.New(1))
+	tasks := &task.Set{Tasks: []task.Task{
+		{ID: 0, Pos: g.Pos(5), A: 10},
+		{ID: 1, Pos: g.Pos(50), A: 10},
+	}}
+	p, err := g.ShortestPath(0, roadnet.NodeID(g.NumNodes()-1), roadnet.ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderMap(g, MapConfig{
+		Width: 60, Height: 20,
+		Roads:      true,
+		Tasks:      tasks,
+		Routes:     []geo.Polyline{g.Polyline(p)},
+		RouteRunes: []rune{'1'},
+	})
+	if !strings.Contains(out, ".") {
+		t.Error("roads not drawn")
+	}
+	if !strings.Contains(out, "1") {
+		t.Error("route not drawn")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("tasks not drawn")
+	}
+	if n := strings.Count(out, "\n"); n != 20 {
+		t.Errorf("map has %d rows, want 20", n)
+	}
+}
+
+func TestRenderMapDefaults(t *testing.T) {
+	g := roadnet.GenerateCity(roadnet.DefaultCity(RadialKind()), rng.New(2))
+	out := RenderMap(g, MapConfig{Roads: true})
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+	// Trailing all-blank rows collapse under TrimRight; count newlines.
+	if n := strings.Count(out, "\n"); n != 24 {
+		t.Errorf("default height = %d rows", n)
+	}
+}
+
+// RadialKind avoids importing the roadnet constant twice in test tables.
+func RadialKind() roadnet.CityKind { return roadnet.RadialCity }
+
+func TestRouteLayering(t *testing.T) {
+	// Routes draw over roads; tasks draw over routes.
+	g := roadnet.NewGraph()
+	a := g.AddNode(geo.Pt(0, 0))
+	b := g.AddNode(geo.Pt(100, 0))
+	if err := g.AddRoad(a, b, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	tasks := &task.Set{Tasks: []task.Task{{ID: 0, Pos: geo.Pt(50, 0), A: 10}}}
+	route := geo.Polyline{geo.Pt(0, 0), geo.Pt(100, 0)}
+	out := RenderMap(g, MapConfig{
+		Width: 21, Height: 3, Roads: true,
+		Tasks: tasks, Routes: []geo.Polyline{route}, RouteRunes: []rune{'R'},
+	})
+	if strings.Contains(out, ".") {
+		t.Error("route should cover the entire road")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("task should draw over the route")
+	}
+	if !strings.Contains(out, "R") {
+		t.Error("route rune missing")
+	}
+}

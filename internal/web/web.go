@@ -1,0 +1,126 @@
+// Package web exposes the platform's run state over HTTP: a JSON status
+// API, a plain-text summary, and a health endpoint — the operational
+// surface a deployed crowdsensing platform would ship with. The server is
+// fed through the distributed.PlatformConfig.Observer hook.
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Status is the live run state served at /api/status.
+type Status struct {
+	// Phase is "waiting", "running", or "converged".
+	Phase string `json:"phase"`
+	// Users is the expected user count.
+	Users int `json:"users"`
+	// Slot is the last completed decision slot.
+	Slot int `json:"slot"`
+	// Requests and Granted refer to the last completed slot.
+	Requests int `json:"requests"`
+	Granted  int `json:"granted"`
+	// TotalUpdates accumulates granted updates across the run.
+	TotalUpdates int `json:"total_updates"`
+	// Choices is each user's current route index (present once running).
+	Choices []int `json:"choices,omitempty"`
+	// UpdatedAt is the time of the last observation.
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+// Server holds the mutable status and implements http.Handler via Handler.
+type Server struct {
+	mu     sync.Mutex
+	status Status
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// NewServer creates a server expecting the given user count.
+func NewServer(users int) *Server {
+	return &Server{
+		status: Status{Phase: "waiting", Users: users},
+		now:    time.Now,
+	}
+}
+
+// Observer returns the callback to plug into distributed.PlatformConfig.
+func (s *Server) Observer() func(slot, requests, granted int, choices []int) {
+	return func(slot, requests, granted int, choices []int) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.status.Phase = "running"
+		s.status.Slot = slot
+		s.status.Requests = requests
+		s.status.Granted = granted
+		s.status.TotalUpdates += granted
+		s.status.Choices = choices
+		s.status.UpdatedAt = s.now()
+	}
+}
+
+// Finish marks the run converged.
+func (s *Server) Finish(choices []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.status.Phase = "converged"
+	if choices != nil {
+		s.status.Choices = choices
+	}
+	s.status.UpdatedAt = s.now()
+}
+
+// Snapshot returns a copy of the current status.
+func (s *Server) Snapshot() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.status
+	st.Choices = append([]int(nil), s.status.Choices...)
+	return st
+}
+
+// Handler returns the HTTP routes:
+//
+//	GET /healthz      -> 200 "ok"
+//	GET /api/status   -> Status as JSON
+//	GET /             -> plain-text summary
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/api/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		st := s.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(st); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		st := s.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "vcsnav platform\n")
+		fmt.Fprintf(w, "phase          %s\n", st.Phase)
+		fmt.Fprintf(w, "users          %d\n", st.Users)
+		fmt.Fprintf(w, "slot           %d\n", st.Slot)
+		fmt.Fprintf(w, "last requests  %d\n", st.Requests)
+		fmt.Fprintf(w, "last granted   %d\n", st.Granted)
+		fmt.Fprintf(w, "total updates  %d\n", st.TotalUpdates)
+		if len(st.Choices) > 0 {
+			fmt.Fprintf(w, "choices        %v\n", st.Choices)
+		}
+	})
+	return mux
+}

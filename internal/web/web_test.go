@@ -1,0 +1,164 @@
+package web
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/rng"
+)
+
+func testServer() (*Server, *httptest.Server) {
+	s := NewServer(5)
+	s.now = func() time.Time { return time.Unix(1000, 0) }
+	return s, httptest.NewServer(s.Handler())
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer()
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	s, ts := testServer()
+	defer ts.Close()
+
+	get := func() Status {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/api/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type = %q", ct)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if st := get(); st.Phase != "waiting" || st.Users != 5 {
+		t.Errorf("initial status = %+v", st)
+	}
+	obs := s.Observer()
+	obs(0, 0, 0, []int{0, 0, 0, 0, 0})
+	obs(1, 3, 1, []int{1, 0, 0, 0, 0})
+	obs(2, 2, 2, []int{1, 1, 2, 0, 0})
+	st := get()
+	if st.Phase != "running" || st.Slot != 2 || st.Requests != 2 || st.Granted != 2 {
+		t.Errorf("running status = %+v", st)
+	}
+	if st.TotalUpdates != 3 {
+		t.Errorf("TotalUpdates = %d, want 3", st.TotalUpdates)
+	}
+	if len(st.Choices) != 5 || st.Choices[2] != 2 {
+		t.Errorf("choices = %v", st.Choices)
+	}
+	s.Finish([]int{1, 1, 2, 0, 1})
+	if st := get(); st.Phase != "converged" || st.Choices[4] != 1 {
+		t.Errorf("final status = %+v", st)
+	}
+}
+
+func TestRootSummary(t *testing.T) {
+	s, ts := testServer()
+	defer ts.Close()
+	s.Observer()(3, 4, 1, []int{0, 1})
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{"phase          running", "slot           3", "last requests  4", "choices        [0 1]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNotFoundAndMethods(t *testing.T) {
+	_, ts := testServer()
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/status", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewServer(2)
+	s.Observer()(1, 1, 1, []int{0, 1})
+	snap := s.Snapshot()
+	snap.Choices[0] = 99
+	if s.Snapshot().Choices[0] == 99 {
+		t.Error("Snapshot returned aliased choices")
+	}
+}
+
+// Integration: the observer hook fires during a real distributed run and
+// the server ends converged with the final choices.
+func TestObserverWithDistributedRun(t *testing.T) {
+	in := core.RandomInstance(core.DefaultRandomConfig(8, 10), rng.New(4))
+	s := NewServer(in.NumUsers())
+	stats, err := distributed.RunInProcess(in, distributed.InProcessOptions{
+		Platform: distributed.PlatformConfig{
+			Policy:   distributed.PUU,
+			Seed:     5,
+			Observer: s.Observer(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Finish(stats.Choices)
+	st := s.Snapshot()
+	if st.Phase != "converged" {
+		t.Errorf("phase = %s", st.Phase)
+	}
+	if st.Slot != stats.Slots {
+		t.Errorf("observed slot %d != run slots %d", st.Slot, stats.Slots)
+	}
+	if st.TotalUpdates != stats.TotalUpdates {
+		t.Errorf("observed updates %d != run updates %d", st.TotalUpdates, stats.TotalUpdates)
+	}
+	for i, c := range stats.Choices {
+		if st.Choices[i] != c {
+			t.Fatalf("choice %d differs", i)
+		}
+	}
+}

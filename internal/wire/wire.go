@@ -1,0 +1,208 @@
+// Package wire defines the message vocabulary spoken between the platform
+// (Algorithm 2) and the user agents (Algorithm 1), and a gob codec for
+// carrying it over byte streams (TCP). The same messages flow over
+// in-process channel transports in package distributed.
+//
+// The protocol is deliberately information-minimal, matching the paper's
+// privacy argument: a user never learns other users' identities, routes, or
+// decisions — only the participant counts n_k for tasks its own recommended
+// routes cover, and the platform-computed costs d(r), b(r).
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Kind discriminates message types.
+type Kind int
+
+// Message kinds, in rough protocol order.
+const (
+	KindInvalid Kind = iota
+	// KindHello is sent by an agent when it connects (or reconnects after a
+	// crash) to identify itself.
+	KindHello
+	// KindInit carries the recommended route set R_i with platform-computed
+	// costs d(r), b(r) and the reward parameters of covered tasks
+	// (Algorithm 1 lines 2 and 7; Algorithm 2 lines 1 and 4).
+	KindInit
+	// KindSlotInfo opens a decision slot: current n_k for the tasks the
+	// user's routes cover (Algorithm 1 line 9).
+	KindSlotInfo
+	// KindRequest is the user's reply: whether it wants to update, the
+	// proposed route, and the PUU metadata τ_i and B_i (Algorithm 1 line
+	// 12; Algorithm 3 inputs).
+	KindRequest
+	// KindGrant tells a user it won the update opportunity (Algorithm 1
+	// line 13).
+	KindGrant
+	// KindDecision reports the user's (initial or updated) route decision
+	// (Algorithm 1 lines 4 and 15).
+	KindDecision
+	// KindTerminate ends the protocol: an equilibrium was reached
+	// (Algorithm 2 line 12).
+	KindTerminate
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindInit:
+		return "init"
+	case KindSlotInfo:
+		return "slotinfo"
+	case KindRequest:
+		return "request"
+	case KindGrant:
+		return "grant"
+	case KindDecision:
+		return "decision"
+	case KindTerminate:
+		return "terminate"
+	}
+	return "invalid"
+}
+
+// RouteInfo is one recommended route as seen by a user: the covered task
+// IDs and the platform-weighted costs d(r) = φ·h(r) and b(r) = θ·c(r).
+// The raw detour distance and congestion level stay on the platform.
+type RouteInfo struct {
+	Tasks          []int
+	DetourCost     float64
+	CongestionCost float64
+}
+
+// TaskParam carries a task's public reward parameters (Eq. 1).
+type TaskParam struct {
+	A, Mu float64
+}
+
+// Hello identifies an agent.
+type Hello struct {
+	User int
+	// Resume is set when the agent restarts mid-run and needs its state
+	// re-sent.
+	Resume bool
+}
+
+// Init carries the user's recommended routes and task parameters.
+type Init struct {
+	User   int
+	Routes []RouteInfo
+	Tasks  map[int]TaskParam
+	// CurrentRoute is the route the platform has on record for this user;
+	// -1 on first contact (the agent then chooses randomly per Algorithm 1
+	// line 3 and replies with a Decision).
+	CurrentRoute int
+}
+
+// SlotInfo opens a decision slot.
+type SlotInfo struct {
+	Slot   int
+	Counts map[int]int // n_k for tasks covered by the user's routes
+}
+
+// Request is the user's per-slot reply.
+type Request struct {
+	Slot      int
+	HasUpdate bool
+	Route     int     // proposed route (valid when HasUpdate)
+	Tau       float64 // τ_i = ΔP_i/α_i
+	B         []int   // B_i: tasks touched by the move
+}
+
+// Grant awards the update opportunity for a slot.
+type Grant struct {
+	Slot int
+}
+
+// Decision reports a chosen route. Slot 0 is the initial decision.
+type Decision struct {
+	Slot  int
+	Route int
+}
+
+// Terminate ends the run.
+type Terminate struct {
+	Slot int
+}
+
+// Message is the single on-the-wire envelope. Exactly one payload field is
+// non-nil, matching Kind.
+type Message struct {
+	Kind Kind
+	// Seq is a per-sender sequence number used to drop duplicate
+	// deliveries.
+	Seq uint64
+	// From is the sending user ID, or -1 for the platform.
+	From int
+
+	Hello     *Hello
+	Init      *Init
+	SlotInfo  *SlotInfo
+	Request   *Request
+	Grant     *Grant
+	Decision  *Decision
+	Terminate *Terminate
+}
+
+// Validate checks that the payload matches the kind.
+func (m *Message) Validate() error {
+	var ok bool
+	switch m.Kind {
+	case KindHello:
+		ok = m.Hello != nil
+	case KindInit:
+		ok = m.Init != nil
+	case KindSlotInfo:
+		ok = m.SlotInfo != nil
+	case KindRequest:
+		ok = m.Request != nil
+	case KindGrant:
+		ok = m.Grant != nil
+	case KindDecision:
+		ok = m.Decision != nil
+	case KindTerminate:
+		ok = m.Terminate != nil
+	}
+	if !ok {
+		return fmt.Errorf("wire: message kind %v with missing or mismatched payload", m.Kind)
+	}
+	return nil
+}
+
+// Codec encodes and decodes Messages over a byte stream using encoding/gob.
+type Codec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewCodec wraps a stream. For a bidirectional connection pass the same
+// net.Conn as both reader and writer.
+func NewCodec(r io.Reader, w io.Writer) *Codec {
+	return &Codec{enc: gob.NewEncoder(w), dec: gob.NewDecoder(r)}
+}
+
+// Encode writes one message.
+func (c *Codec) Encode(m *Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return c.enc.Encode(m)
+}
+
+// Decode reads one message.
+func (c *Codec) Decode() (*Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindHello, KindInit, KindSlotInfo, KindRequest, KindGrant, KindDecision, KindTerminate}
+	names := []string{"hello", "init", "slotinfo", "request", "grant", "decision", "terminate"}
+	for i, k := range kinds {
+		if k.String() != names[i] {
+			t.Errorf("Kind %d String = %q, want %q", k, k.String(), names[i])
+		}
+	}
+	if KindInvalid.String() != "invalid" || Kind(99).String() != "invalid" {
+		t.Error("invalid kind string wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Message{Kind: KindHello, Hello: &Hello{User: 3}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid message rejected: %v", err)
+	}
+	bad := &Message{Kind: KindHello, Init: &Init{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched payload accepted")
+	}
+	empty := &Message{Kind: KindGrant}
+	if err := empty.Validate(); err == nil {
+		t.Error("missing payload accepted")
+	}
+	if err := (&Message{Kind: KindInvalid}).Validate(); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	var buf bytes.Buffer
+	c := NewCodec(&buf, &buf)
+	if err := c.Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	msgs := []*Message{
+		{Kind: KindHello, Seq: 1, From: 4, Hello: &Hello{User: 4, Resume: true}},
+		{Kind: KindInit, Seq: 2, From: -1, Init: &Init{
+			User: 4,
+			Routes: []RouteInfo{
+				{Tasks: []int{1, 3}, DetourCost: 2.5, CongestionCost: 0.75},
+				{Tasks: nil, DetourCost: 0, CongestionCost: 1},
+			},
+			Tasks:        map[int]TaskParam{1: {A: 12, Mu: 0.3}, 3: {A: 15, Mu: 0.9}},
+			CurrentRoute: -1,
+		}},
+		{Kind: KindSlotInfo, Seq: 3, From: -1, SlotInfo: &SlotInfo{Slot: 7, Counts: map[int]int{1: 2, 3: 1}}},
+		{Kind: KindRequest, Seq: 4, From: 4, Request: &Request{Slot: 7, HasUpdate: true, Route: 1, Tau: 0.5, B: []int{1, 3}}},
+		{Kind: KindGrant, Seq: 5, From: -1, Grant: &Grant{Slot: 7}},
+		{Kind: KindDecision, Seq: 6, From: 4, Decision: &Decision{Slot: 7, Route: 1}},
+		{Kind: KindTerminate, Seq: 7, From: -1, Terminate: &Terminate{Slot: 9}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("round trip of %v:\n got %+v\nwant %+v", m.Kind, got, m)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf, &buf)
+	if err := c.Encode(&Message{Kind: KindGrant}); err == nil {
+		t.Error("Encode accepted invalid message")
+	}
+	if buf.Len() != 0 {
+		t.Error("invalid message wrote bytes")
+	}
+}
+
+func TestDecodeEOF(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf, &buf)
+	if _, err := c.Decode(); err == nil {
+		t.Error("Decode on empty stream succeeded")
+	}
+}
+
+func TestStreamedSequence(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewCodec(&buf, &buf)
+	for i := 0; i < 10; i++ {
+		m := &Message{Kind: KindGrant, Seq: uint64(i), From: -1, Grant: &Grant{Slot: i}}
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, err := enc.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Grant.Slot != i || m.Seq != uint64(i) {
+			t.Fatalf("message %d decoded as %+v", i, m)
+		}
+	}
+}
