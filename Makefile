@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro check fmt clean
+.PHONY: all build vet test race chaos fuzz ci bench bench-chaos repro check fmt clean
 
 all: build vet test
 
@@ -17,12 +17,33 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/distributed ./internal/parallel ./internal/experiments ./internal/web
+	$(GO) test -race ./...
+
+# Chaos/soak suite under the race detector: seeded fault injection, agent
+# crash-and-reconnect, and the >=100-run soak sweep (TestChaosSoak is
+# skipped by -short elsewhere; here it runs in full).
+chaos:
+	$(GO) test -race -run 'TestChaos|TestAsyncPotential' -count=1 ./internal/distributed
+
+# Short fuzz pass over the wire codec (corpus + a few seconds of mutation
+# per target). Extend -fuzztime locally for deeper exploration.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 5s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/wire
+
+# Full local CI gate: build, vet, tests, race (including the chaos suite),
+# and short fuzz passes.
+ci: build vet test race fuzz
+	$(GO) test -race -short -count=1 ./internal/distributed ./internal/wire
 
 # One benchmark per table/figure plus ablations; -benchtime=1x exercises
 # each once (raise for stable timings).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Convergence-slot overhead of the standard fault profile vs clean links.
+bench-chaos:
+	$(GO) test -bench BenchmarkConvergence -benchtime 20x -run '^$$' ./internal/distributed
 
 # Full paper reproduction at Table-2 scale (500 repetitions; ~15–30 min).
 repro:

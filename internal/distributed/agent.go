@@ -24,6 +24,11 @@ type AgentConfig struct {
 	// element of its best route set when updating, instead of sampling.
 	// Used by equivalence tests against a sequential reference run.
 	Deterministic bool
+	// Epoch is this agent incarnation's number: 0 for the first life, +1
+	// per crash-and-restart. It namespaces the sequence numbers so the
+	// receiver's dedup layer does not mistake a restarted agent's fresh
+	// messages for duplicates (see wire.Message.Epoch).
+	Epoch uint32
 }
 
 // Agent is the user-side state machine of Algorithm 1. It owns no global
@@ -47,7 +52,7 @@ type Agent struct {
 func NewAgent(conn Conn, cfg AgentConfig) *Agent {
 	return &Agent{
 		cfg:      cfg,
-		conn:     WithSeq(conn, cfg.User),
+		conn:     WithSeqEpoch(conn, cfg.User, cfg.Epoch),
 		rnd:      rng.New(cfg.Seed),
 		proposed: -1,
 	}
@@ -57,6 +62,18 @@ func NewAgent(conn Conn, cfg AgentConfig) *Agent {
 // returns nil on normal termination.
 func (a *Agent) Run() error {
 	if err := a.hello(false); err != nil {
+		return err
+	}
+	return a.runLoop()
+}
+
+// RunResume runs a restarted incarnation: it announces itself with
+// Hello{Resume} so the platform re-sends Init (with the decision it has on
+// record) and the current slot view, then re-enters the protocol loop.
+// The caller should have bumped AgentConfig.Epoch relative to the crashed
+// incarnation.
+func (a *Agent) RunResume() error {
+	if err := a.hello(true); err != nil {
 		return err
 	}
 	return a.runLoop()
@@ -77,10 +94,19 @@ func (a *Agent) runLoop() error {
 				return err
 			}
 		case wire.KindSlotInfo:
+			if a.routes == nil {
+				// Stale view from before a crash, delivered ahead of the
+				// resume Init: drop it, the platform re-sends the current
+				// view after re-initializing us.
+				continue
+			}
 			if err := a.handleSlot(m.SlotInfo); err != nil {
 				return err
 			}
 		case wire.KindGrant:
+			if a.routes == nil {
+				continue // stale pre-crash grant; superseded by the resume path
+			}
 			if err := a.handleGrant(m.Grant); err != nil {
 				return err
 			}
@@ -106,6 +132,7 @@ func (a *Agent) handleInit(in *wire.Init) error {
 	if len(in.Routes) == 0 {
 		return fmt.Errorf("agent %d: empty recommended route set", a.cfg.User)
 	}
+	decided := a.routes != nil
 	a.routes = in.Routes
 	a.tasks = in.Tasks
 	if in.CurrentRoute >= 0 {
@@ -115,6 +142,17 @@ func (a *Agent) handleInit(in *wire.Init) error {
 		}
 		a.current = in.CurrentRoute
 		return nil
+	}
+	if decided {
+		// Duplicate Init without a recorded decision: a restart raced our
+		// initial report (the platform re-sent Init before it saw the
+		// Decision). Re-report the decision already made instead of sampling
+		// a new one, so agent and platform never diverge; the platform drops
+		// whichever copy arrives second as stale.
+		return a.conn.Send(&wire.Message{
+			Kind:     wire.KindDecision,
+			Decision: &wire.Decision{Slot: 0, Route: a.current},
+		})
 	}
 	// Algorithm 1 line 3: initialize by randomly selecting a route.
 	if a.cfg.Deterministic {
@@ -230,7 +268,15 @@ func (a *Agent) moveTasks(c int) []int {
 
 func (a *Agent) handleGrant(g *wire.Grant) error {
 	if a.proposed < 0 {
-		return fmt.Errorf("agent %d: grant without pending proposal", a.cfg.User)
+		// A grant with no pending proposal happens when we crashed after
+		// requesting and the improvement vanished on re-evaluation after
+		// the restart. Declining by re-reporting the current route keeps
+		// the slot protocol in lockstep and is a harmless no-op move
+		// (Theorem 2's potential ascent is unaffected).
+		return a.conn.Send(&wire.Message{
+			Kind:     wire.KindDecision,
+			Decision: &wire.Decision{Slot: g.Slot, Route: a.current},
+		})
 	}
 	// Algorithm 1 lines 14–15: adopt the proposed route and report it.
 	a.current = a.proposed

@@ -42,6 +42,11 @@ type AsyncPlatform struct {
 	nk      []int
 	choices []int
 	version int
+	// Observer, when non-nil, is invoked after initialization and after
+	// every applied update with the counts version and a copy of the
+	// current route choices. The chaos tests use it to assert the
+	// potential ascends across applied updates (Theorem 2).
+	Observer func(version int, choices []int)
 }
 
 // NewAsyncPlatform wraps the connections (with sequence dedup) for an
@@ -128,6 +133,7 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 	}
 	p.version = 1
 	stats.Versions = 1
+	p.observe()
 
 	// Merge incoming messages from all users.
 	events := make(chan asyncEvent, n*4)
@@ -226,6 +232,7 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 				stats.TotalUpdates++
 				p.version++
 				stats.Versions++
+				p.observe()
 				// Counts changed: rebroadcast views; acks for older
 				// versions become stale automatically.
 				for u := 0; u < n; u++ {
@@ -263,6 +270,14 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 	stats.Converged = true
 	stats.Choices = append([]int(nil), p.choices...)
 	return stats, nil
+}
+
+// observe invokes the configured observer with a copy of the choices.
+func (p *AsyncPlatform) observe() {
+	if p.Observer == nil {
+		return
+	}
+	p.Observer(p.version, append([]int(nil), p.choices...))
 }
 
 // AsyncAgent is the user-side loop for the asynchronous protocol. Unlike
@@ -327,19 +342,53 @@ func (a *AsyncAgent) Run() error {
 	}
 }
 
+// AsyncRunOptions configures RunAsyncInProcessOpts beyond the defaults of
+// RunAsyncInProcess.
+type AsyncRunOptions struct {
+	AgentSeedBase uint64
+	// Profile, when non-zero, decorates every link with seeded fault
+	// injection; pair it with a Retry policy so the loops ride out the
+	// transient failures. Hard disconnects are not supported by the async
+	// runner (use RunChaos for crash/reconnect testing).
+	Profile   FaultProfile
+	FaultSeed uint64
+	Retry     RetryPolicy
+	// Log aggregates injected faults across all links when non-nil.
+	Log *FaultLog
+	// Observer is installed on the platform (see AsyncPlatform.Observer).
+	Observer func(version int, choices []int)
+}
+
 // RunAsyncInProcess runs the asynchronous protocol with channel transports:
 // one platform goroutine plus one async agent per user.
 func RunAsyncInProcess(in *core.Instance, agentSeedBase uint64) (AsyncStats, error) {
+	return RunAsyncInProcessOpts(in, AsyncRunOptions{AgentSeedBase: agentSeedBase})
+}
+
+// RunAsyncInProcessOpts is RunAsyncInProcess with fault injection, retry
+// hardening, and an update observer.
+func RunAsyncInProcessOpts(in *core.Instance, opts AsyncRunOptions) (AsyncStats, error) {
 	n := in.NumUsers()
 	platConns := make([]Conn, n)
 	agentConns := make([]Conn, n)
+	faulty := opts.Profile != (FaultProfile{})
 	for i := 0; i < n; i++ {
-		platConns[i], agentConns[i] = ChanPair(4 * n)
+		pc, ac := ChanPair(4 * n)
+		if faulty {
+			pc = NewFaultConn(pc, opts.Profile, faultSeed(opts.FaultSeed, i, 0), opts.Log)
+			ac = NewFaultConn(ac, opts.Profile, faultSeed(opts.FaultSeed, i, 1), opts.Log)
+		}
+		if opts.Retry.MaxAttempts > 0 {
+			pc = WithRetry(pc, opts.Retry)
+			ac = WithRetry(ac, opts.Retry)
+		}
+		platConns[i], agentConns[i] = pc, ac
 	}
 	plat, err := NewAsyncPlatform(in, platConns)
 	if err != nil {
 		return AsyncStats{}, err
 	}
+	plat.Observer = opts.Observer
 	errs := make([]error, n)
 	done := make(chan int, n)
 	for i := 0; i < n; i++ {
@@ -347,7 +396,7 @@ func RunAsyncInProcess(in *core.Instance, agentSeedBase uint64) (AsyncStats, err
 			a := NewAsyncAgent(agentConns[i], AgentConfig{
 				User:  i,
 				Alpha: in.Users[i].Alpha, Beta: in.Users[i].Beta, Gamma: in.Users[i].Gamma,
-				Seed: agentSeedBase + uint64(i),
+				Seed: opts.AgentSeedBase + uint64(i),
 			})
 			errs[i] = a.Run()
 			done <- i

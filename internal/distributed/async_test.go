@@ -22,11 +22,67 @@ func TestAsyncConvergesToNash(t *testing.T) {
 		if !p.IsNash() {
 			t.Fatalf("seed %d: async equilibrium is not Nash", seed)
 		}
+		// Same invariant the core suite asserts: an exact equilibrium has a
+		// zero Nash gap (no user can gain more than the tolerance).
+		if gap := p.NashGap(); gap > core.Eps {
+			t.Fatalf("seed %d: async Nash gap %g > %g", seed, gap, core.Eps)
+		}
 		if stats.Versions != stats.TotalUpdates+1 {
 			t.Errorf("seed %d: versions %d != updates+1 (%d)", seed, stats.Versions, stats.TotalUpdates+1)
 		}
 		if stats.Grants < stats.TotalUpdates {
 			t.Errorf("seed %d: grants %d below updates %d", seed, stats.Grants, stats.TotalUpdates)
+		}
+	}
+}
+
+// TestAsyncPotentialAscendsAndGapCloses ports the engine's Theorem-2 and
+// Nash-gap invariants to the asynchronous runtime, with and without fault
+// injection: the weighted potential must never decrease across applied
+// updates, and the final profile must have a zero Nash gap.
+func TestAsyncPotentialAscendsAndGapCloses(t *testing.T) {
+	profiles := []struct {
+		name string
+		prof FaultProfile
+	}{
+		{"clean", FaultProfile{}},
+		{"faulty", FaultProfile{SendErrProb: 0.02, RecvErrProb: 0.02, DupProb: 0.05}},
+	}
+	for _, fp := range profiles {
+		for seed := uint64(0); seed < 4; seed++ {
+			in := randomInstance(40+seed, 9, 13)
+			var pots []float64
+			opts := AsyncRunOptions{
+				AgentSeedBase: seed * 31,
+				Profile:       fp.prof,
+				FaultSeed:     seed,
+				Observer: func(version int, choices []int) {
+					pots = append(pots, profileOf(t, in, choices).Potential())
+				},
+			}
+			if fp.prof != (FaultProfile{}) {
+				opts.Retry = DefaultRetry
+			}
+			stats, err := RunAsyncInProcessOpts(in, opts)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", fp.name, seed, err)
+			}
+			if !stats.Converged {
+				t.Fatalf("%s seed %d: not converged", fp.name, seed)
+			}
+			if gap := profileOf(t, in, stats.Choices).NashGap(); gap > core.Eps {
+				t.Errorf("%s seed %d: final Nash gap %g > %g", fp.name, seed, gap, core.Eps)
+			}
+			if len(pots) != stats.TotalUpdates+1 {
+				t.Errorf("%s seed %d: observer saw %d states for %d updates",
+					fp.name, seed, len(pots), stats.TotalUpdates)
+			}
+			for i := 1; i < len(pots); i++ {
+				if pots[i] < pots[i-1]-1e-9 {
+					t.Fatalf("%s seed %d: potential decreased at update %d: %g -> %g",
+						fp.name, seed, i, pots[i-1], pots[i])
+				}
+			}
 		}
 	}
 }

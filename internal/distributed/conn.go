@@ -8,12 +8,12 @@
 package distributed
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
-	"repro/internal/rng"
 	"repro/internal/wire"
 )
 
@@ -173,28 +173,45 @@ func (c *countedConn) Close() error { return c.inner.Close() }
 
 // --- Sequence numbering and duplicate suppression ---
 
-// seqConn stamps outgoing messages with increasing sequence numbers and
-// drops incoming duplicates (messages whose Seq was already delivered).
-// This makes the protocol safe under at-least-once delivery, which the
-// failure-injection transport below exploits.
+// seqKey identifies one delivered message: the sender incarnation (epoch)
+// plus its per-incarnation sequence number. Keying duplicates on the pair
+// lets a crashed-and-restarted agent reuse low sequence numbers without its
+// fresh messages being mistaken for duplicates of its previous life.
+type seqKey struct {
+	epoch uint32
+	seq   uint64
+}
+
+// seqConn stamps outgoing messages with increasing sequence numbers (and
+// the sender's epoch) and drops incoming duplicates (messages whose
+// (Epoch, Seq) pair was already delivered). This makes the protocol safe
+// under at-least-once delivery, which the failure-injection transport in
+// faultconn.go exploits.
 type seqConn struct {
 	inner    Conn
 	from     int
+	epoch    uint32
 	nextSeq  uint64
-	lastSeen map[uint64]bool
+	lastSeen map[seqKey]bool
 	mu       sync.Mutex
 }
 
 // WithSeq wraps a connection with sequence stamping (as sender identity
 // `from`; use -1 for the platform) and duplicate suppression.
-func WithSeq(inner Conn, from int) Conn {
-	return &seqConn{inner: inner, from: from, lastSeen: make(map[uint64]bool)}
+func WithSeq(inner Conn, from int) Conn { return WithSeqEpoch(inner, from, 0) }
+
+// WithSeqEpoch is WithSeq for a specific sender incarnation: a restarted
+// agent passes its restart count so its sequence numbers live in a fresh
+// dedup namespace on the receiving side.
+func WithSeqEpoch(inner Conn, from int, epoch uint32) Conn {
+	return &seqConn{inner: inner, from: from, epoch: epoch, lastSeen: make(map[seqKey]bool)}
 }
 
 func (c *seqConn) Send(m *wire.Message) error {
 	c.mu.Lock()
 	c.nextSeq++
 	m.Seq = c.nextSeq
+	m.Epoch = c.epoch
 	m.From = c.from
 	c.mu.Unlock()
 	return c.inner.Send(m)
@@ -206,10 +223,11 @@ func (c *seqConn) Recv() (*wire.Message, error) {
 		if err != nil {
 			return nil, err
 		}
+		k := seqKey{epoch: m.Epoch, seq: m.Seq}
 		c.mu.Lock()
-		dup := c.lastSeen[m.Seq]
+		dup := c.lastSeen[k]
 		if !dup {
-			c.lastSeen[m.Seq] = true
+			c.lastSeen[k] = true
 		}
 		c.mu.Unlock()
 		if dup {
@@ -221,36 +239,153 @@ func (c *seqConn) Recv() (*wire.Message, error) {
 
 func (c *seqConn) Close() error { return c.inner.Close() }
 
-// --- Failure injection ---
+// --- Transient errors, retry, and receive watchdog ---
 
-// FaultyConn duplicates outgoing messages with probability DupProb,
-// simulating at-least-once delivery over a flaky link. (Messages are never
-// dropped: the slot-synchronous protocol assumes reliable delivery, as does
-// the paper; duplication exercises the dedup layer.)
-type FaultyConn struct {
-	Inner   Conn
-	DupProb float64
-	Rand    *rng.Stream
-	mu      sync.Mutex
+// TransientError marks a failure worth retrying: an injected fault, a
+// timeout, a momentary link hiccup. Permanent failures (closed connection,
+// crashed peer) are returned as ordinary errors and abort retry loops.
+type TransientError struct {
+	Op  string // "send" or "recv"
+	Err error
 }
 
-// Send forwards the message, sometimes twice.
-func (c *FaultyConn) Send(m *wire.Message) error {
-	if err := c.Inner.Send(m); err != nil {
-		return err
-	}
-	c.mu.Lock()
-	dup := c.Rand != nil && c.Rand.Bool(c.DupProb)
-	c.mu.Unlock()
-	if dup {
-		cp := *m // shallow copy; payloads are read-only after send
-		return c.Inner.Send(&cp)
-	}
-	return nil
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("distributed: transient %s failure: %v", e.Op, e.Err)
 }
 
-// Recv forwards to the inner connection.
-func (c *FaultyConn) Recv() (*wire.Message, error) { return c.Inner.Recv() }
+// Unwrap exposes the cause.
+func (e *TransientError) Unwrap() error { return e.Err }
 
-// Close forwards to the inner connection.
-func (c *FaultyConn) Close() error { return c.Inner.Close() }
+// IsTransient reports whether err is worth retrying: a TransientError or a
+// net.Error timeout (as produced by read deadlines on TCP transports).
+func IsTransient(err error) bool {
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// RetryPolicy bounds the retry loop of WithRetry. The zero value disables
+// retrying (one attempt, no backoff).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation (>= 1).
+	MaxAttempts int
+	// BaseDelay is the backoff after the first failure; it doubles per
+	// retry up to MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetry is a policy suitable for the chaos tests: enough attempts to
+// ride out multi-percent transient-fault rates without masking real bugs.
+var DefaultRetry = RetryPolicy{MaxAttempts: 12, BaseDelay: 100 * time.Microsecond, MaxDelay: 5 * time.Millisecond}
+
+type retryConn struct {
+	inner  Conn
+	policy RetryPolicy
+}
+
+// WithRetry wraps a connection with bounded retry-with-backoff on transient
+// Send/Recv failures. Non-transient errors pass through immediately.
+func WithRetry(inner Conn, policy RetryPolicy) Conn {
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	return &retryConn{inner: inner, policy: policy}
+}
+
+func (c *retryConn) do(op func() error) error {
+	delay := c.policy.BaseDelay
+	var err error
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt == c.policy.MaxAttempts-1 {
+			break
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if c.policy.MaxDelay > 0 && delay > c.policy.MaxDelay {
+				delay = c.policy.MaxDelay
+			}
+		}
+	}
+	return fmt.Errorf("distributed: giving up after %d attempts: %w", c.policy.MaxAttempts, err)
+}
+
+func (c *retryConn) Send(m *wire.Message) error {
+	return c.do(func() error { return c.inner.Send(m) })
+}
+
+func (c *retryConn) Recv() (*wire.Message, error) {
+	var m *wire.Message
+	err := c.do(func() error {
+		var e error
+		m, e = c.inner.Recv()
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (c *retryConn) Close() error { return c.inner.Close() }
+
+// timeoutConn bounds Recv with a watchdog so a crashed or stalled peer
+// surfaces as a transient error instead of blocking forever. A single pump
+// goroutine reads the inner connection; Recv races the pump against a
+// timer. (For TCP transports prefer NewNetConnTimeout, which uses real
+// read deadlines; this decorator serves transports without deadlines, like
+// the in-process channel pairs.)
+type timeoutConn struct {
+	inner   Conn
+	timeout time.Duration
+	msgs    chan timeoutResult
+	once    sync.Once
+}
+
+type timeoutResult struct {
+	m   *wire.Message
+	err error
+}
+
+// WithTimeout wraps a connection so every Recv fails with a transient
+// timeout error after d. The wrapped connection must only be read through
+// the wrapper from then on (a pump goroutine owns the inner Recv).
+func WithTimeout(inner Conn, d time.Duration) Conn {
+	// The one-slot buffer lets the pump park its final result (a permanent
+	// error after Close) without leaking even if no Recv ever drains it.
+	return &timeoutConn{inner: inner, timeout: d, msgs: make(chan timeoutResult, 1)}
+}
+
+func (c *timeoutConn) pump() {
+	for {
+		m, err := c.inner.Recv()
+		c.msgs <- timeoutResult{m, err}
+		if err != nil && !IsTransient(err) {
+			return // permanent failure: the connection is dead
+		}
+	}
+}
+
+func (c *timeoutConn) Send(m *wire.Message) error { return c.inner.Send(m) }
+
+func (c *timeoutConn) Recv() (*wire.Message, error) {
+	c.once.Do(func() { go c.pump() })
+	t := time.NewTimer(c.timeout)
+	defer t.Stop()
+	select {
+	case r := <-c.msgs:
+		return r.m, r.err
+	case <-t.C:
+		return nil, &TransientError{Op: "recv", Err: fmt.Errorf("timeout after %v", c.timeout)}
+	}
+}
+
+func (c *timeoutConn) Close() error { return c.inner.Close() }

@@ -7,7 +7,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/rng"
 	"repro/internal/wire"
 )
 
@@ -81,7 +80,7 @@ func TestChanPairCloseTearsDownBothEnds(t *testing.T) {
 func TestFaultyConnAlwaysDuplicates(t *testing.T) {
 	a, b := ChanPair(16)
 	defer a.Close()
-	f := &FaultyConn{Inner: a, DupProb: 1.0, Rand: rng.New(1)}
+	f := NewFaultConn(a, FaultProfile{DupProb: 1.0}, 1, nil)
 	if err := f.Send(grantMsg(7)); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +100,7 @@ func TestFaultyConnAlwaysDuplicates(t *testing.T) {
 func TestFaultyConnNeverDuplicatesAtZero(t *testing.T) {
 	a, b := ChanPair(16)
 	defer a.Close()
-	f := &FaultyConn{Inner: a, DupProb: 0, Rand: rng.New(1)}
+	f := NewFaultConn(a, FaultProfile{}, 1, nil)
 	for i := 0; i < 5; i++ {
 		if err := f.Send(grantMsg(i)); err != nil {
 			t.Fatal(err)
@@ -149,7 +148,7 @@ func TestSeqPlusFaultyEndToEnd(t *testing.T) {
 	// order.
 	a, b := ChanPair(64)
 	defer a.Close()
-	sender := WithSeq(&FaultyConn{Inner: a, DupProb: 1.0, Rand: rng.New(5)}, -1)
+	sender := WithSeq(NewFaultConn(a, FaultProfile{DupProb: 1.0}, 5, nil), -1)
 	receiver := WithSeq(b, 0)
 	const n = 20
 	go func() {

@@ -61,7 +61,11 @@ type Platform struct {
 
 	nk      []int
 	choices []int
-	ctr     *Counter
+	// inited[u] is set once user u's initial decision is applied; until
+	// then a reconnecting agent is re-sent Init with CurrentRoute -1 so it
+	// decides afresh instead of trusting a zero-valued record.
+	inited []bool
+	ctr    *Counter
 }
 
 // NewPlatform creates a platform serving len(conns) users; conns[i] must be
@@ -96,6 +100,7 @@ func NewPlatform(in *core.Instance, conns []Conn, cfg PlatformConfig) (*Platform
 		rnd:     rng.New(cfg.Seed),
 		nk:      make([]int, in.NumTasks()),
 		choices: make([]int, in.NumUsers()),
+		inited:  make([]bool, in.NumUsers()),
 		ctr:     ctr,
 	}, nil
 }
@@ -155,30 +160,67 @@ func (p *Platform) applyDecision(u, c int, initial bool) error {
 }
 
 // expect reads messages from user u until one of the wanted kind arrives,
-// transparently handling mid-run agent restarts (Hello with Resume: the
-// platform re-sends Init with the recorded decision, plus the current slot
-// info when inSlot >= 1, and keeps waiting).
-func (p *Platform) expect(u int, kind wire.Kind, inSlot int) (*wire.Message, error) {
+// transparently riding out the disruptions the fault-injection harness can
+// produce:
+//
+//   - A mid-run agent restart (Hello with Resume) re-initializes the agent:
+//     the platform re-sends Init with the recorded decision (or -1 before
+//     the initial decision landed), the current slot info when inSlot >= 1,
+//     and — when regrant is set — the Grant the crashed incarnation never
+//     answered, so the slot can still complete.
+//   - Stale Requests/Decisions (earlier slots, or a re-sent slot view
+//     answered twice across a restart) are dropped, making the platform
+//     idempotent under duplicated or replayed per-slot messages.
+func (p *Platform) expect(u int, kind wire.Kind, inSlot int, regrant bool) (*wire.Message, error) {
 	for {
 		m, err := p.conns[u].Recv()
 		if err != nil {
 			return nil, fmt.Errorf("distributed: user %d: %w", u, err)
 		}
-		if m.Kind == wire.KindHello && m.Hello.Resume {
-			if err := p.conns[u].Send(p.initMsg(u, p.choices[u])); err != nil {
+		switch {
+		case m.Kind == kind:
+			// Drop stale per-slot messages left over from a crashed
+			// incarnation or duplicated delivery.
+			if m.Kind == wire.KindRequest && m.Request.Slot < inSlot {
+				continue
+			}
+			if m.Kind == wire.KindDecision && m.Decision.Slot < inSlot {
+				continue
+			}
+			return m, nil
+		case m.Kind == wire.KindHello:
+			if m.Hello.User != u {
+				return nil, fmt.Errorf("distributed: conn %d claimed by user %d", u, m.Hello.User)
+			}
+			cur := -1
+			if p.inited[u] {
+				cur = p.choices[u]
+			}
+			if err := p.conns[u].Send(p.initMsg(u, cur)); err != nil {
 				return nil, err
 			}
-			if inSlot >= 1 {
+			if inSlot >= 1 && p.inited[u] {
 				if err := p.conns[u].Send(p.slotMsg(u, inSlot)); err != nil {
 					return nil, err
 				}
 			}
+			if regrant {
+				if err := p.conns[u].Send(&wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: inSlot}}); err != nil {
+					return nil, err
+				}
+			}
 			continue
-		}
-		if m.Kind != kind {
+		case kind == wire.KindDecision && m.Kind == wire.KindRequest && m.Request.Slot <= inSlot:
+			// A restarted winner answered the re-sent slot view before
+			// answering the re-sent Grant; its Request is redundant — the
+			// grant decision already stands on the original one.
+			continue
+		case kind == wire.KindRequest && m.Kind == wire.KindDecision && m.Decision.Slot < inSlot:
+			// Stale decision replayed across a restart.
+			continue
+		default:
 			return nil, fmt.Errorf("distributed: user %d sent %v, want %v", u, m.Kind, kind)
 		}
-		return m, nil
 	}
 }
 
@@ -191,7 +233,7 @@ func (p *Platform) Run() (stats RunStats, err error) {
 	// Initialization: greet every user, send R_i, and collect initial
 	// decisions (Algorithm 2 lines 1–4).
 	for u := range p.conns {
-		m, err := p.expect(u, wire.KindHello, 0)
+		m, err := p.expect(u, wire.KindHello, 0, false)
 		if err != nil {
 			return stats, err
 		}
@@ -203,13 +245,14 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		}
 	}
 	for u := range p.conns {
-		m, err := p.expect(u, wire.KindDecision, 0)
+		m, err := p.expect(u, wire.KindDecision, 0, false)
 		if err != nil {
 			return stats, err
 		}
 		if err := p.applyDecision(u, m.Decision.Route, true); err != nil {
 			return stats, err
 		}
+		p.inited[u] = true
 	}
 	p.observe(0, 0, 0)
 	// Decision slots (Algorithm 2 lines 5–10).
@@ -221,7 +264,7 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		}
 		var requests []engine.Request
 		for u := range p.conns {
-			m, err := p.expect(u, wire.KindRequest, slot)
+			m, err := p.expect(u, wire.KindRequest, slot, false)
 			if err != nil {
 				return stats, err
 			}
@@ -259,7 +302,7 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		}
 		for _, w := range winners {
 			u := int(w.User)
-			m, err := p.expect(u, wire.KindDecision, slot)
+			m, err := p.expect(u, wire.KindDecision, slot, true)
 			if err != nil {
 				return stats, err
 			}

@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/rng"
 	"repro/internal/wire"
 )
 
@@ -34,9 +33,10 @@ func RunInProcess(in *core.Instance, opts InProcessOptions) (RunStats, error) {
 	for i := 0; i < n; i++ {
 		pc, ac := ChanPair(16)
 		if opts.DupProb > 0 {
-			// Fault injection uses a child RNG per link for determinism.
-			pc = &FaultyConn{Inner: pc, DupProb: opts.DupProb, Rand: faultStream(opts.AgentSeedBase, i, 0)}
-			ac = &FaultyConn{Inner: ac, DupProb: opts.DupProb, Rand: faultStream(opts.AgentSeedBase, i, 1)}
+			// Fault injection uses a seeded child schedule per link for
+			// determinism.
+			pc = NewFaultConn(pc, FaultProfile{DupProb: opts.DupProb}, faultSeed(opts.AgentSeedBase, i, 0), nil)
+			ac = NewFaultConn(ac, FaultProfile{DupProb: opts.DupProb}, faultSeed(opts.AgentSeedBase, i, 1), nil)
 		}
 		platConns[i], agentConns[i] = pc, ac
 	}
@@ -72,8 +72,9 @@ func RunInProcess(in *core.Instance, opts InProcessOptions) (RunStats, error) {
 	return stats, perr
 }
 
-func faultStream(base uint64, user, side int) *rng.Stream {
-	return rng.New(base*2654435761 + uint64(user)*97 + uint64(side))
+// faultSeed derives a per-link, per-side fault schedule seed.
+func faultSeed(base uint64, user, side int) uint64 {
+	return base*2654435761 + uint64(user)*97 + uint64(side)
 }
 
 // ServeTCP runs the platform over TCP: it accepts in.NumUsers() agent

@@ -138,6 +138,11 @@ type Message struct {
 	// Seq is a per-sender sequence number used to drop duplicate
 	// deliveries.
 	Seq uint64
+	// Epoch is the sender's incarnation number. An agent that crashes and
+	// reconnects bumps its epoch so its restarted sequence numbers are not
+	// mistaken for duplicates of the previous life. The platform stays at
+	// epoch 0.
+	Epoch uint32
 	// From is the sending user ID, or -1 for the platform.
 	From int
 
@@ -195,14 +200,22 @@ func (c *Codec) Encode(m *Message) error {
 	return c.enc.Encode(m)
 }
 
-// Decode reads one message.
-func (c *Codec) Decode() (*Message, error) {
-	var m Message
-	if err := c.dec.Decode(&m); err != nil {
+// Decode reads one message. Malformed input — truncated, corrupted, or
+// adversarial byte streams — surfaces as an error, never a panic: gob is
+// not fully hardened against hostile input, so decoding runs behind a
+// recover barrier.
+func (c *Codec) Decode() (m *Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("wire: decode panic on malformed stream: %v", r)
+		}
+	}()
+	var msg Message
+	if err := c.dec.Decode(&msg); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	if err := msg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	return &m, nil
+	return &msg, nil
 }
