@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/web"
 )
@@ -50,15 +51,17 @@ func buildInstance(dataset string, seed uint64, users, tasks int) (*core.Instanc
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7700", "listen address")
-		dataset  = flag.String("dataset", "Shanghai", "dataset: Shanghai, Roma, or Epfl")
-		seed     = flag.Uint64("seed", 1, "scenario seed (must match the agents)")
-		users    = flag.Int("users", 8, "number of users (agents expected to connect)")
-		tasks    = flag.Int("tasks", 20, "number of sensing tasks")
-		policy   = flag.String("policy", "SUU", "user update selection: SUU or PUU")
-		instance = flag.String("instance", "", "load the game instance from a JSON file instead of building a scenario")
-		dump     = flag.String("dump-instance", "", "write the game instance as JSON to this file before serving")
-		httpAddr = flag.String("http", "", "serve the monitoring API (GET /api/status, /healthz) on this address")
+		addr      = flag.String("addr", ":7700", "listen address")
+		dataset   = flag.String("dataset", "Shanghai", "dataset: Shanghai, Roma, or Epfl")
+		seed      = flag.Uint64("seed", 1, "scenario seed (must match the agents)")
+		users     = flag.Int("users", 8, "number of users (agents expected to connect)")
+		tasks     = flag.Int("tasks", 20, "number of sensing tasks")
+		policy    = flag.String("policy", "SUU", "user update selection: SUU or PUU")
+		instance  = flag.String("instance", "", "load the game instance from a JSON file instead of building a scenario")
+		dump      = flag.String("dump-instance", "", "write the game instance as JSON to this file before serving")
+		httpAddr  = flag.String("http", "", "serve the monitoring API (/api/v1/*, /metrics, /healthz) on this address")
+		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the monitoring address")
+		potential = flag.Bool("observe-potential", false, "compute the weighted potential every slot and expose it in the status API")
 	)
 	flag.Parse()
 
@@ -102,19 +105,27 @@ func main() {
 		ln.Addr(), in.NumUsers(), *dataset, *seed)
 
 	pcfg := distributed.PlatformConfig{
-		Policy: distributed.SelectionPolicy(*policy),
-		Seed:   *seed,
+		Policy:           distributed.SelectionPolicy(*policy),
+		Seed:             *seed,
+		ObservePotential: *potential,
 	}
 	var mon *web.Server
 	if *httpAddr != "" {
-		mon = web.NewServer(in.NumUsers())
+		opts := []web.Option{web.WithRegistry(telemetry.Default())}
+		if *pprofFlag {
+			opts = append(opts, web.WithPprof())
+		}
+		mon = web.NewServer(in.NumUsers(), opts...)
 		pcfg.Observer = mon.Observer()
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mon.Handler()); err != nil {
 				fmt.Fprintf(os.Stderr, "platformd: http: %v\n", err)
 			}
 		}()
-		fmt.Printf("platformd: monitoring at http://%s/api/status\n", *httpAddr)
+		fmt.Printf("platformd: monitoring at http://%s/api/v1/status (metrics at /metrics)\n", *httpAddr)
+		if *pprofFlag {
+			fmt.Printf("platformd: profiling at http://%s/debug/pprof/\n", *httpAddr)
+		}
 	}
 	stats, err := distributed.ServeTCP(ln, in, pcfg)
 	if err != nil {

@@ -106,13 +106,13 @@ func runChaos(in *core.Instance, opts ChaosOptions) (ChaosStats, error) {
 	// The platform invokes observers sequentially, so no lock is needed for
 	// the trace itself.
 	userObserver := opts.Platform.Observer
-	opts.Platform.Observer = func(slot, requests, granted int, choices []int) {
-		prof, err := core.NewProfile(in, choices)
-		if err == nil {
-			stats.Potentials = append(stats.Potentials, prof.Potential())
+	opts.Platform.ObservePotential = true
+	opts.Platform.Observer = func(o Observation) {
+		if o.PotentialValid {
+			stats.Potentials = append(stats.Potentials, o.Potential)
 		}
 		if userObserver != nil {
-			userObserver(slot, requests, granted, choices)
+			userObserver(o)
 		}
 	}
 

@@ -1,12 +1,15 @@
 package distributed
 
 import (
+	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // assertChaosInvariants checks every load-bearing guarantee of the protocol
@@ -313,6 +316,66 @@ func TestChaosSoak(t *testing.T) {
 			// Crashes at low op counts should have fired on any run long
 			// enough to pass the scheduled operation.
 			t.Logf("%s (seed %d): scheduled crash never fired (%d slots)", desc, seed, stats.Slots)
+		}
+	}
+}
+
+// TestChaosTelemetryCounters is the observability acceptance check: a
+// fault-injected run must leave nonzero retry and fault counters in the
+// default telemetry registry, and the platform's per-run registry must
+// show slot histograms and per-link traffic.
+func TestChaosTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	in := randomInstance(77, 6, 10)
+	before := telemetry.Default().Snapshot()
+	stats, err := RunChaos(in, ChaosOptions{
+		Platform:      PlatformConfig{Policy: SUU, Seed: 7, Telemetry: reg},
+		AgentSeedBase: 70,
+		Seed:          7,
+		AgentProfile:  StandardFaultProfile,
+		PlatformProfile: FaultProfile{
+			SendErrProb: StandardFaultProfile.SendErrProb / 2,
+			RecvErrProb: StandardFaultProfile.RecvErrProb / 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatal("run did not converge")
+	}
+	after := telemetry.Default().Snapshot()
+	// Retry layer absorbed the injected transient failures.
+	if d := after.Counters["distributed_retry_attempts_total"] - before.Counters["distributed_retry_attempts_total"]; d == 0 {
+		t.Error("no retry attempts recorded in the default registry")
+	}
+	// Fault injection mirrored into labeled fault counters.
+	var faultDelta uint64
+	for name, v := range after.Counters {
+		if strings.HasPrefix(name, "distributed_faults_total{") {
+			faultDelta += v - before.Counters[name]
+		}
+	}
+	if faultDelta == 0 {
+		t.Error("no faults recorded in the default registry")
+	}
+	if logged := uint64(stats.Faults[FaultSendErr] + stats.Faults[FaultRecvErr] + stats.Faults[FaultDup]); faultDelta < logged {
+		t.Errorf("registry fault delta %d < FaultLog count %d", faultDelta, logged)
+	}
+	// The platform's own registry carries the slot protocol metrics.
+	snap := reg.Snapshot()
+	if snap.Counters["distributed_slots_total"] == 0 {
+		t.Errorf("slots counter empty: %v", snap.Counters)
+	}
+	if h := snap.Histograms["distributed_slot_roundtrip_seconds"]; h.Count == 0 {
+		t.Error("roundtrip histogram empty")
+	}
+	if h := snap.Histograms["distributed_selection_seconds"]; h.Count == 0 {
+		t.Error("selection histogram empty")
+	}
+	for u := 0; u < in.NumUsers(); u++ {
+		if snap.Counters[fmt.Sprintf("distributed_link_sent_total{user=\"%d\"}", u)] == 0 {
+			t.Errorf("per-link sent counter for user %d is zero", u)
 		}
 	}
 }

@@ -304,6 +304,7 @@ func (c *retryConn) do(op func() error) error {
 		if err = op(); err == nil || !IsTransient(err) {
 			return err
 		}
+		retryAttemptsTotal.Inc()
 		if attempt == c.policy.MaxAttempts-1 {
 			break
 		}
@@ -315,6 +316,7 @@ func (c *retryConn) do(op func() error) error {
 			}
 		}
 	}
+	retryGiveupsTotal.Inc()
 	return fmt.Errorf("distributed: giving up after %d attempts: %w", c.policy.MaxAttempts, err)
 }
 

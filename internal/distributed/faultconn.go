@@ -79,6 +79,9 @@ type FaultLog struct {
 }
 
 func (l *FaultLog) record(e FaultEvent) {
+	// Mirror every injected fault into the default telemetry registry so a
+	// chaos run is visible in the /metrics snapshot even without a log.
+	faultsTotal[e.Kind].Inc()
 	if l == nil {
 		return
 	}

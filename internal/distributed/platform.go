@@ -2,10 +2,12 @@ package distributed
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -23,16 +25,47 @@ const (
 	Deterministic SelectionPolicy = "DET"
 )
 
+// Observation is one per-slot report delivered to the Observer hook. The
+// struct form (rather than positional arguments) keeps the hook extensible:
+// new fields can be added without breaking existing observers.
+type Observation struct {
+	// Slot is the decision slot the observation closes (0 = initialization).
+	Slot int
+	// Requests is the number of update requests received this slot.
+	Requests int
+	// Granted is the number of granted updates this slot.
+	Granted int
+	// GrantedUsers lists the users whose updates were granted, in grant
+	// order. Empty for slot 0 and convergence observations.
+	GrantedUsers []int
+	// Choices is a copy of every user's current route index.
+	Choices []int
+	// Elapsed is the wall time of the slot (for slot 0, of the whole
+	// initialization phase).
+	Elapsed time.Duration
+	// Potential is the weighted potential Φ of the current profile;
+	// populated only when PotentialValid is set (see
+	// PlatformConfig.ObservePotential).
+	Potential      float64
+	PotentialValid bool
+}
+
 // PlatformConfig configures a platform run.
 type PlatformConfig struct {
 	Policy   SelectionPolicy
 	MaxSlots int // 0 = engine.DefaultMaxSlots
 	Seed     uint64
 	// Observer, when non-nil, is invoked after initialization (slot 0) and
-	// after every decision slot with the slot number, the number of update
-	// requests, the number of granted updates, and a copy of the current
-	// route choices. Used by the HTTP monitoring endpoint.
-	Observer func(slot, requests, granted int, choices []int)
+	// after every decision slot with that slot's Observation. Used by the
+	// HTTP monitoring endpoint and the chaos harness.
+	Observer func(Observation)
+	// ObservePotential computes the weighted potential Φ for every
+	// observation. It costs one profile evaluation per slot, so it is off
+	// by default for large instances.
+	ObservePotential bool
+	// Telemetry selects the metrics registry for slot histograms and
+	// per-link traffic counters; nil means telemetry.Default().
+	Telemetry *telemetry.Registry
 }
 
 // RunStats summarizes a completed distributed run.
@@ -66,6 +99,7 @@ type Platform struct {
 	// decides afresh instead of trusting a zero-valued record.
 	inited []bool
 	ctr    *Counter
+	tel    *platformTelemetry
 }
 
 // NewPlatform creates a platform serving len(conns) users; conns[i] must be
@@ -78,10 +112,15 @@ func NewPlatform(in *core.Instance, conns []Conn, cfg PlatformConfig) (*Platform
 	if len(conns) != in.NumUsers() {
 		return nil, fmt.Errorf("distributed: %d connections for %d users", len(conns), in.NumUsers())
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	tel := newPlatformTelemetry(reg, len(conns))
 	ctr := &Counter{}
 	wrapped := make([]Conn, len(conns))
 	for i, c := range conns {
-		wrapped[i] = WithSeq(WithCounter(c, ctr), -1)
+		wrapped[i] = WithSeq(WithCounter(tel.wrap(c, i), ctr), -1)
 	}
 	switch cfg.Policy {
 	case SUU, PUU, Deterministic:
@@ -102,6 +141,7 @@ func NewPlatform(in *core.Instance, conns []Conn, cfg PlatformConfig) (*Platform
 		choices: make([]int, in.NumUsers()),
 		inited:  make([]bool, in.NumUsers()),
 		ctr:     ctr,
+		tel:     tel,
 	}, nil
 }
 
@@ -192,6 +232,7 @@ func (p *Platform) expect(u int, kind wire.Kind, inSlot int, regrant bool) (*wir
 			if m.Hello.User != u {
 				return nil, fmt.Errorf("distributed: conn %d claimed by user %d", u, m.Hello.User)
 			}
+			p.tel.reconnects.Inc()
 			cur := -1
 			if p.inited[u] {
 				cur = p.choices[u]
@@ -208,6 +249,7 @@ func (p *Platform) expect(u int, kind wire.Kind, inSlot int, regrant bool) (*wir
 				if err := p.conns[u].Send(&wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: inSlot}}); err != nil {
 					return nil, err
 				}
+				p.tel.regrants.Inc()
 			}
 			continue
 		case kind == wire.KindDecision && m.Kind == wire.KindRequest && m.Request.Slot <= inSlot:
@@ -230,6 +272,7 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		stats.MessagesSent = p.ctr.Sent()
 		stats.MessagesReceived = p.ctr.Recv()
 	}()
+	runStart := time.Now()
 	// Initialization: greet every user, send R_i, and collect initial
 	// decisions (Algorithm 2 lines 1–4).
 	for u := range p.conns {
@@ -254,9 +297,11 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		}
 		p.inited[u] = true
 	}
-	p.observe(0, 0, 0)
+	p.observe(0, 0, nil, time.Since(runStart))
 	// Decision slots (Algorithm 2 lines 5–10).
 	for slot := 1; slot <= p.cfg.MaxSlots; slot++ {
+		slotSpan := telemetry.StartSpan(p.tel.slotDuration)
+		rtSpan := telemetry.StartSpan(p.tel.slotRoundtrip)
 		for u := range p.conns {
 			if err := p.conns[u].Send(p.slotMsg(u, slot)); err != nil {
 				return stats, err
@@ -278,6 +323,8 @@ func (p *Platform) Run() (stats RunStats, err error) {
 				})
 			}
 		}
+		rtSpan.End()
+		p.tel.requests.Add(uint64(len(requests)))
 		if len(requests) == 0 {
 			// Algorithm 2 lines 11–12: equilibrium; terminate everyone.
 			for u := range p.conns {
@@ -291,7 +338,9 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		}
 		stats.Slots = slot
 		stats.RequestsPerSlot = append(stats.RequestsPerSlot, len(requests))
+		selSpan := telemetry.StartSpan(p.tel.selectionTime)
 		winners := p.selectWinners(requests)
+		selSpan.End()
 		stats.SelectedPerSlot = append(stats.SelectedPerSlot, len(winners))
 		stats.TotalUpdates += len(winners)
 		for _, w := range winners {
@@ -313,18 +362,39 @@ func (p *Platform) Run() (stats RunStats, err error) {
 				return stats, err
 			}
 		}
-		p.observe(slot, len(requests), len(winners))
+		p.tel.slots.Inc()
+		p.tel.grants.Add(uint64(len(winners)))
+		p.observe(slot, len(requests), winners, slotSpan.End())
 	}
 	stats.Choices = append([]int(nil), p.choices...)
 	return stats, fmt.Errorf("distributed: no convergence within %d slots", p.cfg.MaxSlots)
 }
 
-// observe invokes the configured observer with a copy of the choices.
-func (p *Platform) observe(slot, requests, granted int) {
+// observe builds this slot's Observation (with copies of the mutable
+// state) and invokes the configured observer.
+func (p *Platform) observe(slot, requests int, winners []engine.Request, elapsed time.Duration) {
 	if p.cfg.Observer == nil {
 		return
 	}
-	p.cfg.Observer(slot, requests, granted, append([]int(nil), p.choices...))
+	o := Observation{
+		Slot:     slot,
+		Requests: requests,
+		Granted:  len(winners),
+		Choices:  append([]int(nil), p.choices...),
+		Elapsed:  elapsed,
+	}
+	if len(winners) > 0 {
+		o.GrantedUsers = make([]int, len(winners))
+		for i, w := range winners {
+			o.GrantedUsers[i] = int(w.User)
+		}
+	}
+	if p.cfg.ObservePotential {
+		if prof, err := core.NewProfile(p.in, p.choices); err == nil {
+			o.Potential, o.PotentialValid = prof.Potential(), true
+		}
+	}
+	p.cfg.Observer(o)
 }
 
 // selectWinners applies the configured selection policy to the slot's

@@ -1,0 +1,115 @@
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// This file wires the transport and the slot protocol into the telemetry
+// registry: per-link send/recv counters, retry and fault counters, and the
+// platform's slot-protocol histograms. The handles below live on the
+// default registry because the conn decorators (retry, fault injection)
+// are constructed in places that have no registry in scope; the platform's
+// own metrics honor PlatformConfig.Telemetry.
+
+var (
+	// retryAttemptsTotal counts transient Send/Recv failures the retry
+	// layer absorbed (each increment is one failed attempt that was
+	// retried or exhausted the budget).
+	retryAttemptsTotal = telemetry.Default().Counter("distributed_retry_attempts_total")
+	// retryGiveupsTotal counts operations that exhausted their retry
+	// budget and surfaced a permanent error.
+	retryGiveupsTotal = telemetry.Default().Counter("distributed_retry_giveups_total")
+	// faultsTotal mirrors the FaultLog: one labeled counter per injected
+	// fault kind, so chaos runs are visible in the registry snapshot.
+	faultsTotal = func() [numFaultKinds]*telemetry.Counter {
+		var cs [numFaultKinds]*telemetry.Counter
+		for k := range cs {
+			cs[k] = telemetry.Default().Counter(
+				fmt.Sprintf("distributed_faults_total{kind=%q}", FaultKind(k).String()))
+		}
+		return cs
+	}()
+)
+
+// platformTelemetry holds the pre-resolved metric handles for one
+// platform run; all hot-path operations on them are atomic and
+// allocation-free.
+type platformTelemetry struct {
+	slotDuration  *telemetry.Histogram // wall time of a full decision slot
+	slotRoundtrip *telemetry.Histogram // broadcast -> all requests collected
+	selectionTime *telemetry.Histogram // winner selection (SUU/PUU/DET)
+	slots         *telemetry.Counter
+	requests      *telemetry.Counter
+	grants        *telemetry.Counter
+	reconnects    *telemetry.Counter // Hello{Resume} resyncs mid-protocol
+	regrants      *telemetry.Counter // Grants re-sent to restarted winners
+	sentAll       *telemetry.Counter
+	recvAll       *telemetry.Counter
+	linkSent      []*telemetry.Counter
+	linkRecv      []*telemetry.Counter
+}
+
+func newPlatformTelemetry(reg *telemetry.Registry, users int) *platformTelemetry {
+	t := &platformTelemetry{
+		slotDuration:  reg.Histogram("distributed_slot_duration_seconds", nil),
+		slotRoundtrip: reg.Histogram("distributed_slot_roundtrip_seconds", nil),
+		selectionTime: reg.Histogram("distributed_selection_seconds", nil),
+		slots:         reg.Counter("distributed_slots_total"),
+		requests:      reg.Counter("distributed_requests_total"),
+		grants:        reg.Counter("distributed_grants_total"),
+		reconnects:    reg.Counter("distributed_reconnects_total"),
+		regrants:      reg.Counter("distributed_regrants_total"),
+		sentAll:       reg.Counter("distributed_sent_total"),
+		recvAll:       reg.Counter("distributed_recv_total"),
+		linkSent:      make([]*telemetry.Counter, users),
+		linkRecv:      make([]*telemetry.Counter, users),
+	}
+	for u := 0; u < users; u++ {
+		t.linkSent[u] = reg.Counter(fmt.Sprintf("distributed_link_sent_total{user=\"%d\"}", u))
+		t.linkRecv[u] = reg.Counter(fmt.Sprintf("distributed_link_recv_total{user=\"%d\"}", u))
+	}
+	return t
+}
+
+// wrap decorates the platform-side end of user u's link so every message
+// bumps the per-link and aggregate counters.
+func (t *platformTelemetry) wrap(inner Conn, u int) Conn {
+	return &telemetryConn{
+		inner: inner,
+		sent:  t.linkSent[u], recv: t.linkRecv[u],
+		sentAll: t.sentAll, recvAll: t.recvAll,
+	}
+}
+
+// telemetryConn is the counting decorator installed by wrap. Counters are
+// bumped only on success, so they measure delivered traffic, not attempts
+// (attempts live in the retry/fault counters).
+type telemetryConn struct {
+	inner            Conn
+	sent, recv       *telemetry.Counter
+	sentAll, recvAll *telemetry.Counter
+}
+
+func (c *telemetryConn) Send(m *wire.Message) error {
+	if err := c.inner.Send(m); err != nil {
+		return err
+	}
+	c.sent.Inc()
+	c.sentAll.Inc()
+	return nil
+}
+
+func (c *telemetryConn) Recv() (*wire.Message, error) {
+	m, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.recv.Inc()
+	c.recvAll.Inc()
+	return m, nil
+}
+
+func (c *telemetryConn) Close() error { return c.inner.Close() }

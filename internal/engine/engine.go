@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // Request is one user's update request in a decision slot: the user, its
@@ -73,6 +74,33 @@ type Config struct {
 	RecordHistory bool
 	// RecordProfits additionally stores per-user profits in each record.
 	RecordProfits bool
+	// Telemetry, when non-nil, receives per-slot engine metrics: slot
+	// duration, requester and update counts, and — when RecordHistory also
+	// holds, so the potential is already being computed — the potential and
+	// its per-slot delta. Nil keeps the simulation loop free of any
+	// instrumentation cost.
+	Telemetry *telemetry.Registry
+}
+
+// engineMetrics holds the pre-resolved handles for one instrumented run.
+type engineMetrics struct {
+	slotDuration   *telemetry.Histogram
+	slots          *telemetry.Counter
+	requesters     *telemetry.Counter
+	updates        *telemetry.Counter
+	potential      *telemetry.Gauge
+	potentialDelta *telemetry.Gauge
+}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	return &engineMetrics{
+		slotDuration:   reg.Histogram("engine_slot_duration_seconds", nil),
+		slots:          reg.Counter("engine_slots_total"),
+		requesters:     reg.Counter("engine_requesters_total"),
+		updates:        reg.Counter("engine_updates_total"),
+		potential:      reg.Gauge("engine_potential"),
+		potentialDelta: reg.Gauge("engine_potential_delta"),
+	}
 }
 
 // DefaultMaxSlots bounds runaway runs; Theorem 4 guarantees finite
@@ -95,6 +123,14 @@ func RunFrom(p *core.Profile, factory PolicyFactory, s *rng.Stream, cfg Config) 
 	}
 	policy := factory()
 	res := Result{Policy: policy.Name(), Profile: p}
+	var tel *engineMetrics
+	if cfg.Telemetry != nil {
+		tel = newEngineMetrics(cfg.Telemetry)
+	}
+	// prevPot tracks the last recorded potential for the delta gauge; the
+	// potential itself is only computed when history recording already pays
+	// for it.
+	prevPot := math.NaN()
 	record := func(slot int, updated []core.UserID) {
 		if !cfg.RecordHistory {
 			return
@@ -113,14 +149,33 @@ func RunFrom(p *core.Profile, factory PolicyFactory, s *rng.Stream, cfg Config) 
 			}
 		}
 		res.History = append(res.History, rec)
+		if tel != nil {
+			tel.potential.Set(rec.Potential)
+			if !math.IsNaN(prevPot) {
+				tel.potentialDelta.Set(rec.Potential - prevPot)
+			}
+			prevPot = rec.Potential
+		}
 	}
 	record(0, nil)
 	for slot := 1; slot <= maxSlots; slot++ {
+		var span telemetry.Span
+		if tel != nil {
+			span = telemetry.StartSpan(tel.slotDuration)
+		}
 		requesters, updated := policy.SelectAndUpdate(p, s)
+		if tel != nil {
+			span.End()
+			tel.requesters.Add(uint64(requesters))
+		}
 		if requesters == 0 {
 			// Algorithm 2 line 11: no requests → send termination message.
 			res.Converged = true
 			return res
+		}
+		if tel != nil {
+			tel.slots.Inc()
+			tel.updates.Add(uint64(len(updated)))
 		}
 		res.Slots = slot
 		res.TotalUpdates += len(updated)

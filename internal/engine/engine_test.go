@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 var allFactories = []PolicyFactory{NewSUU, NewPUU, NewBRUN, NewBUAU, NewBATS}
@@ -335,5 +336,44 @@ func TestConvergenceFinite(t *testing.T) {
 		if !res.Converged {
 			t.Fatalf("seed %d: SUU failed to converge within 50000 slots", seed)
 		}
+	}
+}
+
+// An instrumented run must populate the registry consistently with the
+// Result, and instrumentation must not perturb the run itself (same RNG
+// consumption, same outcome).
+func TestTelemetryInstrumentation(t *testing.T) {
+	in := randomInstance(3, 10, 14)
+	reg := telemetry.NewRegistry()
+	plain := Run(in, NewPUU, rng.New(9), Config{RecordHistory: true})
+	res := Run(in, NewPUU, rng.New(9), Config{RecordHistory: true, Telemetry: reg})
+	if res.Slots != plain.Slots || res.TotalUpdates != plain.TotalUpdates {
+		t.Fatalf("telemetry perturbed the run: %d/%d slots, %d/%d updates",
+			res.Slots, plain.Slots, res.TotalUpdates, plain.TotalUpdates)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["engine_slots_total"]; got != uint64(res.Slots) {
+		t.Errorf("engine_slots_total = %d, want %d", got, res.Slots)
+	}
+	if got := snap.Counters["engine_updates_total"]; got != uint64(res.TotalUpdates) {
+		t.Errorf("engine_updates_total = %d, want %d", got, res.TotalUpdates)
+	}
+	if snap.Counters["engine_requesters_total"] < uint64(res.Slots) {
+		t.Errorf("engine_requesters_total = %d < slots %d",
+			snap.Counters["engine_requesters_total"], res.Slots)
+	}
+	// The slot span fires once per non-terminating slot plus the final
+	// (empty) slot that detects convergence.
+	if h := snap.Histograms["engine_slot_duration_seconds"]; h.Count != uint64(res.Slots)+1 {
+		t.Errorf("slot duration observations = %d, want %d", h.Count, res.Slots+1)
+	}
+	// With history recording on, the potential gauge holds the final Φ and
+	// the last delta is non-negative (Theorem 2).
+	finalPot := res.History[len(res.History)-1].Potential
+	if got := snap.Gauges["engine_potential"]; math.Abs(got-finalPot) > 1e-12 {
+		t.Errorf("engine_potential = %v, want %v", got, finalPot)
+	}
+	if d := snap.Gauges["engine_potential_delta"]; d < 0 {
+		t.Errorf("engine_potential_delta = %v, want >= 0", d)
 	}
 }

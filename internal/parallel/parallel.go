@@ -9,7 +9,32 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
+
+// Fan-out telemetry on the default registry. tasksTotal is sharded: all
+// workers bump it concurrently, and the per-goroutine cells keep the
+// increments contention-free.
+var (
+	tasksTotal   = telemetry.Default().ShardedCounter("parallel_tasks_total")
+	taskErrors   = telemetry.Default().Counter("parallel_task_errors_total")
+	taskDuration = telemetry.Default().Histogram("parallel_task_duration_seconds", nil)
+)
+
+// instrumented wraps fn so every task is timed and counted.
+func instrumented(fn func(i int) error) func(i int) error {
+	return func(i int) error {
+		span := telemetry.StartSpan(taskDuration)
+		err := fn(i)
+		span.End()
+		tasksTotal.Inc()
+		if err != nil {
+			taskErrors.Inc()
+		}
+		return err
+	}
+}
 
 // DefaultWorkers returns the worker count used when a caller passes 0:
 // the machine's logical CPUs, capped at 16 to avoid oversubscription on
@@ -40,6 +65,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	fn = instrumented(fn)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {

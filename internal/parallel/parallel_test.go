@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 func TestForEachRunsAll(t *testing.T) {
@@ -134,5 +135,37 @@ func TestParallelDeterminism(t *testing.T) {
 		if seq[i] != par[i] {
 			t.Fatalf("index %d: parallel %v != sequential %v", i, par[i], seq[i])
 		}
+	}
+}
+
+// Fan-out telemetry: every task is counted on the default registry, and
+// errors are tallied separately.
+func TestForEachTelemetry(t *testing.T) {
+	snap := func() (tasks, errs uint64, observed uint64) {
+		s := telemetry.Default().Snapshot()
+		return s.Counters["parallel_tasks_total"],
+			s.Counters["parallel_task_errors_total"],
+			s.Histograms["parallel_task_duration_seconds"].Count
+	}
+	tasks0, errs0, obs0 := snap()
+	const n = 50
+	err := ForEach(n, 4, func(i int) error {
+		if i == 7 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	tasks1, errs1, obs1 := snap()
+	if tasks1-tasks0 != n {
+		t.Errorf("tasks delta = %d, want %d", tasks1-tasks0, n)
+	}
+	if errs1-errs0 != 1 {
+		t.Errorf("error delta = %d, want 1", errs1-errs0)
+	}
+	if obs1-obs0 != n {
+		t.Errorf("duration observations delta = %d, want %d", obs1-obs0, n)
 	}
 }

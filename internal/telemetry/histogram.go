@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency bucket layout in seconds: 10µs to 10s,
+// roughly logarithmic. It covers in-process channel hops (microseconds),
+// fault-injected retries (sub-millisecond backoff), and TCP round trips.
+var DefBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic, allocation-free
+// Observe. Bucket i counts observations v with v <= upper[i]; an implicit
+// +Inf bucket catches the rest. Sum is maintained with a CAS loop on the
+// float64 bit pattern.
+type Histogram struct {
+	upper   []float64
+	counts  []atomic.Uint64 // len(upper)+1; last is the +Inf bucket
+	total   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("telemetry: histogram buckets must be sorted strictly ascending")
+		}
+	}
+	upper := append([]float64(nil), buckets...)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records v. The bucket scan is linear — bucket counts are small
+// (~20) and the loop is branch-predictable — and the whole path performs
+// zero allocations.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot builds the cumulative view served over HTTP.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Buckets: make([]Bucket, len(h.upper)),
+	}
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+	}
+	return s
+}
+
+// --- Spans ---
+
+// Span is a lightweight span-style timer: StartSpan captures the start
+// time, End observes the elapsed duration into the histogram. Span is a
+// value type, so the start/stop pair allocates nothing.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing against h (which may be nil; End then only
+// returns the elapsed time).
+func StartSpan(h *Histogram) Span { return Span{h: h, start: time.Now()} }
+
+// End stops the span, records the elapsed duration, and returns it. A
+// zero-valued Span is a no-op.
+func (s Span) End() time.Duration {
+	if s.start.IsZero() {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.h != nil {
+		s.h.Observe(d.Seconds())
+	}
+	return d
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4) for a Registry: the format served at /metrics and scraped by any
+// standard collector. Output is deterministic — metrics are emitted in
+// lexicographic name order, one # TYPE line per metric family.
+
+// splitName separates a metric name from its baked-in label suffix:
+// `foo{user="3"}` -> ("foo", `user="3"`). A name without braces has empty
+// labels.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels merges a baked-in label set with an extra label (used for the
+// histogram le label).
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "":
+		return extra
+	case extra == "":
+		return labels
+	default:
+		return labels + "," + extra
+	}
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation; +Inf/-Inf/NaN spelled out).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// typeLine emits `# TYPE base kind` once per metric family. seen tracks
+// families already typed.
+func typeLine(w io.Writer, seen map[string]bool, base, kind string) {
+	if seen[base] {
+		return
+	}
+	seen[base] = true
+	fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format. Like Snapshot, the view is approximately consistent under
+// concurrent writers.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	snap := r.Snapshot()
+	seen := map[string]bool{}
+
+	for _, name := range sortedKeys(snap.Counters) {
+		base, _ := splitName(name)
+		typeLine(w, seen, base, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		base, _ := splitName(name)
+		typeLine(w, seen, base, "gauge")
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		base, labels := splitName(name)
+		typeLine(w, seen, base, "histogram")
+		h := snap.Histograms[name]
+		for _, b := range h.Buckets {
+			le := joinLabels(labels, `le="`+formatFloat(b.UpperBound)+`"`)
+			fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, le, b.Count)
+		}
+		inf := joinLabels(labels, `le="+Inf"`)
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, inf, h.Count)
+		if labels != "" {
+			fmt.Fprintf(w, "%s_sum{%s} %s\n", base, labels, formatFloat(h.Sum))
+			fmt.Fprintf(w, "%s_count{%s} %d\n", base, labels, h.Count)
+		} else {
+			fmt.Fprintf(w, "%s_sum %s\n", base, formatFloat(h.Sum))
+			fmt.Fprintf(w, "%s_count %d\n", base, h.Count)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fixed registry covering every exposition case:
+// bare and labeled counters, a sharded counter, gauges (including
+// non-integer values), and histograms with and without baked-in labels.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(42)
+	r.Counter(`link_sent_total{user="0"}`).Add(7)
+	r.Counter(`link_sent_total{user="1"}`).Add(9)
+	r.ShardedCounter("tasks_total").Add(1000)
+	r.Gauge("potential").Set(12.5)
+	r.Gauge("temperature").Set(-3)
+	h := r.Histogram("slot_seconds", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 2} {
+		h.Observe(v)
+	}
+	lh := r.Histogram(`rtt_seconds{link="a"}`, []float64{0.5, 1})
+	lh.Observe(0.25)
+	lh.Observe(3)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WritePrometheus(&buf)
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusValidFormat checks every emitted line against the
+// text exposition grammar: either a # TYPE comment or `name[{labels}]
+// value`, with no blank or malformed lines and exactly one TYPE line per
+// family, emitted before the family's samples.
+func TestWritePrometheusValidFormat(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WritePrometheus(&buf)
+	var (
+		typeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$`)
+	)
+	typed := map[string]bool{}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no output")
+	}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# TYPE ") {
+			if !typeRe.MatchString(line) {
+				t.Errorf("malformed TYPE line: %q", line)
+				continue
+			}
+			family := strings.Fields(line)[2]
+			if typed[family] {
+				t.Errorf("duplicate TYPE line for family %s", family)
+			}
+			typed[family] = true
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		name := m[1]
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[family] {
+			t.Errorf("sample %q emitted before its TYPE line", line)
+		}
+	}
+	// Histogram invariants: cumulative buckets end at the _count value.
+	out := buf.String()
+	if !strings.Contains(out, `slot_seconds_bucket{le="+Inf"} 5`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "slot_seconds_count 5") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, `rtt_seconds_bucket{link="a",le="+Inf"} 2`) {
+		t.Errorf("labeled histogram +Inf bucket missing:\n%s", out)
+	}
+}

@@ -1,0 +1,301 @@
+// Package telemetry is a dependency-free, concurrency-safe metrics
+// substrate for the platform: counters, gauges, and fixed-bucket
+// histograms with lock-free atomic hot paths, plus span-style timers for
+// measuring decision slots, message round-trips, and selection phases.
+//
+// Metrics live in a Registry and are addressed by name. A name may carry a
+// Prometheus-style label suffix baked into the string, e.g.
+//
+//	distributed_link_sent_total{user="3"}
+//
+// which keeps the hot path free of label-map hashing: callers resolve the
+// *Counter / *Histogram handle once (at wire-up time) and then only touch
+// atomics. Snapshot serves the JSON monitoring endpoint and
+// WritePrometheus the /metrics text exposition.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use. Get-or-create
+// lookups take a mutex, so callers should resolve handles once and keep
+// them; the metric operations themselves are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	sharded  map[string]*ShardedCounter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		sharded:  map[string]*ShardedCounter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, the one the instrumented
+// packages (distributed, parallel) register into and the one platformd
+// exposes over HTTP.
+func Default() *Registry { return defaultRegistry }
+
+// checkName panics on names that would corrupt the exposition formats.
+func checkName(name string) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	for _, r := range name {
+		if r == '\n' || r == ' ' {
+			panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+		}
+	}
+}
+
+// checkUnique panics when name is already registered under another kind.
+// Callers hold r.mu.
+func (r *Registry) checkUnique(name, kind string) {
+	kinds := map[string]bool{
+		"counter":   r.counters[name] != nil || r.sharded[name] != nil,
+		"gauge":     r.gauges[name] != nil,
+		"histogram": r.hists[name] != nil,
+	}
+	for k, present := range kinds {
+		if present && k != kind {
+			panic(fmt.Sprintf("telemetry: metric %q already registered as %s", name, k))
+		}
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Panics if name is registered as a different metric kind.
+func (r *Registry) Counter(name string) *Counter {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkUnique(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkUnique(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use (nil means DefBuckets; bounds
+// must be sorted ascending). Later calls return the existing histogram
+// regardless of the buckets argument.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkUnique(name, "histogram")
+	h := newHistogram(buckets)
+	r.hists[name] = h
+	return h
+}
+
+// ShardedCounter returns the sharded counter registered under name,
+// creating it on first use. Sharded counters trade a little read cost for
+// contention-free increments (see ShardedCounter).
+func (r *Registry) ShardedCounter(name string) *ShardedCounter {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.sharded[name]; ok {
+		return c
+	}
+	r.checkUnique(name, "counter")
+	c := newShardedCounter()
+	r.sharded[name] = c
+	return c
+}
+
+// --- Counter ---
+
+// Counter is a monotonically increasing uint64. Inc and Add are single
+// atomic operations: lock-free and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// --- Gauge ---
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta via a CAS loop (allocation-free).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// --- ShardedCounter ---
+
+// counterCell is one shard, padded to a cache line so concurrent
+// increments on different shards never false-share.
+type counterCell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// ShardedCounter spreads increments across per-goroutine cells handed out
+// by a sync.Pool — the same trick the pooledRand exemplar uses to kill
+// mutex contention in parallel workloads. Inc is allocation-free in steady
+// state; Value sums the cells and is approximate while writers are active
+// (exact once they quiesce).
+type ShardedCounter struct {
+	mu    sync.Mutex
+	cells []*counterCell
+	pool  sync.Pool
+}
+
+func newShardedCounter() *ShardedCounter {
+	c := &ShardedCounter{}
+	c.pool.New = func() any {
+		cell := new(counterCell)
+		c.mu.Lock()
+		c.cells = append(c.cells, cell)
+		c.mu.Unlock()
+		return cell
+	}
+	return c
+}
+
+// Inc adds 1 on a contention-free shard.
+func (c *ShardedCounter) Inc() {
+	cell := c.pool.Get().(*counterCell)
+	cell.n.Add(1)
+	c.pool.Put(cell)
+}
+
+// Add adds n on a contention-free shard.
+func (c *ShardedCounter) Add(n uint64) {
+	cell := c.pool.Get().(*counterCell)
+	cell.n.Add(n)
+	c.pool.Put(cell)
+}
+
+// Value returns the sum over all shards.
+func (c *ShardedCounter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total uint64
+	for _, cell := range c.cells {
+		total += cell.n.Load()
+	}
+	return total
+}
+
+// --- Snapshots ---
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// less than or equal to UpperBound.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram. Buckets are
+// cumulative and cover the finite upper bounds only; Count additionally
+// includes observations above the last bound (the +Inf bucket).
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time view of a whole registry, shaped for JSON.
+// Sharded counters appear alongside plain ones in Counters.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry. Values are read without stopping
+// writers, so a snapshot taken mid-run is approximately consistent: each
+// individual value is atomic, but cross-metric invariants may lag.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)+len(r.sharded)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, c := range r.sharded {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// sortedKeys returns the map's keys in lexicographic order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("Value() = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.ShardedCounter("test_sharded_total")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("Value() = %d, want %d", got, goroutines*perG)
+	}
+	c.Add(5)
+	if got := c.Value(); got != goroutines*perG+5 {
+		t.Errorf("after Add(5): Value() = %d", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_level")
+	if v := g.Value(); v != 0 {
+		t.Errorf("zero gauge = %v", v)
+	}
+	g.Set(3.5)
+	if v := g.Value(); v != 3.5 {
+		t.Errorf("after Set: %v", v)
+	}
+	g.Add(-1.25)
+	if v := g.Value(); v != 2.25 {
+		t.Errorf("after Add: %v", v)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 802.25 {
+		t.Errorf("after concurrent adds: %v", v)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// lands in the first bucket whose upper bound is >= the value, boundary
+// values inclusive.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	tests := []struct {
+		name   string
+		value  float64
+		bucket int // index into counts; len(bounds) = +Inf bucket
+	}{
+		{"below first", 0.0001, 0},
+		{"exactly first boundary", 0.001, 0},
+		{"just above first boundary", 0.0010001, 1},
+		{"mid bucket", 0.05, 2},
+		{"exactly mid boundary", 0.01, 1},
+		{"exactly last boundary", 1, 3},
+		{"above last boundary", 1.5, 4},
+		{"way above", 1e9, 4},
+		{"zero", 0, 0},
+		{"negative", -3, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := newHistogram(bounds)
+			h.Observe(tt.value)
+			for i := range h.counts {
+				want := uint64(0)
+				if i == tt.bucket {
+					want = 1
+				}
+				if got := h.counts[i].Load(); got != want {
+					t.Errorf("counts[%d] = %d, want %d", i, got, want)
+				}
+			}
+			if h.Count() != 1 {
+				t.Errorf("Count() = %d", h.Count())
+			}
+			if h.Sum() != tt.value {
+				t.Errorf("Sum() = %v, want %v", h.Sum(), tt.value)
+			}
+		})
+	}
+}
+
+func TestHistogramSnapshotCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", []float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1, 1.5, 2.5, 10} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Sum != 15.5 {
+		t.Errorf("Sum = %v", s.Sum)
+	}
+	wantCum := []uint64{2, 3, 4} // le=1: {0.5,1}; le=2: +{1.5}; le=3: +{2.5}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket le=%v count = %d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-4.0) > 1e-9 {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_span_seconds", nil)
+	sp := StartSpan(h)
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Errorf("elapsed = %v", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	var zero Span
+	if zero.End() != 0 {
+		t.Error("zero span should be a no-op")
+	}
+	if d := StartSpan(nil).End(); d < 0 {
+		t.Errorf("nil-histogram span elapsed = %v", d)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge not idempotent")
+	}
+	if r.Histogram("h_seconds", nil) != r.Histogram("h_seconds", []float64{1}) {
+		t.Error("Histogram not idempotent")
+	}
+	if r.ShardedCounter("s_total") != r.ShardedCounter("s_total") {
+		t.Error("ShardedCounter not idempotent")
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic registering counter name as gauge")
+		}
+	}()
+	r.Gauge("dual")
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(7)
+	r.ShardedCounter("s_total").Add(3)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h_seconds", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if s.Counters["c_total"] != 7 || s.Counters["s_total"] != 3 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.Gauges["g"] != 1.5 {
+		t.Errorf("gauges = %v", s.Gauges)
+	}
+	h := s.Histograms["h_seconds"]
+	if h.Count != 1 || h.Sum != 0.5 || len(h.Buckets) != 1 || h.Buckets[0].Count != 1 {
+		t.Errorf("histogram = %+v", h)
+	}
+}
+
+// The hot paths must not allocate: this is the acceptance criterion the
+// benchmarks report and this test enforces.
+func TestHotPathsDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_c_total")
+	g := r.Gauge("alloc_g")
+	h := r.Histogram("alloc_h_seconds", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.01) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+}

@@ -1,18 +1,35 @@
-// Package web exposes the platform's run state over HTTP: a JSON status
-// API, a plain-text summary, and a health endpoint — the operational
-// surface a deployed crowdsensing platform would ship with. The server is
-// fed through the distributed.PlatformConfig.Observer hook.
+// Package web exposes the platform's run state over HTTP — the
+// operational surface a deployed crowdsensing platform would ship with.
+// The API is versioned under /api/v1:
+//
+//	GET /healthz              -> 200 "ok"
+//	GET /api/v1/status        -> Status as JSON (uptime, last slot, choices)
+//	GET /api/v1/metrics.json  -> telemetry registry snapshot as JSON
+//	GET /api/v1/slots         -> recent per-slot records (ring buffer)
+//	GET /metrics              -> Prometheus text exposition
+//	GET /api/status           -> deprecated alias of /api/v1/status
+//	GET /                     -> plain-text summary
+//
+// The server is fed through the distributed.PlatformConfig.Observer hook;
+// see docs/API.md for the full v1 contract.
 package web
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/distributed"
+	"repro/internal/telemetry"
 )
 
-// Status is the live run state served at /api/status.
+// Status is the live run state served at /api/v1/status. It is a strict
+// superset of the pre-v1 /api/status payload: every original field keeps
+// its name and meaning.
 type Status struct {
 	// Phase is "waiting", "running", or "converged".
 	Phase string `json:"phase"`
@@ -29,37 +46,150 @@ type Status struct {
 	Choices []int `json:"choices,omitempty"`
 	// UpdatedAt is the time of the last observation.
 	UpdatedAt time.Time `json:"updated_at"`
+
+	// v1 additions.
+
+	// StartedAt is when the server was created.
+	StartedAt time.Time `json:"started_at"`
+	// UptimeSeconds is the monotonic time since StartedAt, computed at
+	// snapshot time.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// LastSlotMillis is the wall time of the last observed slot.
+	LastSlotMillis float64 `json:"last_slot_duration_ms"`
+	// GrantedUsers lists the users granted in the last slot.
+	GrantedUsers []int `json:"granted_users,omitempty"`
+	// Potential is the weighted potential Φ after the last slot, when the
+	// platform computes it (PlatformConfig.ObservePotential).
+	Potential *float64 `json:"potential,omitempty"`
 }
+
+// SlotSample is one entry of the /api/v1/slots ring buffer.
+type SlotSample struct {
+	Slot         int       `json:"slot"`
+	Requests     int       `json:"requests"`
+	Granted      int       `json:"granted"`
+	GrantedUsers []int     `json:"granted_users,omitempty"`
+	DurationMS   float64   `json:"duration_ms"`
+	Potential    *float64  `json:"potential,omitempty"`
+	At           time.Time `json:"at"`
+}
+
+// DefaultSlotCapacity is the ring buffer size for recent slot records.
+const DefaultSlotCapacity = 256
 
 // Server holds the mutable status and implements http.Handler via Handler.
 type Server struct {
 	mu     sync.Mutex
 	status Status
-	// now is injectable for tests.
-	now func() time.Time
+	slots  []SlotSample // ring buffer
+	next   int          // next write position
+	filled bool         // ring has wrapped
+	// now is injectable for tests (WithNow); every handler and observer
+	// reads time through it.
+	now   func() time.Time
+	start time.Time
+	reg   *telemetry.Registry
+	pprof bool
 }
 
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithRegistry selects the telemetry registry served at /metrics and
+// /api/v1/metrics.json (default: telemetry.Default()).
+func WithRegistry(r *telemetry.Registry) Option { return func(s *Server) { s.reg = r } }
+
+// WithNow injects the clock used by every handler and observer.
+func WithNow(fn func() time.Time) Option { return func(s *Server) { s.now = fn } }
+
+// WithSlotCapacity sizes the /api/v1/slots ring buffer.
+func WithSlotCapacity(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.slots = make([]SlotSample, 0, n)
+		}
+	}
+}
+
+// WithPprof registers the net/http/pprof handlers under /debug/pprof/.
+func WithPprof() Option { return func(s *Server) { s.pprof = true } }
+
 // NewServer creates a server expecting the given user count.
-func NewServer(users int) *Server {
-	return &Server{
+func NewServer(users int, opts ...Option) *Server {
+	s := &Server{
 		status: Status{Phase: "waiting", Users: users},
 		now:    time.Now,
+		reg:    telemetry.Default(),
 	}
+	s.slots = make([]SlotSample, 0, DefaultSlotCapacity)
+	for _, o := range opts {
+		o(s)
+	}
+	s.start = s.now()
+	s.status.StartedAt = s.start
+	return s
 }
 
 // Observer returns the callback to plug into distributed.PlatformConfig.
-func (s *Server) Observer() func(slot, requests, granted int, choices []int) {
-	return func(slot, requests, granted int, choices []int) {
+func (s *Server) Observer() func(distributed.Observation) {
+	return func(o distributed.Observation) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		now := s.now()
 		s.status.Phase = "running"
-		s.status.Slot = slot
-		s.status.Requests = requests
-		s.status.Granted = granted
-		s.status.TotalUpdates += granted
-		s.status.Choices = choices
-		s.status.UpdatedAt = s.now()
+		s.status.Slot = o.Slot
+		s.status.Requests = o.Requests
+		s.status.Granted = o.Granted
+		s.status.TotalUpdates += o.Granted
+		s.status.Choices = o.Choices
+		s.status.GrantedUsers = o.GrantedUsers
+		s.status.LastSlotMillis = float64(o.Elapsed) / float64(time.Millisecond)
+		s.status.UpdatedAt = now
+		sample := SlotSample{
+			Slot:         o.Slot,
+			Requests:     o.Requests,
+			Granted:      o.Granted,
+			GrantedUsers: o.GrantedUsers,
+			DurationMS:   s.status.LastSlotMillis,
+			At:           now,
+		}
+		if o.PotentialValid {
+			pot := o.Potential
+			s.status.Potential = &pot
+			sample.Potential = &pot
+		}
+		s.push(sample)
 	}
+}
+
+// push appends to the slot ring buffer. Callers hold s.mu.
+func (s *Server) push(sample SlotSample) {
+	if cap(s.slots) == 0 {
+		return
+	}
+	if len(s.slots) < cap(s.slots) {
+		s.slots = append(s.slots, sample)
+		return
+	}
+	s.slots[s.next] = sample
+	s.next = (s.next + 1) % cap(s.slots)
+	s.filled = true
+}
+
+// recentSlots returns up to limit samples, oldest first (limit <= 0 means
+// all). Callers hold s.mu.
+func (s *Server) recentSlots(limit int) []SlotSample {
+	var out []SlotSample
+	if s.filled {
+		out = append(out, s.slots[s.next:]...)
+		out = append(out, s.slots[:s.next]...)
+	} else {
+		out = append(out, s.slots...)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
 }
 
 // Finish marks the run converged.
@@ -73,37 +203,87 @@ func (s *Server) Finish(choices []int) {
 	s.status.UpdatedAt = s.now()
 }
 
-// Snapshot returns a copy of the current status.
+// Snapshot returns a copy of the current status, with UptimeSeconds
+// computed against the injected clock.
 func (s *Server) Snapshot() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.status
 	st.Choices = append([]int(nil), s.status.Choices...)
+	st.GrantedUsers = append([]int(nil), s.status.GrantedUsers...)
+	st.UptimeSeconds = s.now().Sub(s.start).Seconds()
 	return st
 }
 
-// Handler returns the HTTP routes:
-//
-//	GET /healthz      -> 200 "ok"
-//	GET /api/status   -> Status as JSON
-//	GET /             -> plain-text summary
+// writeJSON encodes v with the canonical headers.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// getOnly wraps h to reject non-GET methods. HEAD passes through: the
+// handler runs for its headers and net/http discards the body.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// Handler returns the HTTP routes of the v1 API (see the package comment).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/api/status", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		st := s.Snapshot()
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(st); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+	statusHandler := getOnly(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Snapshot())
 	})
+	mux.HandleFunc("/api/v1/status", statusHandler)
+	// Deprecated pre-v1 alias: same payload (v1 is a strict superset of
+	// the old shape), plus RFC 8594 deprecation signaling.
+	mux.HandleFunc("/api/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</api/v1/status>; rel="successor-version"`)
+		statusHandler(w, r)
+	})
+	mux.HandleFunc("/api/v1/metrics.json", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.reg.Snapshot())
+	}))
+	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	}))
+	mux.HandleFunc("/api/v1/slots", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if q := r.URL.Query().Get("limit"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, "invalid limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		s.mu.Lock()
+		samples := s.recentSlots(limit)
+		s.mu.Unlock()
+		writeJSON(w, struct {
+			Slots []SlotSample `json:"slots"`
+		}{Slots: samples})
+	}))
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -114,6 +294,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "vcsnav platform\n")
 		fmt.Fprintf(w, "phase          %s\n", st.Phase)
 		fmt.Fprintf(w, "users          %d\n", st.Users)
+		fmt.Fprintf(w, "uptime         %.1fs\n", st.UptimeSeconds)
 		fmt.Fprintf(w, "slot           %d\n", st.Slot)
 		fmt.Fprintf(w, "last requests  %d\n", st.Requests)
 		fmt.Fprintf(w, "last granted   %d\n", st.Granted)

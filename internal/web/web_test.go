@@ -12,11 +12,28 @@ import (
 	"repro/internal/core"
 	"repro/internal/distributed"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
-func testServer() (*Server, *httptest.Server) {
-	s := NewServer(5)
-	s.now = func() time.Time { return time.Unix(1000, 0) }
+// obs builds a minimal Observation for feeding the observer directly.
+func obs(slot, requests, granted int, choices []int) distributed.Observation {
+	return distributed.Observation{
+		Slot: slot, Requests: requests, Granted: granted,
+		Choices: choices, Elapsed: 5 * time.Millisecond,
+	}
+}
+
+// testClock is an injectable clock advancing one second per call batch.
+type testClock struct{ t time.Time }
+
+func newTestClock() *testClock { return &testClock{t: time.Unix(1000, 0)} }
+
+func (c *testClock) now() time.Time { return c.t }
+
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testServer(opts ...Option) (*Server, *httptest.Server) {
+	s := NewServer(5, opts...)
 	return s, httptest.NewServer(s.Handler())
 }
 
@@ -38,12 +55,12 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestStatusLifecycle(t *testing.T) {
-	s, ts := testServer()
+	s, ts := testServer(WithNow(newTestClock().now))
 	defer ts.Close()
 
-	get := func() Status {
+	get := func(path string) Status {
 		t.Helper()
-		resp, err := http.Get(ts.URL + "/api/status")
+		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,14 +74,17 @@ func TestStatusLifecycle(t *testing.T) {
 		}
 		return st
 	}
-	if st := get(); st.Phase != "waiting" || st.Users != 5 {
+	if st := get("/api/v1/status"); st.Phase != "waiting" || st.Users != 5 {
 		t.Errorf("initial status = %+v", st)
 	}
-	obs := s.Observer()
-	obs(0, 0, 0, []int{0, 0, 0, 0, 0})
-	obs(1, 3, 1, []int{1, 0, 0, 0, 0})
-	obs(2, 2, 2, []int{1, 1, 2, 0, 0})
-	st := get()
+	observer := s.Observer()
+	observer(obs(0, 0, 0, []int{0, 0, 0, 0, 0}))
+	observer(obs(1, 3, 1, []int{1, 0, 0, 0, 0}))
+	observer(distributed.Observation{
+		Slot: 2, Requests: 2, Granted: 2, GrantedUsers: []int{0, 2},
+		Choices: []int{1, 1, 2, 0, 0}, Elapsed: 8 * time.Millisecond,
+	})
+	st := get("/api/v1/status")
 	if st.Phase != "running" || st.Slot != 2 || st.Requests != 2 || st.Granted != 2 {
 		t.Errorf("running status = %+v", st)
 	}
@@ -74,16 +94,190 @@ func TestStatusLifecycle(t *testing.T) {
 	if len(st.Choices) != 5 || st.Choices[2] != 2 {
 		t.Errorf("choices = %v", st.Choices)
 	}
+	if len(st.GrantedUsers) != 2 || st.GrantedUsers[1] != 2 {
+		t.Errorf("granted users = %v", st.GrantedUsers)
+	}
+	if st.LastSlotMillis != 8 {
+		t.Errorf("last slot ms = %v", st.LastSlotMillis)
+	}
 	s.Finish([]int{1, 1, 2, 0, 1})
-	if st := get(); st.Phase != "converged" || st.Choices[4] != 1 {
+	if st := get("/api/v1/status"); st.Phase != "converged" || st.Choices[4] != 1 {
 		t.Errorf("final status = %+v", st)
+	}
+}
+
+// The deprecated pre-v1 path must keep serving the same payload and
+// advertise its successor.
+func TestDeprecatedStatusAlias(t *testing.T) {
+	s, ts := testServer()
+	defer ts.Close()
+	s.Observer()(obs(3, 4, 1, []int{0, 1}))
+	resp, err := http.Get(ts.URL + "/api/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if d := resp.Header.Get("Deprecation"); d != "true" {
+		t.Errorf("Deprecation header = %q", d)
+	}
+	if l := resp.Header.Get("Link"); !strings.Contains(l, "/api/v1/status") {
+		t.Errorf("Link header = %q", l)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	// Strict superset of the old payload: every pre-v1 key must be present.
+	for _, key := range []string{"phase", "users", "slot", "requests", "granted", "total_updates", "choices", "updated_at"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("deprecated alias payload missing pre-v1 key %q", key)
+		}
+	}
+	// And it is the v1 payload, so the additions are there too.
+	for _, key := range []string{"uptime_seconds", "started_at", "last_slot_duration_ms"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("v1 payload missing %q", key)
+		}
+	}
+}
+
+func TestUptimeMonotonic(t *testing.T) {
+	clock := newTestClock()
+	s := NewServer(2, WithNow(clock.now))
+	if up := s.Snapshot().UptimeSeconds; up != 0 {
+		t.Errorf("initial uptime = %v", up)
+	}
+	clock.advance(90 * time.Second)
+	if up := s.Snapshot().UptimeSeconds; up != 90 {
+		t.Errorf("uptime after 90s = %v", up)
+	}
+	if st := s.Snapshot(); !st.StartedAt.Equal(time.Unix(1000, 0)) {
+		t.Errorf("started_at = %v", st.StartedAt)
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("web_test_total").Add(3)
+	reg.Histogram("web_test_seconds", []float64{1}).Observe(0.5)
+	_, ts := testServer(WithRegistry(reg))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/v1/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["web_test_total"] != 3 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if h := snap.Histograms["web_test_seconds"]; h.Count != 1 || h.Sum != 0.5 {
+		t.Errorf("histogram = %+v", h)
+	}
+}
+
+func TestMetricsPrometheus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("web_prom_total").Add(9)
+	_, ts := testServer(WithRegistry(reg))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	if !strings.Contains(text, "# TYPE web_prom_total counter") || !strings.Contains(text, "web_prom_total 9") {
+		t.Errorf("exposition missing counter:\n%s", text)
+	}
+}
+
+func TestSlotsRing(t *testing.T) {
+	s, ts := testServer(WithSlotCapacity(4))
+	defer ts.Close()
+	observer := s.Observer()
+	for slot := 0; slot <= 9; slot++ {
+		observer(obs(slot, 2, 1, []int{0, 1}))
+	}
+	get := func(path string) []SlotSample {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		var out struct {
+			Slots []SlotSample `json:"slots"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Slots
+	}
+	samples := get("/api/v1/slots")
+	if len(samples) != 4 {
+		t.Fatalf("len = %d, want ring capacity 4", len(samples))
+	}
+	// Oldest first, and only the most recent 4 retained.
+	for i, want := range []int{6, 7, 8, 9} {
+		if samples[i].Slot != want {
+			t.Errorf("samples[%d].Slot = %d, want %d", i, samples[i].Slot, want)
+		}
+	}
+	if limited := get("/api/v1/slots?limit=2"); len(limited) != 2 || limited[1].Slot != 9 {
+		t.Errorf("limited = %+v", limited)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/slots?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus limit status = %d", resp.StatusCode)
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	_, plain := testServer()
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without WithPprof: status = %d, want 404", resp.StatusCode)
+	}
+	_, prof := testServer(WithPprof())
+	defer prof.Close()
+	resp, err = http.Get(prof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status = %d", resp.StatusCode)
 	}
 }
 
 func TestRootSummary(t *testing.T) {
 	s, ts := testServer()
 	defer ts.Close()
-	s.Observer()(3, 4, 1, []int{0, 1})
+	s.Observer()(obs(3, 4, 1, []int{0, 1}))
 	resp, err := http.Get(ts.URL + "/")
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +285,7 @@ func TestRootSummary(t *testing.T) {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
 	text := string(body)
-	for _, want := range []string{"phase          running", "slot           3", "last requests  4", "choices        [0 1]"} {
+	for _, want := range []string{"phase          running", "slot           3", "last requests  4", "choices        [0 1]", "uptime"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("summary missing %q:\n%s", want, text)
 		}
@@ -109,20 +303,22 @@ func TestNotFoundAndMethods(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown path status = %d", resp.StatusCode)
 	}
-	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/status", nil)
-	resp, err = http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST status = %d", resp.StatusCode)
+	for _, path := range []string{"/api/status", "/api/v1/status", "/api/v1/metrics.json", "/api/v1/slots", "/metrics"} {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+path, nil)
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status = %d", path, resp.StatusCode)
+		}
 	}
 }
 
 func TestSnapshotIsolation(t *testing.T) {
 	s := NewServer(2)
-	s.Observer()(1, 1, 1, []int{0, 1})
+	s.Observer()(obs(1, 1, 1, []int{0, 1}))
 	snap := s.Snapshot()
 	snap.Choices[0] = 99
 	if s.Snapshot().Choices[0] == 99 {
@@ -134,12 +330,15 @@ func TestSnapshotIsolation(t *testing.T) {
 // the server ends converged with the final choices.
 func TestObserverWithDistributedRun(t *testing.T) {
 	in := core.RandomInstance(core.DefaultRandomConfig(8, 10), rng.New(4))
-	s := NewServer(in.NumUsers())
+	reg := telemetry.NewRegistry()
+	s := NewServer(in.NumUsers(), WithRegistry(reg))
 	stats, err := distributed.RunInProcess(in, distributed.InProcessOptions{
 		Platform: distributed.PlatformConfig{
-			Policy:   distributed.PUU,
-			Seed:     5,
-			Observer: s.Observer(),
+			Policy:           distributed.PUU,
+			Seed:             5,
+			Observer:         s.Observer(),
+			ObservePotential: true,
+			Telemetry:        reg,
 		},
 	})
 	if err != nil {
@@ -160,5 +359,19 @@ func TestObserverWithDistributedRun(t *testing.T) {
 		if st.Choices[i] != c {
 			t.Fatalf("choice %d differs", i)
 		}
+	}
+	if st.Potential == nil {
+		t.Error("potential not observed despite ObservePotential")
+	}
+	// The platform registered its slot metrics in the injected registry.
+	snap := reg.Snapshot()
+	if snap.Counters["distributed_slots_total"] == 0 {
+		t.Errorf("distributed_slots_total = 0; counters = %v", snap.Counters)
+	}
+	if snap.Counters["distributed_sent_total"] == 0 || snap.Counters["distributed_recv_total"] == 0 {
+		t.Error("aggregate link counters are zero")
+	}
+	if h := snap.Histograms["distributed_slot_duration_seconds"]; h.Count == 0 {
+		t.Error("slot duration histogram empty")
 	}
 }
