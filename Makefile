@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz ci bench bench-chaos repro check fmt clean
+.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-chaos repro check fmt clean
 
 all: build vet test
 
@@ -32,16 +32,28 @@ chaos:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 5s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzProfileMoves -fuzztime 5s ./internal/core
 
 # Full local CI gate: build, vet, tests, race (including the chaos suite),
-# and short fuzz passes.
+# short fuzz passes, and a smoke run of the incremental benchmark suite
+# (short benchtime: checks the harness and the 5x speedup gate, not timings).
 ci: build vet test race fuzz
 	$(GO) test -race -short -count=1 ./internal/distributed ./internal/wire
+	$(MAKE) bench-core BENCHTIME=20ms BENCH_OUT=/tmp/BENCH_incremental.json
 
 # One benchmark per table/figure plus ablations; -benchtime=1x exercises
 # each once (raise for stable timings).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Machine-readable baseline for the incremental evaluation layer: cached
+# vs naive-oracle ns/op, allocs/op, slots/sec, and speedups, written to
+# BENCH_incremental.json. Fails if NashGap or Slot at M=500 is <5x faster
+# than the oracle. Raise BENCHTIME for stable committed numbers.
+BENCHTIME ?= 500ms
+BENCH_OUT ?= BENCH_incremental.json
+bench-core:
+	$(GO) run ./cmd/benchcore -benchtime $(BENCHTIME) -min-speedup 5 -o $(BENCH_OUT)
 
 # Convergence-slot overhead of the standard fault profile vs clean links.
 bench-chaos:

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/benchcore"
 	"repro/internal/core"
 	"repro/internal/distributed"
 	"repro/internal/engine"
@@ -150,6 +151,57 @@ func BenchmarkYenKShortest(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Incremental-evaluation suite (machine-readable baseline) ---
+//
+// These mirror internal/benchcore exactly; `make bench-core` runs the same
+// bodies under cmd/benchcore and records them to BENCH_incremental.json so
+// future PRs have ns/op, allocs/op, and slots/sec numbers to regress
+// against. The "naive" variants run the differential-testing oracle
+// (core.Naive) — the deliberately simple from-scratch implementation the
+// cached path is correctness-checked against — and are capped at M=500,
+// where one naive NashGap already costs tens of milliseconds.
+
+// incrementalMs sweeps the instance sizes of the baseline.
+var incrementalMs = []int{50, 500, 5000}
+
+// naiveBenchMaxM caps oracle benchmarks (O(M²·L̄) per query).
+const naiveBenchMaxM = 500
+
+func runIncrementalPair(b *testing.B, cached, naive func(int) func(*testing.B)) {
+	b.Helper()
+	for _, m := range incrementalMs {
+		b.Run(fmt.Sprintf("cached/M%d", m), cached(m))
+		if naive != nil && m <= naiveBenchMaxM {
+			b.Run(fmt.Sprintf("naive/M%d", m), naive(m))
+		}
+	}
+}
+
+func BenchmarkNashGap(b *testing.B) {
+	runIncrementalPair(b, benchcore.NashGapCached, benchcore.NashGapNaive)
+}
+
+// BenchmarkSlot measures one decision slot's evaluation work (request
+// collection with τ/B metadata plus PUU selection) without mutating the
+// profile, so every iteration sees the same stationary workload.
+func BenchmarkSlot(b *testing.B) {
+	runIncrementalPair(b, benchcore.SlotCached, benchcore.SlotNaive)
+}
+
+func BenchmarkPotentialIncremental(b *testing.B) {
+	runIncrementalPair(b, benchcore.PotentialCached, benchcore.PotentialNaive)
+}
+
+func BenchmarkTotalProfitIncremental(b *testing.B) {
+	runIncrementalPair(b, benchcore.TotalProfitCached, benchcore.TotalProfitNaive)
+}
+
+// BenchmarkSetChoiceIncremental prices a move including all cache
+// maintenance (counts, alpha-sums, cost terms, compensated Φ/ΣP_i).
+func BenchmarkSetChoiceIncremental(b *testing.B) {
+	runIncrementalPair(b, benchcore.SetChoiceCached, nil)
 }
 
 // --- Ablation benchmarks (DESIGN.md §6) ---

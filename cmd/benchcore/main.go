@@ -1,0 +1,84 @@
+// Command benchcore runs the incremental-evaluation benchmark suite
+// (internal/benchcore) and writes the machine-readable baseline
+// BENCH_incremental.json: ns/op, allocs/op, and slots/sec for the cached
+// path and the naive differential-testing oracle at several instance
+// sizes, plus the cached-vs-naive speedups measured in the same run.
+//
+//	go run ./cmd/benchcore -o BENCH_incremental.json            # full run
+//	go run ./cmd/benchcore -benchtime 20ms -o /tmp/bench.json   # CI smoke
+//	go run ./cmd/benchcore -min-speedup 5                       # gate: fail <5×
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/benchcore"
+)
+
+func main() {
+	var (
+		out        = flag.String("o", "BENCH_incremental.json", "output path for the JSON report")
+		benchTime  = flag.String("benchtime", "1s", "per-benchmark measuring time (testing -benchtime syntax)")
+		msFlag     = flag.String("m", "50,500,5000", "comma-separated user counts to sweep")
+		naiveMax   = flag.Int("naive-max", 500, "largest M the naive oracle is benchmarked at")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail unless NashGap and Slot speedups at M=500 reach this factor (0 disables)")
+	)
+	testing.Init()
+	flag.Parse()
+	if err := flag.CommandLine.Set("test.benchtime", *benchTime); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcore: bad -benchtime %q: %v\n", *benchTime, err)
+		os.Exit(2)
+	}
+
+	var ms []int
+	for _, f := range strings.Split(*msFlag, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || m <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcore: bad -m element %q\n", f)
+			os.Exit(2)
+		}
+		ms = append(ms, m)
+	}
+
+	rep := benchcore.RunSuite(ms, *naiveMax, *benchTime)
+
+	for _, e := range rep.Entries {
+		line := fmt.Sprintf("%-28s %12.0f ns/op %8d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+		if e.SlotsPerSec > 0 {
+			line += fmt.Sprintf(" %12.1f slots/sec", e.SlotsPerSec)
+		}
+		fmt.Println(line)
+	}
+	for _, s := range rep.Speedups {
+		fmt.Printf("speedup %-12s M=%-5d %8.1fx (naive %.0f ns/op, cached %.0f ns/op)\n",
+			s.Metric, s.M, s.Speedup, s.NaiveNs, s.CachedNs)
+	}
+
+	doc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *minSpeedup > 0 {
+		for _, metric := range []string{"NashGap", "Slot"} {
+			if got := rep.SpeedupFor(metric, 500); got < *minSpeedup {
+				fmt.Fprintf(os.Stderr, "benchcore: %s speedup at M=500 is %.1fx, below the %.1fx floor\n",
+					metric, got, *minSpeedup)
+				os.Exit(1)
+			}
+		}
+	}
+}

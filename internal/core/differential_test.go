@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// diffCompare asserts cached-vs-oracle agreement on every aggregate the
+// incremental layer maintains: participant counts exactly, Potential /
+// TotalProfit within Eps.
+func diffCompare(t *testing.T, step int, p *Profile, o *Naive) {
+	t.Helper()
+	counts := o.Counts()
+	for k := range counts {
+		if p.Count(task.ID(k)) != counts[k] {
+			t.Fatalf("step %d: n_%d cached %d, oracle %d", step, k, p.Count(task.ID(k)), counts[k])
+		}
+	}
+	if got, want := p.Potential(), o.Potential(); math.Abs(got-want) > Eps {
+		t.Fatalf("step %d: Potential cached %v, oracle %v (|Δ|=%g)", step, got, want, math.Abs(got-want))
+	}
+	if got, want := p.TotalProfit(), o.TotalProfit(); math.Abs(got-want) > Eps {
+		t.Fatalf("step %d: TotalProfit cached %v, oracle %v (|Δ|=%g)", step, got, want, math.Abs(got-want))
+	}
+}
+
+// TestDifferentialOracleReplay is the tentpole's differential property
+// test: replay 10k random SetChoice/ProfitIf steps through the cached
+// profile and the naive oracle and assert Potential, TotalProfit, NashGap,
+// and all n_k agree within Eps throughout. A silent drift in any cached
+// aggregate would surface here long before it could corrupt a Theorem-2/4
+// claim downstream.
+func TestDifferentialOracleReplay(t *testing.T) {
+	steps := 10000
+	if testing.Short() {
+		steps = 1500
+	}
+	shapes := []struct {
+		users, tasks int
+		seed         uint64
+	}{
+		{8, 10, 101},
+		{25, 40, 202},
+		{40, 24, 303}, // more users than tasks: heavy overlap, large n_k swings
+	}
+	for _, sh := range shapes {
+		s := rng.New(sh.seed)
+		in := RandomInstance(DefaultRandomConfig(sh.users, sh.tasks), s.Child())
+		p := RandomProfile(in, s.Child())
+		o, err := NewNaive(in, p.Choices())
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffCompare(t, 0, p, o)
+		for step := 1; step <= steps; step++ {
+			i := UserID(s.Intn(len(in.Users)))
+			c := s.Intn(len(in.Users[i].Routes))
+			if s.Bool(0.3) {
+				// Probe without mutating: ProfitIf and ProfitDeltaIf against
+				// the oracle's from-scratch evaluations.
+				if got, want := p.ProfitIf(i, c), o.ProfitIf(i, c); math.Abs(got-want) > Eps {
+					t.Fatalf("step %d: ProfitIf(%d,%d) cached %v, oracle %v", step, i, c, got, want)
+				}
+				wantD := o.ProfitIf(i, c) - o.Profit(i)
+				if got := p.ProfitDeltaIf(i, c); math.Abs(got-wantD) > Eps {
+					t.Fatalf("step %d: ProfitDeltaIf(%d,%d) cached %v, oracle %v", step, i, c, got, wantD)
+				}
+			} else {
+				p.SetChoice(i, c)
+				o.SetChoice(i, c)
+			}
+			if step%37 == 0 {
+				diffCompare(t, step, p, o)
+			}
+			if step%499 == 0 {
+				if got, want := p.NashGap(), o.NashGap(); math.Abs(got-want) > Eps {
+					t.Fatalf("step %d: NashGap cached %v, oracle %v", step, got, want)
+				}
+			}
+		}
+		diffCompare(t, steps, p, o)
+		if got, want := p.NashGap(), o.NashGap(); math.Abs(got-want) > Eps {
+			t.Fatalf("final NashGap cached %v, oracle %v", got, want)
+		}
+	}
+}
+
+// TestDifferentialRebaseBoundary drives a profile through several rebase
+// windows (rebaseEvery moves) and asserts the accumulators stay glued to
+// the oracle across the recomputation boundary.
+func TestDifferentialRebaseBoundary(t *testing.T) {
+	s := rng.New(77)
+	in := RandomInstance(DefaultRandomConfig(6, 9), s.Child())
+	p := RandomProfile(in, s.Child())
+	o, err := NewNaive(in, p.Choices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 2*rebaseEvery + rebaseEvery/2
+	if testing.Short() {
+		total = rebaseEvery + 16
+	}
+	moved := 0
+	for moved < total {
+		i := UserID(s.Intn(len(in.Users)))
+		c := s.Intn(len(in.Users[i].Routes))
+		if c == p.Choice(i) {
+			continue
+		}
+		p.SetChoice(i, c)
+		o.SetChoice(i, c)
+		moved++
+		// Check densely right around the rebase boundaries, sparsely between.
+		if r := moved % rebaseEvery; r <= 2 || r >= rebaseEvery-2 || moved%257 == 0 {
+			diffCompare(t, moved, p, o)
+		}
+	}
+}
+
+// TestCloneIsolatesCache is the Profile.Clone regression test: a clone must
+// copy the full cache state, so mutating it leaves the original's cached
+// aggregates bit-for-bit untouched (and vice versa).
+func TestCloneIsolatesCache(t *testing.T) {
+	s := rng.New(55)
+	in := RandomInstance(DefaultRandomConfig(12, 16), s.Child())
+	p := RandomProfile(in, s.Child())
+	phi, total := p.Potential(), p.TotalProfit()
+	counts := append([]int(nil), p.nk...)
+
+	q := p.Clone()
+	for moves := 0; moves < 200; moves++ {
+		i := UserID(s.Intn(len(in.Users)))
+		q.SetChoice(i, s.Intn(len(in.Users[i].Routes)))
+	}
+	if got := p.Potential(); got != phi {
+		t.Errorf("mutating a clone changed the original's Potential: %v != %v", got, phi)
+	}
+	if got := p.TotalProfit(); got != total {
+		t.Errorf("mutating a clone changed the original's TotalProfit: %v != %v", got, total)
+	}
+	for k := range counts {
+		if p.nk[k] != counts[k] {
+			t.Fatalf("mutating a clone changed the original's n_%d: %d != %d", k, p.nk[k], counts[k])
+		}
+	}
+	// The mutated clone must itself still agree with the oracle.
+	o, err := NewNaive(in, q.Choices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffCompare(t, -1, q, o)
+
+	// And the reverse direction: mutating the original leaves the clone alone.
+	r := p.Clone()
+	phiR := r.Potential()
+	for moves := 0; moves < 50; moves++ {
+		i := UserID(s.Intn(len(in.Users)))
+		p.SetChoice(i, s.Intn(len(in.Users[i].Routes)))
+	}
+	if got := r.Potential(); got != phiR {
+		t.Errorf("mutating the original changed a clone's Potential: %v != %v", got, phiR)
+	}
+}

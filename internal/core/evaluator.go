@@ -1,0 +1,209 @@
+package core
+
+import "repro/internal/task"
+
+// evalState holds the per-evaluator scratch marks used by delta probes
+// (ProfitIf, ProfitDeltaIf, MoveTasks, best/better response computation).
+// The profile's own queries run against its embedded evalState; additional
+// independent states can be created via Profile.NewEvaluator so that many
+// goroutines can probe the same frozen profile concurrently — the probes
+// read only choices/nk/memo, which no probe mutates.
+type evalState struct {
+	p       *Profile
+	scratch []int32 // per-task scratch marks for delta evaluations
+	mark    int32
+}
+
+func (e *evalState) init(p *Profile) {
+	e.p = p
+	e.scratch = make([]int32, len(p.inst.Tasks))
+	e.mark = 0
+}
+
+// nextMark advances the scratch epoch; used to mark task sets without
+// clearing the whole slice.
+func (e *evalState) nextMark() int32 {
+	e.mark++
+	if e.mark == 0 { // wrapped: reset
+		for i := range e.scratch {
+			e.scratch[i] = 0
+		}
+		e.mark = 1
+	}
+	return e.mark
+}
+
+// profitIf is ProfitIf: the absolute profit of user i on candidate c with
+// everyone else fixed, summed over the candidate's full task set.
+func (e *evalState) profitIf(i UserID, c int) float64 {
+	p := e.p
+	u := p.inst.Users[int(i)]
+	cur := u.Routes[p.choices[int(i)]]
+	cand := u.Routes[c]
+	mark := e.nextMark()
+	for _, k := range cur.Tasks {
+		e.scratch[k] = mark
+	}
+	var reward float64
+	for _, k := range cand.Tasks {
+		n := p.nk[k]
+		if e.scratch[k] != mark {
+			n++ // user i joins task k
+		}
+		reward += p.memo.share(int(k), n)
+	}
+	return u.Alpha*reward - u.Beta*p.inst.DetourCost(cand) - u.Gamma*p.inst.CongestionCost(cand)
+}
+
+// profitDeltaIf is ProfitDeltaIf: the profit change of the unilateral move
+// i→c, evaluated on the symmetric difference of the two routes only. Two
+// scratch epochs on the same array distinguish "current" and "candidate"
+// membership without allocation.
+func (e *evalState) profitDeltaIf(i UserID, c int) float64 {
+	p := e.p
+	u := p.inst.Users[int(i)]
+	old := p.choices[int(i)]
+	if c == old {
+		return 0
+	}
+	cur := u.Routes[old]
+	cand := u.Routes[c]
+	var d float64
+	mCur := e.nextMark()
+	for _, k := range cur.Tasks {
+		e.scratch[k] = mCur
+	}
+	for _, k := range cand.Tasks {
+		if e.scratch[k] != mCur { // k ∈ L'\L: user i would join
+			d += p.memo.share(int(k), p.nk[k]+1)
+		}
+	}
+	mCand := e.nextMark()
+	for _, k := range cand.Tasks {
+		e.scratch[k] = mCand
+	}
+	for _, k := range cur.Tasks {
+		if e.scratch[k] != mCand { // k ∈ L\L': user i would leave
+			d -= p.memo.share(int(k), p.nk[k])
+		}
+	}
+	return u.Alpha*d -
+		u.Beta*(p.inst.DetourCost(cand)-p.inst.DetourCost(cur)) -
+		u.Gamma*(p.inst.CongestionCost(cand)-p.inst.CongestionCost(cur))
+}
+
+func (e *evalState) betterResponses(i UserID) []int {
+	p := e.p
+	var out []int
+	for c := range p.inst.Users[int(i)].Routes {
+		if c == p.choices[int(i)] {
+			continue
+		}
+		if e.profitDeltaIf(i, c) > Eps {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (e *evalState) hasBetterResponse(i UserID) bool {
+	p := e.p
+	for c := range p.inst.Users[int(i)].Routes {
+		if c == p.choices[int(i)] {
+			continue
+		}
+		if e.profitDeltaIf(i, c) > Eps {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *evalState) bestResponseSet(i UserID) []int {
+	p := e.p
+	var best float64 // best improvement so far; 0 = the current choice
+	var out []int
+	for c := range p.inst.Users[int(i)].Routes {
+		if c == p.choices[int(i)] {
+			continue
+		}
+		d := e.profitDeltaIf(i, c)
+		switch {
+		case d > best+Eps:
+			best = d
+			out = out[:0]
+			out = append(out, c)
+		case d > Eps && d >= best-Eps && len(out) > 0:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// gapOf returns the largest profit improvement user i could obtain by a
+// unilateral deviation (0 when none improves).
+func (e *evalState) gapOf(i UserID) float64 {
+	p := e.p
+	var gap float64
+	for c := range p.inst.Users[int(i)].Routes {
+		if c == p.choices[int(i)] {
+			continue
+		}
+		if d := e.profitDeltaIf(i, c); d > gap {
+			gap = d
+		}
+	}
+	return gap
+}
+
+func (e *evalState) moveTasks(i UserID, c int) []task.ID {
+	p := e.p
+	u := p.inst.Users[int(i)]
+	cur := u.Routes[p.choices[int(i)]]
+	cand := u.Routes[c]
+	mark := e.nextMark()
+	out := make([]task.ID, 0, len(cur.Tasks)+len(cand.Tasks))
+	for _, k := range cur.Tasks {
+		e.scratch[k] = mark
+		out = append(out, k)
+	}
+	for _, k := range cand.Tasks {
+		if e.scratch[k] != mark {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Evaluator answers best-response probes against a profile with its own
+// private scratch state. Any number of Evaluators may query the same
+// profile concurrently as long as no goroutine mutates the profile (via
+// SetChoice) in the meantime — the engine's sharded request collection
+// relies on exactly this. Results are bit-identical to the profile's own
+// methods: both run the same evalState code over the same memoized table.
+type Evaluator struct {
+	e evalState
+}
+
+// NewEvaluator returns an independent probe context for the profile.
+func (p *Profile) NewEvaluator() *Evaluator {
+	ev := &Evaluator{}
+	ev.e.init(p)
+	return ev
+}
+
+// BestResponseSet is Profile.BestResponseSet on the evaluator's scratch.
+func (ev *Evaluator) BestResponseSet(i UserID) []int { return ev.e.bestResponseSet(i) }
+
+// BetterResponses is Profile.BetterResponses on the evaluator's scratch.
+func (ev *Evaluator) BetterResponses(i UserID) []int { return ev.e.betterResponses(i) }
+
+// ProfitDeltaIf is Profile.ProfitDeltaIf on the evaluator's scratch.
+func (ev *Evaluator) ProfitDeltaIf(i UserID, c int) float64 { return ev.e.profitDeltaIf(i, c) }
+
+// ProfitIf is Profile.ProfitIf on the evaluator's scratch.
+func (ev *Evaluator) ProfitIf(i UserID, c int) float64 { return ev.e.profitIf(i, c) }
+
+// GapOf returns user i's largest unilateral improvement (the per-user term
+// of NashGap).
+func (ev *Evaluator) GapOf(i UserID) float64 { return ev.e.gapOf(i) }

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// Naive is the differential-testing oracle for Profile: a deliberately
+// simple reference implementation of the same game semantics that caches
+// nothing. Every query recomputes the participant counts n_k from the
+// stored choices and evaluates profits and the potential directly from the
+// Eq. (1)–(8) definitions via task.Share (including its math.Log call).
+//
+// It exists so that the incremental evaluation layer — memoized share
+// tables, alpha-sums, compensated Φ/ΣP_i accumulators — can be checked
+// against an implementation too simple to share its bugs. Differential
+// property tests and FuzzProfileMoves replay random move sequences through
+// both and assert agreement; the benchmark suite uses it as the
+// from-scratch baseline the cached path is measured against.
+//
+// Complexity is intentionally poor: O(M·L̄) per profit query and O(M·R·M·L̄)
+// per NashGap. Never use it outside tests and benchmarks.
+type Naive struct {
+	inst    *Instance
+	choices []int
+}
+
+// NewNaive builds an oracle over the instance with the given initial route
+// choices (copied). It returns an error if any index is out of range.
+func NewNaive(inst *Instance, choices []int) (*Naive, error) {
+	if len(choices) != len(inst.Users) {
+		return nil, fmt.Errorf("core: %d choices for %d users", len(choices), len(inst.Users))
+	}
+	for i, c := range choices {
+		if c < 0 || c >= len(inst.Users[i].Routes) {
+			return nil, fmt.Errorf("core: user %d choice %d out of range [0,%d)", i, c, len(inst.Users[i].Routes))
+		}
+	}
+	return &Naive{inst: inst, choices: append([]int(nil), choices...)}, nil
+}
+
+// SetChoice records the move; nothing is maintained incrementally.
+func (o *Naive) SetChoice(i UserID, c int) {
+	if c < 0 || c >= len(o.inst.Users[int(i)].Routes) {
+		panic(fmt.Sprintf("core: Naive.SetChoice(%d, %d) out of range", i, c))
+	}
+	o.choices[int(i)] = c
+}
+
+// Choice returns the route index chosen by user i.
+func (o *Naive) Choice(i UserID) int { return o.choices[int(i)] }
+
+// Choices returns a copy of all route choices.
+func (o *Naive) Choices() []int { return append([]int(nil), o.choices...) }
+
+// Counts recomputes n_k(s) from scratch for every task.
+func (o *Naive) Counts() []int {
+	nk := make([]int, len(o.inst.Tasks))
+	for i, c := range o.choices {
+		for _, k := range o.inst.Users[i].Routes[c].Tasks {
+			nk[k]++
+		}
+	}
+	return nk
+}
+
+// Count returns n_k(s) for one task, recomputed from scratch.
+func (o *Naive) Count(k task.ID) int { return o.Counts()[int(k)] }
+
+// profitWith evaluates P_i under an explicit choice vector, recomputing
+// counts from scratch.
+func (o *Naive) profitWith(choices []int, i UserID) float64 {
+	nk := make([]int, len(o.inst.Tasks))
+	for j, c := range choices {
+		for _, k := range o.inst.Users[j].Routes[c].Tasks {
+			nk[k]++
+		}
+	}
+	u := o.inst.Users[int(i)]
+	r := u.Routes[choices[int(i)]]
+	var reward float64
+	for _, k := range r.Tasks {
+		reward += o.inst.Tasks[k].Share(nk[k])
+	}
+	return u.Alpha*reward - u.Beta*o.inst.DetourCost(r) - u.Gamma*o.inst.CongestionCost(r)
+}
+
+// Profit returns P_i(s) per Eq. (2).
+func (o *Naive) Profit(i UserID) float64 { return o.profitWith(o.choices, i) }
+
+// ProfitIf returns P_i((c, s_-i)) by evaluating the deviated choice vector
+// from scratch.
+func (o *Naive) ProfitIf(i UserID, c int) float64 {
+	dev := append([]int(nil), o.choices...)
+	dev[int(i)] = c
+	return o.profitWith(dev, i)
+}
+
+// TotalProfit returns Σ_i P_i(s) (Eq. 5), one from-scratch profit per user.
+func (o *Naive) TotalProfit() float64 {
+	var total float64
+	for i := range o.inst.Users {
+		total += o.Profit(UserID(i))
+	}
+	return total
+}
+
+// Potential returns Φ(s) per Eq. (8), recomputed from the definition.
+func (o *Naive) Potential() float64 {
+	nk := o.Counts()
+	var phi float64
+	for k, tk := range o.inst.Tasks {
+		for q := 1; q <= nk[k]; q++ {
+			phi += tk.Share(q)
+		}
+	}
+	for i, u := range o.inst.Users {
+		r := u.Routes[o.choices[i]]
+		phi -= (u.Beta / u.Alpha) * o.inst.DetourCost(r)
+		phi -= (u.Gamma / u.Alpha) * o.inst.CongestionCost(r)
+	}
+	return phi
+}
+
+// BestResponseSet mirrors Profile.BestResponseSet's Eps-band semantics on
+// from-scratch profit evaluations.
+func (o *Naive) BestResponseSet(i UserID) []int {
+	cur := o.Profit(i)
+	best := cur
+	var out []int
+	for c := range o.inst.Users[int(i)].Routes {
+		if c == o.choices[int(i)] {
+			continue
+		}
+		v := o.ProfitIf(i, c)
+		switch {
+		case v > best+Eps:
+			best = v
+			out = out[:0]
+			out = append(out, c)
+		case v > cur+Eps && v >= best-Eps && len(out) > 0:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NashGap returns the largest unilateral profit improvement, every probe
+// evaluated from scratch.
+func (o *Naive) NashGap() float64 {
+	var gap float64
+	for i := range o.inst.Users {
+		u := UserID(i)
+		cur := o.Profit(u)
+		for c := range o.inst.Users[i].Routes {
+			if c == o.choices[i] {
+				continue
+			}
+			if d := o.ProfitIf(u, c) - cur; d > gap {
+				gap = d
+			}
+		}
+	}
+	return gap
+}

@@ -6,16 +6,49 @@ import (
 	"repro/internal/task"
 )
 
+// rebaseEvery bounds floating-point drift in the incrementally-maintained
+// aggregates: after this many SetChoice calls the accumulators are
+// recomputed from scratch. Together with compensated summation this keeps
+// Potential/TotalProfit within well under Eps of a from-scratch evaluation
+// over arbitrarily long move sequences, at amortized O((M+N)/rebaseEvery)
+// per move.
+const rebaseEvery = 4096
+
 // Profile is a strategy profile s = (s_1, ..., s_M): one chosen route per
 // user, together with the incrementally-maintained participant counts
 // n_k(s). All profit and potential evaluations run against a Profile.
+//
+// Beyond the counts, a Profile caches everything needed to answer the hot
+// queries of the decision-slot protocol in O(1) or O(|Δroutes|) instead of
+// O(M·N): per-task participant alpha-sums, per-user detour/congestion cost
+// terms, a memoized ln-table for w_k(q)/q shares, and compensated running
+// sums of the weighted potential Φ (Eq. 8) and the total profit Σ_i P_i
+// (Eq. 5), both updated by SetChoice on the symmetric difference of the old
+// and new routes only.
 type Profile struct {
 	inst    *Instance
 	choices []int // choices[i] indexes Users[i].Routes
 	nk      []int // nk[k] = number of users whose chosen route covers task k
 
-	scratch []int32 // per-task scratch marks for delta evaluations
-	mark    int32
+	memo *shareMemo // immutable share table, shared with clones/evaluators
+
+	// alphaSum[k] = Σ_{i: k ∈ L_si} α_i. With it, the reward part of
+	// Σ_i P_i collapses to Σ_k alphaSum[k]·share_k(n_k), which a move
+	// perturbs only on its touched tasks.
+	alphaSum []float64
+	// userCost[i] = β_i·d(s_i) + γ_i·b(s_i); userPotCost[i] is the same
+	// with the Eq. 8 weights (β_i/α_i, γ_i/α_i).
+	userCost    []float64
+	userPotCost []float64
+
+	potReward  kahan // Σ_k Σ_{q=1..n_k} w_k(q)/q
+	potCost    kahan // Σ_i userPotCost[i]
+	profReward kahan // Σ_k alphaSum[k]·share_k(n_k)
+	profCost   kahan // Σ_i userCost[i]
+
+	moves int // SetChoice calls since the last rebase
+
+	ev evalState // scratch marks for delta probes on this profile
 }
 
 // NewProfile builds a profile from per-user route indices. The slice is
@@ -25,11 +58,15 @@ func NewProfile(inst *Instance, choices []int) (*Profile, error) {
 		return nil, fmt.Errorf("core: %d choices for %d users", len(choices), len(inst.Users))
 	}
 	p := &Profile{
-		inst:    inst,
-		choices: append([]int(nil), choices...),
-		nk:      make([]int, len(inst.Tasks)),
-		scratch: make([]int32, len(inst.Tasks)),
+		inst:        inst,
+		choices:     append([]int(nil), choices...),
+		nk:          make([]int, len(inst.Tasks)),
+		memo:        newShareMemo(inst),
+		alphaSum:    make([]float64, len(inst.Tasks)),
+		userCost:    make([]float64, len(inst.Users)),
+		userPotCost: make([]float64, len(inst.Users)),
 	}
+	p.ev.init(p)
 	for i, c := range choices {
 		u := inst.Users[i]
 		if c < 0 || c >= len(u.Routes) {
@@ -39,7 +76,39 @@ func NewProfile(inst *Instance, choices []int) (*Profile, error) {
 			p.nk[k]++
 		}
 	}
+	p.rebase()
 	return p, nil
+}
+
+// rebase recomputes every cached aggregate from the instance and the
+// current choices. It runs at construction and every rebaseEvery moves to
+// reset accumulated floating-point drift.
+func (p *Profile) rebase() {
+	p.moves = 0
+	for k := range p.alphaSum {
+		p.alphaSum[k] = 0
+	}
+	p.potReward, p.potCost, p.profReward, p.profCost = kahan{}, kahan{}, kahan{}, kahan{}
+	for i, u := range p.inst.Users {
+		r := u.Routes[p.choices[i]]
+		for _, k := range r.Tasks {
+			p.alphaSum[k] += u.Alpha
+		}
+		d, b := p.inst.DetourCost(r), p.inst.CongestionCost(r)
+		p.userCost[i] = u.Beta*d + u.Gamma*b
+		p.userPotCost[i] = (u.Beta/u.Alpha)*d + (u.Gamma/u.Alpha)*b
+		p.profCost.add(p.userCost[i])
+		p.potCost.add(p.userPotCost[i])
+	}
+	for k := range p.inst.Tasks {
+		n := p.nk[k]
+		for q := 1; q <= n; q++ {
+			p.potReward.add(p.memo.share(k, q))
+		}
+		if n > 0 {
+			p.profReward.add(p.alphaSum[k] * p.memo.share(k, n))
+		}
+	}
 }
 
 // Instance returns the underlying game instance.
@@ -60,7 +129,9 @@ func (p *Profile) Route(i UserID) Route {
 func (p *Profile) Count(k task.ID) int { return p.nk[int(k)] }
 
 // SetChoice moves user i to route index c, updating the participant counts
-// incrementally (O(|L_old| + |L_new|)).
+// and every cached aggregate incrementally in O(|L_old| + |L_new|). Tasks
+// covered by both routes are walked twice with exactly cancelling deltas,
+// so no set intersection is needed.
 func (p *Profile) SetChoice(i UserID, c int) {
 	u := p.inst.Users[int(i)]
 	if c < 0 || c >= len(u.Routes) {
@@ -70,36 +141,61 @@ func (p *Profile) SetChoice(i UserID, c int) {
 	if old == c {
 		return
 	}
+	alpha := u.Alpha
 	for _, k := range u.Routes[old].Tasks {
-		p.nk[k]--
+		n, a := p.nk[k], p.alphaSum[k]
+		// User i leaves task k: n_k drops to n-1, the alpha-sum loses α_i.
+		p.potReward.add(-p.memo.share(int(k), n))
+		p.profReward.add((a-alpha)*p.memo.share(int(k), n-1) - a*p.memo.share(int(k), n))
+		p.alphaSum[k] = a - alpha
+		p.nk[k] = n - 1
 	}
 	for _, k := range u.Routes[c].Tasks {
-		p.nk[k]++
+		n, a := p.nk[k]+1, p.alphaSum[k]+alpha
+		p.potReward.add(p.memo.share(int(k), n))
+		p.profReward.add(a*p.memo.share(int(k), n) - (a-alpha)*p.memo.share(int(k), n-1))
+		p.alphaSum[k] = a
+		p.nk[k] = n
 	}
 	p.choices[int(i)] = c
+
+	r := u.Routes[c]
+	d, b := p.inst.DetourCost(r), p.inst.CongestionCost(r)
+	cost := u.Beta*d + u.Gamma*b
+	potCost := (u.Beta/u.Alpha)*d + (u.Gamma/u.Alpha)*b
+	p.profCost.add(cost - p.userCost[int(i)])
+	p.potCost.add(potCost - p.userPotCost[int(i)])
+	p.userCost[int(i)] = cost
+	p.userPotCost[int(i)] = potCost
+
+	p.moves++
+	if p.moves >= rebaseEvery {
+		p.rebase()
+	}
 }
 
-// Clone returns an independent copy of the profile sharing the instance.
+// Clone returns an independent copy of the profile sharing the instance and
+// the immutable share memo. All mutable cache state — counts, alpha-sums,
+// per-user cost terms, and the compensated Φ / ΣP_i accumulators — is
+// copied, so mutating the clone never perturbs the original (and vice
+// versa).
 func (p *Profile) Clone() *Profile {
-	return &Profile{
-		inst:    p.inst,
-		choices: append([]int(nil), p.choices...),
-		nk:      append([]int(nil), p.nk...),
-		scratch: make([]int32, len(p.scratch)),
+	q := &Profile{
+		inst:        p.inst,
+		choices:     append([]int(nil), p.choices...),
+		nk:          append([]int(nil), p.nk...),
+		memo:        p.memo,
+		alphaSum:    append([]float64(nil), p.alphaSum...),
+		userCost:    append([]float64(nil), p.userCost...),
+		userPotCost: append([]float64(nil), p.userPotCost...),
+		potReward:   p.potReward,
+		potCost:     p.potCost,
+		profReward:  p.profReward,
+		profCost:    p.profCost,
+		moves:       p.moves,
 	}
-}
-
-// nextMark advances the scratch epoch; used to mark the current route's
-// tasks without clearing the whole slice.
-func (p *Profile) nextMark() int32 {
-	p.mark++
-	if p.mark == 0 { // wrapped: reset
-		for i := range p.scratch {
-			p.scratch[i] = 0
-		}
-		p.mark = 1
-	}
-	return p.mark
+	q.ev.init(q)
+	return q
 }
 
 // Profit returns P_i(s) per Eq. (2) for user i under the current profile.
@@ -108,7 +204,7 @@ func (p *Profile) Profit(i UserID) float64 {
 	r := u.Routes[p.choices[int(i)]]
 	var reward float64
 	for _, k := range r.Tasks {
-		reward += p.inst.Tasks[k].Share(p.nk[k])
+		reward += p.memo.share(int(k), p.nk[k])
 	}
 	return u.Alpha*reward - u.Beta*p.inst.DetourCost(r) - u.Gamma*p.inst.CongestionCost(r)
 }
@@ -119,7 +215,7 @@ func (p *Profile) RewardOf(i UserID) float64 {
 	r := p.Route(i)
 	var reward float64
 	for _, k := range r.Tasks {
-		reward += p.inst.Tasks[k].Share(p.nk[k])
+		reward += p.memo.share(int(k), p.nk[k])
 	}
 	return reward
 }
@@ -129,98 +225,47 @@ func (p *Profile) RewardOf(i UserID) float64 {
 // mutate the profile. Counts are adjusted as in Theorem 2's proof: tasks
 // covered by both routes keep their count; tasks only on the new route gain
 // one participant (user i itself).
-func (p *Profile) ProfitIf(i UserID, c int) float64 {
-	u := p.inst.Users[int(i)]
-	cur := u.Routes[p.choices[int(i)]]
-	cand := u.Routes[c]
-	mark := p.nextMark()
-	for _, k := range cur.Tasks {
-		p.scratch[k] = mark
-	}
-	var reward float64
-	for _, k := range cand.Tasks {
-		n := p.nk[k]
-		if p.scratch[k] != mark {
-			n++ // user i joins task k
-		}
-		reward += p.inst.Tasks[k].Share(n)
-	}
-	return u.Alpha*reward - u.Beta*p.inst.DetourCost(cand) - u.Gamma*p.inst.CongestionCost(cand)
-}
+func (p *Profile) ProfitIf(i UserID, c int) float64 { return p.ev.profitIf(i, c) }
+
+// ProfitDeltaIf returns P_i((c, s_-i)) − P_i(s) directly, summing shares
+// over the symmetric difference of the current and candidate routes only —
+// the Eq. 8 locality that makes a best-response probe O(|Δroutes|):
+//
+//	ΔP_i = α_i·( Σ_{k∈L'\L} w_k(n_k+1)/(n_k+1) − Σ_{k∈L\L'} w_k(n_k)/n_k )
+//	       − β_i·(d(r')−d(r)) − γ_i·(b(r')−b(r)).
+//
+// BetterResponses, BestResponseSet, NashGap, and Tau are all built on it.
+func (p *Profile) ProfitDeltaIf(i UserID, c int) float64 { return p.ev.profitDeltaIf(i, c) }
 
 // TotalProfit returns Σ_i P_i(s), the objective of the centralized problem
-// (Eq. 5).
+// (Eq. 5). It reads the cached aggregates in O(1).
 func (p *Profile) TotalProfit() float64 {
-	var total float64
-	for i := range p.inst.Users {
-		total += p.Profit(UserID(i))
-	}
-	return total
+	return p.profReward.value() - p.profCost.value()
 }
 
 // Potential returns the weighted potential Φ(s) of Eq. (8):
 //
 //	Φ(s) = Σ_k Σ_{q=1..n_k} w_k(q)/q − Σ_i (β_i/α_i)·d(s_i) − Σ_i (γ_i/α_i)·b(s_i).
+//
+// It reads the cached aggregates in O(1); SetChoice keeps them current.
 func (p *Profile) Potential() float64 {
-	var phi float64
-	for k, tk := range p.inst.Tasks {
-		for q := 1; q <= p.nk[k]; q++ {
-			phi += tk.Share(q)
-		}
-	}
-	for i, u := range p.inst.Users {
-		r := u.Routes[p.choices[i]]
-		phi -= (u.Beta / u.Alpha) * p.inst.DetourCost(r)
-		phi -= (u.Gamma / u.Alpha) * p.inst.CongestionCost(r)
-	}
-	return phi
+	return p.potReward.value() - p.potCost.value()
 }
 
 // BetterResponses returns the route indices that strictly improve user i's
 // profit over its current choice (Definition 1, better response update).
-func (p *Profile) BetterResponses(i UserID) []int {
-	cur := p.Profit(i)
-	var out []int
-	for c := range p.inst.Users[int(i)].Routes {
-		if c == p.choices[int(i)] {
-			continue
-		}
-		if p.ProfitIf(i, c) > cur+Eps {
-			out = append(out, c)
-		}
-	}
-	return out
-}
+func (p *Profile) BetterResponses(i UserID) []int { return p.ev.betterResponses(i) }
 
 // BestResponseSet returns Δ_i: the set of route indices achieving the
 // maximum profit among all strict improvements (Definition 1, best response
 // update; Algorithm 1 line 10). It is empty when the current choice is
 // already a best response.
-func (p *Profile) BestResponseSet(i UserID) []int {
-	cur := p.Profit(i)
-	best := cur
-	var out []int
-	for c := range p.inst.Users[int(i)].Routes {
-		if c == p.choices[int(i)] {
-			continue
-		}
-		v := p.ProfitIf(i, c)
-		switch {
-		case v > best+Eps:
-			best = v
-			out = out[:0]
-			out = append(out, c)
-		case v > cur+Eps && v >= best-Eps && len(out) > 0:
-			out = append(out, c)
-		}
-	}
-	return out
-}
+func (p *Profile) BestResponseSet(i UserID) []int { return p.ev.bestResponseSet(i) }
 
 // IsNash reports whether no user has a better response (Definition 2).
 func (p *Profile) IsNash() bool {
 	for i := range p.inst.Users {
-		if len(p.BetterResponses(UserID(i))) > 0 {
+		if p.ev.hasBetterResponse(UserID(i)) {
 			return false
 		}
 	}
@@ -233,15 +278,8 @@ func (p *Profile) IsNash() bool {
 func (p *Profile) NashGap() float64 {
 	var gap float64
 	for i := range p.inst.Users {
-		u := UserID(i)
-		cur := p.Profit(u)
-		for c := range p.inst.Users[i].Routes {
-			if c == p.choices[i] {
-				continue
-			}
-			if d := p.ProfitIf(u, c) - cur; d > gap {
-				gap = d
-			}
+		if g := p.ev.gapOf(UserID(i)); g > gap {
+			gap = g
 		}
 	}
 	return gap
@@ -257,30 +295,14 @@ func (p *Profile) IsEpsilonNash(eps float64) bool { return p.NashGap() <= eps }
 // algorithm (Algorithm 3) and the BUAU baseline.
 func (p *Profile) Tau(i UserID, c int) float64 {
 	u := p.inst.Users[int(i)]
-	return (p.ProfitIf(i, c) - p.Profit(i)) / u.Alpha
+	return p.ev.profitDeltaIf(i, c) / u.Alpha
 }
 
 // MoveTasks returns B_i for a prospective move of user i to route index c:
 // the union of tasks covered by the current and the new route. Two users
 // whose B sets are disjoint can update concurrently without interfering
 // (Algorithm 3).
-func (p *Profile) MoveTasks(i UserID, c int) []task.ID {
-	u := p.inst.Users[int(i)]
-	cur := u.Routes[p.choices[int(i)]]
-	cand := u.Routes[c]
-	mark := p.nextMark()
-	out := make([]task.ID, 0, len(cur.Tasks)+len(cand.Tasks))
-	for _, k := range cur.Tasks {
-		p.scratch[k] = mark
-		out = append(out, k)
-	}
-	for _, k := range cand.Tasks {
-		if p.scratch[k] != mark {
-			out = append(out, k)
-		}
-	}
-	return out
-}
+func (p *Profile) MoveTasks(i UserID, c int) []task.ID { return p.ev.moveTasks(i, c) }
 
 // CoveredTasks returns the number of distinct tasks covered by at least one
 // user's chosen route (the numerator of the §5.3.2 coverage metric).

@@ -164,7 +164,7 @@ func TestScratchMarkWraparound(t *testing.T) {
 	s := rng.New(77)
 	in := RandomInstance(DefaultRandomConfig(4, 8), s.Child())
 	p := RandomProfile(in, s.Child())
-	p.mark = math.MaxInt32 - 3 // force an imminent wrap
+	p.ev.mark = math.MaxInt32 - 3 // force an imminent wrap
 	for trial := 0; trial < 10; trial++ {
 		for i := range in.Users {
 			for c := range in.Users[i].Routes {

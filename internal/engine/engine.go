@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
@@ -184,14 +185,53 @@ func RunFrom(p *core.Profile, factory PolicyFactory, s *rng.Stream, cfg Config) 
 	return res
 }
 
+// Request-collection telemetry on the default registry (the per-run
+// Config.Telemetry registry is policy-agnostic; the collect path sits below
+// the Policy interface, so its metrics live package-wide like
+// internal/parallel's).
+var (
+	collectDuration   = telemetry.Default().Histogram("engine_collect_duration_seconds", nil)
+	collectParallel   = telemetry.Default().Counter("engine_collect_parallel_total")
+	collectSequential = telemetry.Default().Counter("engine_collect_sequential_total")
+)
+
+// collectParallelMin is the user count at which collectRequests fans the
+// best-response evaluation across internal/parallel shards. Below it the
+// goroutine fan-out costs more than the probes; a package variable so tests
+// can force either path.
+var collectParallelMin = 96
+
 // collectRequests gathers this slot's update requests: every user whose best
 // route set Δ_i is nonempty, with a proposed route chosen uniformly from
 // Δ_i (Algorithm 1 line 14).
+//
+// For instances with at least collectParallelMin users the per-user
+// best-response sets — the slot's dominant cost, embarrassingly parallel
+// and RNG-free — are evaluated across worker shards first, each shard
+// probing through its own core.Evaluator. The merge then walks users in
+// index order and draws proposals from the stream exactly as the
+// sequential path does, so the emitted requests (and all downstream run
+// trajectories) are bit-identical either way.
 func collectRequests(p *core.Profile, s *rng.Stream, withMeta bool) []Request {
+	span := telemetry.StartSpan(collectDuration)
+	defer span.End()
+	n := p.Instance().NumUsers()
+	var deltas [][]int
+	if n >= collectParallelMin {
+		collectParallel.Inc()
+		deltas = bestResponseSets(p)
+	} else {
+		collectSequential.Inc()
+	}
 	var reqs []Request
-	for i := 0; i < p.Instance().NumUsers(); i++ {
+	for i := 0; i < n; i++ {
 		u := core.UserID(i)
-		delta := p.BestResponseSet(u)
+		var delta []int
+		if deltas != nil {
+			delta = deltas[i]
+		} else {
+			delta = p.BestResponseSet(u)
+		}
 		if len(delta) == 0 {
 			continue
 		}
@@ -206,6 +246,39 @@ func collectRequests(p *core.Profile, s *rng.Stream, withMeta bool) []Request {
 		reqs = append(reqs, req)
 	}
 	return reqs
+}
+
+// bestResponseSets evaluates Δ_i for every user across parallel shards.
+// Shard w owns users w, w+shards, w+2·shards, …, so each output slot is
+// written by exactly one goroutine and the result depends only on the
+// profile state, never on scheduling. Each shard probes through a private
+// core.Evaluator: probes are read-only on the profile and bit-identical to
+// Profile.BestResponseSet.
+func bestResponseSets(p *core.Profile) [][]int {
+	n := p.Instance().NumUsers()
+	out := make([][]int, n)
+	shards := parallel.DefaultWorkers()
+	if max := (n + 31) / 32; shards > max {
+		shards = max // keep ≥32 users per shard
+	}
+	// The shard body never errors; ForEach's error return is vacuous here.
+	_ = parallel.ForEach(shards, shards, func(w int) error {
+		ev := p.NewEvaluator()
+		for i := w; i < n; i += shards {
+			out[i] = ev.BestResponseSet(core.UserID(i))
+		}
+		return nil
+	})
+	return out
+}
+
+// Requests returns the update requests the platform would collect from the
+// current profile this slot (Algorithm 1 line 14 / Algorithm 2 line 4),
+// without applying any of them. withMeta additionally fills each request's
+// τ_i and B_i, as the PUU and BUAU policies require. Exported for
+// benchmarks and external tooling; policies use the same path internally.
+func Requests(p *core.Profile, s *rng.Stream, withMeta bool) []Request {
+	return collectRequests(p, s, withMeta)
 }
 
 // --- SUU: Single User Update (the DGRN configuration) ---
