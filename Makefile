@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-chaos repro check fmt clean
+.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-routing bench-chaos repro check fmt clean
 
 all: build vet test
 
@@ -27,19 +27,23 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestAsyncPotential' -count=1 ./internal/distributed
 
-# Short fuzz pass over the wire codec (corpus + a few seconds of mutation
-# per target). Extend -fuzztime locally for deeper exploration.
+# Short fuzz pass over the wire codec and the routing engine (corpus + a few
+# seconds of mutation per target). Extend -fuzztime locally for deeper
+# exploration.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 5s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzProfileMoves -fuzztime 5s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzShortestPathEquivalence -fuzztime 5s ./internal/roadnet
 
 # Full local CI gate: build, vet, tests, race (including the chaos suite),
-# short fuzz passes, and a smoke run of the incremental benchmark suite
-# (short benchtime: checks the harness and the 5x speedup gate, not timings).
+# short fuzz passes, and smoke runs of both benchmark suites (short
+# benchtime: checks the harnesses and the speedup/zero-alloc gates, not
+# timings).
 ci: build vet test race fuzz
 	$(GO) test -race -short -count=1 ./internal/distributed ./internal/wire
 	$(MAKE) bench-core BENCHTIME=20ms BENCH_OUT=/tmp/BENCH_incremental.json
+	$(MAKE) bench-routing BENCHTIME=20ms BENCH_ROUTING_OUT=/tmp/BENCH_routing.json
 
 # One benchmark per table/figure plus ablations; -benchtime=1x exercises
 # each once (raise for stable timings).
@@ -54,6 +58,16 @@ BENCHTIME ?= 500ms
 BENCH_OUT ?= BENCH_incremental.json
 bench-core:
 	$(GO) run ./cmd/benchcore -benchtime $(BENCHTIME) -min-speedup 5 -o $(BENCH_OUT)
+
+# Machine-readable baseline for the routing engine: goal-directed search and
+# route recommendation vs the frozen reference implementations, plus the
+# parallel-vs-sequential scenario build, written to BENCH_routing.json.
+# Fails if the scenario-build speedup at M=5000 is <3x or a warm engine
+# query allocates.
+BENCH_ROUTING_OUT ?= BENCH_routing.json
+bench-routing:
+	$(GO) run ./cmd/benchcore -suite routing -benchtime $(BENCHTIME) \
+		-min-scenario-speedup 3 -routing-o $(BENCH_ROUTING_OUT)
 
 # Convergence-slot overhead of the standard fault profile vs clean links.
 bench-chaos:

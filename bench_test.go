@@ -433,3 +433,33 @@ func BenchmarkAlternativeRoutes(b *testing.B) {
 		}
 	}
 }
+
+// --- Routing-engine benchmarks (the BENCH_routing.json families) ---
+
+// BenchmarkRoutingShortestPath pairs the warm-scratch goal-directed engine
+// against the frozen one-shot Dijkstra baseline on city-parameterized grids.
+func BenchmarkRoutingShortestPath(b *testing.B) {
+	for _, v := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("engine/V%d", v), benchcore.ShortestPathEngine(v))
+		b.Run(fmt.Sprintf("reference/V%d", v), benchcore.ShortestPathReference(v))
+	}
+}
+
+// BenchmarkRoutingAlternatives pairs engine route recommendation (k=5,
+// penalized diversification) against the reference path.
+func BenchmarkRoutingAlternatives(b *testing.B) {
+	for _, v := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("engine/V%d", v), benchcore.AlternativeRoutesEngine(v))
+		b.Run(fmt.Sprintf("reference/V%d", v), benchcore.AlternativeRoutesReference(v))
+	}
+}
+
+// BenchmarkScenarioBuild pairs the phase-split parallel scenario builder
+// against the frozen sequential baseline at the paper's user-count sweep;
+// each iteration starts from cold route caches.
+func BenchmarkScenarioBuild(b *testing.B) {
+	for _, m := range benchcore.ScenarioBuildMs {
+		b.Run(fmt.Sprintf("parallel/M%d", m), benchcore.ScenarioBuildPar(m))
+		b.Run(fmt.Sprintf("sequential/M%d", m), benchcore.ScenarioBuildSeq(m))
+	}
+}

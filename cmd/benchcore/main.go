@@ -1,12 +1,18 @@
-// Command benchcore runs the incremental-evaluation benchmark suite
-// (internal/benchcore) and writes the machine-readable baseline
-// BENCH_incremental.json: ns/op, allocs/op, and slots/sec for the cached
-// path and the naive differential-testing oracle at several instance
-// sizes, plus the cached-vs-naive speedups measured in the same run.
+// Command benchcore runs the machine-readable benchmark suites
+// (internal/benchcore) and writes their JSON baselines:
 //
-//	go run ./cmd/benchcore -o BENCH_incremental.json            # full run
-//	go run ./cmd/benchcore -benchtime 20ms -o /tmp/bench.json   # CI smoke
-//	go run ./cmd/benchcore -min-speedup 5                       # gate: fail <5×
+//   - core: the incremental game-state evaluation layer vs the Naive
+//     differential-testing oracle → BENCH_incremental.json
+//   - routing: the goal-directed routing engine and parallel scenario
+//     builder vs the frozen reference implementations → BENCH_routing.json
+//
+// Examples:
+//
+//	go run ./cmd/benchcore -o BENCH_incremental.json              # core, full run
+//	go run ./cmd/benchcore -benchtime 20ms -o /tmp/bench.json     # CI smoke
+//	go run ./cmd/benchcore -min-speedup 5                         # gate: fail <5×
+//	go run ./cmd/benchcore -suite routing -routing-o BENCH_routing.json \
+//	    -min-scenario-speedup 3                                   # routing gates
 package main
 
 import (
@@ -23,11 +29,14 @@ import (
 
 func main() {
 	var (
-		out        = flag.String("o", "BENCH_incremental.json", "output path for the JSON report")
+		suite      = flag.String("suite", "core", "which suite to run: core, routing, or all")
+		out        = flag.String("o", "BENCH_incremental.json", "output path for the core-suite JSON report")
+		routingOut = flag.String("routing-o", "BENCH_routing.json", "output path for the routing-suite JSON report")
 		benchTime  = flag.String("benchtime", "1s", "per-benchmark measuring time (testing -benchtime syntax)")
-		msFlag     = flag.String("m", "50,500,5000", "comma-separated user counts to sweep")
+		msFlag     = flag.String("m", "50,500,5000", "comma-separated user counts the core suite sweeps")
 		naiveMax   = flag.Int("naive-max", 500, "largest M the naive oracle is benchmarked at")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail unless NashGap and Slot speedups at M=500 reach this factor (0 disables)")
+		minScen    = flag.Float64("min-scenario-speedup", 0, "fail unless the scenario-build speedup at M=5000 reaches this factor and warm engine queries are allocation-free (0 disables)")
 	)
 	testing.Init()
 	flag.Parse()
@@ -35,50 +44,102 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcore: bad -benchtime %q: %v\n", *benchTime, err)
 		os.Exit(2)
 	}
+	runCore := *suite == "core" || *suite == "all"
+	runRouting := *suite == "routing" || *suite == "all"
+	if !runCore && !runRouting {
+		fmt.Fprintf(os.Stderr, "benchcore: unknown -suite %q (want core, routing, or all)\n", *suite)
+		os.Exit(2)
+	}
 
-	var ms []int
-	for _, f := range strings.Split(*msFlag, ",") {
-		m, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || m <= 0 {
-			fmt.Fprintf(os.Stderr, "benchcore: bad -m element %q\n", f)
-			os.Exit(2)
+	if runCore {
+		var ms []int
+		for _, f := range strings.Split(*msFlag, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || m <= 0 {
+				fmt.Fprintf(os.Stderr, "benchcore: bad -m element %q\n", f)
+				os.Exit(2)
+			}
+			ms = append(ms, m)
 		}
-		ms = append(ms, m)
-	}
 
-	rep := benchcore.RunSuite(ms, *naiveMax, *benchTime)
+		rep := benchcore.RunSuite(ms, *naiveMax, *benchTime)
 
-	for _, e := range rep.Entries {
-		line := fmt.Sprintf("%-28s %12.0f ns/op %8d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
-		if e.SlotsPerSec > 0 {
-			line += fmt.Sprintf(" %12.1f slots/sec", e.SlotsPerSec)
+		for _, e := range rep.Entries {
+			line := fmt.Sprintf("%-28s %12.0f ns/op %8d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+			if e.SlotsPerSec > 0 {
+				line += fmt.Sprintf(" %12.1f slots/sec", e.SlotsPerSec)
+			}
+			fmt.Println(line)
 		}
-		fmt.Println(line)
-	}
-	for _, s := range rep.Speedups {
-		fmt.Printf("speedup %-12s M=%-5d %8.1fx (naive %.0f ns/op, cached %.0f ns/op)\n",
-			s.Metric, s.M, s.Speedup, s.NaiveNs, s.CachedNs)
+		for _, s := range rep.Speedups {
+			fmt.Printf("speedup %-12s M=%-5d %8.1fx (naive %.0f ns/op, cached %.0f ns/op)\n",
+				s.Metric, s.M, s.Speedup, s.NaiveNs, s.CachedNs)
+		}
+
+		writeJSON(*out, &rep)
+
+		if *minSpeedup > 0 {
+			for _, metric := range []string{"NashGap", "Slot"} {
+				if got := rep.SpeedupFor(metric, 500); got < *minSpeedup {
+					fmt.Fprintf(os.Stderr, "benchcore: %s speedup at M=500 is %.1fx, below the %.1fx floor\n",
+						metric, got, *minSpeedup)
+					os.Exit(1)
+				}
+			}
+		}
 	}
 
-	doc, err := json.MarshalIndent(&rep, "", "  ")
+	if runRouting {
+		rep := benchcore.RunRoutingSuite(*benchTime)
+
+		for _, e := range rep.Entries {
+			line := fmt.Sprintf("%-32s %12.0f ns/op %8d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+			if e.QueriesPerSec > 0 {
+				line += fmt.Sprintf(" %12.1f queries/sec", e.QueriesPerSec)
+			}
+			fmt.Println(line)
+		}
+		for _, s := range rep.Speedups {
+			fmt.Printf("speedup %-20s size=%-7d %6.1fx (baseline %.0f ns/op, engine %.0f ns/op)\n",
+				s.Metric, s.Size, s.Speedup, s.BaselineNs, s.EngineNs)
+		}
+
+		writeJSON(*routingOut, &rep)
+
+		if *minScen > 0 {
+			if got := rep.SpeedupFor("ScenarioBuild", 5000); got < *minScen {
+				fmt.Fprintf(os.Stderr, "benchcore: scenario-build speedup at M=5000 is %.1fx, below the %.1fx floor\n",
+					got, *minScen)
+				os.Exit(1)
+			}
+			for _, v := range rep.GraphSizes {
+				name := fmt.Sprintf("ShortestPath/engine/%d", v)
+				e := rep.EntryFor(name)
+				if e == nil {
+					fmt.Fprintf(os.Stderr, "benchcore: missing entry %s\n", name)
+					os.Exit(1)
+				}
+				if e.AllocsPerOp != 0 {
+					fmt.Fprintf(os.Stderr, "benchcore: %s allocates %d objects/op, want 0 (warm scratch)\n",
+						name, e.AllocsPerOp)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+// writeJSON serializes a report to path, exiting on failure.
+func writeJSON(path string, v any) {
+	doc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
 		os.Exit(1)
 	}
 	doc = append(doc, '\n')
-	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
-
-	if *minSpeedup > 0 {
-		for _, metric := range []string{"NashGap", "Slot"} {
-			if got := rep.SpeedupFor(metric, 500); got < *minSpeedup {
-				fmt.Fprintf(os.Stderr, "benchcore: %s speedup at M=500 is %.1fx, below the %.1fx floor\n",
-					metric, got, *minSpeedup)
-				os.Exit(1)
-			}
-		}
-	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -25,6 +25,7 @@ func main() {
 		trips   = flag.Int("trips", 0, "override trip count (0 = paper's count)")
 		dump    = flag.Int("dump", 0, "dump the first N traces as CSV fixes")
 		showMap = flag.Bool("map", false, "render the road network and trace endpoints as an ASCII map")
+		workers = flag.Int("workers", 0, "trip-routing worker count (0 = one per CPU); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 	if *trips > 0 {
 		spec.Trips = *trips
 	}
-	ds, err := trace.Generate(spec, *seed)
+	ds, err := trace.GenerateWorkers(spec, *seed, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)

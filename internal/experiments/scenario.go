@@ -41,15 +41,21 @@ const RoutePenalty = 0.4
 // World is a generated dataset plus the derived artifacts shared across the
 // repetitions of an experiment: extracted OD pairs and a route cache. Build
 // one World per (dataset, seed) and derive many instances from it.
+//
+// Route recommendation is backed by roadnet.RouteCache (sharded,
+// singleflight), so concurrent repetitions deduplicate their route
+// computations instead of serializing on one mutex.
 type World struct {
 	Spec    trace.Spec
 	Dataset *trace.Dataset
 	ODs     []trace.ODPair
 
-	mu         sync.Mutex // guards the route caches (repetitions run in parallel)
-	routeCache map[trace.ODPair][]roadnet.Path
-	polyCache  map[trace.ODPair][]geo.Polyline
-	area       geo.Rect
+	routes *roadnet.RouteCache
+
+	polyMu    sync.Mutex
+	polyCache map[trace.ODPair][]geo.Polyline
+
+	area geo.Rect
 }
 
 // NewWorld generates the dataset for spec under the given seed and extracts
@@ -59,6 +65,13 @@ func NewWorld(spec trace.Spec, seed uint64) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
+	return WorldFromDataset(spec, ds)
+}
+
+// WorldFromDataset wraps an already generated dataset in a fresh World
+// (empty route caches). Benchmarks use this to measure cold-cache scenario
+// builds without paying trace generation per iteration.
+func WorldFromDataset(spec trace.Spec, ds *trace.Dataset) (*World, error) {
 	ods := ds.ExtractOD()
 	if len(ods) == 0 {
 		return nil, fmt.Errorf("experiments: dataset %s produced no OD pairs", spec.Name)
@@ -68,38 +81,36 @@ func NewWorld(spec trace.Spec, seed uint64) (*World, error) {
 		pts[i] = ds.Graph.Pos(roadnet.NodeID(i))
 	}
 	return &World{
-		Spec:       spec,
-		Dataset:    ds,
-		ODs:        ods,
-		routeCache: map[trace.ODPair][]roadnet.Path{},
-		polyCache:  map[trace.ODPair][]geo.Polyline{},
-		area:       geo.Bound(pts),
+		Spec:      spec,
+		Dataset:   ds,
+		ODs:       ods,
+		routes:    roadnet.NewRouteCache(ds.Graph),
+		polyCache: map[trace.ODPair][]geo.Polyline{},
+		area:      geo.Bound(pts),
 	}, nil
 }
 
 // routesFor returns up to max recommended routes for the OD pair, cached.
-// Route 0 is the shortest route (Yen ordering), so h(route 0) = 0.
+// Route 0 is the shortest route, so h(route 0) = 0.
 func (w *World) routesFor(od trace.ODPair, max int) ([]roadnet.Path, []geo.Polyline, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	paths, ok := w.routeCache[od]
+	paths, err := w.routes.AlternativeRoutes(od.Origin, od.Destination, 5, RoutePenalty)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.polyMu.Lock()
+	polys, ok := w.polyCache[od]
 	if !ok {
-		var err error
-		paths, err = w.Dataset.Graph.AlternativeRoutes(od.Origin, od.Destination, 5, RoutePenalty)
-		if err != nil {
-			return nil, nil, err
-		}
-		w.routeCache[od] = paths
-		polys := make([]geo.Polyline, len(paths))
+		polys = make([]geo.Polyline, len(paths))
 		for i, p := range paths {
 			polys[i] = w.Dataset.Graph.Polyline(p)
 		}
 		w.polyCache[od] = polys
 	}
+	w.polyMu.Unlock()
 	if max > len(paths) {
 		max = len(paths)
 	}
-	return paths[:max], w.polyCache[od][:max], nil
+	return paths[:max], polys[:max], nil
 }
 
 // RoutesForUser returns the cached road-network paths (and polylines)
@@ -121,6 +132,10 @@ type ScenarioConfig struct {
 	// FixedWeights, when non-nil, overrides the sampled (α, β, γ) of user 0
 	// — used by the Table-5 parameter study.
 	FixedWeights *[3]float64
+	// Workers caps the route/coverage fan-out of the build (0 = one per
+	// CPU, max 16). The built scenario is identical for any worker count:
+	// all RNG draws happen in a sequential phase before the fan-out.
+	Workers int
 }
 
 // Scenario is a built instance plus the geometry needed for presentation
@@ -133,10 +148,35 @@ type Scenario struct {
 	ODs        []trace.ODPair
 }
 
+// userDraw holds one user's sequentially drawn random parameters; everything
+// derived from them is deterministic and safe to compute in parallel.
+type userDraw struct {
+	od               trace.ODPair
+	k                int
+	alpha, beta, gam float64
+}
+
+// odBundle is the per-OD work shared by every user on that OD pair: the
+// recommended routes, their polylines, and the per-route scenario-dependent
+// measures (detour, congestion, covered tasks). Computing it once per
+// distinct OD instead of once per user is the main algorithmic win of the
+// parallel build — typical datasets have far fewer OD pairs than users.
+type odBundle struct {
+	paths  []roadnet.Path
+	polys  []geo.Polyline
+	routes []core.Route // User field unset; Tasks slice is the shared template
+}
+
 // BuildScenario samples a game instance from the world: users are random OD
-// pairs with Yen-recommended routes (1–5 each, Table 2), tasks are placed
-// over the map, route coverage uses the sensing radius, detours are
-// measured against the shortest route and congestion from edge speeds.
+// pairs with recommended routes (1–5 each, Table 2), tasks are placed over
+// the map, route coverage uses the sensing radius, detours are measured
+// against the shortest route and congestion from edge speeds.
+//
+// The build is split into a sequential sampling phase (all RNG draws, in
+// the exact order of the original sequential builder) and a parallel
+// compute phase over distinct OD pairs, so results are bit-identical for
+// any ScenarioConfig.Workers — see BuildScenarioBaseline and the parity
+// tests.
 func (w *World) BuildScenario(cfg ScenarioConfig, s *rng.Stream) (*Scenario, error) {
 	tab := rng.DefaultTable2()
 	in := &core.Instance{Phi: cfg.Phi, Theta: cfg.Theta, EMin: tab.UserWeightMin, EMax: tab.UserWeightMax}
@@ -158,12 +198,137 @@ func (w *World) BuildScenario(cfg ScenarioConfig, s *rng.Stream) (*Scenario, err
 	}
 	taskIndex := spatial.FromItems(items)
 
+	// Phase 1 — sequential sampling: every RNG draw, in the original order.
+	userStream := s.Child()
+	draws := make([]userDraw, cfg.Users)
+	uniq := make([]trace.ODPair, 0, len(w.ODs))
+	odIndex := make(map[trace.ODPair]int, len(w.ODs))
+	for i := range draws {
+		od := w.ODs[userStream.Intn(len(w.ODs))]
+		draws[i] = userDraw{
+			od:    od,
+			k:     tab.SampleRoutesPerUser(userStream),
+			alpha: tab.SampleUserWeight(userStream),
+			beta:  tab.SampleUserWeight(userStream),
+			gam:   tab.SampleUserWeight(userStream),
+		}
+		if _, ok := odIndex[od]; !ok {
+			odIndex[od] = len(uniq)
+			uniq = append(uniq, od)
+		}
+	}
+
+	// Phase 2 — parallel compute: one bundle per distinct OD pair.
+	bundles, err := parallel.Map(len(uniq), cfg.Workers, func(i int) (*odBundle, error) {
+		od := uniq[i]
+		paths, polys, err := w.routesFor(od, 5)
+		if err != nil {
+			return nil, err
+		}
+		b := &odBundle{paths: paths, polys: polys, routes: make([]core.Route, len(paths))}
+		shortest := paths[0].Length
+		for ri, p := range paths {
+			r := core.Route{
+				Detour:     (p.Length - shortest) * DetourScale,
+				Congestion: w.Dataset.Graph.Congestion(p),
+			}
+			if r.Detour < 0 {
+				r.Detour = 0
+			}
+			for _, id := range taskIndex.WithinRadiusOfPolyline(polys[ri], CoverRadius, nil) {
+				r.Tasks = append(r.Tasks, task.ID(id))
+			}
+			b.routes[ri] = r
+		}
+		return b, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3 — sequential assembly in user order.
+	sc := &Scenario{Instance: in, Tasks: tset}
+	for i, d := range draws {
+		b := bundles[odIndex[d.od]]
+		u := core.User{ID: core.UserID(i), Alpha: d.alpha, Beta: d.beta, Gamma: d.gam}
+		if i == 0 && cfg.FixedWeights != nil {
+			u.Alpha, u.Beta, u.Gamma = cfg.FixedWeights[0], cfg.FixedWeights[1], cfg.FixedWeights[2]
+		}
+		k := d.k
+		if k > len(b.routes) {
+			k = len(b.routes)
+		}
+		u.Routes = make([]core.Route, k)
+		for ri := 0; ri < k; ri++ {
+			r := b.routes[ri]
+			r.User = u.ID
+			if len(r.Tasks) > 0 {
+				r.Tasks = append([]task.ID(nil), r.Tasks...)
+			}
+			u.Routes[ri] = r
+		}
+		in.Users = append(in.Users, u)
+		sc.RoutePolys = append(sc.RoutePolys, b.polys[:k])
+		sc.ODs = append(sc.ODs, d.od)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: built invalid instance: %w", err)
+	}
+	return sc, nil
+}
+
+// BuildScenarioBaseline is the frozen pre-engine builder: strictly
+// sequential, per-user coverage queries, reference routing with a per-call
+// route memo. It must produce scenarios identical to BuildScenario (the
+// parity tests enforce this) and serves as the benchmark baseline for
+// BENCH_routing.json.
+func (w *World) BuildScenarioBaseline(cfg ScenarioConfig, s *rng.Stream) (*Scenario, error) {
+	tab := rng.DefaultTable2()
+	in := &core.Instance{Phi: cfg.Phi, Theta: cfg.Theta, EMin: tab.UserWeightMin, EMax: tab.UserWeightMax}
+	if in.Phi == 0 {
+		in.Phi = tab.SampleSystemWeight(s)
+	}
+	if in.Theta == 0 {
+		in.Theta = tab.SampleSystemWeight(s)
+	}
+	tset := w.roadSideTasks(cfg.Tasks, tab, s.Child())
+	in.Tasks = tset.Tasks
+	items := make([]spatial.Item, len(tset.Tasks))
+	for i, tk := range tset.Tasks {
+		items[i] = spatial.Item{Pos: tk.Pos, ID: int(tk.ID)}
+	}
+	taskIndex := spatial.FromItems(items)
+
+	g := w.Dataset.Graph
+	routeMemo := map[trace.ODPair][]roadnet.Path{}
+	polyMemo := map[trace.ODPair][]geo.Polyline{}
+	routesFor := func(od trace.ODPair, max int) ([]roadnet.Path, []geo.Polyline, error) {
+		paths, ok := routeMemo[od]
+		if !ok {
+			var err error
+			paths, err = roadnet.ReferenceAlternativeRoutes(g, od.Origin, od.Destination, 5, RoutePenalty)
+			if err != nil {
+				return nil, nil, err
+			}
+			routeMemo[od] = paths
+			polys := make([]geo.Polyline, len(paths))
+			for i, p := range paths {
+				polys[i] = g.Polyline(p)
+			}
+			polyMemo[od] = polys
+		}
+		if max > len(paths) {
+			max = len(paths)
+		}
+		return paths[:max], polyMemo[od][:max], nil
+	}
+
 	sc := &Scenario{Instance: in, Tasks: tset}
 	userStream := s.Child()
 	for i := 0; i < cfg.Users; i++ {
 		od := w.ODs[userStream.Intn(len(w.ODs))]
 		k := tab.SampleRoutesPerUser(userStream)
-		paths, polys, err := w.routesFor(od, k)
+		paths, polys, err := routesFor(od, k)
 		if err != nil {
 			return nil, err
 		}
@@ -181,12 +346,11 @@ func (w *World) BuildScenario(cfg ScenarioConfig, s *rng.Stream) (*Scenario, err
 			r := core.Route{
 				User:       u.ID,
 				Detour:     (p.Length - shortest) * DetourScale,
-				Congestion: w.Dataset.Graph.Congestion(p),
+				Congestion: g.Congestion(p),
 			}
 			if r.Detour < 0 {
 				r.Detour = 0
 			}
-			// Coverage: tasks within the sensing radius of the route.
 			for _, id := range taskIndex.WithinRadiusOfPolyline(polys[ri], CoverRadius, nil) {
 				r.Tasks = append(r.Tasks, task.ID(id))
 			}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// assertScenariosIdentical requires the full scenario — instance, geometry,
+// OD assignments — to be deeply equal, and both source streams to sit at the
+// same position (same number of draws consumed).
+func assertScenariosIdentical(t *testing.T, ctx string, a, b *Scenario, sa, sb *rng.Stream) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Instance, b.Instance) {
+		t.Fatalf("%s: instances differ", ctx)
+	}
+	if !reflect.DeepEqual(a.Tasks, b.Tasks) {
+		t.Fatalf("%s: task sets differ", ctx)
+	}
+	if !reflect.DeepEqual(a.RoutePolys, b.RoutePolys) {
+		t.Fatalf("%s: route polylines differ", ctx)
+	}
+	if !reflect.DeepEqual(a.ODs, b.ODs) {
+		t.Fatalf("%s: OD assignments differ", ctx)
+	}
+	if x, y := sa.Float64(), sb.Float64(); x != y {
+		t.Fatalf("%s: RNG streams diverged (next draw %v vs %v)", ctx, x, y)
+	}
+}
+
+// TestBuildScenarioParallelParity proves the phase-split parallel builder is
+// observationally identical to the frozen sequential baseline: same
+// instance, same geometry, same RNG consumption, for any worker count.
+// Running under -race it doubles as the race regression for the shared
+// route cache.
+func TestBuildScenarioParallelParity(t *testing.T) {
+	w := testWorld(t)
+	cfgs := []ScenarioConfig{
+		{Users: 1, Tasks: 5},
+		{Users: 12, Tasks: 30},
+		{Users: 40, Tasks: 50, Phi: 0.4, Theta: 0.3},
+		{Users: 9, Tasks: 20, FixedWeights: &[3]float64{0.5, 0.25, 0.25}},
+	}
+	for ci, cfg := range cfgs {
+		sBase := rng.New(uint64(100 + ci))
+		base, err := w.BuildScenarioBaseline(cfg, sBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 16} {
+			cfg.Workers = workers
+			sPar := rng.New(uint64(100 + ci))
+			// Fresh world per run: the baseline must not be able to lean on
+			// caches the parallel build warmed (or vice versa).
+			w2, err := WorldFromDataset(w.Spec, w.Dataset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := w2.BuildScenario(cfg, sPar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertScenariosIdentical(t, "baseline-vs-parallel", got, base, sPar, sBase)
+			// Consuming one draw above desynced sBase; rebuild it for the
+			// next worker count.
+			sBase = rng.New(uint64(100 + ci))
+			if base, err = w.BuildScenarioBaseline(cfg, sBase); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestGenerateWorkersParity proves parallel trace generation is
+// bit-identical to sequential for every dataset spec.
+func TestGenerateWorkersParity(t *testing.T) {
+	for _, spec := range trace.AllSpecs() {
+		spec.Trips = 25
+		seq, err := trace.GenerateWorkers(spec, 17, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := trace.GenerateWorkers(spec, 17, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Traces, par.Traces) {
+			t.Fatalf("%s: parallel traces differ from sequential", spec.Name)
+		}
+		if !reflect.DeepEqual(seq.ExtractOD(), par.ExtractOD()) {
+			t.Fatalf("%s: extracted ODs differ", spec.Name)
+		}
+	}
+}

@@ -1,10 +1,6 @@
 package roadnet
 
-import (
-	"container/heap"
-	"fmt"
-	"math"
-)
+import "repro/internal/telemetry"
 
 // AlternativeRoutes returns up to k diverse routes from src to dst, the way
 // commercial navigation systems pick alternatives: the first route is the
@@ -20,11 +16,24 @@ import (
 // returned paths are distinct; fewer than k are returned when the network
 // runs out of sufficiently different corridors. An error is returned only
 // when no route exists at all.
+//
+// The computation runs on a pooled SearchScratch: goal-directed searches
+// (penalization only raises edge costs above their lengths, so the ByLength
+// landmark bounds stay admissible), stamped edge-use counters instead of a
+// per-call map, and the graph-cached reverse-edge table instead of a per-call
+// rebuild. Results are bit-identical to ReferenceAlternativeRoutes.
 func (g *Graph) AlternativeRoutes(src, dst NodeID, k int, penalty float64) ([]Path, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	first, err := g.ShortestPath(src, dst, ByLength)
+	routeQueries.Inc()
+	span := telemetry.StartSpan(routeQuerySeconds)
+	defer span.End()
+
+	s, c := g.getScratch()
+	defer g.putScratch(c, s)
+
+	first, err := s.ShortestPath(src, dst, ByLength)
 	if err != nil {
 		return nil, err
 	}
@@ -32,93 +41,31 @@ func (g *Graph) AlternativeRoutes(src, dst NodeID, k int, penalty float64) ([]Pa
 	if src == dst || k == 1 {
 		return paths, nil
 	}
-	uses := make(map[EdgeID]int)
-	reverse := g.reverseEdgeMap()
+	s.ensure(g.NumNodes(), g.NumEdges())
+	s.resetUses()
+	reverse := g.reverseEdges()
 	bump := func(p Path) {
 		for _, eid := range p.Edges {
-			uses[eid]++
-			if rev, ok := reverse[eid]; ok {
-				uses[rev]++
+			s.bumpUse(eid)
+			if rev := reverse[eid]; rev >= 0 {
+				s.bumpUse(rev)
 			}
 		}
 	}
 	bump(first)
-	seen := map[string]bool{pathKey(first): true}
+	var seen pathSet
+	seen.Add(first.Edges)
 	// A few extra attempts beyond k cover the case where penalization
 	// re-discovers an already-known path before diverging.
 	for attempts := 0; len(paths) < k && attempts < 3*k; attempts++ {
-		p, err := g.shortestPathPenalized(src, dst, uses, penalty)
+		p, err := s.shortestPath(src, dst, searchOpts{penalized: true, penalty: penalty})
 		if err != nil {
 			break
 		}
 		bump(p)
-		if key := pathKey(p); !seen[key] {
-			seen[key] = true
+		if seen.Add(p.Edges) {
 			paths = append(paths, p)
 		}
 	}
 	return paths, nil
-}
-
-// reverseEdgeMap maps each edge to its opposite-direction twin, if any.
-func (g *Graph) reverseEdgeMap() map[EdgeID]EdgeID {
-	byPair := make(map[[2]NodeID]EdgeID, len(g.Edges))
-	for _, e := range g.Edges {
-		byPair[[2]NodeID{e.From, e.To}] = e.ID
-	}
-	rev := make(map[EdgeID]EdgeID, len(g.Edges))
-	for _, e := range g.Edges {
-		if twin, ok := byPair[[2]NodeID{e.To, e.From}]; ok {
-			rev[e.ID] = twin
-		}
-	}
-	return rev
-}
-
-// shortestPathPenalized is Dijkstra over cost(e) = Length·(1 + penalty·uses[e]).
-func (g *Graph) shortestPathPenalized(src, dst NodeID, uses map[EdgeID]int, penalty float64) (Path, error) {
-	n := g.NumNodes()
-	dist := make([]float64, n)
-	prevEdge := make([]EdgeID, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prevEdge[i] = -1
-	}
-	dist[src] = 0
-	h := &pq{{node: src, dist: 0}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		u := it.node
-		if done[u] || it.dist > dist[u] {
-			continue
-		}
-		done[u] = true
-		if u == dst {
-			break
-		}
-		for _, eid := range g.out[u] {
-			e := g.Edges[eid]
-			cost := e.Length * (1 + penalty*float64(uses[eid]))
-			if nd := dist[u] + cost; nd < dist[e.To] {
-				dist[e.To] = nd
-				prevEdge[e.To] = eid
-				heap.Push(h, pqItem{node: e.To, dist: nd})
-			}
-		}
-	}
-	if math.IsInf(dist[dst], 1) {
-		return Path{}, fmt.Errorf("roadnet: node %d unreachable from %d", dst, src)
-	}
-	var rev []EdgeID
-	for at := dst; at != src; {
-		eid := prevEdge[at]
-		rev = append(rev, eid)
-		at = g.Edges[eid].From
-	}
-	edges := make([]EdgeID, len(rev))
-	for i := range rev {
-		edges[i] = rev[len(rev)-1-i]
-	}
-	return g.NewPath(edges)
 }

@@ -1,0 +1,87 @@
+package roadnet
+
+import "sync"
+
+// RouteKey identifies one route-recommendation computation: endpoints, the
+// number of alternatives, and the penalization parameters.
+type RouteKey struct {
+	Src, Dst NodeID
+	K        int
+	Penalty  float64
+	W        Weight
+}
+
+// routeCacheShards keeps lock contention low when many workers resolve
+// routes concurrently; keys spread across shards by a cheap integer hash.
+const routeCacheShards = 32
+
+// routeEntry is one cache slot. ready is closed when paths/err are final;
+// waiters block on it instead of recomputing (singleflight).
+type routeEntry struct {
+	ready chan struct{}
+	paths []Path
+	err   error
+}
+
+type routeCacheShard struct {
+	mu sync.Mutex
+	m  map[RouteKey]*routeEntry
+}
+
+// RouteCache memoizes route-recommendation results per (src, dst, k,
+// penalty, weight) with singleflight semantics: concurrent requests for the
+// same key perform the computation once, and everyone else waits for that
+// result. It is safe for concurrent use. Entries are never evicted — the
+// cache is scoped to one immutable graph view (scenario builds, trace
+// generation), not to a long-lived mutating service.
+type RouteCache struct {
+	g      *Graph
+	shards [routeCacheShards]routeCacheShard
+}
+
+// NewRouteCache returns an empty cache over g.
+func NewRouteCache(g *Graph) *RouteCache {
+	c := &RouteCache{g: g}
+	for i := range c.shards {
+		c.shards[i].m = make(map[RouteKey]*routeEntry)
+	}
+	return c
+}
+
+// Graph returns the graph the cache computes over.
+func (c *RouteCache) Graph() *Graph { return c.g }
+
+func (c *RouteCache) shardFor(k RouteKey) *routeCacheShard {
+	// Fibonacci hash over the fields that actually vary between keys.
+	h := uint64(k.Src)*0x9e3779b97f4a7c15 ^ uint64(k.Dst)*0xc2b2ae3d27d4eb4f ^ uint64(k.K)
+	return &c.shards[(h>>32)%routeCacheShards]
+}
+
+// AlternativeRoutes returns the cached route set for the key, computing it
+// via Graph.AlternativeRoutes on first request. The returned slice is shared
+// by all callers and must be treated as immutable.
+func (c *RouteCache) AlternativeRoutes(src, dst NodeID, k int, penalty float64) ([]Path, error) {
+	key := RouteKey{Src: src, Dst: dst, K: k, Penalty: penalty, W: ByLength}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-e.ready:
+			// Already resolved: a plain hit.
+			routeCacheHits.Inc()
+		default:
+			// Another goroutine is computing right now; piggyback on it.
+			routeCacheWaits.Inc()
+			<-e.ready
+		}
+		return e.paths, e.err
+	}
+	e := &routeEntry{ready: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+	routeCacheMisses.Inc()
+	e.paths, e.err = c.g.AlternativeRoutes(src, dst, k, penalty)
+	close(e.ready)
+	return e.paths, e.err
+}

@@ -1,0 +1,107 @@
+package roadnet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRouteCacheReturnsSameRoutes(t *testing.T) {
+	s := rng.New(410)
+	g := GenerateCity(DefaultCity(GridCity), s.Child())
+	c := NewRouteCache(g)
+	n := g.NumNodes()
+	for trial := 0; trial < 20; trial++ {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		want, err1 := g.AlternativeRoutes(src, dst, 5, 0.4)
+		got, err2 := c.AlternativeRoutes(src, dst, 5, 0.4)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: %v / %v", err1, err2)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("route count %d != %d", len(got), len(want))
+		}
+		for i := range got {
+			if !PathEqual(got[i], want[i]) {
+				t.Fatalf("route %d differs", i)
+			}
+		}
+		// Second lookup must return the identical cached slice.
+		again, err := c.AlternativeRoutes(src, dst, 5, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) > 0 && len(got) > 0 && &again[0] != &got[0] {
+			t.Fatal("cache hit returned a different slice than the first computation")
+		}
+	}
+}
+
+func TestRouteCacheKeyIncludesParameters(t *testing.T) {
+	s := rng.New(411)
+	g := GenerateCity(DefaultCity(GridCity), s.Child())
+	c := NewRouteCache(g)
+	n := g.NumNodes()
+	src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+	k5, err := c.AlternativeRoutes(src, dst, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := c.AlternativeRoutes(src, dst, 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k2) > 2 {
+		t.Fatalf("k=2 lookup returned %d routes (cache key ignored k?)", len(k2))
+	}
+	if len(k5) < len(k2) {
+		t.Fatalf("k=5 lookup returned fewer routes (%d) than k=2 (%d)", len(k5), len(k2))
+	}
+}
+
+// TestRouteCacheConcurrentSingleflight hammers a small OD set from many
+// goroutines under -race: every caller for a key must observe the same
+// result slice, proving one computation per key and no data races.
+func TestRouteCacheConcurrentSingleflight(t *testing.T) {
+	s := rng.New(412)
+	g := GenerateCity(DefaultCity(GridCity), s.Child())
+	c := NewRouteCache(g)
+	n := g.NumNodes()
+	type od struct{ src, dst NodeID }
+	ods := make([]od, 8)
+	for i := range ods {
+		ods[i] = od{NodeID(s.Intn(n)), NodeID(s.Intn(n))}
+	}
+	const workers = 16
+	results := make([][]([]Path), workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		results[w] = make([][]Path, len(ods))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, o := range ods {
+				paths, err := c.AlternativeRoutes(o.src, o.dst, 5, 0.4)
+				if err != nil {
+					t.Errorf("worker %d od %d: %v", w, i, err)
+					return
+				}
+				results[w][i] = paths
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range ods {
+			a, b := results[0][i], results[w][i]
+			if len(a) != len(b) {
+				t.Fatalf("worker %d od %d: %d routes vs %d", w, i, len(b), len(a))
+			}
+			if len(a) > 0 && &a[0] != &b[0] {
+				t.Fatalf("worker %d od %d: got a distinct slice — computation ran more than once", w, i)
+			}
+		}
+	}
+}

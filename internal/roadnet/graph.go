@@ -8,6 +8,8 @@ package roadnet
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geo"
 )
@@ -53,11 +55,54 @@ func (e Edge) CongestionFactor() float64 {
 }
 
 // Graph is a directed road graph. Nodes and Edges are indexed by their IDs.
+//
+// Derived structures (reverse-edge map, in-adjacency, landmark tables, the
+// query-scratch pool) are built lazily on first use and cached; mutating the
+// graph (AddNode/AddEdge/AddRoad) invalidates them. Queries are safe for
+// concurrent use; mutation is not safe concurrently with queries.
 type Graph struct {
 	Nodes []Node
 	Edges []Edge
 	out   [][]EdgeID // adjacency: out[n] lists edges leaving node n
+
+	caches atomic.Pointer[graphCaches]
 }
+
+// graphCaches holds every lazily built derived structure. The whole struct
+// is swapped out (reset to nil) on mutation, so a query that raced a
+// mutation at worst keeps working on the pre-mutation view it already
+// resolved.
+type graphCaches struct {
+	revOnce   sync.Once
+	rev       []EdgeID // rev[e] = opposite-direction twin of e, or -1
+	revBuilds atomic.Uint64
+
+	inOnce sync.Once
+	in     [][]EdgeID // in[n] lists edges entering node n
+
+	lmOnce [2]sync.Once // indexed by Weight
+	lm     [2]*Landmarks
+
+	scratch sync.Pool // *SearchScratch
+}
+
+// cachesFor returns the current cache struct, installing one if none exists.
+// Safe for concurrent use: on a race, one struct wins the CAS and everyone
+// converges on it, so each inner sync.Once still builds exactly once.
+func (g *Graph) cachesFor() *graphCaches {
+	if c := g.caches.Load(); c != nil {
+		return c
+	}
+	c := &graphCaches{}
+	c.scratch.New = func() any { return &SearchScratch{g: g} }
+	if g.caches.CompareAndSwap(nil, c) {
+		return c
+	}
+	return g.caches.Load()
+}
+
+// invalidate drops every derived structure; called on mutation.
+func (g *Graph) invalidate() { g.caches.Store(nil) }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph { return &Graph{} }
@@ -67,6 +112,7 @@ func (g *Graph) AddNode(p geo.Point) NodeID {
 	id := NodeID(len(g.Nodes))
 	g.Nodes = append(g.Nodes, Node{ID: id, Pos: p})
 	g.out = append(g.out, nil)
+	g.invalidate()
 	return id
 }
 
@@ -82,8 +128,58 @@ func (g *Graph) AddEdge(from, to NodeID, length, speed, freeSpeed float64) (Edge
 	id := EdgeID(len(g.Edges))
 	g.Edges = append(g.Edges, Edge{ID: id, From: from, To: to, Length: length, Speed: speed, FreeSpeed: freeSpeed})
 	g.out[from] = append(g.out[from], id)
+	g.invalidate()
 	return id, nil
 }
+
+// reverseEdges returns the cached edge→twin map: reverseEdges()[e] is the
+// opposite-direction edge of e, or -1 when the road is one-way. Built once
+// per graph (not once per AlternativeRoutes call, as it used to be).
+func (g *Graph) reverseEdges() []EdgeID {
+	c := g.cachesFor()
+	c.revOnce.Do(func() {
+		c.revBuilds.Add(1)
+		byPair := make(map[[2]NodeID]EdgeID, len(g.Edges))
+		for _, e := range g.Edges {
+			byPair[[2]NodeID{e.From, e.To}] = e.ID
+		}
+		rev := make([]EdgeID, len(g.Edges))
+		for _, e := range g.Edges {
+			rev[e.ID] = -1
+			if twin, ok := byPair[[2]NodeID{e.To, e.From}]; ok {
+				rev[e.ID] = twin
+			}
+		}
+		c.rev = rev
+	})
+	return c.rev
+}
+
+// inEdges returns the cached in-adjacency: inEdges()[n] lists the edges
+// entering node n. Used by the backward Dijkstra of the landmark tables.
+func (g *Graph) inEdges() [][]EdgeID {
+	c := g.cachesFor()
+	c.inOnce.Do(func() {
+		in := make([][]EdgeID, len(g.Nodes))
+		for _, e := range g.Edges {
+			in[e.To] = append(in[e.To], e.ID)
+		}
+		c.in = in
+	})
+	return c.in
+}
+
+// getScratch returns a pooled SearchScratch sized for this graph; return it
+// with putScratch. The pool lives on the cache struct, so mutation retires
+// stale scratches along with everything else.
+func (g *Graph) getScratch() (*SearchScratch, *graphCaches) {
+	c := g.cachesFor()
+	s := c.scratch.Get().(*SearchScratch)
+	s.g = g
+	return s, c
+}
+
+func (g *Graph) putScratch(c *graphCaches, s *SearchScratch) { c.scratch.Put(s) }
 
 // AddRoad adds a bidirectional road (two directed edges) whose length is the
 // Euclidean distance between the endpoints.

@@ -1,0 +1,156 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/parallel"
+)
+
+const (
+	// altLandmarkCount is the number of ALT landmarks per weight.
+	altLandmarkCount = 8
+	// altMargin scales the landmark lower bounds fractionally below their
+	// exact value. The precomputed distance tables are float sums, so the
+	// triangle-inequality bounds they imply can overshoot the true distance
+	// by a few ulps; shaving a relative 1e-6 makes the heuristic strictly
+	// admissible (the accumulated rounding error of any realistic path is
+	// orders of magnitude smaller) while giving up a negligible amount of
+	// pruning. Strict admissibility is what guarantees every optimal
+	// predecessor is settled before the search terminates — the property
+	// the bit-identical tie-breaking rests on.
+	altMargin = 1 - 1e-6
+)
+
+// altMinNodes is the node count below which goal-directed search is not
+// worth the landmark precomputation and queries fall back to plain
+// Dijkstra. A variable so tests can force either path.
+var altMinNodes = 64
+
+// Landmarks holds the precomputed ALT tables for one edge weight: for each
+// landmark L, the distances d(L→v) to every node (fwd) and d(v→L) from
+// every node (bwd, via reverse-graph Dijkstra). Together they give the
+// triangle-inequality lower bound
+//
+//	d(v, dst) ≥ max(d(L,dst) − d(L,v), d(v,L) − d(dst,L))
+//
+// used as the A* heuristic.
+type Landmarks struct {
+	w     Weight
+	nodes []NodeID
+	fwd   [][]float64
+	bwd   [][]float64
+}
+
+// NumLandmarks returns the landmark count.
+func (l *Landmarks) NumLandmarks() int { return len(l.nodes) }
+
+// landmarksFor returns the cached landmark tables for w, building them on
+// first use. Small graphs return nil (plain-Dijkstra fallback).
+func (g *Graph) landmarksFor(w Weight) *Landmarks {
+	if g.NumNodes() < altMinNodes {
+		return nil
+	}
+	c := g.cachesFor()
+	c.lmOnce[w].Do(func() {
+		c.lm[w] = buildLandmarks(g, w)
+	})
+	return c.lm[w]
+}
+
+// EnsureLandmarks forces the landmark tables for w to be built now (they
+// are otherwise built lazily on the first sufficiently large query).
+// Returns the tables, or nil when the graph is below the ALT threshold.
+func (g *Graph) EnsureLandmarks(w Weight) *Landmarks { return g.landmarksFor(w) }
+
+// buildLandmarks selects landmarks by farthest-point traversal and fills
+// both distance tables. Selection is inherently sequential (each pick
+// depends on the previous tables, which are kept as the forward tables);
+// the backward tables are independent and computed in parallel.
+func buildLandmarks(g *Graph, w Weight) *Landmarks {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	landmarkBuilds.Inc()
+	want := altLandmarkCount
+	if want > n {
+		want = n
+	}
+	lm := &Landmarks{w: w}
+	// Seed: the node farthest from node 0 is a periphery point.
+	pick, ok := farthestFinite(g.AllShortestDists(0, w), -1)
+	if !ok {
+		pick = 0
+	}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	for len(lm.nodes) < want {
+		lm.nodes = append(lm.nodes, pick)
+		fd := g.AllShortestDists(pick, w)
+		lm.fwd = append(lm.fwd, fd)
+		for v := range minDist {
+			if fd[v] < minDist[v] {
+				minDist[v] = fd[v]
+			}
+		}
+		next, ok := farthestFinite(minDist, 0)
+		if !ok {
+			break // remaining nodes are unreachable or coincide
+		}
+		pick = next
+	}
+	bwd, err := parallel.Map(len(lm.nodes), 0, func(i int) ([]float64, error) {
+		return g.allShortestDistsReverse(lm.nodes[i], w), nil
+	})
+	if err != nil { // the worker fn never errors; keep the compiler honest
+		panic(err)
+	}
+	lm.bwd = bwd
+	return lm
+}
+
+// farthestFinite returns the index of the largest finite value strictly
+// above floor (ties break to the lowest index, keeping selection
+// deterministic), and whether one exists.
+func farthestFinite(dist []float64, floor float64) (NodeID, bool) {
+	best, bd, ok := NodeID(0), floor, false
+	for i, d := range dist {
+		if d > bd && !math.IsInf(d, 1) {
+			best, bd, ok = NodeID(i), d, true
+		}
+	}
+	return best, ok
+}
+
+// allShortestDistsReverse runs Dijkstra over the reversed graph: the result
+// is the distance from every node TO src under w.
+func (g *Graph) allShortestDistsReverse(src NodeID, w Weight) []float64 {
+	in := g.inEdges()
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &pq{{node: src, dist: 0}}
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, eid := range in[u] {
+			e := g.Edges[eid]
+			if nd := dist[u] + w.cost(e); nd < dist[e.From] {
+				dist[e.From] = nd
+				heap.Push(h, pqItem{node: e.From, dist: nd})
+			}
+		}
+	}
+	return dist
+}

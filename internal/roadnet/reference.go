@@ -1,0 +1,239 @@
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// This file freezes the pre-engine implementations of the routing queries:
+// one-shot Dijkstra with freshly allocated label arrays and the map-based
+// penalized-alternatives loop. They are kept verbatim (plus the canonical
+// tie-breaking rule, see below) for two jobs:
+//
+//   - differential oracle: the property/fuzz tests assert the goal-directed
+//     engine returns bit-identical paths to these on every query mode;
+//   - benchmark baseline: BENCH_routing.json reports engine speedups
+//     against these, so the numbers measure real algorithmic gains rather
+//     than drift in the comparison code.
+//
+// The only intentional change from the seed is the equality branch on
+// relaxation (nd == dist[v] && eid < prevEdge[v] → prevEdge[v] = eid).
+// Without it, the predecessor chosen among float-equal shortest paths
+// depends on heap settle order, which differs between plain Dijkstra and
+// A* — bit-identity would then be unachievable by ANY correct goal-directed
+// search. The rule canonicalizes the choice (lowest optimal predecessor
+// edge ID wins) without changing path costs, and is applied identically in
+// the engine (search.go).
+
+// ReferenceShortestPath is the frozen baseline shortest path: binary-heap
+// Dijkstra with lazy deletion, O(|V|) fresh label arrays per call, no
+// goal-direction. Semantics match Graph.ShortestPath exactly.
+func ReferenceShortestPath(g *Graph, src, dst NodeID, w Weight) (Path, error) {
+	return referenceShortestPathBanned(g, src, dst, w, nil, nil)
+}
+
+func referenceShortestPathBanned(g *Graph, src, dst NodeID, w Weight, bannedEdges map[EdgeID]bool, bannedNodes map[NodeID]bool) (Path, error) {
+	n := g.NumNodes()
+	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
+		return Path{}, fmt.Errorf("roadnet: shortest path endpoints out of range: %d->%d", src, dst)
+	}
+	dist := make([]float64, n)
+	prevEdge := make([]EdgeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+	h := &pq{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		u := it.node
+		if done[u] || it.dist > dist[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, eid := range g.out[u] {
+			if bannedEdges != nil && bannedEdges[eid] {
+				continue
+			}
+			e := g.Edges[eid]
+			if bannedNodes != nil && bannedNodes[e.To] {
+				continue
+			}
+			nd := dist[u] + w.cost(e)
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prevEdge[e.To] = eid
+				heap.Push(h, pqItem{node: e.To, dist: nd})
+			} else if nd == dist[e.To] && eid < prevEdge[e.To] {
+				prevEdge[e.To] = eid
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, fmt.Errorf("roadnet: node %d unreachable from %d", dst, src)
+	}
+	if src == dst {
+		return Path{Nodes: []NodeID{src}}, nil
+	}
+	// Reconstruct edge sequence backwards.
+	var rev []EdgeID
+	for at := dst; at != src; {
+		eid := prevEdge[at]
+		rev = append(rev, eid)
+		at = g.Edges[eid].From
+	}
+	edges := make([]EdgeID, len(rev))
+	for i := range rev {
+		edges[i] = rev[len(rev)-1-i]
+	}
+	return g.NewPath(edges)
+}
+
+// referenceShortestPathPenalized is the frozen Dijkstra over
+// cost(e) = Length·(1 + penalty·uses[e]).
+func referenceShortestPathPenalized(g *Graph, src, dst NodeID, uses map[EdgeID]int, penalty float64) (Path, error) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	prevEdge := make([]EdgeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+	h := &pq{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		u := it.node
+		if done[u] || it.dist > dist[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, eid := range g.out[u] {
+			e := g.Edges[eid]
+			cost := e.Length * (1 + penalty*float64(uses[eid]))
+			nd := dist[u] + cost
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prevEdge[e.To] = eid
+				heap.Push(h, pqItem{node: e.To, dist: nd})
+			} else if nd == dist[e.To] && eid < prevEdge[e.To] {
+				prevEdge[e.To] = eid
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, fmt.Errorf("roadnet: node %d unreachable from %d", dst, src)
+	}
+	var rev []EdgeID
+	for at := dst; at != src; {
+		eid := prevEdge[at]
+		rev = append(rev, eid)
+		at = g.Edges[eid].From
+	}
+	edges := make([]EdgeID, len(rev))
+	for i := range rev {
+		edges[i] = rev[len(rev)-1-i]
+	}
+	return g.NewPath(edges)
+}
+
+// ReferenceAlternativeRoutes is the frozen baseline of AlternativeRoutes: it
+// rebuilds the reverse-edge map on every call, tracks edge penalties in a
+// map, and deduplicates paths through string keys. Route semantics match
+// Graph.AlternativeRoutes exactly.
+func ReferenceAlternativeRoutes(g *Graph, src, dst NodeID, k int, penalty float64) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := ReferenceShortestPath(g, src, dst, ByLength)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	if src == dst || k == 1 {
+		return paths, nil
+	}
+	uses := make(map[EdgeID]int)
+	reverse := g.reverseEdgeMap()
+	bump := func(p Path) {
+		for _, eid := range p.Edges {
+			uses[eid]++
+			if rev, ok := reverse[eid]; ok {
+				uses[rev]++
+			}
+		}
+	}
+	bump(first)
+	seen := map[string]bool{pathKey(first): true}
+	// A few extra attempts beyond k cover the case where penalization
+	// re-discovers an already-known path before diverging.
+	for attempts := 0; len(paths) < k && attempts < 3*k; attempts++ {
+		p, err := referenceShortestPathPenalized(g, src, dst, uses, penalty)
+		if err != nil {
+			break
+		}
+		bump(p)
+		if key := pathKey(p); !seen[key] {
+			seen[key] = true
+			paths = append(paths, p)
+		}
+	}
+	return paths, nil
+}
+
+// reverseEdgeMap maps each edge to its opposite-direction twin, if any. The
+// engine uses the cached slice form (Graph.reverseEdges); this per-call map
+// build survives only as part of the frozen baseline.
+func (g *Graph) reverseEdgeMap() map[EdgeID]EdgeID {
+	byPair := make(map[[2]NodeID]EdgeID, len(g.Edges))
+	for _, e := range g.Edges {
+		byPair[[2]NodeID{e.From, e.To}] = e.ID
+	}
+	rev := make(map[EdgeID]EdgeID, len(g.Edges))
+	for _, e := range g.Edges {
+		if twin, ok := byPair[[2]NodeID{e.To, e.From}]; ok {
+			rev[e.ID] = twin
+		}
+	}
+	return rev
+}
+
+// pathKey returns a canonical identity string for a path's edge sequence.
+// Superseded by pathSet in the query paths (no per-path string allocation);
+// kept for the baseline and as the benchmark comparison point.
+func pathKey(p Path) string {
+	b := make([]byte, 0, len(p.Edges)*3)
+	for _, e := range p.Edges {
+		b = appendInt(b, int(e))
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}

@@ -1,0 +1,363 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// randomUnitGrid builds a rows×cols grid whose edges all have length 1 —
+// deliberately tie-heavy, so that many distinct shortest paths have exactly
+// equal cost and the canonical tie-breaking rule is exercised hard. Speeds
+// are drawn from a small set so ByTime queries carry their own ties.
+func randomUnitGrid(tb testing.TB, rows, cols int, s *rng.Stream) *Graph {
+	tb.Helper()
+	g := NewGraph()
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(geo.Pt(float64(c), float64(r)))
+		}
+	}
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	speeds := []float64{5, 10, 20}
+	addBoth := func(a, b NodeID) {
+		sp := speeds[s.Intn(len(speeds))]
+		if _, err := g.AddEdge(a, b, 1, sp, sp); err != nil {
+			tb.Fatal(err)
+		}
+		sp = speeds[s.Intn(len(speeds))]
+		if _, err := g.AddEdge(b, a, 1, sp, sp); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				addBoth(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				addBoth(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// assertSamePath fails unless the two paths are bit-identical: same edge
+// sequence and exactly equal aggregate measures.
+func assertSamePath(t *testing.T, ctx string, got, want Path) {
+	t.Helper()
+	if !PathEqual(got, want) {
+		t.Fatalf("%s: edge sequences differ:\n got  %v\n want %v", ctx, got.Edges, want.Edges)
+	}
+	if got.Length != want.Length || got.Time != want.Time {
+		t.Fatalf("%s: measures differ: got (%v,%v) want (%v,%v)", ctx, got.Length, got.Time, want.Length, want.Time)
+	}
+}
+
+// forceALT lowers the ALT threshold so even tiny graphs run goal-directed,
+// restoring it on cleanup.
+func forceALT(t *testing.T) {
+	t.Helper()
+	old := altMinNodes
+	altMinNodes = 1
+	t.Cleanup(func() { altMinNodes = old })
+}
+
+func TestEngineMatchesReferenceOnUnitGrids(t *testing.T) {
+	forceALT(t)
+	s := rng.New(401)
+	for _, size := range [][2]int{{4, 4}, {7, 5}, {12, 12}} {
+		g := randomUnitGrid(t, size[0], size[1], s.Child())
+		n := g.NumNodes()
+		for trial := 0; trial < 60; trial++ {
+			src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+			for _, w := range []Weight{ByLength, ByTime} {
+				want, err1 := ReferenceShortestPath(g, src, dst, w)
+				got, err2 := g.ShortestPath(src, dst, w)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("error mismatch for %d->%d: ref=%v engine=%v", src, dst, err1, err2)
+				}
+				if err1 == nil {
+					assertSamePath(t, "grid", got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineMatchesReferenceOnCities(t *testing.T) {
+	s := rng.New(402)
+	for _, kind := range []CityKind{GridCity, RadialCity, HillCity} {
+		g := GenerateCity(DefaultCity(kind), s.Child())
+		n := g.NumNodes()
+		if n < altMinNodes {
+			t.Fatalf("%v city too small to exercise ALT: %d nodes", kind, n)
+		}
+		for trial := 0; trial < 60; trial++ {
+			src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+			for _, w := range []Weight{ByLength, ByTime} {
+				want, err1 := ReferenceShortestPath(g, src, dst, w)
+				got, err2 := g.ShortestPath(src, dst, w)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("unexpected error on strongly connected city: %v / %v", err1, err2)
+				}
+				assertSamePath(t, kind.String(), got, want)
+			}
+		}
+	}
+}
+
+func TestEngineMatchesReferenceWithBans(t *testing.T) {
+	forceALT(t)
+	s := rng.New(403)
+	g := randomUnitGrid(t, 8, 8, s.Child())
+	n, m := g.NumNodes(), g.NumEdges()
+	for trial := 0; trial < 80; trial++ {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		bannedEdges := map[EdgeID]bool{}
+		for i := 0; i < s.Intn(6); i++ {
+			bannedEdges[EdgeID(s.Intn(m))] = true
+		}
+		bannedNodes := map[NodeID]bool{}
+		for i := 0; i < s.Intn(3); i++ {
+			v := NodeID(s.Intn(n))
+			if v != src && v != dst {
+				bannedNodes[v] = true
+			}
+		}
+		want, err1 := referenceShortestPathBanned(g, src, dst, ByLength, bannedEdges, bannedNodes)
+		got, err2 := g.shortestPathBanned(src, dst, ByLength, bannedEdges, bannedNodes)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch for %d->%d: ref=%v engine=%v", src, dst, err1, err2)
+		}
+		if err1 == nil {
+			assertSamePath(t, "banned", got, want)
+		}
+	}
+}
+
+func TestAlternativeRoutesMatchReference(t *testing.T) {
+	forceALT(t)
+	s := rng.New(404)
+	graphs := []*Graph{
+		randomUnitGrid(t, 9, 9, s.Child()),
+		GenerateCity(DefaultCity(GridCity), s.Child()),
+		GenerateCity(DefaultCity(RadialCity), s.Child()),
+	}
+	for gi, g := range graphs {
+		n := g.NumNodes()
+		for trial := 0; trial < 25; trial++ {
+			src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+			k := 1 + s.Intn(5)
+			want, err1 := ReferenceAlternativeRoutes(g, src, dst, k, 0.4)
+			got, err2 := g.AlternativeRoutes(src, dst, k, 0.4)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("graph %d: error mismatch: ref=%v engine=%v", gi, err1, err2)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("graph %d %d->%d k=%d: route count %d != %d", gi, src, dst, k, len(got), len(want))
+			}
+			for i := range got {
+				assertSamePath(t, "alternatives", got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDijkstraFallbackAgreesWithALT(t *testing.T) {
+	forceALT(t)
+	s := rng.New(405)
+	g := randomUnitGrid(t, 10, 10, s.Child())
+	sc := g.NewSearchScratch()
+	n := g.NumNodes()
+	for trial := 0; trial < 60; trial++ {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		for _, w := range []Weight{ByLength, ByTime} {
+			plain, err1 := sc.shortestPath(src, dst, searchOpts{w: w, noALT: true})
+			alt, err2 := sc.shortestPath(src, dst, searchOpts{w: w})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("unexpected error: %v / %v", err1, err2)
+			}
+			assertSamePath(t, "noALT-vs-ALT", alt, plain)
+		}
+	}
+}
+
+func TestLandmarkHeuristicAdmissible(t *testing.T) {
+	s := rng.New(406)
+	for _, w := range []Weight{ByLength, ByTime} {
+		g := GenerateCity(DefaultCity(HillCity), s.Child())
+		if g.EnsureLandmarks(w) == nil {
+			t.Fatal("expected landmarks on a city-sized graph")
+		}
+		sc := g.NewSearchScratch()
+		n := g.NumNodes()
+		for trial := 0; trial < 10; trial++ {
+			dst := NodeID(s.Intn(n))
+			trueDist := g.allShortestDistsReverse(dst, w)
+			sc.ensure(n, g.NumEdges())
+			sc.nextGen()
+			sc.prepareALT(dst, w, false)
+			if sc.lm == nil {
+				t.Fatal("ALT not active after EnsureLandmarks")
+			}
+			for v := 0; v < n; v++ {
+				h := sc.h(NodeID(v))
+				if math.IsInf(trueDist[v], 1) {
+					continue
+				}
+				if h > trueDist[v] {
+					t.Fatalf("inadmissible heuristic: h(%d)=%v > d(%d,%d)=%v", v, h, v, dst, trueDist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestReverseEdgesBuiltOncePerGraph(t *testing.T) {
+	s := rng.New(407)
+	g := GenerateCity(DefaultCity(GridCity), s.Child())
+	n := g.NumNodes()
+	for trial := 0; trial < 8; trial++ {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		if _, err := g.AlternativeRoutes(src, dst, 5, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds := g.cachesFor().revBuilds.Load(); builds != 1 {
+		t.Fatalf("reverse-edge map built %d times across 8 AlternativeRoutes calls, want 1", builds)
+	}
+	// The cached slice must agree with the reference map form.
+	rev := g.reverseEdges()
+	ref := g.reverseEdgeMap()
+	for eid := 0; eid < g.NumEdges(); eid++ {
+		twin, ok := ref[EdgeID(eid)]
+		if !ok {
+			twin = -1
+		}
+		if rev[eid] != twin {
+			t.Fatalf("rev[%d] = %d, reference map says %d", eid, rev[eid], twin)
+		}
+	}
+	// Mutation must invalidate: add a node, the map rebuilds exactly once more.
+	g.AddNode(geo.Pt(1e6, 1e6))
+	g.reverseEdges()
+	g.reverseEdges()
+	if builds := g.cachesFor().revBuilds.Load(); builds != 1 {
+		t.Fatalf("post-mutation rebuild count = %d, want 1 (fresh cache struct)", builds)
+	}
+}
+
+func TestShortestPathZeroAllocSteadyState(t *testing.T) {
+	s := rng.New(408)
+	g := GenerateCity(DefaultCity(GridCity), s.Child())
+	for _, w := range []Weight{ByLength, ByTime} {
+		g.EnsureLandmarks(w)
+	}
+	sc := g.NewSearchScratch()
+	n := g.NumNodes()
+	type od struct{ src, dst NodeID }
+	ods := make([]od, 32)
+	for i := range ods {
+		ods[i] = od{NodeID(s.Intn(n)), NodeID(s.Intn(n))}
+	}
+	buf := make([]EdgeID, 0, 4*n)
+	// Warm pass: grows the heap backing array and the lmT cache to steady
+	// state before measuring.
+	for _, o := range ods {
+		var err error
+		if buf, _, err = sc.AppendShortestPath(buf[:0], o.src, o.dst, ByLength); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		o := ods[i%len(ods)]
+		i++
+		buf, _, _ = sc.AppendShortestPath(buf[:0], o.src, o.dst, ByLength)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendShortestPath allocated %.1f objects/op on a warm scratch, want 0", allocs)
+	}
+}
+
+func TestPathSetSemantics(t *testing.T) {
+	var ps pathSet
+	a := []EdgeID{1, 2, 3}
+	b := []EdgeID{1, 2, 4}
+	if !ps.Add(a) {
+		t.Fatal("first Add returned false")
+	}
+	if ps.Add(append([]EdgeID(nil), a...)) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !ps.Add(b) {
+		t.Fatal("distinct Add returned false")
+	}
+	if !ps.Has(a) || !ps.Has(b) || ps.Has([]EdgeID{1, 2}) {
+		t.Fatal("Has gave wrong membership")
+	}
+	if ps.Has(nil) {
+		t.Fatal("empty sequence reported present before Add")
+	}
+	if !ps.Add(nil) || !ps.Has(nil) {
+		t.Fatal("empty sequence not addable")
+	}
+}
+
+// BenchmarkPathDedupPathSet and BenchmarkPathDedupStringKey compare the
+// engine's hash-based path dedup against the seed's string-key scheme on the
+// same workload (satellite: pathKey replacement).
+func benchDedupPaths(b *testing.B) []Path {
+	b.Helper()
+	s := rng.New(409)
+	g := GenerateCity(DefaultCity(GridCity), s.Child())
+	n := g.NumNodes()
+	paths := make([]Path, 0, 64)
+	for len(paths) < 64 {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		ps, err := g.AlternativeRoutes(src, dst, 3, 0.4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths = append(paths, ps...)
+	}
+	return paths
+}
+
+func BenchmarkPathDedupPathSet(b *testing.B) {
+	paths := benchDedupPaths(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ps pathSet
+		dups := 0
+		for _, p := range paths {
+			if !ps.Add(p.Edges) {
+				dups++
+			}
+		}
+		_ = dups
+	}
+}
+
+func BenchmarkPathDedupStringKey(b *testing.B) {
+	paths := benchDedupPaths(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seen := map[string]bool{}
+		dups := 0
+		for _, p := range paths {
+			if key := pathKey(p); seen[key] {
+				dups++
+			} else {
+				seen[key] = true
+			}
+		}
+		_ = dups
+	}
+}

@@ -2,7 +2,6 @@ package roadnet
 
 import (
 	"container/heap"
-	"fmt"
 	"math"
 )
 
@@ -24,7 +23,9 @@ func (w Weight) cost(e Edge) float64 {
 	return e.Length
 }
 
-// pqItem is a priority-queue entry for Dijkstra.
+// pqItem is a priority-queue entry for the container/heap-based Dijkstras
+// (one-shot table builds and the reference implementation; the query engine
+// in search.go uses its own boxing-free heap).
 type pqItem struct {
 	node NodeID
 	dist float64
@@ -46,71 +47,24 @@ func (h *pq) Pop() interface{} {
 }
 
 // ShortestPath returns the minimum-cost path from src to dst under the given
-// weight, using binary-heap Dijkstra with lazy deletion. It returns an error
-// if dst is unreachable. banned edges/nodes (may be nil) are skipped — Yen's
-// algorithm uses this to force spur paths off the root.
+// weight. Queries run on the routing engine: goal-directed A* with landmark
+// lower bounds on graphs large enough to amortize the tables, plain Dijkstra
+// below that, both over a pooled zero-reinit scratch and both returning
+// bit-identical paths to the reference implementation (see SearchScratch for
+// the canonical tie-breaking rule). It returns an error if dst is
+// unreachable.
 func (g *Graph) ShortestPath(src, dst NodeID, w Weight) (Path, error) {
-	return g.shortestPathBanned(src, dst, w, nil, nil)
+	s, c := g.getScratch()
+	defer g.putScratch(c, s)
+	return s.ShortestPath(src, dst, w)
 }
 
+// shortestPathBanned is the engine search with banned edges/nodes (may be
+// nil) skipped — Yen's algorithm uses this to force spur paths off the root.
 func (g *Graph) shortestPathBanned(src, dst NodeID, w Weight, bannedEdges map[EdgeID]bool, bannedNodes map[NodeID]bool) (Path, error) {
-	n := g.NumNodes()
-	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
-		return Path{}, fmt.Errorf("roadnet: shortest path endpoints out of range: %d->%d", src, dst)
-	}
-	dist := make([]float64, n)
-	prevEdge := make([]EdgeID, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prevEdge[i] = -1
-	}
-	dist[src] = 0
-	h := &pq{{node: src, dist: 0}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		u := it.node
-		if done[u] || it.dist > dist[u] {
-			continue
-		}
-		done[u] = true
-		if u == dst {
-			break
-		}
-		for _, eid := range g.out[u] {
-			if bannedEdges != nil && bannedEdges[eid] {
-				continue
-			}
-			e := g.Edges[eid]
-			if bannedNodes != nil && bannedNodes[e.To] {
-				continue
-			}
-			nd := dist[u] + w.cost(e)
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				prevEdge[e.To] = eid
-				heap.Push(h, pqItem{node: e.To, dist: nd})
-			}
-		}
-	}
-	if math.IsInf(dist[dst], 1) {
-		return Path{}, fmt.Errorf("roadnet: node %d unreachable from %d", dst, src)
-	}
-	if src == dst {
-		return Path{Nodes: []NodeID{src}}, nil
-	}
-	// Reconstruct edge sequence backwards.
-	var rev []EdgeID
-	for at := dst; at != src; {
-		eid := prevEdge[at]
-		rev = append(rev, eid)
-		at = g.Edges[eid].From
-	}
-	edges := make([]EdgeID, len(rev))
-	for i := range rev {
-		edges[i] = rev[len(rev)-1-i]
-	}
-	return g.NewPath(edges)
+	s, c := g.getScratch()
+	defer g.putScratch(c, s)
+	return s.shortestPath(src, dst, searchOpts{w: w, bannedEdges: bannedEdges, bannedNodes: bannedNodes})
 }
 
 // AllShortestDists runs Dijkstra from src and returns the distance to every
@@ -168,7 +122,8 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int, w Weight) ([]Path, error)
 		}
 		return p.Length
 	}
-	seen := map[string]bool{pathKey(first): true}
+	var seen pathSet
+	seen.Add(first.Edges)
 
 	for len(paths) < k {
 		prev := paths[len(paths)-1]
@@ -197,11 +152,9 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int, w Weight) ([]Path, error)
 			if err != nil {
 				continue
 			}
-			key := pathKey(cand)
-			if seen[key] {
+			if !seen.Add(cand.Edges) {
 				continue
 			}
-			seen[key] = true
 			candidates = append(candidates, cand)
 		}
 		if len(candidates) == 0 {
@@ -233,32 +186,70 @@ func edgesPrefixEqual(p, prefix []EdgeID) bool {
 	return true
 }
 
-// pathKey returns a canonical identity string for a path's edge sequence.
-func pathKey(p Path) string {
-	b := make([]byte, 0, len(p.Edges)*3)
-	for _, e := range p.Edges {
-		b = appendInt(b, int(e))
-		b = append(b, ',')
-	}
-	return string(b)
+// pathSet tracks distinct edge sequences without building a string key per
+// path (the old pathKey allocated and formatted every edge ID). Sequences
+// hash by FNV-1a over the raw IDs; a hash hit falls back to an exact
+// edge-slice compare, so collisions cannot merge distinct paths. The zero
+// value is ready to use.
+type pathSet struct {
+	m map[uint64][][]EdgeID
 }
 
-func appendInt(b []byte, v int) []byte {
-	if v == 0 {
-		return append(b, '0')
+// hashEdges is FNV-1a over the edge IDs, allocation-free.
+func hashEdges(edges []EdgeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, e := range edges {
+		v := uint64(e)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
 	}
-	if v < 0 {
-		b = append(b, '-')
-		v = -v
+	return h
+}
+
+func edgesEqual(a, b []EdgeID) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	var tmp [20]byte
-	i := len(tmp)
-	for v > 0 {
-		i--
-		tmp[i] = byte('0' + v%10)
-		v /= 10
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-	return append(b, tmp[i:]...)
+	return true
+}
+
+// Has reports whether the exact edge sequence is present.
+func (ps *pathSet) Has(edges []EdgeID) bool {
+	for _, have := range ps.m[hashEdges(edges)] {
+		if edgesEqual(have, edges) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts the edge sequence and reports whether it was new. The slice
+// is retained; callers must not mutate it afterwards (path edge slices are
+// immutable once built).
+func (ps *pathSet) Add(edges []EdgeID) bool {
+	h := hashEdges(edges)
+	for _, have := range ps.m[h] {
+		if edgesEqual(have, edges) {
+			return false
+		}
+	}
+	if ps.m == nil {
+		ps.m = make(map[uint64][][]EdgeID)
+	}
+	ps.m[h] = append(ps.m[h], edges)
+	return true
 }
 
 // IsSimple reports whether the path visits each node at most once.

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/geo"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/roadnet"
 )
@@ -100,17 +101,37 @@ func SpecByName(name string) (Spec, error) {
 // trajectories driven along shortest paths with per-edge speeds and GPS
 // noise.
 func Generate(spec Spec, seed uint64) (*Dataset, error) {
+	return GenerateWorkers(spec, seed, 0)
+}
+
+// GenerateWorkers is Generate with an explicit routing fan-out (0 = one
+// worker per CPU, max 16). The dataset is bit-identical for any worker
+// count: each trip's RNG stream is derived sequentially in trip order
+// before the trips run, and traces are assembled in trip order.
+func GenerateWorkers(spec Spec, seed uint64, workers int) (*Dataset, error) {
 	s := rng.New(seed)
 	g := roadnet.GenerateCity(roadnet.DefaultCity(spec.Kind), s.Child())
 	ds := &Dataset{Name: spec.Name, Kind: spec.Kind, Graph: g}
 	tripStream := s.Child()
-	for i := 0; i < spec.Trips; i++ {
-		tr, err := generateTrip(spec, g, i, tripStream.Child())
-		if err != nil {
-			return nil, fmt.Errorf("trace: trip %d: %w", i, err)
-		}
-		ds.Traces = append(ds.Traces, tr)
+	streams := make([]*rng.Stream, spec.Trips)
+	for i := range streams {
+		streams[i] = tripStream.Child()
 	}
+	// Trip generation is dominated by the ByTime shortest-path queries; the
+	// graph geometry they share is hoisted out of the loop.
+	bounds := graphBounds(g)
+	minLen := 2.5 * avgEdgeLen(g)
+	traces, err := parallel.Map(spec.Trips, workers, func(i int) (Trace, error) {
+		tr, err := generateTrip(spec, g, i, streams[i], bounds, minLen)
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: trip %d: %w", i, err)
+		}
+		return tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds.Traces = traces
 	return ds, nil
 }
 
@@ -134,8 +155,7 @@ func graphBounds(g *roadnet.Graph) geo.Rect {
 	return geo.Bound(pts)
 }
 
-func generateTrip(spec Spec, g *roadnet.Graph, taxi int, s *rng.Stream) (Trace, error) {
-	bounds := graphBounds(g)
+func generateTrip(spec Spec, g *roadnet.Graph, taxi int, s *rng.Stream, bounds geo.Rect, minLen float64) (Trace, error) {
 	var path roadnet.Path
 	for attempt := 0; ; attempt++ {
 		src := sampleEndpoint(spec, g, s, bounds)
@@ -151,7 +171,7 @@ func generateTrip(spec Spec, g *roadnet.Graph, taxi int, s *rng.Stream) (Trace, 
 			continue
 		}
 		// Reject degenerate one-block hops so trips look like real taxi rides.
-		if p.Length < 2.5*avgEdgeLen(g) && attempt <= 50 {
+		if p.Length < minLen && attempt <= 50 {
 			continue
 		}
 		path = p
