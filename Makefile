@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-routing bench-chaos repro check fmt clean
+.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-routing bench-tracing bench-chaos repro check fmt clean
 
 all: build vet test
 
@@ -37,13 +37,14 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzShortestPathEquivalence -fuzztime 5s ./internal/roadnet
 
 # Full local CI gate: build, vet, tests, race (including the chaos suite),
-# short fuzz passes, and smoke runs of both benchmark suites (short
+# short fuzz passes, and smoke runs of the benchmark suites (short
 # benchtime: checks the harnesses and the speedup/zero-alloc gates, not
 # timings).
 ci: build vet test race fuzz
 	$(GO) test -race -short -count=1 ./internal/distributed ./internal/wire
 	$(MAKE) bench-core BENCHTIME=20ms BENCH_OUT=/tmp/BENCH_incremental.json
 	$(MAKE) bench-routing BENCHTIME=20ms BENCH_ROUTING_OUT=/tmp/BENCH_routing.json
+	$(MAKE) bench-tracing BENCHTIME=20ms BENCH_TRACING_OUT=/tmp/BENCH_tracing.json
 
 # One benchmark per table/figure plus ablations; -benchtime=1x exercises
 # each once (raise for stable timings).
@@ -68,6 +69,15 @@ BENCH_ROUTING_OUT ?= BENCH_routing.json
 bench-routing:
 	$(GO) run ./cmd/benchcore -suite routing -benchtime $(BENCHTIME) \
 		-min-scenario-speedup 3 -routing-o $(BENCH_ROUTING_OUT)
+
+# Machine-readable baseline for the distributed tracer: disabled, unsampled,
+# and sampled span costs plus flight-recorder event throughput, written to
+# BENCH_tracing.json. Fails if any gated hot path (disabled/unsampled spans,
+# sampled record, envelope propagation) allocates.
+BENCH_TRACING_OUT ?= BENCH_tracing.json
+bench-tracing:
+	$(GO) run ./cmd/benchcore -suite tracing -benchtime $(BENCHTIME) \
+		-gate-tracing-allocs -tracing-o $(BENCH_TRACING_OUT)
 
 # Convergence-slot overhead of the standard fault profile vs clean links.
 bench-chaos:

@@ -5,6 +5,8 @@
 //     differential-testing oracle → BENCH_incremental.json
 //   - routing: the goal-directed routing engine and parallel scenario
 //     builder vs the frozen reference implementations → BENCH_routing.json
+//   - tracing: the distributed tracer's disabled/unsampled/sampled hot
+//     paths and flight-recorder throughput → BENCH_tracing.json
 //
 // Examples:
 //
@@ -13,6 +15,8 @@
 //	go run ./cmd/benchcore -min-speedup 5                         # gate: fail <5×
 //	go run ./cmd/benchcore -suite routing -routing-o BENCH_routing.json \
 //	    -min-scenario-speedup 3                                   # routing gates
+//	go run ./cmd/benchcore -suite tracing -gate-tracing-allocs \
+//	    -tracing-o BENCH_tracing.json                             # 0 allocs gate
 package main
 
 import (
@@ -29,9 +33,11 @@ import (
 
 func main() {
 	var (
-		suite      = flag.String("suite", "core", "which suite to run: core, routing, or all")
+		suite      = flag.String("suite", "core", "which suite to run: core, routing, tracing, or all")
 		out        = flag.String("o", "BENCH_incremental.json", "output path for the core-suite JSON report")
 		routingOut = flag.String("routing-o", "BENCH_routing.json", "output path for the routing-suite JSON report")
+		tracingOut = flag.String("tracing-o", "BENCH_tracing.json", "output path for the tracing-suite JSON report")
+		gateTrace  = flag.Bool("gate-tracing-allocs", false, "fail unless every gated tracer hot path is allocation-free")
 		benchTime  = flag.String("benchtime", "1s", "per-benchmark measuring time (testing -benchtime syntax)")
 		msFlag     = flag.String("m", "50,500,5000", "comma-separated user counts the core suite sweeps")
 		naiveMax   = flag.Int("naive-max", 500, "largest M the naive oracle is benchmarked at")
@@ -46,8 +52,9 @@ func main() {
 	}
 	runCore := *suite == "core" || *suite == "all"
 	runRouting := *suite == "routing" || *suite == "all"
-	if !runCore && !runRouting {
-		fmt.Fprintf(os.Stderr, "benchcore: unknown -suite %q (want core, routing, or all)\n", *suite)
+	runTracing := *suite == "tracing" || *suite == "all"
+	if !runCore && !runRouting && !runTracing {
+		fmt.Fprintf(os.Stderr, "benchcore: unknown -suite %q (want core, routing, tracing, or all)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -124,6 +131,27 @@ func main() {
 						name, e.AllocsPerOp)
 					os.Exit(1)
 				}
+			}
+		}
+	}
+
+	if runTracing {
+		rep := benchcore.RunTracingSuite(*benchTime)
+
+		for _, e := range rep.Entries {
+			line := fmt.Sprintf("%-24s %12.1f ns/op %8d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+			if e.EventsPerSec > 0 {
+				line += fmt.Sprintf(" %14.0f events/sec", e.EventsPerSec)
+			}
+			fmt.Println(line)
+		}
+
+		writeJSON(*tracingOut, &rep)
+
+		if *gateTrace {
+			if err := rep.CheckTracingAllocs(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcore: tracing gate: %v\n", err)
+				os.Exit(1)
 			}
 		}
 	}

@@ -28,8 +28,30 @@ import (
 	"repro/internal/rng"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/web"
 )
+
+// newTracer builds the flight-recorder tracer for -trace-dir: anomaly dumps
+// are written to dir the moment a detector trips, and the caller writes a
+// final snapshot on exit.
+func newTracer(dir string, sample float64, capacity int) *tracing.Tracer {
+	n := 0
+	return tracing.New(tracing.Config{
+		SampleRate: sample,
+		Capacity:   capacity,
+		OnAnomaly: func(d *tracing.Dump) {
+			jsonl, chrome, err := d.WriteFiles(dir, fmt.Sprintf("platform-anomaly-%d", n))
+			n++
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "platformd: trace dump: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "platformd: ANOMALY %s — flight recorder dumped to %s and %s\n",
+				d.Reason, jsonl, chrome)
+		},
+	})
+}
 
 // buildInstance derives the shared scenario; platformd and useragent call
 // the same function with the same flags to agree on the game.
@@ -62,6 +84,9 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve the monitoring API (/api/v1/*, /metrics, /healthz) on this address")
 		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the monitoring address")
 		potential = flag.Bool("observe-potential", false, "compute the weighted potential every slot and expose it in the status API")
+		traceDir  = flag.String("trace-dir", "", "enable the distributed tracer; anomaly dumps and the final flight-recorder snapshot are written here (JSONL + Chrome trace-event)")
+		traceRate = flag.Float64("trace-sample", 1, "head-based trace sampling rate in [0,1] (with -trace-dir)")
+		traceCap  = flag.Int("trace-capacity", tracing.DefaultCapacity, "flight recorder capacity in events (with -trace-dir)")
 	)
 	flag.Parse()
 
@@ -109,9 +134,18 @@ func main() {
 		Seed:             *seed,
 		ObservePotential: *potential,
 	}
+	var tracer *tracing.Tracer
+	if *traceDir != "" {
+		tracer = newTracer(*traceDir, *traceRate, *traceCap)
+		pcfg.Tracer = tracer
+		fmt.Printf("platformd: tracing to %s (sample rate %g, capacity %d events)\n", *traceDir, *traceRate, *traceCap)
+	}
 	var mon *web.Server
 	if *httpAddr != "" {
-		opts := []web.Option{web.WithRegistry(telemetry.Default())}
+		// Publish process runtime health (goroutines, heap, GC pauses) next
+		// to the protocol metrics for the lifetime of the server.
+		defer telemetry.StartRuntimeCollector(telemetry.Default(), 0).Stop()
+		opts := []web.Option{web.WithRegistry(telemetry.Default()), web.WithTracer(tracer)}
 		if *pprofFlag {
 			opts = append(opts, web.WithPprof())
 		}
@@ -128,6 +162,16 @@ func main() {
 		}
 	}
 	stats, err := distributed.ServeTCP(ln, in, pcfg)
+	if tracer != nil {
+		// The final snapshot captures the whole run (or its tail, when the
+		// recorder wrapped) even when no anomaly fired.
+		jsonl, chrome, werr := tracer.Snapshot("final").WriteFiles(*traceDir, "platform-final")
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "platformd: trace dump: %v\n", werr)
+		} else {
+			fmt.Printf("platformd: flight recorder written to %s and %s\n", jsonl, chrome)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "platformd: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,82 @@
+// Command traceview summarizes flight-recorder dumps written by platformd
+// -trace-dir, useragent -trace-dir, or the /api/v1/trace/ endpoints. It
+// reads either dump format — JSONL (*.jsonl) or Chrome trace-event JSON
+// (*.trace.json / *.json) — and prints the slowest decision slots, the ΔΦ
+// waterfall of applied moves (whose sum telescopes to Φ(s_T)−Φ(s_0) by
+// Eq. 8), and per-user transport activity.
+//
+// Usage:
+//
+//	traceview runs/platform-final.jsonl
+//	traceview -slots 20 -moves 50 runs/platform-anomaly-0.jsonl
+//	traceview -user 3 runs/platform-final.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/tracing"
+)
+
+// readDump loads a dump in whichever format the file holds: the JSONL
+// header line starts with '{"flight_recorder"', anything else is parsed as
+// a Chrome trace-event document. The extension decides first; content
+// sniffing covers renamed files.
+func readDump(path string) (*tracing.Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return tracing.ReadJSONL(f)
+	}
+	if strings.HasSuffix(path, ".json") {
+		return tracing.ReadChromeTrace(f)
+	}
+	// Unknown extension: try JSONL first (cheap header check), then Chrome.
+	if d, err := tracing.ReadJSONL(f); err == nil {
+		return d, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return tracing.ReadChromeTrace(f)
+}
+
+func main() {
+	var (
+		slots = flag.Int("slots", 10, "how many slowest slots to list")
+		moves = flag.Int("moves", 0, "cap the dPhi waterfall at this many moves (0 = all)")
+		user  = flag.Int("user", -2, "filter the move timeline to one user (-1 = platform; default: no filter)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: traceview [flags] dump.jsonl|dump.trace.json ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	exit := 0
+	for i, path := range flag.Args() {
+		if i > 0 {
+			fmt.Println()
+		}
+		if flag.NArg() > 1 {
+			fmt.Printf("== %s ==\n", path)
+		}
+		d, err := readDump(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		tracing.Summarize(d).Render(os.Stdout, *slots, *moves, *user >= -1, *user)
+	}
+	os.Exit(exit)
+}

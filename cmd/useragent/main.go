@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/rng"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		beta     = flag.Float64("beta", 0, "explicit β_i (0 = derive from scenario)")
 		gamma    = flag.Float64("gamma", 0, "explicit γ_i (0 = derive from scenario)")
 		instance = flag.String("instance", "", "derive weights from this instance JSON (written by platformd -dump-instance)")
+		traceDir = flag.String("trace-dir", "", "record this agent's transport spans (under the platform's trace IDs) and write the flight recorder here on exit")
 	)
 	flag.Parse()
 
@@ -87,9 +89,26 @@ func main() {
 		u := sc.Instance.Users[*user]
 		cfg.Alpha, cfg.Beta, cfg.Gamma = u.Alpha, u.Beta, u.Gamma
 	}
+	var tracer *tracing.Tracer
+	if *traceDir != "" {
+		// The agent samples everything locally; its spans carry the trace
+		// IDs propagated by the platform, so the two recorders correlate.
+		tracer = tracing.New(tracing.Config{})
+		cfg.Tracer = tracer
+	}
 	fmt.Printf("useragent %d: α=%.3f β=%.3f γ=%.3f connecting to %s\n",
 		*user, cfg.Alpha, cfg.Beta, cfg.Gamma, *addr)
-	if err := distributed.DialTCP(*addr, cfg); err != nil {
+	err := distributed.DialTCP(*addr, cfg)
+	if tracer != nil {
+		prefix := fmt.Sprintf("agent-%d-final", *user)
+		jsonl, chrome, werr := tracer.Snapshot("final").WriteFiles(*traceDir, prefix)
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "useragent: trace dump: %v\n", werr)
+		} else {
+			fmt.Printf("useragent %d: flight recorder written to %s and %s\n", *user, jsonl, chrome)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "useragent: %v\n", err)
 		os.Exit(1)
 	}

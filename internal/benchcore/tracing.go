@@ -1,0 +1,209 @@
+package benchcore
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/distributed"
+	"repro/internal/tracing"
+	"repro/internal/wire"
+)
+
+// This file is the tracing counterpart of the incremental and routing
+// suites: it measures the distributed tracer's hot paths and serializes
+// BENCH_tracing.json. The contract mirrors the PR 2 telemetry gate — the
+// paths a production run hits with tracing disabled (nil tracer) or with
+// an unsampled trace must cost nanoseconds and zero allocations, and the
+// sampled record path must stay allocation-free (a struct copy into a
+// preallocated ring slot).
+
+// benchClock is a cheap deterministic clock: tracer benchmarks must not
+// measure time.Now's vDSO call variance.
+func benchClock() func() int64 {
+	var t int64
+	return func() int64 { t += 100; return t }
+}
+
+// TracerDisabledSpan measures the fully disabled path: a nil *Tracer
+// issuing a trace context, opening a slot span, and finishing it. This is
+// what every call site costs when tracing is off.
+func TracerDisabledSpan() func(b *testing.B) {
+	return func(b *testing.B) {
+		var tr *tracing.Tracer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			span := tr.StartSpan(tr.StartTrace(), tracing.KindSlot, -1, i)
+			span.FinishSlot(0, 0, 0)
+		}
+	}
+}
+
+// TracerUnsampledSpan measures an enabled tracer whose sampler rejects the
+// trace: ID issue + sampling decision, then no-op span operations.
+func TracerUnsampledSpan() func(b *testing.B) {
+	return func(b *testing.B) {
+		tr := tracing.New(tracing.Config{SampleRate: -1, Now: benchClock()})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			span := tr.StartSpan(tr.StartTrace(), tracing.KindSlot, -1, i)
+			span.FinishSlot(0, 0, 0)
+		}
+	}
+}
+
+// TracerSampledSpan measures the full record path: span open + ring write
+// on finish, all sampled.
+func TracerSampledSpan() func(b *testing.B) {
+	return func(b *testing.B) {
+		tr := tracing.New(tracing.Config{Now: benchClock(), Anomalies: tracing.AnomalyConfig{Disabled: true}})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			span := tr.StartSpan(tr.StartTrace(), tracing.KindSlot, -1, i)
+			span.FinishSlot(1, 1, 0.5)
+		}
+	}
+}
+
+// RecorderThroughput measures raw move-event recording into the sharded
+// ring under a sampled context — the event rate the flight recorder
+// sustains single-threaded.
+func RecorderThroughput() func(b *testing.B) {
+	return func(b *testing.B) {
+		tr := tracing.New(tracing.Config{Now: benchClock(), Anomalies: tracing.AnomalyConfig{Disabled: true}})
+		ctx := tr.StartTrace()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.RecordMove(ctx, i&1023, i, 0, 1, 0.25, 0.125)
+		}
+	}
+}
+
+// EnvelopePropagation measures the always-on agent-side cost: reading the
+// trace context off a received message and stamping it onto a reply. This
+// runs on every message even when no process in the system traces.
+func EnvelopePropagation() func(b *testing.B) {
+	return func(b *testing.B) {
+		in := &wire.Message{Kind: wire.KindSlotInfo, TraceID: 0xabcdef, SpanID: 0x123, TraceFlags: 1}
+		out := &wire.Message{Kind: wire.KindRequest}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			distributed.StampTrace(out, distributed.TraceContext(in))
+		}
+	}
+}
+
+// --- Machine-readable report (BENCH_tracing.json) ---
+
+// TracingEntry is one recorded tracer benchmark measurement.
+type TracingEntry struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// TracingReport is the BENCH_tracing.json document.
+type TracingReport struct {
+	Schema        string         `json:"schema"`
+	GeneratedUnix int64          `json:"generated_unix"`
+	GoVersion     string         `json:"go_version"`
+	GOOS          string         `json:"goos"`
+	GOARCH        string         `json:"goarch"`
+	NumCPU        int            `json:"num_cpu"`
+	BenchTime     string         `json:"bench_time"`
+	Entries       []TracingEntry `json:"benchmarks"`
+}
+
+// tracingSuite lists the benchmark families; events marks event-rate
+// reporting.
+func tracingSuite() []struct {
+	name   string
+	events bool
+	body   func() func(*testing.B)
+} {
+	return []struct {
+		name   string
+		events bool
+		body   func() func(*testing.B)
+	}{
+		{name: "Span/disabled", body: TracerDisabledSpan},
+		{name: "Span/unsampled", body: TracerUnsampledSpan},
+		{name: "Span/sampled", events: true, body: TracerSampledSpan},
+		{name: "Recorder/move", events: true, body: RecorderThroughput},
+		{name: "Envelope/propagate", body: EnvelopePropagation},
+	}
+}
+
+// RunTracingSuite executes the tracing suite under testing.Benchmark.
+// Callers must have invoked testing.Init beforehand.
+func RunTracingSuite(benchTime string) TracingReport {
+	rep := TracingReport{
+		Schema:        "repro/bench-tracing/v1",
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		BenchTime:     benchTime,
+	}
+	for _, f := range tracingSuite() {
+		r := testing.Benchmark(f.body())
+		e := TracingEntry{
+			Name:        f.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if f.events && e.NsPerOp > 0 {
+			e.EventsPerSec = 1e9 / e.NsPerOp
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep
+}
+
+// TracingEntryFor returns the named entry, or nil when it was not measured.
+func (r *TracingReport) TracingEntryFor(name string) *TracingEntry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// TracingZeroAllocNames are the entries the CI gate requires to be
+// allocation-free: every path a run can hit without opting into recording,
+// plus the sampled ring write itself.
+var TracingZeroAllocNames = []string{
+	"Span/disabled",
+	"Span/unsampled",
+	"Span/sampled",
+	"Recorder/move",
+	"Envelope/propagate",
+}
+
+// CheckTracingAllocs returns an error naming the first gated entry that
+// allocated.
+func (r *TracingReport) CheckTracingAllocs() error {
+	for _, name := range TracingZeroAllocNames {
+		e := r.TracingEntryFor(name)
+		if e == nil {
+			return fmt.Errorf("missing gated entry %s", name)
+		}
+		if e.AllocsPerOp != 0 {
+			return fmt.Errorf("%s allocates %d objects/op (%d bytes), want 0", name, e.AllocsPerOp, e.BytesPerOp)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package benchcore
+
+import (
+	"strings"
+	"testing"
+)
+
+// The suite bodies double as ordinary go-test benchmarks:
+//
+//	go test -bench 'Tracer|Recorder|Envelope' -benchmem ./internal/benchcore
+
+func BenchmarkTracerDisabledSpan(b *testing.B)  { TracerDisabledSpan()(b) }
+func BenchmarkTracerUnsampledSpan(b *testing.B) { TracerUnsampledSpan()(b) }
+func BenchmarkTracerSampledSpan(b *testing.B)   { TracerSampledSpan()(b) }
+func BenchmarkRecorderThroughput(b *testing.B)  { RecorderThroughput()(b) }
+func BenchmarkEnvelopePropagate(b *testing.B)   { EnvelopePropagation()(b) }
+
+// TestTracingAllocGate exercises the gate logic on synthetic reports so the
+// CI failure mode (a hot path that starts allocating) is itself tested
+// without running real benchmarks.
+func TestTracingAllocGate(t *testing.T) {
+	clean := TracingReport{Schema: "repro/bench-tracing/v1"}
+	for _, name := range TracingZeroAllocNames {
+		clean.Entries = append(clean.Entries, TracingEntry{Name: name})
+	}
+	if err := clean.CheckTracingAllocs(); err != nil {
+		t.Fatalf("clean report failed the gate: %v", err)
+	}
+	if got := clean.TracingEntryFor("Span/disabled"); got == nil || got.Name != "Span/disabled" {
+		t.Fatalf("TracingEntryFor = %+v", got)
+	}
+	if clean.TracingEntryFor("nope") != nil {
+		t.Fatal("TracingEntryFor invented an entry")
+	}
+
+	dirty := clean
+	dirty.Entries = append([]TracingEntry(nil), clean.Entries...)
+	dirty.Entries[1].AllocsPerOp = 3
+	dirty.Entries[1].BytesPerOp = 48
+	err := dirty.CheckTracingAllocs()
+	if err == nil || !strings.Contains(err.Error(), "Span/unsampled") {
+		t.Fatalf("dirty report gate error = %v", err)
+	}
+
+	missing := TracingReport{}
+	if err := missing.CheckTracingAllocs(); err == nil {
+		t.Fatal("empty report passed the gate")
+	}
+}
+
+// TestTracingSuiteNamesCovered pins that every gated name is actually
+// produced by the suite, so the gate cannot silently rot.
+func TestTracingSuiteNamesCovered(t *testing.T) {
+	have := map[string]bool{}
+	for _, f := range tracingSuite() {
+		have[f.name] = true
+	}
+	for _, name := range TracingZeroAllocNames {
+		if !have[name] {
+			t.Errorf("gated entry %s is not in the suite", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/rng"
+	"repro/internal/tracing"
 	"repro/internal/wire"
 )
 
@@ -29,6 +30,11 @@ type AgentConfig struct {
 	// receiver's dedup layer does not mistake a restarted agent's fresh
 	// messages for duplicates (see wire.Message.Epoch).
 	Epoch uint32
+	// Tracer, when non-nil, records this agent's transport spans. The
+	// agent always echoes the trace context of the last platform message
+	// on its replies (that costs three integer stores), so platform-side
+	// traces link across the process boundary even when this is nil.
+	Tracer *tracing.Tracer
 }
 
 // Agent is the user-side state machine of Algorithm 1. It owns no global
@@ -45,17 +51,28 @@ type Agent struct {
 	current  int
 	proposed int
 	counts   map[int]int
+	// traceCtx is the trace context of the last platform message; it is
+	// echoed onto every outgoing reply so the platform's slot trace spans
+	// the round trip.
+	traceCtx tracing.SpanContext
 }
 
 // NewAgent creates an agent speaking over conn. The connection is wrapped
-// with sequence stamping and duplicate suppression.
+// with sequence stamping and duplicate suppression (and transport-span
+// recording when the config carries a tracer).
 func NewAgent(conn Conn, cfg AgentConfig) *Agent {
 	return &Agent{
 		cfg:      cfg,
-		conn:     WithSeqEpoch(conn, cfg.User, cfg.Epoch),
+		conn:     WithSeqEpoch(WithTrace(conn, cfg.Tracer, cfg.User), cfg.User, cfg.Epoch),
 		rnd:      rng.New(cfg.Seed),
 		proposed: -1,
 	}
+}
+
+// send echoes the last received trace context onto m and sends it.
+func (a *Agent) send(m *wire.Message) error {
+	StampTrace(m, a.traceCtx)
+	return a.conn.Send(m)
 }
 
 // Run executes Algorithm 1 until the termination message arrives. It
@@ -88,6 +105,9 @@ func (a *Agent) runLoop() error {
 		if err != nil {
 			return fmt.Errorf("agent %d: %w", a.cfg.User, err)
 		}
+		// Adopt the platform's trace context: our replies (and any spans we
+		// record) become children of the platform's current slot span.
+		a.traceCtx = TraceContext(m)
 		switch m.Kind {
 		case wire.KindInit:
 			if err := a.handleInit(m.Init); err != nil {
@@ -119,7 +139,7 @@ func (a *Agent) runLoop() error {
 }
 
 func (a *Agent) hello(resume bool) error {
-	return a.conn.Send(&wire.Message{
+	return a.send(&wire.Message{
 		Kind:  wire.KindHello,
 		Hello: &wire.Hello{User: a.cfg.User, Resume: resume},
 	})
@@ -149,7 +169,7 @@ func (a *Agent) handleInit(in *wire.Init) error {
 		// Decision). Re-report the decision already made instead of sampling
 		// a new one, so agent and platform never diverge; the platform drops
 		// whichever copy arrives second as stale.
-		return a.conn.Send(&wire.Message{
+		return a.send(&wire.Message{
 			Kind:     wire.KindDecision,
 			Decision: &wire.Decision{Slot: 0, Route: a.current},
 		})
@@ -161,7 +181,7 @@ func (a *Agent) handleInit(in *wire.Init) error {
 		a.current = a.rnd.Intn(len(a.routes))
 	}
 	// Line 4: report the initial decision.
-	return a.conn.Send(&wire.Message{
+	return a.send(&wire.Message{
 		Kind:     wire.KindDecision,
 		Decision: &wire.Decision{Slot: 0, Route: a.current},
 	})
@@ -243,7 +263,7 @@ func (a *Agent) handleSlot(si *wire.SlotInfo) error {
 	} else {
 		a.proposed = -1
 	}
-	return a.conn.Send(&wire.Message{Kind: wire.KindRequest, Request: req})
+	return a.send(&wire.Message{Kind: wire.KindRequest, Request: req})
 }
 
 // moveTasks returns B_i: the union of tasks on the current and proposed
@@ -273,7 +293,7 @@ func (a *Agent) handleGrant(g *wire.Grant) error {
 		// the restart. Declining by re-reporting the current route keeps
 		// the slot protocol in lockstep and is a harmless no-op move
 		// (Theorem 2's potential ascent is unaffected).
-		return a.conn.Send(&wire.Message{
+		return a.send(&wire.Message{
 			Kind:     wire.KindDecision,
 			Decision: &wire.Decision{Slot: g.Slot, Route: a.current},
 		})
@@ -281,7 +301,7 @@ func (a *Agent) handleGrant(g *wire.Grant) error {
 	// Algorithm 1 lines 14–15: adopt the proposed route and report it.
 	a.current = a.proposed
 	a.proposed = -1
-	return a.conn.Send(&wire.Message{
+	return a.send(&wire.Message{
 		Kind:     wire.KindDecision,
 		Decision: &wire.Decision{Slot: g.Slot, Route: a.current},
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/tracing"
 	"repro/internal/wire"
 )
 
@@ -43,14 +44,25 @@ type AsyncPlatform struct {
 	choices []int
 	version int
 	// Observer, when non-nil, is invoked after initialization and after
-	// every applied update with the counts version and a copy of the
-	// current route choices. The chaos tests use it to assert the
-	// potential ascends across applied updates (Theorem 2).
-	Observer func(version int, choices []int)
+	// every applied update with an Observation — the same struct the
+	// synchronous platform reports, with Slot carrying the counts version.
+	// The chaos tests use it to assert the potential ascends across
+	// applied updates (Theorem 2).
+	Observer func(Observation)
+	// Tracer, when non-nil, records the run into the distributed tracer:
+	// the whole asynchronous run is one trace (there are no slots to cut
+	// it at), with one move event per applied update carrying ΔP_i/ΔΦ
+	// from an incrementally maintained profile.
+	Tracer *tracing.Tracer
+
+	traceCtx tracing.SpanContext
+	prof     *core.Profile
 }
 
-// NewAsyncPlatform wraps the connections (with sequence dedup) for an
-// asynchronous run.
+// NewAsyncPlatform prepares an asynchronous run over conns. The
+// connections are wrapped (sequence dedup, and transport-span tracing when
+// Tracer is set) at the start of Run, so the Observer and Tracer fields
+// can be assigned after construction.
 func NewAsyncPlatform(in *core.Instance, conns []Conn) (*AsyncPlatform, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("distributed: %w", err)
@@ -58,16 +70,32 @@ func NewAsyncPlatform(in *core.Instance, conns []Conn) (*AsyncPlatform, error) {
 	if len(conns) != in.NumUsers() {
 		return nil, fmt.Errorf("distributed: %d connections for %d users", len(conns), in.NumUsers())
 	}
-	wrapped := make([]Conn, len(conns))
-	for i, c := range conns {
-		wrapped[i] = WithSeq(c, -1)
-	}
 	return &AsyncPlatform{
 		in:      in,
-		conns:   wrapped,
+		conns:   append([]Conn(nil), conns...),
 		nk:      make([]int, in.NumTasks()),
 		choices: make([]int, in.NumUsers()),
 	}, nil
+}
+
+// send stamps the run's trace context onto m and sends it to user u.
+func (p *AsyncPlatform) send(u int, m *wire.Message) error {
+	StampTrace(m, p.traceCtx)
+	return p.conns[u].Send(m)
+}
+
+// traceMove records one applied update as a move event with exact
+// ΔP_i/ΔΦ, keeping the tracing profile in lockstep.
+func (p *AsyncPlatform) traceMove(u, oldRoute, newRoute int) {
+	if p.prof == nil || newRoute == oldRoute {
+		return
+	}
+	uid := core.UserID(u)
+	dP := p.prof.ProfitDeltaIf(uid, newRoute)
+	before := p.prof.Potential()
+	p.prof.SetChoice(uid, newRoute)
+	dPhi := p.prof.Potential() - before
+	p.Tracer.RecordMove(p.traceCtx, u, p.version, oldRoute, newRoute, dP, dPhi)
 }
 
 // initMsg/slotMsg mirror the synchronous platform's views.
@@ -106,6 +134,13 @@ func (p *AsyncPlatform) applyDecision(u, c int, initial bool) error {
 func (p *AsyncPlatform) Run() (AsyncStats, error) {
 	var stats AsyncStats
 	n := len(p.conns)
+	for i, c := range p.conns {
+		p.conns[i] = WithSeq(WithTrace(c, p.Tracer, i), -1)
+	}
+	// The whole asynchronous run is one trace; the init span covers the
+	// handshake and parents every later event.
+	runSpan := p.Tracer.StartSpan(p.Tracer.StartTrace(), tracing.KindInit, -1, 0)
+	p.traceCtx = runSpan.Context()
 	// Handshake, synchronous per user as in the slotted protocol.
 	for u := 0; u < n; u++ {
 		m, err := p.conns[u].Recv()
@@ -115,7 +150,7 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 		if m.Kind != wire.KindHello || m.Hello.User != u {
 			return stats, fmt.Errorf("distributed: bad hello on conn %d", u)
 		}
-		if err := p.conns[u].Send(p.initMsg(u, -1)); err != nil {
+		if err := p.send(u, p.initMsg(u, -1)); err != nil {
 			return stats, err
 		}
 	}
@@ -131,9 +166,17 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 			return stats, err
 		}
 	}
+	if p.Tracer.Enabled() {
+		prof, err := core.NewProfile(p.in, p.choices)
+		if err != nil {
+			return stats, fmt.Errorf("distributed: tracing profile: %w", err)
+		}
+		p.prof = prof
+	}
+	runSpan.FinishSlot(0, n, 0)
 	p.version = 1
 	stats.Versions = 1
-	p.observe()
+	p.observe(nil)
 
 	// Merge incoming messages from all users.
 	events := make(chan asyncEvent, n*4)
@@ -157,7 +200,7 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 
 	// Broadcast the initial view.
 	for u := 0; u < n; u++ {
-		if err := p.conns[u].Send(p.viewMsg(u)); err != nil {
+		if err := p.send(u, p.viewMsg(u)); err != nil {
 			return stats, err
 		}
 	}
@@ -187,7 +230,7 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 			pending = pending[1:]
 			granted = u
 			stats.Grants++
-			if err := p.conns[u].Send(&wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: p.version}}); err != nil {
+			if err := p.send(u, &wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: p.version}}); err != nil {
 				return err
 			}
 		}
@@ -232,18 +275,19 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 				stats.TotalUpdates++
 				p.version++
 				stats.Versions++
-				p.observe()
+				p.traceMove(ev.user, old, p.choices[ev.user])
+				p.observe([]int{ev.user})
 				// Counts changed: rebroadcast views; acks for older
 				// versions become stale automatically.
 				for u := 0; u < n; u++ {
-					if err := p.conns[u].Send(p.viewMsg(u)); err != nil {
+					if err := p.send(u, p.viewMsg(u)); err != nil {
 						return stats, err
 					}
 				}
 			} else {
 				// No-op move (the improvement vanished): the user's reply to
 				// the current view will carry its ack.
-				if err := p.conns[ev.user].Send(p.viewMsg(ev.user)); err != nil {
+				if err := p.send(ev.user, p.viewMsg(ev.user)); err != nil {
 					return stats, err
 				}
 			}
@@ -252,10 +296,11 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 			}
 		case wire.KindHello:
 			// Mid-run restart: re-init and resend the current view.
-			if err := p.conns[ev.user].Send(p.initMsg(ev.user, p.choices[ev.user])); err != nil {
+			p.Tracer.RecordReconnect(p.traceCtx, ev.user, p.version)
+			if err := p.send(ev.user, p.initMsg(ev.user, p.choices[ev.user])); err != nil {
 				return stats, err
 			}
-			if err := p.conns[ev.user].Send(p.viewMsg(ev.user)); err != nil {
+			if err := p.send(ev.user, p.viewMsg(ev.user)); err != nil {
 				return stats, err
 			}
 		default:
@@ -263,7 +308,7 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 		}
 	}
 	for u := 0; u < n; u++ {
-		if err := p.conns[u].Send(&wire.Message{Kind: wire.KindTerminate, Terminate: &wire.Terminate{Slot: p.version}}); err != nil {
+		if err := p.send(u, &wire.Message{Kind: wire.KindTerminate, Terminate: &wire.Terminate{Slot: p.version}}); err != nil {
 			return stats, err
 		}
 	}
@@ -272,12 +317,22 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 	return stats, nil
 }
 
-// observe invokes the configured observer with a copy of the choices.
-func (p *AsyncPlatform) observe() {
+// observe invokes the configured observer with this version's Observation
+// (Slot carries the counts version; grantedUsers the applied updater, if
+// any).
+func (p *AsyncPlatform) observe(grantedUsers []int) {
 	if p.Observer == nil {
 		return
 	}
-	p.Observer(p.version, append([]int(nil), p.choices...))
+	o := Observation{
+		Slot:    p.version,
+		Granted: len(grantedUsers),
+		Choices: append([]int(nil), p.choices...),
+	}
+	if len(grantedUsers) > 0 {
+		o.GrantedUsers = append([]int(nil), grantedUsers...)
+	}
+	p.Observer(o)
 }
 
 // AsyncAgent is the user-side loop for the asynchronous protocol. Unlike
@@ -305,6 +360,7 @@ func (a *AsyncAgent) Run() error {
 		if err != nil {
 			return fmt.Errorf("async agent %d: %w", ag.cfg.User, err)
 		}
+		ag.traceCtx = TraceContext(m)
 		switch m.Kind {
 		case wire.KindInit:
 			if err := ag.handleInit(m.Init); err != nil {
@@ -319,7 +375,7 @@ func (a *AsyncAgent) Run() error {
 				req.HasUpdate = true
 				req.Route = delta[0]
 			}
-			if err := ag.conn.Send(&wire.Message{Kind: wire.KindRequest, Request: req}); err != nil {
+			if err := ag.send(&wire.Message{Kind: wire.KindRequest, Request: req}); err != nil {
 				return err
 			}
 		case wire.KindGrant:
@@ -328,7 +384,7 @@ func (a *AsyncAgent) Run() error {
 			if len(delta) > 0 {
 				ag.current = delta[0]
 			}
-			if err := ag.conn.Send(&wire.Message{
+			if err := ag.send(&wire.Message{
 				Kind:     wire.KindDecision,
 				Decision: &wire.Decision{Slot: lastVersion, Route: ag.current},
 			}); err != nil {
@@ -356,7 +412,10 @@ type AsyncRunOptions struct {
 	// Log aggregates injected faults across all links when non-nil.
 	Log *FaultLog
 	// Observer is installed on the platform (see AsyncPlatform.Observer).
-	Observer func(version int, choices []int)
+	Observer func(Observation)
+	// Tracer is installed on the platform, every agent, and every fault /
+	// retry decorator, so one flight recorder sees the whole run.
+	Tracer *tracing.Tracer
 }
 
 // RunAsyncInProcess runs the asynchronous protocol with channel transports:
@@ -375,12 +434,12 @@ func RunAsyncInProcessOpts(in *core.Instance, opts AsyncRunOptions) (AsyncStats,
 	for i := 0; i < n; i++ {
 		pc, ac := ChanPair(4 * n)
 		if faulty {
-			pc = NewFaultConn(pc, opts.Profile, faultSeed(opts.FaultSeed, i, 0), opts.Log)
-			ac = NewFaultConn(ac, opts.Profile, faultSeed(opts.FaultSeed, i, 1), opts.Log)
+			pc = NewFaultConn(pc, opts.Profile, faultSeed(opts.FaultSeed, i, 0), opts.Log).WithTracer(opts.Tracer, i)
+			ac = NewFaultConn(ac, opts.Profile, faultSeed(opts.FaultSeed, i, 1), opts.Log).WithTracer(opts.Tracer, i)
 		}
 		if opts.Retry.MaxAttempts > 0 {
-			pc = WithRetry(pc, opts.Retry)
-			ac = WithRetry(ac, opts.Retry)
+			pc = WithRetryTraced(pc, opts.Retry, opts.Tracer, i)
+			ac = WithRetryTraced(ac, opts.Retry, opts.Tracer, i)
 		}
 		platConns[i], agentConns[i] = pc, ac
 	}
@@ -389,6 +448,7 @@ func RunAsyncInProcessOpts(in *core.Instance, opts AsyncRunOptions) (AsyncStats,
 		return AsyncStats{}, err
 	}
 	plat.Observer = opts.Observer
+	plat.Tracer = opts.Tracer
 	errs := make([]error, n)
 	done := make(chan int, n)
 	for i := 0; i < n; i++ {
@@ -396,7 +456,8 @@ func RunAsyncInProcessOpts(in *core.Instance, opts AsyncRunOptions) (AsyncStats,
 			a := NewAsyncAgent(agentConns[i], AgentConfig{
 				User:  i,
 				Alpha: in.Users[i].Alpha, Beta: in.Users[i].Beta, Gamma: in.Users[i].Gamma,
-				Seed: opts.AgentSeedBase + uint64(i),
+				Seed:   opts.AgentSeedBase + uint64(i),
+				Tracer: opts.Tracer,
 			})
 			errs[i] = a.Run()
 			done <- i

@@ -56,8 +56,8 @@ func TestAsyncPotentialAscendsAndGapCloses(t *testing.T) {
 				AgentSeedBase: seed * 31,
 				Profile:       fp.prof,
 				FaultSeed:     seed,
-				Observer: func(version int, choices []int) {
-					pots = append(pots, profileOf(t, in, choices).Potential())
+				Observer: func(o Observation) {
+					pots = append(pots, profileOf(t, in, o.Choices).Potential())
 				},
 			}
 			if fp.prof != (FaultProfile{}) {

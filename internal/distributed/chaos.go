@@ -89,16 +89,18 @@ func runChaos(in *core.Instance, opts ChaosOptions) (ChaosStats, error) {
 	opts.PlatformProfile.DisconnectAfterOps = 0
 
 	log := &FaultLog{}
+	tr := opts.Platform.Tracer
 	raw := make([]Conn, n)       // underlying channel ends, platform side
 	platConns := make([]Conn, n) // decorated platform side
 	agentFault := make([]*FaultConn, n)
 	for i := 0; i < n; i++ {
 		pc, ac := ChanPair(64)
 		raw[i] = pc
-		platConns[i] = WithRetry(NewFaultConn(pc, opts.PlatformProfile, faultSeed(opts.Seed, i, 0), log), opts.Retry)
+		fc := NewFaultConn(pc, opts.PlatformProfile, faultSeed(opts.Seed, i, 0), log).WithTracer(tr, i)
+		platConns[i] = WithRetryTraced(fc, opts.Retry, tr, i)
 		prof := opts.AgentProfile
 		prof.DisconnectAfterOps = opts.CrashAgents[i]
-		agentFault[i] = NewFaultConn(ac, prof, faultSeed(opts.Seed, i, 1), log)
+		agentFault[i] = NewFaultConn(ac, prof, faultSeed(opts.Seed, i, 1), log).WithTracer(tr, i)
 	}
 
 	var stats ChaosStats
@@ -133,7 +135,7 @@ func runChaos(in *core.Instance, opts ChaosOptions) (ChaosStats, error) {
 			defer wg.Done()
 			u := in.Users[i]
 			for epoch := uint32(0); ; epoch++ {
-				a := NewAgent(WithRetry(agentFault[i], opts.Retry), AgentConfig{
+				a := NewAgent(WithRetryTraced(agentFault[i], opts.Retry, tr, i), AgentConfig{
 					User:          i,
 					Alpha:         u.Alpha,
 					Beta:          u.Beta,
@@ -141,6 +143,7 @@ func runChaos(in *core.Instance, opts ChaosOptions) (ChaosStats, error) {
 					Seed:          opts.AgentSeedBase + uint64(i),
 					Deterministic: opts.Deterministic,
 					Epoch:         epoch,
+					Tracer:        tr,
 				})
 				var err error
 				if epoch == 0 {

@@ -236,8 +236,8 @@ func TestChaosSyncAsyncPotentialAgreement(t *testing.T) {
 			Profile:       FaultProfile{SendErrProb: 0.02, RecvErrProb: 0.02, DupProb: 0.05},
 			FaultSeed:     seed,
 			Retry:         DefaultRetry,
-			Observer: func(version int, choices []int) {
-				p, err := core.NewProfile(in, choices)
+			Observer: func(o Observation) {
+				p, err := core.NewProfile(in, o.Choices)
 				if err == nil {
 					asyncPots = append(asyncPots, p.Potential())
 				}

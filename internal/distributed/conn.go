@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/tracing"
 	"repro/internal/wire"
 )
 
@@ -286,25 +287,41 @@ var DefaultRetry = RetryPolicy{MaxAttempts: 12, BaseDelay: 100 * time.Microsecon
 type retryConn struct {
 	inner  Conn
 	policy RetryPolicy
+	tr     *tracing.Tracer
+	user   int
 }
 
 // WithRetry wraps a connection with bounded retry-with-backoff on transient
 // Send/Recv failures. Non-transient errors pass through immediately.
 func WithRetry(inner Conn, policy RetryPolicy) Conn {
+	return WithRetryTraced(inner, policy, nil, -1)
+}
+
+// WithRetryTraced is WithRetry with every absorbed transient failure also
+// recorded as a retry event on tr (feeding its retry-storm detector). The
+// user identifies the link; a nil tracer degrades to plain WithRetry.
+func WithRetryTraced(inner Conn, policy RetryPolicy, tr *tracing.Tracer, user int) Conn {
 	if policy.MaxAttempts < 1 {
 		policy.MaxAttempts = 1
 	}
-	return &retryConn{inner: inner, policy: policy}
+	return &retryConn{inner: inner, policy: policy, tr: tr, user: user}
 }
 
-func (c *retryConn) do(op func() error) error {
+// Retry-event op codes (Event.A on KindRetry events).
+const (
+	retryOpSend = 0
+	retryOpRecv = 1
+)
+
+func (c *retryConn) do(op int, ctx tracing.SpanContext, f func() error) error {
 	delay := c.policy.BaseDelay
 	var err error
 	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
-		if err = op(); err == nil || !IsTransient(err) {
+		if err = f(); err == nil || !IsTransient(err) {
 			return err
 		}
 		retryAttemptsTotal.Inc()
+		c.tr.RecordRetry(ctx, c.user, op, attempt+1)
 		if attempt == c.policy.MaxAttempts-1 {
 			break
 		}
@@ -321,12 +338,12 @@ func (c *retryConn) do(op func() error) error {
 }
 
 func (c *retryConn) Send(m *wire.Message) error {
-	return c.do(func() error { return c.inner.Send(m) })
+	return c.do(retryOpSend, TraceContext(m), func() error { return c.inner.Send(m) })
 }
 
 func (c *retryConn) Recv() (*wire.Message, error) {
 	var m *wire.Message
-	err := c.do(func() error {
+	err := c.do(retryOpRecv, tracing.SpanContext{}, func() error {
 		var e error
 		m, e = c.inner.Recv()
 		return e

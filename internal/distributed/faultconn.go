@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/rng"
+	"repro/internal/tracing"
 	"repro/internal/wire"
 )
 
@@ -162,6 +163,8 @@ type FaultConn struct {
 	inner   Conn
 	profile FaultProfile
 	log     *FaultLog
+	tr      *tracing.Tracer
+	user    int
 
 	mu      sync.Mutex
 	sendRnd *rng.Stream
@@ -181,6 +184,22 @@ func NewFaultConn(inner Conn, profile FaultProfile, seed uint64, log *FaultLog) 
 		sendRnd: master.ChildN(0),
 		recvRnd: master.ChildN(1),
 	}
+}
+
+// WithTracer mirrors every injected fault into tr as a KindFault event for
+// user's link (also opening the tracer's fault window, which excuses
+// transient potential drops). Returns c for chaining; a nil tracer is a
+// no-op. Call before the connection is in use.
+func (c *FaultConn) WithTracer(tr *tracing.Tracer, user int) *FaultConn {
+	c.tr = tr
+	c.user = user
+	return c
+}
+
+// recordFault logs one injected fault and mirrors it into the tracer.
+func (c *FaultConn) recordFault(e FaultEvent) {
+	c.log.record(e)
+	c.tr.RecordFault(tracing.SpanContext{}, c.user, int(e.Kind))
 }
 
 // Reset revives a crashed connection for a new incarnation: clears the
@@ -211,7 +230,7 @@ func (c *FaultConn) countOp(op string, msg wire.Kind) bool {
 	c.ops++
 	if c.profile.DisconnectAfterOps > 0 && c.ops >= c.profile.DisconnectAfterOps {
 		c.down = true
-		c.log.record(FaultEvent{Kind: FaultDisconnect, Op: op, Msg: msg})
+		c.recordFault(FaultEvent{Kind: FaultDisconnect, Op: op, Msg: msg})
 		return false
 	}
 	return true
@@ -223,7 +242,7 @@ func (c *FaultConn) delayLocked(s *rng.Stream, op string, msg wire.Kind) time.Du
 	if c.profile.DelayProb <= 0 || !s.Bool(c.profile.DelayProb) {
 		return 0
 	}
-	c.log.record(FaultEvent{Kind: FaultDelay, Op: op, Msg: msg})
+	c.recordFault(FaultEvent{Kind: FaultDelay, Op: op, Msg: msg})
 	lo, hi := c.profile.DelayMin, c.profile.DelayMax
 	if hi <= lo {
 		return lo
@@ -240,7 +259,7 @@ func (c *FaultConn) Send(m *wire.Message) error {
 		return ErrDisconnected
 	}
 	if c.profile.SendErrProb > 0 && c.sendRnd.Bool(c.profile.SendErrProb) {
-		c.log.record(FaultEvent{Kind: FaultSendErr, Op: "send", Msg: m.Kind})
+		c.recordFault(FaultEvent{Kind: FaultSendErr, Op: "send", Msg: m.Kind})
 		c.mu.Unlock()
 		return &TransientError{Op: "send", Err: errors.New("injected send fault")}
 	}
@@ -254,7 +273,7 @@ func (c *FaultConn) Send(m *wire.Message) error {
 		return err
 	}
 	if dup {
-		c.log.record(FaultEvent{Kind: FaultDup, Op: "send", Msg: m.Kind})
+		c.recordFault(FaultEvent{Kind: FaultDup, Op: "send", Msg: m.Kind})
 		cp := *m // shallow copy; payloads are read-only after send
 		return c.inner.Send(&cp)
 	}
@@ -271,7 +290,7 @@ func (c *FaultConn) Recv() (*wire.Message, error) {
 		return nil, ErrDisconnected
 	}
 	if c.profile.RecvErrProb > 0 && c.recvRnd.Bool(c.profile.RecvErrProb) {
-		c.log.record(FaultEvent{Kind: FaultRecvErr, Op: "recv", Msg: wire.KindInvalid})
+		c.recordFault(FaultEvent{Kind: FaultRecvErr, Op: "recv", Msg: wire.KindInvalid})
 		c.mu.Unlock()
 		return nil, &TransientError{Op: "recv", Err: errors.New("injected recv fault")}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 	"repro/internal/wire"
 )
 
@@ -66,6 +67,12 @@ type PlatformConfig struct {
 	// Telemetry selects the metrics registry for slot histograms and
 	// per-link traffic counters; nil means telemetry.Default().
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records the run into the distributed tracer's
+	// flight recorder: one trace per decision slot (stamped onto outgoing
+	// messages and echoed back by the agents), per-move ΔP_i/ΔΦ events
+	// computed on an incremental core.Profile, and transport spans per
+	// link. nil disables tracing at zero cost.
+	Tracer *tracing.Tracer
 }
 
 // RunStats summarizes a completed distributed run.
@@ -100,6 +107,16 @@ type Platform struct {
 	inited []bool
 	ctr    *Counter
 	tel    *platformTelemetry
+
+	tr *tracing.Tracer
+	// traceCtx is the span context stamped onto every outgoing message:
+	// the init-phase span during initialization, then the current slot's
+	// span. Zero when tracing is disabled or the trace is unsampled.
+	traceCtx tracing.SpanContext
+	// prof incrementally mirrors the applied decisions when tracing is on,
+	// so per-move events carry exact ΔP_i and ΔΦ (Eq. 8) without a
+	// from-scratch evaluation.
+	prof *core.Profile
 }
 
 // NewPlatform creates a platform serving len(conns) users; conns[i] must be
@@ -120,7 +137,9 @@ func NewPlatform(in *core.Instance, conns []Conn, cfg PlatformConfig) (*Platform
 	ctr := &Counter{}
 	wrapped := make([]Conn, len(conns))
 	for i, c := range conns {
-		wrapped[i] = WithSeq(WithCounter(tel.wrap(c, i), ctr), -1)
+		// Trace inside the sequence stamper so transport spans carry the
+		// final Seq, outside the counters so they time the real operation.
+		wrapped[i] = WithSeq(WithTrace(WithCounter(tel.wrap(c, i), ctr), cfg.Tracer, i), -1)
 	}
 	switch cfg.Policy {
 	case SUU, PUU, Deterministic:
@@ -142,7 +161,33 @@ func NewPlatform(in *core.Instance, conns []Conn, cfg PlatformConfig) (*Platform
 		inited:  make([]bool, in.NumUsers()),
 		ctr:     ctr,
 		tel:     tel,
+		tr:      cfg.Tracer,
 	}, nil
+}
+
+// send stamps the current trace context onto m and sends it to user u.
+// All platform-side sends go through here so reconnect resyncs inside
+// expect() are traced under the slot they interrupt.
+func (p *Platform) send(u int, m *wire.Message) error {
+	StampTrace(m, p.traceCtx)
+	return p.conns[u].Send(m)
+}
+
+// traceMove records one applied (non-initial) decision as a move event
+// with exact ΔP_i and ΔΦ from the incremental profile, keeping the profile
+// in lockstep with the authoritative choices/counts state. Returns the
+// move's ΔΦ (0 when tracing is off or the decision was a no-op).
+func (p *Platform) traceMove(u, oldRoute, newRoute, slot int) float64 {
+	if p.prof == nil || newRoute == oldRoute {
+		return 0
+	}
+	uid := core.UserID(u)
+	dP := p.prof.ProfitDeltaIf(uid, newRoute)
+	before := p.prof.Potential()
+	p.prof.SetChoice(uid, newRoute)
+	dPhi := p.prof.Potential() - before
+	p.tr.RecordMove(p.traceCtx, u, slot, oldRoute, newRoute, dP, dPhi)
+	return dPhi
 }
 
 // initMsg builds the Init payload for user u: its recommended routes with
@@ -233,20 +278,21 @@ func (p *Platform) expect(u int, kind wire.Kind, inSlot int, regrant bool) (*wir
 				return nil, fmt.Errorf("distributed: conn %d claimed by user %d", u, m.Hello.User)
 			}
 			p.tel.reconnects.Inc()
+			p.tr.RecordReconnect(p.traceCtx, u, inSlot)
 			cur := -1
 			if p.inited[u] {
 				cur = p.choices[u]
 			}
-			if err := p.conns[u].Send(p.initMsg(u, cur)); err != nil {
+			if err := p.send(u, p.initMsg(u, cur)); err != nil {
 				return nil, err
 			}
 			if inSlot >= 1 && p.inited[u] {
-				if err := p.conns[u].Send(p.slotMsg(u, inSlot)); err != nil {
+				if err := p.send(u, p.slotMsg(u, inSlot)); err != nil {
 					return nil, err
 				}
 			}
 			if regrant {
-				if err := p.conns[u].Send(&wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: inSlot}}); err != nil {
+				if err := p.send(u, &wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: inSlot}}); err != nil {
 					return nil, err
 				}
 				p.tel.regrants.Inc()
@@ -274,7 +320,9 @@ func (p *Platform) Run() (stats RunStats, err error) {
 	}()
 	runStart := time.Now()
 	// Initialization: greet every user, send R_i, and collect initial
-	// decisions (Algorithm 2 lines 1–4).
+	// decisions (Algorithm 2 lines 1–4). The whole phase is one trace.
+	initSpan := p.tr.StartSpan(p.tr.StartTrace(), tracing.KindInit, -1, 0)
+	p.traceCtx = initSpan.Context()
 	for u := range p.conns {
 		m, err := p.expect(u, wire.KindHello, 0, false)
 		if err != nil {
@@ -283,7 +331,7 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		if m.Hello.User != u {
 			return stats, fmt.Errorf("distributed: conn %d claimed by user %d", u, m.Hello.User)
 		}
-		if err := p.conns[u].Send(p.initMsg(u, -1)); err != nil {
+		if err := p.send(u, p.initMsg(u, -1)); err != nil {
 			return stats, err
 		}
 	}
@@ -297,13 +345,27 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		}
 		p.inited[u] = true
 	}
+	if p.tr.Enabled() {
+		// Track the applied decisions incrementally from here on so every
+		// move event carries its exact ΔP_i and ΔΦ.
+		prof, err := core.NewProfile(p.in, p.choices)
+		if err != nil {
+			return stats, fmt.Errorf("distributed: tracing profile: %w", err)
+		}
+		p.prof = prof
+	}
+	initSpan.FinishSlot(0, len(p.conns), 0)
 	p.observe(0, 0, nil, time.Since(runStart))
 	// Decision slots (Algorithm 2 lines 5–10).
 	for slot := 1; slot <= p.cfg.MaxSlots; slot++ {
 		slotSpan := telemetry.StartSpan(p.tel.slotDuration)
+		// Each decision slot is its own trace, sampled independently; its
+		// span context rides on every message of the slot.
+		span := p.tr.StartSpan(p.tr.StartTrace(), tracing.KindSlot, -1, slot)
+		p.traceCtx = span.Context()
 		rtSpan := telemetry.StartSpan(p.tel.slotRoundtrip)
 		for u := range p.conns {
-			if err := p.conns[u].Send(p.slotMsg(u, slot)); err != nil {
+			if err := p.send(u, p.slotMsg(u, slot)); err != nil {
 				return stats, err
 			}
 		}
@@ -328,10 +390,11 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		if len(requests) == 0 {
 			// Algorithm 2 lines 11–12: equilibrium; terminate everyone.
 			for u := range p.conns {
-				if err := p.conns[u].Send(&wire.Message{Kind: wire.KindTerminate, Terminate: &wire.Terminate{Slot: slot}}); err != nil {
+				if err := p.send(u, &wire.Message{Kind: wire.KindTerminate, Terminate: &wire.Terminate{Slot: slot}}); err != nil {
 					return stats, err
 				}
 			}
+			span.Finish()
 			stats.Converged = true
 			stats.Choices = append([]int(nil), p.choices...)
 			return stats, nil
@@ -345,10 +408,11 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		stats.TotalUpdates += len(winners)
 		for _, w := range winners {
 			u := int(w.User)
-			if err := p.conns[u].Send(&wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: slot}}); err != nil {
+			if err := p.send(u, &wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: slot}}); err != nil {
 				return stats, err
 			}
 		}
+		var slotDPhi float64
 		for _, w := range winners {
 			u := int(w.User)
 			m, err := p.expect(u, wire.KindDecision, slot, true)
@@ -358,12 +422,15 @@ func (p *Platform) Run() (stats RunStats, err error) {
 			if m.Decision.Slot != slot {
 				return stats, fmt.Errorf("distributed: user %d decision for slot %d in slot %d", u, m.Decision.Slot, slot)
 			}
+			old := p.choices[u]
 			if err := p.applyDecision(u, m.Decision.Route, false); err != nil {
 				return stats, err
 			}
+			slotDPhi += p.traceMove(u, old, m.Decision.Route, slot)
 		}
 		p.tel.slots.Inc()
 		p.tel.grants.Add(uint64(len(winners)))
+		span.FinishSlot(len(requests), len(winners), slotDPhi)
 		p.observe(slot, len(requests), winners, slotSpan.End())
 	}
 	stats.Choices = append([]int(nil), p.choices...)

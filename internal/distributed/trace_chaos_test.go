@@ -1,0 +1,190 @@
+package distributed
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/tracing"
+)
+
+// These tests are the flight-recorder acceptance scenarios: a seeded chaos
+// run with hostile links must trip the retry-storm detector and freeze a
+// dump holding the offending transport spans, a clean run must trip
+// nothing, and the recorded move events must telescope exactly to the
+// run's total potential gain.
+
+// stormTracer builds a tracer whose retry-storm detector is sensitized for
+// a short in-process run: a handful of retries within a generous window.
+func stormTracer(threshold int) *tracing.Tracer {
+	return tracing.New(tracing.Config{
+		Anomalies: tracing.AnomalyConfig{
+			RetryStormThreshold: threshold,
+			RetryStormWindow:    time.Minute,
+		},
+	})
+}
+
+func TestChaosRetryStormTriggersAnomalyDump(t *testing.T) {
+	const seed = 1
+	tr := stormTracer(8)
+	in := randomInstance(40, 6, 9)
+	stats, err := RunChaos(in, ChaosOptions{
+		Platform:      PlatformConfig{Policy: SUU, Seed: seed, Tracer: tr},
+		AgentSeedBase: seed,
+		Seed:          seed,
+		// Hostile links on both sides: every message sees a 20% transient
+		// failure per attempt, so the retry layer fires constantly.
+		AgentProfile:    FaultProfile{SendErrProb: 0.2, RecvErrProb: 0.2},
+		PlatformProfile: FaultProfile{SendErrProb: 0.2, RecvErrProb: 0.2},
+		// Enough attempts that the run still converges under that rate.
+		Retry: RetryPolicy{MaxAttempts: 30},
+	})
+	if err != nil {
+		t.Fatalf("storm run (seed %d): %v", seed, err)
+	}
+	if !stats.Converged {
+		t.Fatalf("storm run (seed %d): did not converge", seed)
+	}
+	dumps := tr.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("storm run produced %d dumps, want exactly 1 (later anomalies suppressed)", len(dumps))
+	}
+	d := dumps[0]
+	if d.Anomaly == nil || d.Anomaly.Kind != tracing.AnomalyRetryStorm {
+		t.Fatalf("dump anomaly = %+v, want retry-storm", d.Anomaly)
+	}
+	if !d.Frozen {
+		t.Fatal("anomaly dump is not marked frozen")
+	}
+	// The dump must hold the storm itself: at least threshold retry spans,
+	// each attributed to a link.
+	retries := 0
+	for _, ev := range d.Events {
+		if ev.Kind == tracing.KindRetry {
+			retries++
+			if ev.User < 0 || int(ev.User) >= in.NumUsers() {
+				t.Fatalf("retry span attributed to user %d", ev.User)
+			}
+			if ev.B < 1 {
+				t.Fatalf("retry span carries attempt %d, want >= 1", ev.B)
+			}
+		}
+	}
+	if retries < 8 {
+		t.Fatalf("anomaly dump holds %d retry spans, want >= the 8-retry threshold", retries)
+	}
+	// The frozen dump round-trips losslessly through the Chrome export.
+	var buf bytes.Buffer
+	if err := d.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tracing.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("chrome export of the anomaly dump does not parse back: %v", err)
+	}
+	if len(got.Events) != len(d.Events) {
+		t.Fatalf("chrome round-trip kept %d/%d events", len(got.Events), len(d.Events))
+	}
+	if got.Anomaly == nil || *got.Anomaly != *d.Anomaly {
+		t.Fatalf("chrome round-trip lost the anomaly: %+v", got.Anomaly)
+	}
+}
+
+func TestChaosCleanRunTriggersNoAnomaly(t *testing.T) {
+	const seed = 2
+	tr := stormTracer(8)
+	in := randomInstance(41, 6, 9)
+	stats, err := RunChaos(in, ChaosOptions{
+		Platform:      PlatformConfig{Policy: SUU, Seed: seed, Tracer: tr},
+		AgentSeedBase: seed,
+		Seed:          seed,
+	})
+	if err != nil {
+		t.Fatalf("clean run (seed %d): %v", seed, err)
+	}
+	if !stats.Converged {
+		t.Fatalf("clean run (seed %d): did not converge", seed)
+	}
+	if dumps := tr.Dumps(); len(dumps) != 0 {
+		t.Fatalf("clean run triggered %d anomaly dumps: first = %+v", len(dumps), dumps[0].Anomaly)
+	}
+	st := tr.Stats()
+	if st.Frozen || st.Recorded == 0 {
+		t.Fatalf("clean run recorder stats = %+v", st)
+	}
+}
+
+// TestChaosTraceDPhiTelescopes pins the move-event accounting: on a traced
+// clean run, the recorded per-move ΔΦ values must sum exactly (to 1e-9) to
+// Φ(s_T) − Φ(s_0), the total potential climbed between initialization and
+// convergence — and must survive a Chrome-export round-trip bit-identically.
+func TestChaosTraceDPhiTelescopes(t *testing.T) {
+	const seed = 3
+	tr := tracing.New(tracing.Config{Capacity: 1 << 16})
+	in := randomInstance(42, 8, 12)
+	stats, err := RunChaos(in, ChaosOptions{
+		Platform:      PlatformConfig{Policy: SUU, Seed: seed, Tracer: tr},
+		AgentSeedBase: seed,
+		Seed:          seed,
+	})
+	if err != nil {
+		t.Fatalf("traced run (seed %d): %v", seed, err)
+	}
+	if !stats.Converged {
+		t.Fatalf("traced run (seed %d): did not converge", seed)
+	}
+	if len(stats.Potentials) == 0 {
+		t.Fatal("no potential trace")
+	}
+	phi0 := stats.Potentials[0]                       // Φ after initialization
+	phiT := stats.Potentials[len(stats.Potentials)-1] // Φ at convergence
+	d := tr.Snapshot("final")
+	// Nothing may have been evicted or dropped, or the telescoping sum
+	// would silently lose terms.
+	if st := tr.Stats(); st.Dropped != 0 || uint64(len(d.Events)) != st.Recorded {
+		t.Fatalf("recorder lost events: %d in snapshot vs stats %+v", len(d.Events), st)
+	}
+	sumDPhi := func(d *tracing.Dump) float64 {
+		var s float64
+		moves := 0
+		for _, ev := range d.Events {
+			if ev.Kind == tracing.KindMove {
+				s += ev.Y
+				moves++
+			}
+		}
+		if moves == 0 {
+			t.Fatal("snapshot holds no move events")
+		}
+		return s
+	}
+	got, want := sumDPhi(d), phiT-phi0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum of move dPhi events = %.12g, want Φ(s_T)−Φ(s_0) = %.12g", got, want)
+	}
+	// The same sum must come back out of the Chrome trace-event export.
+	var buf bytes.Buffer
+	if err := d.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := tracing.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtSum := sumDPhi(rt); rtSum != got {
+		t.Fatalf("chrome round-trip changed the dPhi sum: %.17g vs %.17g", rtSum, got)
+	}
+	// Per-slot spans aggregate the same quantity: slot span Y tags sum to
+	// the same total.
+	var slotSum float64
+	for _, ev := range d.Events {
+		if ev.Kind == tracing.KindSlot && ev.Slot >= 1 {
+			slotSum += ev.Y
+		}
+	}
+	if math.Abs(slotSum-want) > 1e-9 {
+		t.Fatalf("sum of slot-span dPhi tags = %.12g, want %.12g", slotSum, want)
+	}
+}

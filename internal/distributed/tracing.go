@@ -1,0 +1,79 @@
+package distributed
+
+import (
+	"repro/internal/tracing"
+	"repro/internal/wire"
+)
+
+// This file connects the transport layer to the distributed tracer
+// (internal/tracing): context propagation through the wire envelope and a
+// Conn decorator that records send/recv transport spans. The platform
+// stamps its per-slot span onto outgoing messages; agents echo the last
+// context they received on their replies, so both directions of a slot
+// land in the same trace even across process boundaries.
+
+// StampTrace writes ctx into the message envelope. The zero context
+// clears the fields, so untraced runs send all-zero trace fields.
+func StampTrace(m *wire.Message, ctx tracing.SpanContext) {
+	m.TraceID = uint64(ctx.Trace)
+	m.SpanID = uint64(ctx.Span)
+	if ctx.Sampled {
+		m.TraceFlags = 1
+	} else {
+		m.TraceFlags = 0
+	}
+}
+
+// TraceContext reads the trace context from a message envelope.
+func TraceContext(m *wire.Message) tracing.SpanContext {
+	return tracing.SpanContext{
+		Trace:   tracing.TraceID(m.TraceID),
+		Span:    tracing.SpanID(m.SpanID),
+		Sampled: m.TraceFlags&1 != 0,
+	}
+}
+
+// tracedConn records one transport span per delivered message, using the
+// context carried in the message envelope itself (the sender's span
+// becomes the remote parent). Span duration covers the blocking time of
+// the operation, so a Recv span shows how long the reader waited.
+type tracedConn struct {
+	inner Conn
+	tr    *tracing.Tracer
+	user  int
+}
+
+// WithTrace decorates a connection with transport-span recording on the
+// given tracer; a nil tracer returns inner unchanged, keeping the
+// disabled path free of the decorator entirely.
+func WithTrace(inner Conn, tr *tracing.Tracer, user int) Conn {
+	if tr == nil {
+		return inner
+	}
+	return &tracedConn{inner: inner, tr: tr, user: user}
+}
+
+func (c *tracedConn) Send(m *wire.Message) error {
+	ctx := TraceContext(m)
+	if !ctx.Sampled {
+		return c.inner.Send(m)
+	}
+	start := c.tr.NowNs()
+	if err := c.inner.Send(m); err != nil {
+		return err
+	}
+	c.tr.RecordTransport(ctx, tracing.KindSend, c.user, int(m.Kind), m.Seq, start)
+	return nil
+}
+
+func (c *tracedConn) Recv() (*wire.Message, error) {
+	start := c.tr.NowNs()
+	m, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.tr.RecordTransport(TraceContext(m), tracing.KindRecv, c.user, int(m.Kind), m.Seq, start)
+	return m, nil
+}
+
+func (c *tracedConn) Close() error { return c.inner.Close() }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Request is one user's update request in a decision slot: the user, its
@@ -81,6 +82,11 @@ type Config struct {
 	// its per-slot delta. Nil keeps the simulation loop free of any
 	// instrumentation cost.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records one flight-recorder span per decision
+	// slot (requesters, updates, and the slot's ΔΦ), feeding the tracer's
+	// Nash-stall detector. Sampling is the tracer's: unsampled slots cost a
+	// few nanoseconds and no allocation.
+	Tracer *tracing.Tracer
 }
 
 // engineMetrics holds the pre-resolved handles for one instrumented run.
@@ -159,7 +165,15 @@ func RunFrom(p *core.Profile, factory PolicyFactory, s *rng.Stream, cfg Config) 
 		}
 	}
 	record(0, nil)
+	// tracePot is the potential at the last traced slot boundary, so each
+	// sampled slot span carries the ΔΦ accumulated since the previous
+	// sampled one (at the default sample rate of 1, exactly its own ΔΦ).
+	var tracePot float64
+	if cfg.Tracer.Enabled() {
+		tracePot = p.Potential()
+	}
 	for slot := 1; slot <= maxSlots; slot++ {
+		tspan := cfg.Tracer.StartSpan(cfg.Tracer.StartTrace(), tracing.KindSlot, -1, slot)
 		var span telemetry.Span
 		if tel != nil {
 			span = telemetry.StartSpan(tel.slotDuration)
@@ -171,12 +185,20 @@ func RunFrom(p *core.Profile, factory PolicyFactory, s *rng.Stream, cfg Config) 
 		}
 		if requesters == 0 {
 			// Algorithm 2 line 11: no requests → send termination message.
+			tspan.Finish()
 			res.Converged = true
 			return res
 		}
 		if tel != nil {
 			tel.slots.Inc()
 			tel.updates.Add(uint64(len(updated)))
+		}
+		if tspan.Recording() {
+			pot := p.Potential()
+			tspan.FinishSlot(requesters, len(updated), pot-tracePot)
+			tracePot = pot
+		} else {
+			tspan.Finish()
 		}
 		res.Slots = slot
 		res.TotalUpdates += len(updated)

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorSamplesAndStops(t *testing.T) {
+	reg := NewRegistry()
+	c := StartRuntimeCollector(reg, time.Millisecond)
+	// The constructor samples once synchronously, so the gauges are live
+	// before the first tick.
+	if g := reg.Gauge("runtime_goroutines").Value(); g < 1 {
+		t.Fatalf("goroutine gauge = %g, want >= 1", g)
+	}
+	if h := reg.Gauge("runtime_heap_inuse_bytes").Value(); h <= 0 {
+		t.Fatalf("heap-inuse gauge = %g, want > 0", h)
+	}
+	// Force GC cycles and wait for the ticker to pick up their pauses.
+	runtime.GC()
+	runtime.GC()
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Histogram("runtime_gc_pause_seconds", gcPauseBuckets).Count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("GC pause histogram never observed a pause")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := reg.Counter("runtime_gc_runs_total").Value(); v == 0 {
+		t.Fatal("GC run counter stayed at zero after runtime.GC")
+	}
+	c.Stop()
+	// After Stop the loop is gone: the pause count must not advance.
+	before := reg.Histogram("runtime_gc_pause_seconds", gcPauseBuckets).Count()
+	runtime.GC()
+	time.Sleep(20 * time.Millisecond)
+	if after := reg.Histogram("runtime_gc_pause_seconds", gcPauseBuckets).Count(); after != before {
+		t.Fatalf("pause count advanced after Stop: %d -> %d", before, after)
+	}
+}
+
+func TestRuntimeCollectorPauseDedup(t *testing.T) {
+	reg := NewRegistry()
+	c := StartRuntimeCollector(reg, time.Hour) // ticker never fires in-test
+	defer c.Stop()
+	runtime.GC()
+	c.Collect()
+	n := reg.Histogram("runtime_gc_pause_seconds", gcPauseBuckets).Count()
+	if n == 0 {
+		t.Fatal("no pause observed after forced GC")
+	}
+	// Re-collecting without new GC cycles must not re-observe old pauses.
+	c.Collect()
+	c.Collect()
+	if again := reg.Histogram("runtime_gc_pause_seconds", gcPauseBuckets).Count(); again != n {
+		t.Fatalf("pause count %d -> %d without a new GC cycle", n, again)
+	}
+}
+
+func TestRuntimeMetricsInPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := StartRuntimeCollector(reg, time.Hour)
+	defer c.Stop()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"runtime_goroutines",
+		"runtime_heap_inuse_bytes",
+		"runtime_gc_pause_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}

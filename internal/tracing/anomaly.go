@@ -1,0 +1,249 @@
+package tracing
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AnomalyKind enumerates the convergence anomaly detectors.
+type AnomalyKind uint8
+
+const (
+	// AnomalyPotentialDrop trips when an applied move decreases the
+	// weighted potential Φ by more than the tolerance outside a fault
+	// window — a direct violation of Theorem 2 on clean links.
+	AnomalyPotentialDrop AnomalyKind = iota + 1
+	// AnomalyNashStall trips after K consecutive slots that had
+	// requesting users but produced no potential gain: the run is burning
+	// slots without closing the Nash gap.
+	AnomalyNashStall
+	// AnomalyRetryStorm trips when the transport absorbs more than a
+	// threshold number of retries inside a sliding window.
+	AnomalyRetryStorm
+)
+
+// String implements fmt.Stringer; the value doubles as the dump reason.
+func (k AnomalyKind) String() string {
+	switch k {
+	case AnomalyPotentialDrop:
+		return "potential-drop"
+	case AnomalyNashStall:
+		return "nash-stall"
+	case AnomalyRetryStorm:
+		return "retry-storm"
+	}
+	return "unknown"
+}
+
+// AnomalyConfig tunes the detectors. Zero values select the defaults;
+// Disabled turns all detectors off (events still record).
+type AnomalyConfig struct {
+	Disabled bool
+	// PotentialDropTol: a move with ΔΦ < -PotentialDropTol outside a
+	// fault window trips AnomalyPotentialDrop. Default 1e-9 (matches the
+	// chaos suite's ascent tolerance).
+	PotentialDropTol float64
+	// FaultWindow excuses potential drops for this long after an injected
+	// fault or reconnect (a resumed agent may act on stale state for a
+	// moment). Default 1s.
+	FaultWindow time.Duration
+	// StallSlots is K for AnomalyNashStall. Default 256.
+	StallSlots int
+	// RetryStormThreshold retries within RetryStormWindow trip
+	// AnomalyRetryStorm. Defaults 512 retries / 1s.
+	RetryStormThreshold int
+	RetryStormWindow    time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c AnomalyConfig) withDefaults() AnomalyConfig {
+	if c.PotentialDropTol == 0 {
+		c.PotentialDropTol = 1e-9
+	}
+	if c.FaultWindow == 0 {
+		c.FaultWindow = time.Second
+	}
+	if c.StallSlots == 0 {
+		c.StallSlots = 256
+	}
+	if c.RetryStormThreshold == 0 {
+		c.RetryStormThreshold = 512
+	}
+	if c.RetryStormWindow == 0 {
+		c.RetryStormWindow = time.Second
+	}
+	return c
+}
+
+// Anomaly describes one tripped detector.
+type Anomaly struct {
+	Kind   AnomalyKind `json:"-"`
+	Name   string      `json:"kind"`
+	At     int64       `json:"at_unix_ns"`
+	Detail string      `json:"detail"`
+	Value  float64     `json:"value"`
+}
+
+// detectors holds all detector state behind one mutex. Feeds are cheap
+// (a few compares); triggering is the cold path.
+type detectors struct {
+	mu  sync.Mutex
+	cfg AnomalyConfig
+
+	lastFaultNs int64 // last fault/reconnect; 0 = never
+	stallRun    int   // consecutive no-gain slots with requesters
+
+	retryTimes []int64 // ring of the last Threshold retry timestamps
+	retryNext  int
+	retryFull  bool
+
+	anomalies  []Anomaly
+	suppressed uint64
+	dumps      []*Dump
+}
+
+func newDetectors(cfg AnomalyConfig) *detectors {
+	cfg = cfg.withDefaults()
+	return &detectors{cfg: cfg, retryTimes: make([]int64, cfg.RetryStormThreshold)}
+}
+
+func (d *detectors) list() []Anomaly {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Anomaly(nil), d.anomalies...)
+}
+
+func (d *detectors) dumpList() []*Dump {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*Dump(nil), d.dumps...)
+}
+
+// rearm clears transient detector state after a Reset (anomaly history
+// and collected dumps are kept).
+func (d *detectors) rearm() {
+	d.mu.Lock()
+	d.stallRun = 0
+	d.retryNext, d.retryFull = 0, false
+	d.mu.Unlock()
+}
+
+// MarkFaultWindow opens a fault window: potential drops within
+// AnomalyConfig.FaultWindow of the call are excused. The transport calls
+// this on injected faults and reconnects; test harnesses may call it
+// around deliberate disruptions.
+func (t *Tracer) MarkFaultWindow() {
+	if t == nil {
+		return
+	}
+	d := t.det
+	now := t.now()
+	d.mu.Lock()
+	if now > d.lastFaultNs {
+		d.lastFaultNs = now
+	}
+	d.mu.Unlock()
+}
+
+// feedMove runs the potential-drop detector for one applied move.
+func (t *Tracer) feedMove(ctx SpanContext, user, slot int, dPhi float64) {
+	d := t.det
+	if d.cfg.Disabled || dPhi >= -d.cfg.PotentialDropTol {
+		return
+	}
+	now := t.now()
+	d.mu.Lock()
+	inWindow := d.lastFaultNs != 0 && now-d.lastFaultNs <= int64(d.cfg.FaultWindow)
+	d.mu.Unlock()
+	if inWindow {
+		return
+	}
+	t.trigger(ctx, Anomaly{
+		Kind: AnomalyPotentialDrop, Name: AnomalyPotentialDrop.String(), At: now,
+		Detail: fmt.Sprintf("user %d slot %d moved with dPhi=%.6g outside any fault window", user, slot, dPhi),
+		Value:  dPhi,
+	})
+}
+
+// feedSlot runs the Nash-stall detector for one finished slot.
+func (t *Tracer) feedSlot(requests int, dPhi float64) {
+	d := t.det
+	if d.cfg.Disabled {
+		return
+	}
+	d.mu.Lock()
+	if requests > 0 && dPhi <= d.cfg.PotentialDropTol {
+		d.stallRun++
+	} else {
+		d.stallRun = 0
+	}
+	run := d.stallRun
+	d.mu.Unlock()
+	if run < d.cfg.StallSlots {
+		return
+	}
+	t.trigger(SpanContext{}, Anomaly{
+		Kind: AnomalyNashStall, Name: AnomalyNashStall.String(), At: t.now(),
+		Detail: fmt.Sprintf("%d consecutive slots with requesting users and no potential gain", run),
+		Value:  float64(run),
+	})
+}
+
+// feedRetry runs the retry-storm detector for one absorbed retry.
+func (t *Tracer) feedRetry(ctx SpanContext, user int) {
+	d := t.det
+	if d.cfg.Disabled {
+		return
+	}
+	now := t.now()
+	d.mu.Lock()
+	oldest := d.retryTimes[d.retryNext]
+	d.retryTimes[d.retryNext] = now
+	d.retryNext++
+	if d.retryNext == len(d.retryTimes) {
+		d.retryNext = 0
+		d.retryFull = true
+	}
+	storm := d.retryFull && now-oldest <= int64(d.cfg.RetryStormWindow)
+	d.mu.Unlock()
+	if !storm {
+		return
+	}
+	t.trigger(ctx, Anomaly{
+		Kind: AnomalyRetryStorm, Name: AnomalyRetryStorm.String(), At: now,
+		Detail: fmt.Sprintf("%d transport retries within %v (last on link to user %d)",
+			d.cfg.RetryStormThreshold, d.cfg.RetryStormWindow, user),
+		Value: float64(d.cfg.RetryStormThreshold),
+	})
+}
+
+// trigger records the anomaly, freezes the recorder, snapshots the dump,
+// and invokes the OnAnomaly callback. Only the first anomaly freezes and
+// dumps; later ones are counted as suppressed (the recorder no longer
+// holds their lead-up window).
+func (t *Tracer) trigger(ctx SpanContext, a Anomaly) {
+	d := t.det
+	if !t.rec.freeze() {
+		d.mu.Lock()
+		d.suppressed++
+		d.mu.Unlock()
+		return
+	}
+	// Record the anomaly marker past the freeze so it lands in the dump.
+	t.rec.addForce(Event{
+		Trace: ctx.Trace, Span: SpanID(t.ids.Add(1)), Parent: ctx.Span,
+		Kind: KindAnomaly, Start: a.At, User: -1, Slot: -1,
+		A: int64(a.Kind), X: a.Value,
+	})
+
+	dump := t.rec.snapshot(a.Name, a.At)
+	dump.Anomaly = &a
+	d.mu.Lock()
+	d.anomalies = append(d.anomalies, a)
+	d.dumps = append(d.dumps, dump)
+	d.mu.Unlock()
+	if t.cfg.OnAnomaly != nil {
+		t.cfg.OnAnomaly(dump)
+	}
+}

@@ -1,0 +1,265 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Dump is a flight-recorder snapshot: the window of events leading up to
+// an anomaly (or a live/final snapshot), oldest first. Two serializations
+// exist, both lossless:
+//
+//   - JSONL (WriteJSONL/ReadJSONL): a header line followed by one event
+//     per line — grep/jq-friendly, the format cmd/traceview consumes.
+//   - Chrome trace-event JSON (WriteChromeTrace/ReadChromeTrace): the
+//     catapult format chrome://tracing and https://ui.perfetto.dev load
+//     directly. Spans become "X" (complete) events, instants become "i";
+//     exact field values ride in args so the dump round-trips.
+//
+// Trace and span IDs serialize as hex strings: they use all 64 bits and
+// JSON numbers are only exact to 2^53.
+type Dump struct {
+	Reason  string
+	At      int64 // unix ns of the snapshot
+	Frozen  bool
+	Anomaly *Anomaly // nil for live/final snapshots
+	Events  []Event
+}
+
+// jsonEvent is the JSONL wire form of an Event.
+type jsonEvent struct {
+	Trace  string  `json:"trace"`
+	Span   string  `json:"span"`
+	Parent string  `json:"parent,omitempty"`
+	Kind   string  `json:"kind"`
+	Start  int64   `json:"start_ns"`
+	Dur    int64   `json:"dur_ns,omitempty"`
+	User   int32   `json:"user"`
+	Slot   int32   `json:"slot"`
+	A      int64   `json:"a,omitempty"`
+	B      int64   `json:"b,omitempty"`
+	X      float64 `json:"x,omitempty"`
+	Y      float64 `json:"y,omitempty"`
+}
+
+// jsonHeader is the first JSONL line.
+type jsonHeader struct {
+	Header  string   `json:"flight_recorder"`
+	Reason  string   `json:"reason"`
+	At      int64    `json:"at_unix_ns"`
+	Frozen  bool     `json:"frozen"`
+	Anomaly *Anomaly `json:"anomaly,omitempty"`
+	Events  int      `json:"events"`
+}
+
+func hexID(v uint64) string { return strconv.FormatUint(v, 16) }
+
+func parseHexID(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+func toJSONEvent(ev Event) jsonEvent {
+	return jsonEvent{
+		Trace: hexID(uint64(ev.Trace)), Span: hexID(uint64(ev.Span)),
+		Parent: parentHex(ev.Parent), Kind: ev.Kind.String(),
+		Start: ev.Start, Dur: ev.Dur, User: ev.User, Slot: ev.Slot,
+		A: ev.A, B: ev.B, X: ev.X, Y: ev.Y,
+	}
+}
+
+func parentHex(p SpanID) string {
+	if p == 0 {
+		return ""
+	}
+	return hexID(uint64(p))
+}
+
+func fromJSONEvent(je jsonEvent) (Event, error) {
+	tr, err := parseHexID(je.Trace)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad trace id %q: %w", je.Trace, err)
+	}
+	sp, err := parseHexID(je.Span)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad span id %q: %w", je.Span, err)
+	}
+	pa, err := parseHexID(je.Parent)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad parent id %q: %w", je.Parent, err)
+	}
+	return Event{
+		Trace: TraceID(tr), Span: SpanID(sp), Parent: SpanID(pa),
+		Kind: kindByName(je.Kind), Start: je.Start, Dur: je.Dur,
+		User: je.User, Slot: je.Slot, A: je.A, B: je.B, X: je.X, Y: je.Y,
+	}, nil
+}
+
+// WriteJSONL writes the dump as a header line plus one event per line.
+func (d *Dump) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := jsonHeader{
+		Header: "v1", Reason: d.Reason, At: d.At, Frozen: d.Frozen,
+		Anomaly: d.Anomaly, Events: len(d.Events),
+	}
+	if err := enc.Encode(&hdr); err != nil {
+		return err
+	}
+	for _, ev := range d.Events {
+		je := toJSONEvent(ev)
+		if err := enc.Encode(&je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a dump written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Dump, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("tracing: empty JSONL dump")
+	}
+	var hdr jsonHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("tracing: bad JSONL header: %w", err)
+	}
+	if hdr.Header != "v1" {
+		return nil, fmt.Errorf("tracing: unknown JSONL dump version %q", hdr.Header)
+	}
+	d := &Dump{Reason: hdr.Reason, At: hdr.At, Frozen: hdr.Frozen, Anomaly: hdr.Anomaly}
+	if hdr.Anomaly != nil {
+		d.Anomaly.Kind = anomalyKindByName(hdr.Anomaly.Name)
+	}
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			return nil, fmt.Errorf("tracing: bad JSONL event line %d: %w", len(d.Events)+2, err)
+		}
+		ev, err := fromJSONEvent(je)
+		if err != nil {
+			return nil, fmt.Errorf("tracing: bad JSONL event line %d: %w", len(d.Events)+2, err)
+		}
+		d.Events = append(d.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if hdr.Events != len(d.Events) {
+		return nil, fmt.Errorf("tracing: JSONL dump truncated: header says %d events, read %d", hdr.Events, len(d.Events))
+	}
+	return d, nil
+}
+
+// anomalyKindByName inverts AnomalyKind.String for the readers.
+func anomalyKindByName(s string) AnomalyKind {
+	for k := AnomalyPotentialDrop; k <= AnomalyRetryStorm; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
+// chromeEvent is one entry of the trace-event "traceEvents" array. The
+// pid/tid lanes place the platform on tid 0 and each user on tid user+1,
+// so Perfetto renders one swimlane per participant. The exact event is
+// carried in Args for lossless round-tripping.
+type chromeEvent struct {
+	Name string    `json:"name"`
+	Ph   string    `json:"ph"`
+	Ts   float64   `json:"ts"`            // microseconds
+	Dur  float64   `json:"dur,omitempty"` // microseconds
+	Pid  int       `json:"pid"`
+	Tid  int       `json:"tid"`
+	S    string    `json:"s,omitempty"` // instant scope
+	Args jsonEvent `json:"args"`
+}
+
+// chromeDoc is the trace-event JSON object form.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	OtherData   jsonHeader    `json:"otherData"`
+}
+
+// WriteChromeTrace writes the dump in Chrome trace-event (catapult) JSON.
+// Timestamps are microseconds relative to the dump's first event so the
+// viewer timeline starts at zero; exact nanosecond values are in args.
+func (d *Dump) WriteChromeTrace(w io.Writer) error {
+	doc := chromeDoc{
+		TraceEvents: make([]chromeEvent, 0, len(d.Events)),
+		OtherData: jsonHeader{
+			Header: "v1", Reason: d.Reason, At: d.At, Frozen: d.Frozen,
+			Anomaly: d.Anomaly, Events: len(d.Events),
+		},
+	}
+	var t0 int64
+	if len(d.Events) > 0 {
+		t0 = d.Events[0].Start
+	}
+	for _, ev := range d.Events {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Ts:   float64(ev.Start-t0) / 1e3,
+			Pid:  1,
+			Tid:  int(ev.User) + 1,
+			Args: toJSONEvent(ev),
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&doc)
+}
+
+// ReadChromeTrace parses a dump written by WriteChromeTrace, recovering
+// the exact events from the args payloads.
+func ReadChromeTrace(r io.Reader) (*Dump, error) {
+	var doc chromeDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("tracing: bad Chrome trace dump: %w", err)
+	}
+	if doc.OtherData.Header != "v1" {
+		return nil, fmt.Errorf("tracing: unknown Chrome trace dump version %q", doc.OtherData.Header)
+	}
+	d := &Dump{
+		Reason: doc.OtherData.Reason, At: doc.OtherData.At,
+		Frozen: doc.OtherData.Frozen, Anomaly: doc.OtherData.Anomaly,
+	}
+	if d.Anomaly != nil {
+		d.Anomaly.Kind = anomalyKindByName(d.Anomaly.Name)
+	}
+	for i, ce := range doc.TraceEvents {
+		ev, err := fromJSONEvent(ce.Args)
+		if err != nil {
+			return nil, fmt.Errorf("tracing: bad Chrome trace event %d: %w", i, err)
+		}
+		d.Events = append(d.Events, ev)
+	}
+	if doc.OtherData.Events != len(d.Events) {
+		return nil, fmt.Errorf("tracing: Chrome trace dump truncated: header says %d events, read %d",
+			doc.OtherData.Events, len(d.Events))
+	}
+	return d, nil
+}

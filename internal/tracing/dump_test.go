@@ -1,0 +1,237 @@
+package tracing
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenDump builds a fixed dump exercising every event kind, span
+// parenting, negative users, fractional tags, and an anomaly — all under a
+// deterministic clock and seed so the serialized bytes never change.
+func goldenDump(t *testing.T) *Dump {
+	t.Helper()
+	var dump *Dump
+	tr, _ := newTestTracer(Config{
+		Seed:      1,
+		OnAnomaly: func(d *Dump) { dump = d },
+	})
+	init := tr.StartSpan(tr.StartTrace(), KindInit, -1, 0)
+	tr.RecordTransport(init.Context(), KindSend, 0, 1, 1, tr.NowNs())
+	tr.RecordTransport(init.Context(), KindRecv, 0, 5, 1, tr.NowNs())
+	init.FinishSlot(0, 2, 0)
+
+	slot := tr.StartSpan(tr.StartTrace(), KindSlot, -1, 1)
+	tr.RecordRetry(slot.Context(), 1, 0, 2)
+	tr.RecordFault(slot.Context(), 1, 3)
+	tr.RecordReconnect(slot.Context(), 1, 1)
+	tr.RecordMove(slot.Context(), 0, 1, 2, 0, 0.75, 0.375)
+	slot.FinishSlot(2, 1, 0.375)
+
+	// Trip the potential-drop detector: close the fault window the injected
+	// fault above opened, then apply a potential-losing move.
+	tr.det.mu.Lock()
+	tr.det.lastFaultNs = 0 // close the fault window the fault above opened
+	tr.det.mu.Unlock()
+	tr.RecordMove(tr.StartTrace(), 1, 2, 0, 1, -0.5, -0.25)
+	if dump == nil {
+		t.Fatal("golden scenario did not produce an anomaly dump")
+	}
+	return dump
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenDump(t).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dump.jsonl.golden", buf.Bytes())
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenDump(t).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dump.trace.json.golden", buf.Bytes())
+}
+
+// dumpsEqual compares dumps field by field with exact float equality: both
+// formats claim losslessness.
+func dumpsEqual(t *testing.T, a, b *Dump) {
+	t.Helper()
+	if a.Reason != b.Reason || a.At != b.At || a.Frozen != b.Frozen {
+		t.Fatalf("headers differ: %+v vs %+v", a, b)
+	}
+	if (a.Anomaly == nil) != (b.Anomaly == nil) {
+		t.Fatalf("anomaly presence differs")
+	}
+	if a.Anomaly != nil && *a.Anomaly != *b.Anomaly {
+		t.Fatalf("anomaly differs: %+v vs %+v", *a.Anomaly, *b.Anomaly)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatalf("events differ:\n%+v\nvs\n%+v", a.Events, b.Events)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := goldenDump(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, d, got)
+	if got.Anomaly.Kind != AnomalyPotentialDrop {
+		t.Fatalf("reader did not restore the anomaly kind: %+v", got.Anomaly)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	d := goldenDump(t)
+	var buf bytes.Buffer
+	if err := d.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, d, got)
+}
+
+// TestRoundTripExtremeIDs pins the reason IDs are hex strings: values above
+// 2^53 survive both formats bit-exactly.
+func TestRoundTripExtremeIDs(t *testing.T) {
+	d := &Dump{
+		Reason: "ids",
+		At:     123,
+		Events: []Event{{
+			Trace: TraceID(^uint64(0)), Span: SpanID(1 << 63), Parent: SpanID(1<<53 + 1),
+			Kind: KindMove, Start: 5, User: -1, Slot: -1,
+			A: math.MinInt64, B: math.MaxInt64, X: 1e-300, Y: -1e300,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, d, got)
+	buf.Reset()
+	if err := d.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, d, got)
+}
+
+func TestReadJSONLRejectsCorruption(t *testing.T) {
+	d := goldenDump(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "not json\n",
+		"bad version":  strings.Replace(full, `"flight_recorder":"v1"`, `"flight_recorder":"v9"`, 1),
+		"truncated":    full[:strings.LastIndex(strings.TrimRight(full, "\n"), "\n")+1],
+		"bad trace id": strings.Replace(full, `"trace":"`, `"trace":"zz`, 1),
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadJSONL accepted corrupt input", name)
+		}
+	}
+	if _, err := ReadChromeTrace(strings.NewReader("{}")); err == nil {
+		t.Error("ReadChromeTrace accepted a versionless document")
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	d := goldenDump(t)
+	jsonl, chrome, err := d.WriteFiles(filepath.Join(dir, "sub"), "p-final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, d, got)
+	f, err = os.Open(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadChromeTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, d, got)
+}
+
+func TestSummarizeGoldenDump(t *testing.T) {
+	d := goldenDump(t)
+	s := Summarize(d)
+	if s.Anomaly == nil || s.Anomaly.Kind != AnomalyPotentialDrop {
+		t.Fatalf("summary anomaly = %+v", s.Anomaly)
+	}
+	if s.Kinds[KindMove] != 2 || s.Kinds[KindRetry] != 1 || s.Kinds[KindAnomaly] != 1 {
+		t.Fatalf("kind counts = %v", s.Kinds)
+	}
+	if got, want := s.TotalDPhi, 0.375-0.25; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TotalDPhi = %g, want %g", got, want)
+	}
+	var out strings.Builder
+	s.Render(&out, 5, 0, false, 0)
+	for _, want := range []string{"potential-drop", "slowest slots", "dPhi waterfall", "per-user activity"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFiles writes the dump to dir in both formats — <prefix>.jsonl (the
+// lossless line format) and <prefix>.trace.json (Chrome trace-event, loads
+// in chrome://tracing and ui.perfetto.dev) — creating dir if needed, and
+// returns the two paths. The CLIs use it for -trace-dir output.
+func (d *Dump) WriteFiles(dir, prefix string) (jsonl, chrome string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", fmt.Errorf("tracing: %w", err)
+	}
+	jsonl = filepath.Join(dir, prefix+".jsonl")
+	chrome = filepath.Join(dir, prefix+".trace.json")
+	if err := writeFile(jsonl, d.WriteJSONL); err != nil {
+		return "", "", err
+	}
+	if err := writeFile(chrome, d.WriteChromeTrace); err != nil {
+		return "", "", err
+	}
+	return jsonl, chrome, nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tracing: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("tracing: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("tracing: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package tracing
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightRecorder is a fixed-capacity, lock-sharded ring buffer of Events.
+// Writers hash their span ID to a shard, take that shard's mutex, and copy
+// the event into a preallocated slot — no allocation, no global lock.
+// When an anomaly detector trips, the recorder is frozen: subsequent
+// writes are counted and dropped, so the buffer preserves the window
+// leading up to the anomaly while the dump is collected.
+type FlightRecorder struct {
+	shards   []recShard
+	mask     uint64
+	frozen   atomic.Bool
+	recorded atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// recShard is one lock shard: an independent ring of events.
+type recShard struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+	// pad keeps neighbouring shards off the same cache line.
+	_ [40]byte
+}
+
+// newFlightRecorder sizes the recorder: capacity events total, split over
+// shards (shard count rounded up to a power of two).
+func newFlightRecorder(capacity, shards int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	r := &FlightRecorder{shards: make([]recShard, n), mask: uint64(n - 1)}
+	for i := range r.shards {
+		r.shards[i].buf = make([]Event, per)
+	}
+	return r
+}
+
+// add records one event, overwriting the oldest entry of its shard when
+// the ring is full. Frozen recorders drop the event.
+func (r *FlightRecorder) add(ev Event) {
+	if r.frozen.Load() {
+		r.dropped.Add(1)
+		return
+	}
+	s := &r.shards[uint64(ev.Span)&r.mask]
+	s.mu.Lock()
+	s.buf[s.next] = ev
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+	r.recorded.Add(1)
+}
+
+// addForce records one event even into a frozen recorder (used for the
+// anomaly marker itself, which must land in the dump).
+func (r *FlightRecorder) addForce(ev Event) {
+	s := &r.shards[uint64(ev.Span)&r.mask]
+	s.mu.Lock()
+	s.buf[s.next] = ev
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+	r.recorded.Add(1)
+}
+
+// freeze stops recording; returns true if this call did the freezing.
+func (r *FlightRecorder) freeze() bool {
+	return r.frozen.CompareAndSwap(false, true)
+}
+
+// reset clears and unfreezes the recorder.
+func (r *FlightRecorder) reset() {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.next = 0
+		s.full = false
+		s.mu.Unlock()
+	}
+	r.frozen.Store(false)
+}
+
+// snapshot copies the recorder contents into a Dump, oldest event first
+// (ordered by start time, span ID breaking ties).
+func (r *FlightRecorder) snapshot(reason string, now int64) *Dump {
+	var events []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		if s.full {
+			events = append(events, s.buf[s.next:]...)
+			events = append(events, s.buf[:s.next]...)
+		} else {
+			events = append(events, s.buf[:s.next]...)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].Span < events[j].Span
+	})
+	return &Dump{Reason: reason, At: now, Frozen: r.frozen.Load(), Events: events}
+}

@@ -1,0 +1,204 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// Summary is the digest cmd/traceview prints: slowest slots, the ΔΦ
+// waterfall of applied moves, per-user activity, and event-kind counts.
+type Summary struct {
+	Reason    string
+	Anomaly   *Anomaly
+	Events    int
+	Traces    int
+	SpanNs    int64 // wall-clock covered: last event end - first event start
+	Kinds     [numEventKinds]int
+	Slots     []SlotSummary // slowest first
+	Moves     []MoveSummary // chronological, with running ΣΔΦ
+	Users     []UserSummary // by user ID
+	TotalDPhi float64       // ΣΔΦ over all moves (telescopes to Φ(s_T)−Φ(s_0))
+}
+
+// SlotSummary is one slot span.
+type SlotSummary struct {
+	Slot     int32
+	Trace    TraceID
+	DurNs    int64
+	Requests int64
+	Granted  int64
+	DPhi     float64
+}
+
+// MoveSummary is one applied route update with the running potential.
+type MoveSummary struct {
+	Slot     int32
+	User     int32
+	OldRoute int64
+	NewRoute int64
+	DP       float64
+	DPhi     float64
+	CumDPhi  float64
+}
+
+// UserSummary aggregates one participant's activity (user -1 = platform).
+type UserSummary struct {
+	User      int32
+	Moves     int
+	Sends     int
+	Recvs     int
+	Retries   int
+	Faults    int
+	SumDP     float64
+	SumDPhi   float64
+	BlockedNs int64 // total transport span time
+}
+
+// Summarize digests a dump. Events are assumed oldest-first, as produced
+// by snapshot and the dump readers.
+func Summarize(d *Dump) *Summary {
+	s := &Summary{Reason: d.Reason, Anomaly: d.Anomaly, Events: len(d.Events)}
+	traces := make(map[TraceID]struct{})
+	users := make(map[int32]*UserSummary)
+	userOf := func(id int32) *UserSummary {
+		u := users[id]
+		if u == nil {
+			u = &UserSummary{User: id}
+			users[id] = u
+		}
+		return u
+	}
+	var first, last int64
+	for _, ev := range d.Events {
+		if ev.Kind == KindInvalid || ev.Kind >= numEventKinds {
+			continue
+		}
+		s.Kinds[ev.Kind]++
+		if ev.Trace != 0 {
+			traces[ev.Trace] = struct{}{}
+		}
+		if first == 0 || ev.Start < first {
+			first = ev.Start
+		}
+		if end := ev.Start + ev.Dur; end > last {
+			last = end
+		}
+		u := userOf(ev.User)
+		switch ev.Kind {
+		case KindSlot, KindInit:
+			s.Slots = append(s.Slots, SlotSummary{
+				Slot: ev.Slot, Trace: ev.Trace, DurNs: ev.Dur,
+				Requests: ev.A, Granted: ev.B, DPhi: ev.Y,
+			})
+		case KindMove:
+			s.TotalDPhi += ev.Y
+			s.Moves = append(s.Moves, MoveSummary{
+				Slot: ev.Slot, User: ev.User, OldRoute: ev.A, NewRoute: ev.B,
+				DP: ev.X, DPhi: ev.Y, CumDPhi: s.TotalDPhi,
+			})
+			u.Moves++
+			u.SumDP += ev.X
+			u.SumDPhi += ev.Y
+		case KindSend:
+			u.Sends++
+			u.BlockedNs += ev.Dur
+		case KindRecv:
+			u.Recvs++
+			u.BlockedNs += ev.Dur
+		case KindRetry:
+			u.Retries++
+		case KindFault:
+			u.Faults++
+		}
+	}
+	s.Traces = len(traces)
+	if last > first {
+		s.SpanNs = last - first
+	}
+	sort.Slice(s.Slots, func(i, j int) bool {
+		if s.Slots[i].DurNs != s.Slots[j].DurNs {
+			return s.Slots[i].DurNs > s.Slots[j].DurNs
+		}
+		return s.Slots[i].Slot < s.Slots[j].Slot
+	})
+	for _, u := range users {
+		s.Users = append(s.Users, *u)
+	}
+	sort.Slice(s.Users, func(i, j int) bool { return s.Users[i].User < s.Users[j].User })
+	return s
+}
+
+// Render writes the human-readable report. topSlots and maxMoves bound
+// the two tables (<=0 means a default of 10 slots / all moves); user
+// filters the move timeline to one user when >= -1 and filterUser is true.
+func (s *Summary) Render(w io.Writer, topSlots, maxMoves int, filterUser bool, user int) {
+	fmt.Fprintf(w, "flight recorder dump: reason=%s events=%d traces=%d wall=%v\n",
+		s.Reason, s.Events, s.Traces, time.Duration(s.SpanNs))
+	if s.Anomaly != nil {
+		fmt.Fprintf(w, "anomaly: %s value=%.6g at=%d\n  %s\n",
+			s.Anomaly.Name, s.Anomaly.Value, s.Anomaly.At, s.Anomaly.Detail)
+	}
+	fmt.Fprintf(w, "events by kind:")
+	for k := EventKind(1); k < numEventKinds; k++ {
+		if s.Kinds[k] > 0 {
+			fmt.Fprintf(w, " %s=%d", k, s.Kinds[k])
+		}
+	}
+	fmt.Fprintln(w)
+
+	if len(s.Slots) > 0 {
+		if topSlots <= 0 {
+			topSlots = 10
+		}
+		if topSlots > len(s.Slots) {
+			topSlots = len(s.Slots)
+		}
+		fmt.Fprintf(w, "\nslowest slots (%d of %d):\n", topSlots, len(s.Slots))
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  slot\tdur\trequests\tgranted\tdPhi\ttrace")
+		for _, sl := range s.Slots[:topSlots] {
+			fmt.Fprintf(tw, "  %d\t%v\t%d\t%d\t%+.6g\t%x\n",
+				sl.Slot, time.Duration(sl.DurNs), sl.Requests, sl.Granted, sl.DPhi, uint64(sl.Trace))
+		}
+		tw.Flush()
+	}
+
+	moves := s.Moves
+	if filterUser {
+		moves = nil
+		for _, m := range s.Moves {
+			if int(m.User) == user {
+				moves = append(moves, m)
+			}
+		}
+	}
+	if len(moves) > 0 {
+		shown := len(moves)
+		if maxMoves > 0 && maxMoves < shown {
+			shown = maxMoves
+		}
+		fmt.Fprintf(w, "\ndPhi waterfall (%d of %d moves, sum %+.9g):\n", shown, len(moves), s.TotalDPhi)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  slot\tuser\troute\tdP_i\tdPhi\tcum dPhi")
+		for _, m := range moves[:shown] {
+			fmt.Fprintf(tw, "  %d\t%d\t%d->%d\t%+.6g\t%+.6g\t%+.6g\n",
+				m.Slot, m.User, m.OldRoute, m.NewRoute, m.DP, m.DPhi, m.CumDPhi)
+		}
+		tw.Flush()
+	}
+
+	if len(s.Users) > 0 {
+		fmt.Fprintf(w, "\nper-user activity (user -1 = platform):\n")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  user\tmoves\tsends\trecvs\tretries\tfaults\tsum dP_i\tsum dPhi\ttransport time")
+		for _, u := range s.Users {
+			fmt.Fprintf(tw, "  %d\t%d\t%d\t%d\t%d\t%d\t%+.6g\t%+.6g\t%v\n",
+				u.User, u.Moves, u.Sends, u.Recvs, u.Retries, u.Faults,
+				u.SumDP, u.SumDPhi, time.Duration(u.BlockedNs))
+		}
+		tw.Flush()
+	}
+}

@@ -1,0 +1,432 @@
+// Package tracing is a dependency-free distributed tracer and convergence
+// flight recorder for the route-navigation protocol. It follows the
+// tracer/span architecture of production tracers (dd-trace-go): a Tracer
+// hands out trace and span IDs, makes a head-based sampling decision per
+// trace, and records finished spans — but instead of shipping spans to a
+// backend it writes fixed-size events into an in-memory, lock-sharded
+// FlightRecorder ring buffer that anomaly detectors can freeze and dump
+// the moment a convergence invariant looks violated (see anomaly.go).
+//
+// Everything on the hot path is allocation-free: a disabled tracer (nil
+// *Tracer) and an unsampled trace cost a nil/flag check, and even a sampled
+// record is a struct copy into a preallocated ring slot. The benchmark
+// suite (internal/benchcore, `make bench-tracing`) enforces 0 allocs/op on
+// the disabled and unsampled paths the same way PR 2 gated the metrics
+// registry.
+//
+// Trace context crosses process boundaries through the wire message
+// envelope (wire.Message.TraceID/SpanID/TraceFlags): the platform stamps
+// the per-slot trace onto its outgoing messages, agents echo it on their
+// replies and record their own transport spans against it, so one decision
+// slot can be followed across the platform and every agent process.
+package tracing
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one trace: one decision slot (or the initialization
+// phase) followed across processes.
+type TraceID uint64
+
+// SpanID identifies one span or instant event within the tracer that
+// created it.
+type SpanID uint64
+
+// SpanContext is the propagated trace context: the trace, the span acting
+// as parent for remote children, and the sampling decision. The zero value
+// means "no trace context" and makes every operation a no-op.
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID
+	Sampled bool
+}
+
+// EventKind discriminates flight-recorder events. The typed tag fields of
+// Event (User, Slot, A, B, X, Y) are interpreted per kind as documented on
+// the constants.
+type EventKind uint8
+
+// Event kinds. A/B are integer tags, X/Y float tags.
+const (
+	KindInvalid EventKind = iota
+	// KindSlot is a decision-slot span (platform or engine). A=requests,
+	// B=granted updates, Y=slot potential delta ΔΦ (when known).
+	KindSlot
+	// KindInit is the initialization-phase span (slot 0).
+	KindInit
+	// KindMove is an instant event for one applied route update. A=old
+	// route, B=new route, X=ΔP_i (the mover's profit change), Y=ΔΦ (the
+	// weighted-potential change, Eq. 8: ΔP_i = α_i·ΔΦ).
+	KindMove
+	// KindSend / KindRecv are transport spans: one wire message delivered
+	// over a link. A=wire message kind, B=sequence number.
+	KindSend
+	KindRecv
+	// KindRetry is an instant event for one absorbed transient failure.
+	// A=0 for a send retry, 1 for a recv retry; B=attempt number.
+	KindRetry
+	// KindFault is an instant event for one injected fault. A=fault kind
+	// (distributed.FaultKind).
+	KindFault
+	// KindReconnect is an instant event for an agent resume
+	// (Hello{Resume}) handled mid-protocol.
+	KindReconnect
+	// KindAnomaly is the instant event a tripped detector records just
+	// before freezing the recorder. A=anomaly kind, X=the offending value.
+	KindAnomaly
+	numEventKinds
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case KindSlot:
+		return "slot"
+	case KindInit:
+		return "init"
+	case KindMove:
+		return "move"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindRetry:
+		return "retry"
+	case KindFault:
+		return "fault"
+	case KindReconnect:
+		return "reconnect"
+	case KindAnomaly:
+		return "anomaly"
+	}
+	return "invalid"
+}
+
+// kindByName inverts String for the dump readers.
+func kindByName(s string) EventKind {
+	for k := EventKind(1); k < numEventKinds; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return KindInvalid
+}
+
+// Event is one fixed-size flight-recorder entry. Span events carry a
+// nonzero Dur; instant events have Dur 0. The struct holds no pointers, so
+// recording is a plain copy into the ring.
+type Event struct {
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
+	Kind   EventKind
+	Start  int64 // unix nanoseconds
+	Dur    int64 // nanoseconds; 0 for instants
+	User   int32 // user ID, or -1 for the platform
+	Slot   int32 // decision slot / counts version
+	A, B   int64 // integer tags (per-kind meaning, see EventKind)
+	X, Y   float64
+}
+
+// Config parameterizes a Tracer. The zero value samples every trace into a
+// default-capacity recorder with the default anomaly thresholds.
+type Config struct {
+	// SampleRate is the head-based per-trace sampling probability: 0 (the
+	// zero value) and anything >= 1 sample every trace; a negative rate
+	// samples none (the context still propagates, nothing is recorded).
+	// The decision is a pure function of the trace ID, so two runs with
+	// the same Seed sample identically.
+	SampleRate float64
+	// Capacity is the total flight-recorder size in events (default
+	// DefaultCapacity). The ring keeps the most recent events per shard.
+	Capacity int
+	// Shards is the number of recorder lock shards, rounded up to a power
+	// of two (default DefaultShards).
+	Shards int
+	// Seed perturbs trace-ID generation; two tracers with the same seed
+	// issue the same IDs in the same order.
+	Seed uint64
+	// Now injects the clock (unix nanoseconds); nil means time.Now.
+	// Injected clocks make golden-file dumps deterministic.
+	Now func() int64
+	// Anomalies configures the convergence anomaly detectors.
+	Anomalies AnomalyConfig
+	// OnAnomaly, when non-nil, receives the frozen dump the moment a
+	// detector trips (platformd uses it to write the dump to -trace-dir).
+	// It is invoked synchronously from the recording goroutine.
+	OnAnomaly func(*Dump)
+}
+
+// Recorder defaults.
+const (
+	DefaultCapacity = 1 << 15
+	DefaultShards   = 8
+)
+
+// Tracer issues trace/span IDs, applies the sampling decision, and records
+// events into its flight recorder. A nil *Tracer is the disabled tracer:
+// every method is a cheap no-op, so call sites need no guards.
+type Tracer struct {
+	cfg       Config
+	now       func() int64
+	ids       atomic.Uint64
+	sampleBar uint64 // threshold on the top 63 bits of mix(traceID)
+	rec       *FlightRecorder
+	det       *detectors
+}
+
+// New creates a tracer per cfg.
+func New(cfg Config) *Tracer {
+	t := &Tracer{cfg: cfg, now: cfg.Now}
+	if t.now == nil {
+		t.now = func() int64 { return time.Now().UnixNano() }
+	}
+	switch {
+	case cfg.SampleRate < 0:
+		t.sampleBar = 0
+	case cfg.SampleRate == 0 || cfg.SampleRate >= 1:
+		t.sampleBar = ^uint64(0)
+	default:
+		t.sampleBar = uint64(cfg.SampleRate*float64(1<<63)) << 1
+	}
+	t.rec = newFlightRecorder(cfg.Capacity, cfg.Shards)
+	t.det = newDetectors(cfg.Anomalies)
+	return t
+}
+
+// Enabled reports whether the tracer records anything at all.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// mix is the splitmix64 finalizer; used for trace-ID whitening and the
+// sampling decision.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// StartTrace opens a new trace (one decision slot) and decides its
+// sampling fate. On a nil tracer it returns the zero context.
+func (t *Tracer) StartTrace() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	n := t.ids.Add(1)
+	id := TraceID(mix(t.cfg.Seed ^ n))
+	if id == 0 {
+		id = 1
+	}
+	return SpanContext{
+		Trace:   id,
+		Sampled: mix(uint64(id)) <= t.sampleBar,
+	}
+}
+
+// Span is an in-flight timed operation. The zero Span (from a disabled
+// tracer or an unsampled trace) is a no-op; Span is a value type, so the
+// start/finish pair allocates nothing.
+type Span struct {
+	t      *Tracer
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	kind   EventKind
+	start  int64
+	user   int32
+	slot   int32
+}
+
+// StartSpan opens a span of the given kind under ctx. Unsampled contexts
+// (and nil tracers) return the zero Span.
+func (t *Tracer) StartSpan(ctx SpanContext, kind EventKind, user, slot int) Span {
+	if t == nil || !ctx.Sampled {
+		return Span{}
+	}
+	return Span{
+		t:      t,
+		trace:  ctx.Trace,
+		id:     SpanID(t.ids.Add(1)),
+		parent: ctx.Span,
+		kind:   kind,
+		start:  t.now(),
+		user:   int32(user),
+		slot:   int32(slot),
+	}
+}
+
+// Context returns the context that makes this span the parent of remote
+// children — the value to stamp onto outgoing wire messages. The zero
+// span yields the zero context.
+func (s Span) Context() SpanContext {
+	if s.t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id, Sampled: true}
+}
+
+// Recording reports whether the span will produce an event.
+func (s Span) Recording() bool { return s.t != nil }
+
+// finish writes the span's event with the given tags.
+func (s Span) finish(a, b int64, x, y float64) {
+	if s.t == nil {
+		return
+	}
+	now := s.t.now()
+	s.t.rec.add(Event{
+		Trace: s.trace, Span: s.id, Parent: s.parent, Kind: s.kind,
+		Start: s.start, Dur: now - s.start,
+		User: s.user, Slot: s.slot, A: a, B: b, X: x, Y: y,
+	})
+}
+
+// Finish ends a span with no extra tags.
+func (s Span) Finish() { s.finish(0, 0, 0, 0) }
+
+// FinishSlot ends a KindSlot/KindInit span with the slot outcome and feeds
+// the Nash-stall detector. dPhi is the slot's potential change when the
+// caller tracks it (0 otherwise).
+func (s Span) FinishSlot(requests, granted int, dPhi float64) {
+	s.finish(int64(requests), int64(granted), 0, dPhi)
+	if s.t != nil && s.kind == KindSlot {
+		s.t.feedSlot(requests, dPhi)
+	}
+}
+
+// FinishMsg ends a KindSend/KindRecv transport span with the delivered
+// message's kind and sequence number.
+func (s Span) FinishMsg(msgKind int, seq uint64) {
+	s.finish(int64(msgKind), int64(seq), 0, 0)
+}
+
+// instant records an instant event under ctx. Caller has checked sampling.
+func (t *Tracer) instant(ctx SpanContext, kind EventKind, user, slot int, a, b int64, x, y float64) {
+	t.rec.add(Event{
+		Trace: ctx.Trace, Span: SpanID(t.ids.Add(1)), Parent: ctx.Span, Kind: kind,
+		Start: t.now(), User: int32(user), Slot: int32(slot), A: a, B: b, X: x, Y: y,
+	})
+}
+
+// NowNs reads the tracer's clock (0 on a nil tracer). Transport decorators
+// use it to timestamp span starts before the operation's context is known.
+func (t *Tracer) NowNs() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// RecordTransport records a completed transport operation as a KindSend or
+// KindRecv span covering [startNs, now] under the message's own context.
+// No-op when the context is unsampled.
+func (t *Tracer) RecordTransport(ctx SpanContext, kind EventKind, user, msgKind int, seq uint64, startNs int64) {
+	if t == nil || !ctx.Sampled {
+		return
+	}
+	t.rec.add(Event{
+		Trace: ctx.Trace, Span: SpanID(t.ids.Add(1)), Parent: ctx.Span, Kind: kind,
+		Start: startNs, Dur: t.now() - startNs,
+		User: int32(user), Slot: -1, A: int64(msgKind), B: int64(seq),
+	})
+}
+
+// RecordMove records one applied route update (user moved oldRoute →
+// newRoute in slot) and feeds the potential-decrease detector with ΔΦ.
+// The detector runs even when the trace is unsampled: anomaly detection
+// is an aggregate property, not a per-trace one.
+func (t *Tracer) RecordMove(ctx SpanContext, user, slot, oldRoute, newRoute int, dP, dPhi float64) {
+	if t == nil {
+		return
+	}
+	if ctx.Sampled {
+		t.instant(ctx, KindMove, user, slot, int64(oldRoute), int64(newRoute), dP, dPhi)
+	}
+	t.feedMove(ctx, user, slot, dPhi)
+}
+
+// RecordRetry records one absorbed transient failure (op: 0=send, 1=recv)
+// and feeds the retry-storm detector. Retry events are recorded even
+// without a sampled context — they are rare failure-path events and the
+// whole point of a storm dump is to contain them.
+func (t *Tracer) RecordRetry(ctx SpanContext, user int, op int, attempt int) {
+	if t == nil {
+		return
+	}
+	t.instant(ctx, KindRetry, user, -1, int64(op), int64(attempt), 0, 0)
+	t.feedRetry(ctx, user)
+}
+
+// RecordFault records one injected fault (kind is the transport's fault
+// enumeration) and opens a fault window for the potential-drop detector.
+func (t *Tracer) RecordFault(ctx SpanContext, user int, faultKind int) {
+	if t == nil {
+		return
+	}
+	t.instant(ctx, KindFault, user, -1, int64(faultKind), 0, 0, 0)
+	t.MarkFaultWindow()
+}
+
+// RecordReconnect records an agent resume handled mid-protocol and opens a
+// fault window.
+func (t *Tracer) RecordReconnect(ctx SpanContext, user, slot int) {
+	if t == nil {
+		return
+	}
+	t.instant(ctx, KindReconnect, user, slot, 0, 0, 0, 0)
+	t.MarkFaultWindow()
+}
+
+// Snapshot returns the recorder's current contents as a dump without
+// freezing it. Reason labels the dump (e.g. "live", "final").
+func (t *Tracer) Snapshot(reason string) *Dump {
+	if t == nil {
+		return &Dump{Reason: reason}
+	}
+	return t.rec.snapshot(reason, t.now())
+}
+
+// Stats is a point-in-time tracer summary, served by the trace status
+// endpoint.
+type Stats struct {
+	Enabled   bool      `json:"enabled"`
+	Frozen    bool      `json:"frozen"`
+	Recorded  uint64    `json:"recorded_events"`
+	Dropped   uint64    `json:"dropped_events"`
+	Anomalies []Anomaly `json:"anomalies,omitempty"`
+}
+
+// Stats reports the tracer's counters and triggered anomalies.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	return Stats{
+		Enabled:   true,
+		Frozen:    t.rec.frozen.Load(),
+		Recorded:  t.rec.recorded.Load(),
+		Dropped:   t.rec.dropped.Load(),
+		Anomalies: t.det.list(),
+	}
+}
+
+// Dumps returns the anomaly dumps triggered so far, oldest first.
+func (t *Tracer) Dumps() []*Dump {
+	if t == nil {
+		return nil
+	}
+	return t.det.dumpList()
+}
+
+// Reset unfreezes and clears the recorder (anomaly history is kept) so a
+// long-lived process can arm the flight recorder again after a dump has
+// been collected.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.rec.reset()
+	t.det.rearm()
+}

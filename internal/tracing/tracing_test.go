@@ -1,0 +1,305 @@
+package tracing
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic nanosecond clock advancing a fixed step per
+// read, so span durations and golden dumps are stable.
+type fakeClock struct {
+	t    int64
+	step int64
+}
+
+func (c *fakeClock) now() int64 {
+	c.t += c.step
+	return c.t
+}
+
+func newTestTracer(cfg Config) (*Tracer, *fakeClock) {
+	clk := &fakeClock{t: 1_000_000_000, step: 1000}
+	if cfg.Now == nil {
+		cfg.Now = clk.now
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return New(cfg), clk
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer claims enabled")
+	}
+	ctx := tr.StartTrace()
+	if ctx != (SpanContext{}) {
+		t.Fatalf("nil StartTrace returned %+v", ctx)
+	}
+	span := tr.StartSpan(ctx, KindSlot, -1, 1)
+	if span.Recording() {
+		t.Fatal("nil tracer span is recording")
+	}
+	span.Finish()
+	span.FinishSlot(1, 1, 0.5)
+	tr.RecordMove(ctx, 0, 0, 0, 1, 0.1, 0.1)
+	tr.RecordRetry(ctx, 0, 0, 1)
+	tr.RecordFault(ctx, 0, 0)
+	tr.RecordReconnect(ctx, 0, 0)
+	tr.RecordTransport(ctx, KindSend, 0, 1, 1, 0)
+	tr.MarkFaultWindow()
+	tr.Reset()
+	if st := tr.Stats(); st.Enabled || st.Recorded != 0 {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+	if d := tr.Snapshot("x"); len(d.Events) != 0 {
+		t.Fatalf("nil Snapshot has %d events", len(d.Events))
+	}
+	if tr.Dumps() != nil {
+		t.Fatal("nil Dumps non-nil")
+	}
+}
+
+func TestSamplingDeterministicPerSeed(t *testing.T) {
+	sample := func(seed uint64, rate float64, n int) []bool {
+		tr, _ := newTestTracer(Config{Seed: seed, SampleRate: rate})
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = tr.StartTrace().Sampled
+		}
+		return out
+	}
+	a := sample(7, 0.5, 2000)
+	b := sample(7, 0.5, 2000)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling decision %d differs across identically-seeded tracers", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits < 800 || hits > 1200 {
+		t.Fatalf("rate 0.5 sampled %d/2000", hits)
+	}
+	for i, s := range sample(7, -1, 100) {
+		if s {
+			t.Fatalf("negative rate sampled trace %d", i)
+		}
+	}
+	for i, s := range sample(7, 0, 100) {
+		if !s {
+			t.Fatalf("default rate skipped trace %d", i)
+		}
+	}
+}
+
+func TestUnsampledTraceRecordsNothing(t *testing.T) {
+	tr, _ := newTestTracer(Config{SampleRate: -1})
+	ctx := tr.StartTrace()
+	span := tr.StartSpan(ctx, KindSlot, -1, 1)
+	if span.Recording() {
+		t.Fatal("span on unsampled trace is recording")
+	}
+	span.FinishSlot(2, 1, 0.5)
+	tr.RecordTransport(ctx, KindSend, 0, 1, 1, tr.NowNs())
+	// Moves on unsampled traces still feed the detectors but record no event.
+	tr.RecordMove(ctx, 0, 1, 0, 1, 0.5, 0.25)
+	if got := tr.Stats().Recorded; got != 0 {
+		t.Fatalf("unsampled trace recorded %d events", got)
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	tr, _ := newTestTracer(Config{Capacity: 8, Shards: 1})
+	ctx := tr.StartTrace()
+	for i := 0; i < 50; i++ {
+		tr.RecordMove(ctx, i, 0, 0, 1, 0.1, 0.1)
+	}
+	d := tr.Snapshot("ring")
+	if len(d.Events) != 8 {
+		t.Fatalf("snapshot has %d events, want capacity 8", len(d.Events))
+	}
+	// The survivors are the 8 most recent moves (users 42..49), oldest first.
+	for i, ev := range d.Events {
+		if want := int32(42 + i); ev.User != want {
+			t.Fatalf("event %d is user %d, want %d", i, ev.User, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Recorded != 50 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPotentialDropTriggersFreezeAndDump(t *testing.T) {
+	var dumped *Dump
+	tr, _ := newTestTracer(Config{OnAnomaly: func(d *Dump) { dumped = d }})
+	ctx := tr.StartTrace()
+	tr.RecordMove(ctx, 0, 1, 0, 1, 0.5, 0.25) // healthy ascent
+	tr.RecordMove(ctx, 1, 2, 1, 0, -0.5, -0.25)
+	if dumped == nil {
+		t.Fatal("potential drop did not trigger a dump")
+	}
+	if dumped.Anomaly == nil || dumped.Anomaly.Kind != AnomalyPotentialDrop {
+		t.Fatalf("dump anomaly = %+v", dumped.Anomaly)
+	}
+	if !dumped.Frozen {
+		t.Fatal("dump not marked frozen")
+	}
+	// The dump's last event is the anomaly marker.
+	last := dumped.Events[len(dumped.Events)-1]
+	if last.Kind != KindAnomaly || AnomalyKind(last.A) != AnomalyPotentialDrop {
+		t.Fatalf("last dump event = %+v", last)
+	}
+	// Post-freeze writes are dropped and counted.
+	tr.RecordMove(ctx, 2, 3, 0, 1, 0.1, 0.1)
+	if st := tr.Stats(); !st.Frozen || st.Dropped == 0 {
+		t.Fatalf("stats after freeze = %+v", st)
+	}
+	// A second anomaly is suppressed (no second dump).
+	tr.RecordMove(ctx, 3, 4, 1, 0, -0.5, -0.25)
+	if got := len(tr.Dumps()); got != 1 {
+		t.Fatalf("got %d dumps, want 1", got)
+	}
+	// Reset rearms the recorder; events record again.
+	tr.Reset()
+	tr.RecordMove(ctx, 4, 5, 0, 1, 0.1, 0.1)
+	if st := tr.Stats(); st.Frozen {
+		t.Fatal("still frozen after Reset")
+	}
+	if len(tr.Snapshot("post").Events) != 1 {
+		t.Fatal("recorder did not restart cleanly after Reset")
+	}
+	// Anomaly history survives the reset.
+	if got := len(tr.Stats().Anomalies); got != 1 {
+		t.Fatalf("anomaly history length %d after reset", got)
+	}
+}
+
+func TestFaultWindowExcusesPotentialDrop(t *testing.T) {
+	tr, clk := newTestTracer(Config{Anomalies: AnomalyConfig{FaultWindow: time.Second}})
+	ctx := tr.StartTrace()
+	tr.RecordFault(ctx, 0, 1)
+	tr.RecordMove(ctx, 0, 1, 1, 0, -0.5, -0.25) // inside the window: excused
+	if len(tr.Dumps()) != 0 {
+		t.Fatal("potential drop inside fault window triggered a dump")
+	}
+	clk.t += 2 * int64(time.Second) // move past the window
+	tr.RecordMove(ctx, 0, 2, 1, 0, -0.5, -0.25)
+	if len(tr.Dumps()) != 1 {
+		t.Fatal("potential drop outside fault window did not trigger")
+	}
+}
+
+func TestNashStallDetector(t *testing.T) {
+	tr, _ := newTestTracer(Config{Anomalies: AnomalyConfig{StallSlots: 5}})
+	for i := 1; i <= 4; i++ {
+		span := tr.StartSpan(tr.StartTrace(), KindSlot, -1, i)
+		span.FinishSlot(3, 1, 0) // requesters but no gain
+	}
+	if len(tr.Dumps()) != 0 {
+		t.Fatal("stall tripped before K slots")
+	}
+	// A slot with gain resets the run.
+	tr.StartSpan(tr.StartTrace(), KindSlot, -1, 5).FinishSlot(3, 1, 0.5)
+	for i := 6; i < 11; i++ {
+		tr.StartSpan(tr.StartTrace(), KindSlot, -1, i).FinishSlot(3, 1, 0)
+	}
+	dumps := tr.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps after 5 consecutive stalled slots", len(dumps))
+	}
+	if dumps[0].Anomaly.Kind != AnomalyNashStall {
+		t.Fatalf("anomaly = %+v", dumps[0].Anomaly)
+	}
+}
+
+func TestRetryStormDetector(t *testing.T) {
+	tr, _ := newTestTracer(Config{
+		Anomalies: AnomalyConfig{RetryStormThreshold: 10, RetryStormWindow: time.Second},
+	})
+	ctx := SpanContext{}
+	// The sliding ring arms once it has wrapped: the first trip can happen
+	// on the retry after the threshold-th one.
+	for i := 0; i < 10; i++ {
+		tr.RecordRetry(ctx, 1, 0, 1)
+	}
+	if len(tr.Dumps()) != 0 {
+		t.Fatal("storm tripped below threshold")
+	}
+	tr.RecordRetry(ctx, 1, 0, 1)
+	dumps := tr.Dumps()
+	if len(dumps) != 1 || dumps[0].Anomaly.Kind != AnomalyRetryStorm {
+		t.Fatalf("dumps = %d after threshold retries in window", len(dumps))
+	}
+	// The dump contains the offending retry events.
+	retries := 0
+	for _, ev := range dumps[0].Events {
+		if ev.Kind == KindRetry {
+			retries++
+		}
+	}
+	if retries < 10 {
+		t.Fatalf("storm dump holds %d retry events, want >= 10", retries)
+	}
+}
+
+func TestRetryStormRespectsWindow(t *testing.T) {
+	tr, clk := newTestTracer(Config{
+		Anomalies: AnomalyConfig{RetryStormThreshold: 10, RetryStormWindow: time.Millisecond},
+	})
+	// Spread retries far apart: never 10 inside one millisecond.
+	for i := 0; i < 40; i++ {
+		clk.t += int64(10 * time.Millisecond)
+		tr.RecordRetry(SpanContext{}, 1, 0, 1)
+	}
+	if len(tr.Dumps()) != 0 {
+		t.Fatal("slow retry trickle tripped the storm detector")
+	}
+}
+
+func TestDisabledDetectors(t *testing.T) {
+	tr, _ := newTestTracer(Config{Anomalies: AnomalyConfig{Disabled: true}})
+	ctx := tr.StartTrace()
+	tr.RecordMove(ctx, 0, 1, 1, 0, -1, -1)
+	for i := 0; i < 2000; i++ {
+		tr.RecordRetry(ctx, 0, 0, 1)
+	}
+	if len(tr.Dumps()) != 0 {
+		t.Fatal("disabled detectors still triggered")
+	}
+}
+
+func TestTransportAndSlotSpansCarryTags(t *testing.T) {
+	tr, _ := newTestTracer(Config{})
+	ctx := tr.StartTrace()
+	slot := tr.StartSpan(ctx, KindSlot, -1, 7)
+	start := tr.NowNs()
+	tr.RecordTransport(slot.Context(), KindSend, 3, 2, 99, start)
+	slot.FinishSlot(4, 2, 0.125)
+	d := tr.Snapshot("tags")
+	var sendEv, slotEv *Event
+	for i := range d.Events {
+		switch d.Events[i].Kind {
+		case KindSend:
+			sendEv = &d.Events[i]
+		case KindSlot:
+			slotEv = &d.Events[i]
+		}
+	}
+	if sendEv == nil || slotEv == nil {
+		t.Fatalf("missing events in %+v", d.Events)
+	}
+	if sendEv.User != 3 || sendEv.A != 2 || sendEv.B != 99 || sendEv.Dur <= 0 {
+		t.Fatalf("send span = %+v", sendEv)
+	}
+	if sendEv.Trace != slotEv.Trace || sendEv.Parent != slotEv.Span {
+		t.Fatalf("send span not parented under the slot span: %+v vs %+v", sendEv, slotEv)
+	}
+	if slotEv.A != 4 || slotEv.B != 2 || slotEv.Y != 0.125 || slotEv.Slot != 7 {
+		t.Fatalf("slot span = %+v", slotEv)
+	}
+}

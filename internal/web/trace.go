@@ -1,0 +1,117 @@
+package web
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/tracing"
+)
+
+// This file adds the /api/v1/trace/... surface: live access to the flight
+// recorder and the anomaly dumps of the tracer installed via WithTracer.
+//
+//	GET /api/v1/trace/status          -> tracer counters + anomalies (JSON)
+//	GET /api/v1/trace/recorder.jsonl  -> live recorder snapshot (JSONL v1)
+//	GET /api/v1/trace/recorder.json   -> same, Chrome trace-event format
+//	GET /api/v1/trace/dumps           -> anomaly dump directory (JSON)
+//	GET /api/v1/trace/dumps/{i}.jsonl -> dump i, JSONL
+//	GET /api/v1/trace/dumps/{i}.json  -> dump i, Chrome trace-event format
+//
+// Chrome exports load directly into chrome://tracing or ui.perfetto.dev.
+
+// WithTracer installs the tracer served under /api/v1/trace/. A nil tracer
+// leaves the endpoints returning 404 (status reports enabled=false).
+func WithTracer(tr *tracing.Tracer) Option { return func(s *Server) { s.tracer = tr } }
+
+// DumpInfo is one /api/v1/trace/dumps directory entry.
+type DumpInfo struct {
+	ID      int              `json:"id"`
+	Reason  string           `json:"reason"`
+	At      time.Time        `json:"at"`
+	Events  int              `json:"events"`
+	Anomaly *tracing.Anomaly `json:"anomaly,omitempty"`
+	JSONL   string           `json:"jsonl"`
+	Chrome  string           `json:"chrome"`
+}
+
+// serveDump writes d in the format implied by the requested extension.
+func serveDump(w http.ResponseWriter, d *tracing.Dump, chrome bool) {
+	if chrome {
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := d.WriteJSONL(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// registerTrace mounts the trace endpoints on mux.
+func (s *Server) registerTrace(mux *http.ServeMux) {
+	mux.HandleFunc("/api/v1/trace/status", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.tracer.Stats())
+	}))
+	mux.HandleFunc("/api/v1/trace/recorder.jsonl", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		if s.tracer == nil {
+			http.NotFound(w, r)
+			return
+		}
+		serveDump(w, s.tracer.Snapshot("live"), false)
+	}))
+	mux.HandleFunc("/api/v1/trace/recorder.json", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		if s.tracer == nil {
+			http.NotFound(w, r)
+			return
+		}
+		serveDump(w, s.tracer.Snapshot("live"), true)
+	}))
+	mux.HandleFunc("/api/v1/trace/dumps", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		dumps := s.tracer.Dumps()
+		infos := make([]DumpInfo, len(dumps))
+		for i, d := range dumps {
+			infos[i] = DumpInfo{
+				ID:      i,
+				Reason:  d.Reason,
+				At:      time.Unix(0, d.At),
+				Events:  len(d.Events),
+				Anomaly: d.Anomaly,
+				JSONL:   fmt.Sprintf("/api/v1/trace/dumps/%d.jsonl", i),
+				Chrome:  fmt.Sprintf("/api/v1/trace/dumps/%d.json", i),
+			}
+		}
+		writeJSON(w, struct {
+			Dumps []DumpInfo `json:"dumps"`
+		}{Dumps: infos})
+	}))
+	mux.HandleFunc("/api/v1/trace/dumps/", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/api/v1/trace/dumps/")
+		chrome := false
+		switch {
+		case strings.HasSuffix(rest, ".jsonl"):
+			rest = strings.TrimSuffix(rest, ".jsonl")
+		case strings.HasSuffix(rest, ".json"):
+			rest = strings.TrimSuffix(rest, ".json")
+			chrome = true
+		default:
+			http.NotFound(w, r)
+			return
+		}
+		id, err := strconv.Atoi(rest)
+		if err != nil || id < 0 {
+			http.NotFound(w, r)
+			return
+		}
+		dumps := s.tracer.Dumps()
+		if id >= len(dumps) {
+			http.NotFound(w, r)
+			return
+		}
+		serveDump(w, dumps[id], chrome)
+	}))
+}

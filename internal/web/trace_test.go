@@ -1,0 +1,167 @@
+package web
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/tracing"
+)
+
+// traceTestTracer builds a deterministic sampled tracer with a few recorded
+// events and, when trip is set, one triggered anomaly dump.
+func traceTestTracer(trip bool) *tracing.Tracer {
+	var clock int64
+	tr := tracing.New(tracing.Config{
+		Seed: 7,
+		Now:  func() int64 { clock += 1000; return clock },
+	})
+	ctx := tr.StartTrace()
+	span := tr.StartSpan(ctx, tracing.KindSlot, -1, 1)
+	tr.RecordMove(span.Context(), 2, 1, 0, 1, 0.5, 0.25)
+	span.FinishSlot(3, 1, 0.25)
+	if trip {
+		// A potential drop outside any fault window trips the detector.
+		tr.RecordMove(tr.StartTrace(), 1, 2, 1, 0, -0.5, -0.25)
+	}
+	return tr
+}
+
+func TestTraceStatusAndRecorder(t *testing.T) {
+	_, ts := testServer(WithTracer(traceTestTracer(false)))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/v1/trace/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st tracing.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || st.Frozen || st.Recorded == 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+
+	// JSONL snapshot round-trips through the dump reader.
+	resp, err = http.Get(ts.URL + "/api/v1/trace/recorder.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d, err := tracing.ReadJSONL(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if d.Reason != "live" || len(d.Events) == 0 {
+		t.Fatalf("bad live dump: reason=%q events=%d", d.Reason, len(d.Events))
+	}
+
+	// Chrome export parses and round-trips.
+	resp, err = http.Get(ts.URL + "/api/v1/trace/recorder.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	cd, err := tracing.ReadChromeTrace(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ReadChromeTrace: %v", err)
+	}
+	if len(cd.Events) != len(d.Events) {
+		t.Fatalf("chrome export has %d events, jsonl %d", len(cd.Events), len(d.Events))
+	}
+}
+
+func TestTraceDumps(t *testing.T) {
+	_, ts := testServer(WithTracer(traceTestTracer(true)))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/v1/trace/dumps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dir struct {
+		Dumps []DumpInfo `json:"dumps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dir); err != nil {
+		t.Fatal(err)
+	}
+	if len(dir.Dumps) != 1 {
+		t.Fatalf("want 1 anomaly dump, got %d", len(dir.Dumps))
+	}
+	info := dir.Dumps[0]
+	if info.Anomaly == nil || info.Anomaly.Name != "potential-drop" {
+		t.Fatalf("bad dump entry: %+v", info)
+	}
+
+	// Both per-dump exports resolve and parse.
+	resp, err = http.Get(ts.URL + info.JSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d, err := tracing.ReadJSONL(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Anomaly == nil || d.Anomaly.Kind != tracing.AnomalyPotentialDrop {
+		t.Fatalf("dump lost its anomaly: %+v", d.Anomaly)
+	}
+	resp, err = http.Get(ts.URL + info.Chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if _, err := tracing.ReadChromeTrace(bytes.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Out-of-range and malformed IDs 404.
+	for _, p := range []string{"/api/v1/trace/dumps/9.jsonl", "/api/v1/trace/dumps/x.json", "/api/v1/trace/dumps/0"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", p, resp.StatusCode)
+		}
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	_, ts := testServer()
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/v1/trace/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st tracing.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Enabled {
+		t.Fatal("status claims tracing enabled without a tracer")
+	}
+	for _, p := range []string{"/api/v1/trace/recorder.jsonl", "/api/v1/trace/recorder.json"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d body %q, want 404", p, resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	GET /api/v1/status        -> Status as JSON (uptime, last slot, choices)
 //	GET /api/v1/metrics.json  -> telemetry registry snapshot as JSON
 //	GET /api/v1/slots         -> recent per-slot records (ring buffer)
+//	GET /api/v1/trace/...     -> flight recorder + anomaly dumps (trace.go)
 //	GET /metrics              -> Prometheus text exposition
 //	GET /api/status           -> deprecated alias of /api/v1/status
 //	GET /                     -> plain-text summary
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/distributed"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Status is the live run state served at /api/v1/status. It is a strict
@@ -86,10 +88,11 @@ type Server struct {
 	filled bool         // ring has wrapped
 	// now is injectable for tests (WithNow); every handler and observer
 	// reads time through it.
-	now   func() time.Time
-	start time.Time
-	reg   *telemetry.Registry
-	pprof bool
+	now    func() time.Time
+	start  time.Time
+	reg    *telemetry.Registry
+	tracer *tracing.Tracer
+	pprof  bool
 }
 
 // Option customizes a Server.
@@ -277,6 +280,7 @@ func (s *Server) Handler() http.Handler {
 			Slots []SlotSample `json:"slots"`
 		}{Slots: samples})
 	}))
+	s.registerTrace(mux)
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

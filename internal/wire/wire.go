@@ -146,6 +146,16 @@ type Message struct {
 	// From is the sending user ID, or -1 for the platform.
 	From int
 
+	// TraceID, SpanID, and TraceFlags carry distributed-tracing context
+	// (internal/tracing) across process boundaries: the trace this message
+	// belongs to, the sender's span (the remote parent), and bit 0 of
+	// TraceFlags marking the trace as sampled. All-zero means "no trace
+	// context"; the fields are plain integers so the wire package stays
+	// dependency-free.
+	TraceID    uint64
+	SpanID     uint64
+	TraceFlags uint8
+
 	Hello     *Hello
 	Init      *Init
 	SlotInfo  *SlotInfo
