@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-routing bench-tracing bench-chaos repro check fmt clean
+.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-routing bench-tracing bench-wire bench-chaos repro check fmt clean
 
 all: build vet test
 
@@ -33,6 +33,8 @@ chaos:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 5s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzBinaryDecode -fuzztime 5s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzMuxFrames -fuzztime 5s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzProfileMoves -fuzztime 5s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzShortestPathEquivalence -fuzztime 5s ./internal/roadnet
 
@@ -45,6 +47,7 @@ ci: build vet test race fuzz
 	$(MAKE) bench-core BENCHTIME=20ms BENCH_OUT=/tmp/BENCH_incremental.json
 	$(MAKE) bench-routing BENCHTIME=20ms BENCH_ROUTING_OUT=/tmp/BENCH_routing.json
 	$(MAKE) bench-tracing BENCHTIME=20ms BENCH_TRACING_OUT=/tmp/BENCH_tracing.json
+	$(MAKE) bench-wire BENCHTIME=20ms BENCH_WIRE_OUT=/tmp/BENCH_wire.json
 
 # One benchmark per table/figure plus ablations; -benchtime=1x exercises
 # each once (raise for stable timings).
@@ -78,6 +81,15 @@ BENCH_TRACING_OUT ?= BENCH_tracing.json
 bench-tracing:
 	$(GO) run ./cmd/benchcore -suite tracing -benchtime $(BENCHTIME) \
 		-gate-tracing-allocs -tracing-o $(BENCH_TRACING_OUT)
+
+# Machine-readable baseline for the wire codec: binary vs gob encode/decode
+# per message kind plus multiplexer throughput, written to BENCH_wire.json.
+# Fails if the binary codec is <3x faster than gob on SlotInfo/Request
+# encode+decode or a per-slot binary path allocates.
+BENCH_WIRE_OUT ?= BENCH_wire.json
+bench-wire:
+	$(GO) run ./cmd/benchcore -suite wire -benchtime $(BENCHTIME) \
+		-min-wire-speedup 3 -gate-wire-allocs -wire-o $(BENCH_WIRE_OUT)
 
 # Convergence-slot overhead of the standard fault profile vs clean links.
 bench-chaos:

@@ -7,6 +7,8 @@
 //     builder vs the frozen reference implementations → BENCH_routing.json
 //   - tracing: the distributed tracer's disabled/unsampled/sampled hot
 //     paths and flight-recorder throughput → BENCH_tracing.json
+//   - wire: the hand-rolled binary codec vs the gob oracle per message
+//     kind, plus multiplexer throughput → BENCH_wire.json
 //
 // Examples:
 //
@@ -17,6 +19,8 @@
 //	    -min-scenario-speedup 3                                   # routing gates
 //	go run ./cmd/benchcore -suite tracing -gate-tracing-allocs \
 //	    -tracing-o BENCH_tracing.json                             # 0 allocs gate
+//	go run ./cmd/benchcore -suite wire -min-wire-speedup 3 \
+//	    -gate-wire-allocs -wire-o BENCH_wire.json                 # codec gates
 package main
 
 import (
@@ -33,11 +37,14 @@ import (
 
 func main() {
 	var (
-		suite      = flag.String("suite", "core", "which suite to run: core, routing, tracing, or all")
+		suite      = flag.String("suite", "core", "which suite to run: core, routing, tracing, wire, or all")
 		out        = flag.String("o", "BENCH_incremental.json", "output path for the core-suite JSON report")
 		routingOut = flag.String("routing-o", "BENCH_routing.json", "output path for the routing-suite JSON report")
 		tracingOut = flag.String("tracing-o", "BENCH_tracing.json", "output path for the tracing-suite JSON report")
+		wireOut    = flag.String("wire-o", "BENCH_wire.json", "output path for the wire-suite JSON report")
 		gateTrace  = flag.Bool("gate-tracing-allocs", false, "fail unless every gated tracer hot path is allocation-free")
+		gateWire   = flag.Bool("gate-wire-allocs", false, "fail unless the binary codec's per-slot encode/decode paths are allocation-free")
+		minWire    = flag.Float64("min-wire-speedup", 0, "fail unless the binary codec beats gob by this factor on SlotInfo/Request encode and decode (0 disables)")
 		benchTime  = flag.String("benchtime", "1s", "per-benchmark measuring time (testing -benchtime syntax)")
 		msFlag     = flag.String("m", "50,500,5000", "comma-separated user counts the core suite sweeps")
 		naiveMax   = flag.Int("naive-max", 500, "largest M the naive oracle is benchmarked at")
@@ -53,8 +60,9 @@ func main() {
 	runCore := *suite == "core" || *suite == "all"
 	runRouting := *suite == "routing" || *suite == "all"
 	runTracing := *suite == "tracing" || *suite == "all"
-	if !runCore && !runRouting && !runTracing {
-		fmt.Fprintf(os.Stderr, "benchcore: unknown -suite %q (want core, routing, tracing, or all)\n", *suite)
+	runWire := *suite == "wire" || *suite == "all"
+	if !runCore && !runRouting && !runTracing && !runWire {
+		fmt.Fprintf(os.Stderr, "benchcore: unknown -suite %q (want core, routing, tracing, wire, or all)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -151,6 +159,37 @@ func main() {
 		if *gateTrace {
 			if err := rep.CheckTracingAllocs(); err != nil {
 				fmt.Fprintf(os.Stderr, "benchcore: tracing gate: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if runWire {
+		rep := benchcore.RunWireSuite(*benchTime)
+
+		for _, e := range rep.Entries {
+			line := fmt.Sprintf("%-24s %12.1f ns/op %8d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+			if e.MsgsPerSec > 0 {
+				line += fmt.Sprintf(" %14.0f msgs/sec", e.MsgsPerSec)
+			}
+			fmt.Println(line)
+		}
+		for _, s := range rep.Speedups {
+			fmt.Printf("speedup %-6s %-10s %8.1fx (gob %.0f ns/op, binary %.0f ns/op)\n",
+				s.Op, s.Kind, s.Speedup, s.GobNs, s.BinaryNs)
+		}
+
+		writeJSON(*wireOut, &rep)
+
+		if *gateWire {
+			if err := rep.CheckWireAllocs(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcore: wire alloc gate: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *minWire > 0 {
+			if err := rep.CheckWireSpeedups(*minWire); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcore: wire speedup gate: %v\n", err)
 				os.Exit(1)
 			}
 		}

@@ -79,6 +79,7 @@ func main() {
 		users     = flag.Int("users", 8, "number of users (agents expected to connect)")
 		tasks     = flag.Int("tasks", 20, "number of sensing tasks")
 		policy    = flag.String("policy", "SUU", "user update selection: SUU or PUU")
+		muxFlag   = flag.Int("mux", 0, "accept this many multiplexed agent connections (see useragent -mux-users) instead of one TCP connection per agent; 0 = per-agent connections")
 		instance  = flag.String("instance", "", "load the game instance from a JSON file instead of building a scenario")
 		dump      = flag.String("dump-instance", "", "write the game instance as JSON to this file before serving")
 		httpAddr  = flag.String("http", "", "serve the monitoring API (/api/v1/*, /metrics, /healthz) on this address")
@@ -161,7 +162,12 @@ func main() {
 			fmt.Printf("platformd: profiling at http://%s/debug/pprof/\n", *httpAddr)
 		}
 	}
-	stats, err := distributed.ServeTCP(ln, in, pcfg)
+	var stats distributed.RunStats
+	if *muxFlag > 0 {
+		stats, err = distributed.ServeTCPMux(ln, in, pcfg, *muxFlag)
+	} else {
+		stats, err = distributed.ServeTCP(ln, in, pcfg)
+	}
 	if tracer != nil {
 		// The final snapshot captures the whole run (or its tail, when the
 		// recorder wrapped) even when no anomaly fired.

@@ -8,12 +8,16 @@
 //
 //	useragent -addr :7700 -user 3 -dataset Shanghai -seed 9 -users 8 -tasks 20
 //	useragent -addr :7700 -user 3 -alpha 0.8 -beta 0.2 -gamma 0.1
+//	# run a whole fleet over one multiplexed connection (platformd -mux 1):
+//	useragent -addr :7700 -mux-users 0,1,2,3,4,5,6,7 -dataset Shanghai -seed 9
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/distributed"
@@ -22,6 +26,26 @@ import (
 	"repro/internal/trace"
 	"repro/internal/tracing"
 )
+
+// parseUserList parses a comma-separated list of user IDs.
+func parseUserList(s string) ([]int, error) {
+	var ids []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		id, err := strconv.Atoi(f)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad user id %q", f)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("empty user list")
+	}
+	return ids, nil
+}
 
 func main() {
 	var (
@@ -36,9 +60,14 @@ func main() {
 		gamma    = flag.Float64("gamma", 0, "explicit γ_i (0 = derive from scenario)")
 		instance = flag.String("instance", "", "derive weights from this instance JSON (written by platformd -dump-instance)")
 		traceDir = flag.String("trace-dir", "", "record this agent's transport spans (under the platform's trace IDs) and write the flight recorder here on exit")
+		muxUsers = flag.String("mux-users", "", "comma-separated user IDs to run over one multiplexed connection (requires platformd -mux); overrides -user")
 	)
 	flag.Parse()
 
+	if *muxUsers != "" {
+		runMux(*addr, *muxUsers, *instance, *dataset, *seed, *users, *tasks, *traceDir)
+		return
+	}
 	if *user < 0 {
 		fmt.Fprintln(os.Stderr, "useragent: -user is required")
 		os.Exit(2)
@@ -113,4 +142,75 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("useragent %d: equilibrium reached, terminating\n", *user)
+}
+
+// loadSharedInstance builds the full game instance the fleet derives its
+// weights from: the JSON file when given, the shared scenario otherwise.
+func loadSharedInstance(instance, dataset string, seed uint64, users, tasks int) (*core.Instance, error) {
+	if instance != "" {
+		f, err := os.Open(instance)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.ReadJSON(f)
+	}
+	spec, err := trace.SpecByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	w, err := experiments.NewWorld(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := w.BuildScenario(experiments.ScenarioConfig{Users: users, Tasks: tasks}, rng.New(seed).Child())
+	if err != nil {
+		return nil, err
+	}
+	return sc.Instance, nil
+}
+
+// runMux runs a fleet of agents over one multiplexed TCP connection.
+func runMux(addr, muxUsers, instance, dataset string, seed uint64, users, tasks int, traceDir string) {
+	ids, err := parseUserList(muxUsers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "useragent: -mux-users: %v\n", err)
+		os.Exit(2)
+	}
+	in, err := loadSharedInstance(instance, dataset, seed, users, tasks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "useragent: %v\n", err)
+		os.Exit(1)
+	}
+	var tracer *tracing.Tracer
+	if traceDir != "" {
+		tracer = tracing.New(tracing.Config{})
+	}
+	cfgs := make([]distributed.AgentConfig, len(ids))
+	for j, id := range ids {
+		if id >= in.NumUsers() {
+			fmt.Fprintf(os.Stderr, "useragent: user %d outside instance (%d users)\n", id, in.NumUsers())
+			os.Exit(2)
+		}
+		u := in.Users[id]
+		cfgs[j] = distributed.AgentConfig{
+			User: id, Alpha: u.Alpha, Beta: u.Beta, Gamma: u.Gamma,
+			Seed: seed + uint64(id), Tracer: tracer,
+		}
+	}
+	fmt.Printf("useragent: %d agents over one muxed connection to %s\n", len(ids), addr)
+	err = distributed.DialTCPMux(addr, cfgs)
+	if tracer != nil {
+		jsonl, chrome, werr := tracer.Snapshot("final").WriteFiles(traceDir, "agents-mux-final")
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "useragent: trace dump: %v\n", werr)
+		} else {
+			fmt.Printf("useragent: flight recorder written to %s and %s\n", jsonl, chrome)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "useragent: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("useragent: equilibrium reached, %d agents terminated\n", len(ids))
 }

@@ -44,6 +44,11 @@ type ChaosOptions struct {
 	// Retry is applied to both sides of every link; the zero value means
 	// DefaultRetry whenever any fault profile is active.
 	Retry RetryPolicy
+	// Links supplies the raw transport pair for user i (platform end, agent
+	// end). Nil means in-process channel pairs; the mux chaos tests supply
+	// channels multiplexed over one shared stream here. The fault, retry,
+	// dedup, and tracing decorators stack on top of whatever Links returns.
+	Links func(user int) (platform, agent Conn, err error)
 }
 
 // DefaultMaxRestarts bounds per-agent restarts in RunChaos.
@@ -88,13 +93,24 @@ func runChaos(in *core.Instance, opts ChaosOptions) (ChaosStats, error) {
 	opts.AgentProfile.DisconnectAfterOps = 0
 	opts.PlatformProfile.DisconnectAfterOps = 0
 
+	links := opts.Links
+	if links == nil {
+		links = func(int) (Conn, Conn, error) {
+			pc, ac := ChanPair(64)
+			return pc, ac, nil
+		}
+	}
+
 	log := &FaultLog{}
 	tr := opts.Platform.Tracer
-	raw := make([]Conn, n)       // underlying channel ends, platform side
+	raw := make([]Conn, n)       // underlying transport ends, platform side
 	platConns := make([]Conn, n) // decorated platform side
 	agentFault := make([]*FaultConn, n)
 	for i := 0; i < n; i++ {
-		pc, ac := ChanPair(64)
+		pc, ac, err := links(i)
+		if err != nil {
+			return ChaosStats{}, fmt.Errorf("building link %d: %w", i, err)
+		}
 		raw[i] = pc
 		fc := NewFaultConn(pc, opts.PlatformProfile, faultSeed(opts.Seed, i, 0), log).WithTracer(tr, i)
 		platConns[i] = WithRetryTraced(fc, opts.Retry, tr, i)

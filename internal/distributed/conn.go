@@ -76,25 +76,27 @@ func (c *chanConn) Close() error {
 	return nil
 }
 
-// --- TCP (gob) transport ---
+// --- TCP (binary codec) transport ---
 
 type netConn struct {
 	nc          net.Conn
-	codec       *wire.Codec
+	codec       *wire.BinaryCodec
 	wmu         sync.Mutex
 	recvTimeout time.Duration
 }
 
-// NewNetConn wraps a net.Conn with the gob codec.
+// NewNetConn wraps a net.Conn with the binary codec (see internal/wire and
+// docs/WIRE.md; the gob codec is retained only as the differential-testing
+// oracle).
 func NewNetConn(nc net.Conn) Conn {
-	return &netConn{nc: nc, codec: wire.NewCodec(nc, nc)}
+	return &netConn{nc: nc, codec: wire.NewBinaryCodec(nc, nc)}
 }
 
-// NewNetConnTimeout wraps a net.Conn with the gob codec and applies the
+// NewNetConnTimeout wraps a net.Conn with the binary codec and applies the
 // given read deadline to every Recv, so a crashed or stalled peer surfaces
 // as an error instead of blocking the platform forever.
 func NewNetConnTimeout(nc net.Conn, recvTimeout time.Duration) Conn {
-	return &netConn{nc: nc, codec: wire.NewCodec(nc, nc), recvTimeout: recvTimeout}
+	return &netConn{nc: nc, codec: wire.NewBinaryCodec(nc, nc), recvTimeout: recvTimeout}
 }
 
 func (c *netConn) Send(m *wire.Message) error {

@@ -1,0 +1,647 @@
+package wire
+
+// This file implements the hand-rolled binary codec that carries the
+// protocol in production. The gob Codec (wire.go) is retained as the
+// differential-testing oracle: the golden corpus, the property-based
+// differential suite, and the fuzz targets all prove the two agree before
+// the binary format is trusted.
+//
+// Frame layout (see docs/WIRE.md for the full diagram):
+//
+//	+----------------+------------------------------------------+
+//	| length uint32  | frame: fixed header + per-kind body      |
+//	| little-endian  | (length counts header+body, not itself)  |
+//	+----------------+------------------------------------------+
+//
+// Fixed header, 41 bytes, all little-endian:
+//
+//	off  0  magic   2 bytes  'v' 'c'
+//	off  2  version 1 byte   BinaryVersion
+//	off  3  kind    1 byte   Kind
+//	off  4  seq     8 bytes  uint64
+//	off 12  epoch   4 bytes  uint32
+//	off 16  from    8 bytes  int64 (two's complement)
+//	off 24  trace   8 bytes  uint64 TraceID
+//	off 32  span    8 bytes  uint64 SpanID
+//	off 40  flags   1 byte   TraceFlags
+//
+// Bodies pack task IDs, counts, slots, and routes as varints (zigzag for
+// signed values, uvarint for lengths) and float64s as 8-byte LE IEEE-754
+// bits. Maps are encoded with keys in ascending order, so encoding is
+// canonical: the same Message always produces the same bytes, which is what
+// makes the committed golden corpus a byte-stability oracle.
+//
+// Nil semantics mirror the gob oracle exactly (proven by the differential
+// suite): zero-length slices decode to nil (gob omits empty slices), while
+// maps keep the nil/empty distinction — map counts are biased by one on the
+// wire (0 = nil map, n+1 = map with n entries).
+//
+// Decoding is hardened: every read is bounds-checked, collection lengths
+// are validated against the remaining frame bytes before any allocation,
+// and malformed input of any shape returns an error — never a panic.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+)
+
+// Binary frame constants.
+const (
+	binaryMagic0 = 'v'
+	binaryMagic1 = 'c'
+	// BinaryVersion is the wire-format version stamped into every frame.
+	// Decoders reject frames from other versions; see docs/WIRE.md for the
+	// compatibility policy.
+	BinaryVersion = 1
+	// binaryHeaderLen is the fixed envelope header inside every frame.
+	binaryHeaderLen = 41
+	// MaxFrameLen bounds the length prefix a decoder honors. Protocol
+	// messages are tiny (tens to a few thousand bytes); anything near this
+	// limit is hostile or corrupt, and refusing it caps the memory an
+	// adversarial stream can make a decoder allocate.
+	MaxFrameLen = 1 << 20
+)
+
+// Decode error taxonomy. All are returned wrapped in a "wire: decode"
+// context; none of them ever surfaces as a panic.
+var (
+	// ErrFrameTooLarge reports a length prefix above MaxFrameLen.
+	ErrFrameTooLarge = errors.New("frame length exceeds MaxFrameLen")
+	errShortFrame    = errors.New("frame shorter than fixed header")
+	errBadMagic      = errors.New("bad frame magic")
+	errTruncated     = errors.New("truncated frame")
+	errTrailing      = errors.New("trailing bytes after payload")
+	errVarint        = errors.New("malformed varint")
+	errLength        = errors.New("collection length exceeds frame")
+)
+
+// BinaryCodec encodes and decodes Messages in the binary frame format over
+// a byte stream. Encode and DecodeInto reuse per-codec scratch buffers, so
+// a warm codec runs allocation-free in steady state; like the gob Codec,
+// one codec must not be shared by concurrent writers or concurrent readers.
+type BinaryCodec struct {
+	w io.Writer
+	r io.Reader
+
+	enc  []byte // encode scratch: the whole outgoing frame
+	keys []int  // encode scratch: sorted map keys for canonical order
+	rbuf []byte // decode scratch: the incoming frame
+	lenb [4]byte
+}
+
+// NewBinaryCodec wraps a stream. For a bidirectional connection pass the
+// same net.Conn as both reader and writer.
+func NewBinaryCodec(r io.Reader, w io.Writer) *BinaryCodec {
+	return &BinaryCodec{r: r, w: w}
+}
+
+// Encode writes one message as a single length-prefixed frame.
+func (c *BinaryCodec) Encode(m *Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	buf, keys, err := appendFrame(c.enc[:0], m, c.keys)
+	c.keys = keys
+	if err != nil {
+		return err
+	}
+	c.enc = buf
+	_, err = c.w.Write(buf)
+	return err
+}
+
+// Decode reads one message, always into fresh storage: the result does not
+// alias codec scratch or any previously decoded message.
+func (c *BinaryCodec) Decode() (*Message, error) {
+	m := new(Message)
+	if err := c.DecodeInto(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeInto reads one message into m, reusing whatever payload storage m
+// already carries (payload structs, maps, slice capacity) when the incoming
+// kind matches. Decoding the same kind repeatedly into one message is
+// allocation-free in steady state. The previous contents of m — including
+// maps and slices other references may alias — are overwritten.
+func (c *BinaryCodec) DecodeInto(m *Message) error {
+	frame, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	if err := parseFrame(frame, m); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame into the codec's scratch. A
+// clean EOF at a frame boundary surfaces as io.EOF; EOF mid-frame is an
+// unexpected-EOF error.
+func (c *BinaryCodec) readFrame() ([]byte, error) {
+	if _, err := io.ReadFull(c.r, c.lenb[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: decode: reading frame length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(c.lenb[:])
+	if n < binaryHeaderLen {
+		return nil, fmt.Errorf("wire: decode: %w (%d bytes)", errShortFrame, n)
+	}
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("wire: decode: %w (%d bytes)", ErrFrameTooLarge, n)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	buf := c.rbuf[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, fmt.Errorf("wire: decode: reading frame body: %w", err)
+	}
+	return buf, nil
+}
+
+// AppendFrame appends m encoded as one length-prefixed binary frame to dst
+// and returns the extended slice. It is the allocation-friendly building
+// block the mux uses to pre-encode frames into per-channel queues.
+func AppendFrame(dst []byte, m *Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return dst, err
+	}
+	out, _, err := appendFrame(dst, m, nil)
+	return out, err
+}
+
+// appendFrame appends the length prefix, fixed header, and body. keys is
+// the caller's reusable scratch for canonical map-key ordering; the
+// (possibly grown) scratch is returned for reuse.
+func appendFrame(dst []byte, m *Message, keys []int) ([]byte, []int, error) {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	dst = append(dst, binaryMagic0, binaryMagic1, BinaryVersion, byte(m.Kind))
+	dst = binary.LittleEndian.AppendUint64(dst, m.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(m.From)))
+	dst = binary.LittleEndian.AppendUint64(dst, m.TraceID)
+	dst = binary.LittleEndian.AppendUint64(dst, m.SpanID)
+	dst = append(dst, m.TraceFlags)
+	var err error
+	dst, keys, err = appendBody(dst, m, keys)
+	if err != nil {
+		return dst[:base], keys, err
+	}
+	n := len(dst) - base - 4
+	if n > MaxFrameLen {
+		return dst[:base], keys, fmt.Errorf("wire: encode: %w (%d bytes)", ErrFrameTooLarge, n)
+	}
+	binary.LittleEndian.PutUint32(dst[base:], uint32(n))
+	return dst, keys, nil
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendIntSlice(dst []byte, s []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	for _, v := range s {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+// appendBody encodes the kind-specific payload. Map entries are written in
+// ascending key order so the encoding is canonical.
+func appendBody(dst []byte, m *Message, keys []int) ([]byte, []int, error) {
+	switch m.Kind {
+	case KindHello:
+		dst = binary.AppendVarint(dst, int64(m.Hello.User))
+		dst = appendBool(dst, m.Hello.Resume)
+	case KindInit:
+		in := m.Init
+		dst = binary.AppendVarint(dst, int64(in.User))
+		dst = binary.AppendVarint(dst, int64(in.CurrentRoute))
+		dst = binary.AppendUvarint(dst, uint64(len(in.Routes)))
+		for i := range in.Routes {
+			r := &in.Routes[i]
+			dst = appendIntSlice(dst, r.Tasks)
+			dst = appendFloat(dst, r.DetourCost)
+			dst = appendFloat(dst, r.CongestionCost)
+		}
+		if in.Tasks == nil {
+			dst = append(dst, 0)
+		} else {
+			keys = keys[:0]
+			for k := range in.Tasks {
+				keys = append(keys, k)
+			}
+			slices.Sort(keys)
+			dst = binary.AppendUvarint(dst, uint64(len(keys))+1)
+			for _, k := range keys {
+				p := in.Tasks[k]
+				dst = binary.AppendVarint(dst, int64(k))
+				dst = appendFloat(dst, p.A)
+				dst = appendFloat(dst, p.Mu)
+			}
+		}
+	case KindSlotInfo:
+		si := m.SlotInfo
+		dst = binary.AppendVarint(dst, int64(si.Slot))
+		if si.Counts == nil {
+			dst = append(dst, 0)
+		} else {
+			keys = keys[:0]
+			for k := range si.Counts {
+				keys = append(keys, k)
+			}
+			slices.Sort(keys)
+			dst = binary.AppendUvarint(dst, uint64(len(keys))+1)
+			for _, k := range keys {
+				dst = binary.AppendVarint(dst, int64(k))
+				dst = binary.AppendVarint(dst, int64(si.Counts[k]))
+			}
+		}
+	case KindRequest:
+		r := m.Request
+		dst = binary.AppendVarint(dst, int64(r.Slot))
+		dst = appendBool(dst, r.HasUpdate)
+		dst = binary.AppendVarint(dst, int64(r.Route))
+		dst = appendFloat(dst, r.Tau)
+		dst = appendIntSlice(dst, r.B)
+	case KindGrant:
+		dst = binary.AppendVarint(dst, int64(m.Grant.Slot))
+	case KindDecision:
+		dst = binary.AppendVarint(dst, int64(m.Decision.Slot))
+		dst = binary.AppendVarint(dst, int64(m.Decision.Route))
+	case KindTerminate:
+		dst = binary.AppendVarint(dst, int64(m.Terminate.Slot))
+	default:
+		return dst, keys, fmt.Errorf("wire: encode: unknown kind %d", m.Kind)
+	}
+	return dst, keys, nil
+}
+
+// frameReader is a bounds-checked cursor over one frame's body.
+type frameReader struct {
+	b []byte
+}
+
+func (r *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errVarint
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *frameReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, errVarint
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *frameReader) float() (float64, error) {
+	if len(r.b) < 8 {
+		return 0, errTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *frameReader) bool() (bool, error) {
+	if len(r.b) < 1 {
+		return false, errTruncated
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v != 0, nil
+}
+
+// length reads a collection length and validates it against the bytes left
+// in the frame (minElem is the smallest possible encoded element), so a
+// hostile length prefix can never force a large allocation.
+func (r *frameReader) length(minElem int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.b)/minElem) {
+		return 0, errLength
+	}
+	return int(v), nil
+}
+
+// mapLength reads a biased map count: 0 means a nil map (isNil true), n+1
+// means n entries. Like length, the entry count is validated against the
+// remaining frame bytes before the caller allocates anything.
+func (r *frameReader) mapLength(minElem int) (n int, isNil bool, err error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, false, err
+	}
+	if v == 0 {
+		return 0, true, nil
+	}
+	v--
+	if v > uint64(len(r.b)/minElem) {
+		return 0, false, errLength
+	}
+	return int(v), false, nil
+}
+
+// intSlice decodes a varint-packed []int, reusing old's capacity. A zero
+// length decodes to nil, matching what a gob round trip produces for empty
+// slices.
+func (r *frameReader) intSlice(old []int) ([]int, error) {
+	n, err := r.length(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	s := old[:0]
+	for i := 0; i < n; i++ {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		s = append(s, int(v))
+	}
+	return s, nil
+}
+
+// parseFrame decodes one frame (header + body, no length prefix) into m,
+// reusing m's existing payload storage where the kinds line up.
+func parseFrame(frame []byte, m *Message) error {
+	if len(frame) < binaryHeaderLen {
+		return errShortFrame
+	}
+	if frame[0] != binaryMagic0 || frame[1] != binaryMagic1 {
+		return errBadMagic
+	}
+	if frame[2] != BinaryVersion {
+		return fmt.Errorf("unsupported frame version %d (want %d)", frame[2], BinaryVersion)
+	}
+	kind := Kind(frame[3])
+	old := *m
+	*m = Message{
+		Kind:       kind,
+		Seq:        binary.LittleEndian.Uint64(frame[4:]),
+		Epoch:      binary.LittleEndian.Uint32(frame[12:]),
+		From:       int(int64(binary.LittleEndian.Uint64(frame[16:]))),
+		TraceID:    binary.LittleEndian.Uint64(frame[24:]),
+		SpanID:     binary.LittleEndian.Uint64(frame[32:]),
+		TraceFlags: frame[40],
+	}
+	r := frameReader{b: frame[binaryHeaderLen:]}
+	var err error
+	switch kind {
+	case KindHello:
+		err = parseHello(&r, m, old.Hello)
+	case KindInit:
+		err = parseInit(&r, m, old.Init)
+	case KindSlotInfo:
+		err = parseSlotInfo(&r, m, old.SlotInfo)
+	case KindRequest:
+		err = parseRequest(&r, m, old.Request)
+	case KindGrant:
+		err = parseGrant(&r, m, old.Grant)
+	case KindDecision:
+		err = parseDecision(&r, m, old.Decision)
+	case KindTerminate:
+		err = parseTerminate(&r, m, old.Terminate)
+	default:
+		return fmt.Errorf("unknown kind %d", frame[3])
+	}
+	if err != nil {
+		return err
+	}
+	if len(r.b) != 0 {
+		return errTrailing
+	}
+	return nil
+}
+
+func parseHello(r *frameReader, m *Message, old *Hello) error {
+	user, err := r.varint()
+	if err != nil {
+		return err
+	}
+	resume, err := r.bool()
+	if err != nil {
+		return err
+	}
+	if old == nil {
+		old = new(Hello)
+	}
+	*old = Hello{User: int(user), Resume: resume}
+	m.Hello = old
+	return nil
+}
+
+func parseInit(r *frameReader, m *Message, old *Init) error {
+	if old == nil {
+		old = new(Init)
+	}
+	user, err := r.varint()
+	if err != nil {
+		return err
+	}
+	current, err := r.varint()
+	if err != nil {
+		return err
+	}
+	// A route encodes at least a task count (1 byte) plus two float64s.
+	nr, err := r.length(17)
+	if err != nil {
+		return err
+	}
+	routes := old.Routes
+	if nr == 0 {
+		routes = nil
+	} else {
+		if cap(routes) >= nr {
+			routes = routes[:nr]
+		} else {
+			routes = make([]RouteInfo, nr)
+		}
+		for i := range routes {
+			tasks, err := r.intSlice(routes[i].Tasks)
+			if err != nil {
+				return err
+			}
+			d, err := r.float()
+			if err != nil {
+				return err
+			}
+			cg, err := r.float()
+			if err != nil {
+				return err
+			}
+			routes[i] = RouteInfo{Tasks: tasks, DetourCost: d, CongestionCost: cg}
+		}
+	}
+	// A task-param entry is at least a 1-byte key plus two float64s.
+	nt, nilMap, err := r.mapLength(17)
+	if err != nil {
+		return err
+	}
+	params := old.Tasks
+	if nilMap {
+		params = nil
+	} else {
+		if params == nil {
+			params = make(map[int]TaskParam, nt)
+		} else {
+			clear(params)
+		}
+		for i := 0; i < nt; i++ {
+			k, err := r.varint()
+			if err != nil {
+				return err
+			}
+			a, err := r.float()
+			if err != nil {
+				return err
+			}
+			mu, err := r.float()
+			if err != nil {
+				return err
+			}
+			params[int(k)] = TaskParam{A: a, Mu: mu}
+		}
+	}
+	*old = Init{User: int(user), Routes: routes, Tasks: params, CurrentRoute: int(current)}
+	m.Init = old
+	return nil
+}
+
+func parseSlotInfo(r *frameReader, m *Message, old *SlotInfo) error {
+	if old == nil {
+		old = new(SlotInfo)
+	}
+	slot, err := r.varint()
+	if err != nil {
+		return err
+	}
+	// A counts entry is at least a 1-byte key plus a 1-byte value.
+	n, nilMap, err := r.mapLength(2)
+	if err != nil {
+		return err
+	}
+	counts := old.Counts
+	if nilMap {
+		counts = nil
+	} else {
+		if counts == nil {
+			counts = make(map[int]int, n)
+		} else {
+			clear(counts)
+		}
+		for i := 0; i < n; i++ {
+			k, err := r.varint()
+			if err != nil {
+				return err
+			}
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			counts[int(k)] = int(v)
+		}
+	}
+	*old = SlotInfo{Slot: int(slot), Counts: counts}
+	m.SlotInfo = old
+	return nil
+}
+
+func parseRequest(r *frameReader, m *Message, old *Request) error {
+	if old == nil {
+		old = new(Request)
+	}
+	slot, err := r.varint()
+	if err != nil {
+		return err
+	}
+	has, err := r.bool()
+	if err != nil {
+		return err
+	}
+	route, err := r.varint()
+	if err != nil {
+		return err
+	}
+	tau, err := r.float()
+	if err != nil {
+		return err
+	}
+	b, err := r.intSlice(old.B)
+	if err != nil {
+		return err
+	}
+	*old = Request{Slot: int(slot), HasUpdate: has, Route: int(route), Tau: tau, B: b}
+	m.Request = old
+	return nil
+}
+
+func parseGrant(r *frameReader, m *Message, old *Grant) error {
+	slot, err := r.varint()
+	if err != nil {
+		return err
+	}
+	if old == nil {
+		old = new(Grant)
+	}
+	*old = Grant{Slot: int(slot)}
+	m.Grant = old
+	return nil
+}
+
+func parseDecision(r *frameReader, m *Message, old *Decision) error {
+	slot, err := r.varint()
+	if err != nil {
+		return err
+	}
+	route, err := r.varint()
+	if err != nil {
+		return err
+	}
+	if old == nil {
+		old = new(Decision)
+	}
+	*old = Decision{Slot: int(slot), Route: int(route)}
+	m.Decision = old
+	return nil
+}
+
+func parseTerminate(r *frameReader, m *Message, old *Terminate) error {
+	slot, err := r.varint()
+	if err != nil {
+		return err
+	}
+	if old == nil {
+		old = new(Terminate)
+	}
+	*old = Terminate{Slot: int(slot)}
+	m.Terminate = old
+	return nil
+}

@@ -1,7 +1,11 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
@@ -106,6 +110,126 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		}
 		if !reflect.DeepEqual(in, out) {
 			t.Fatalf("round trip changed message:\n in %+v\nout %+v", in, out)
+		}
+	})
+}
+
+// goldenFrames loads the committed golden corpus; the binary fuzz targets
+// seed from it so mutation starts at real frames of every kind.
+func goldenFrames(f *testing.F) [][]byte {
+	f.Helper()
+	var frames [][]byte
+	for _, tc := range goldenCases() {
+		data, err := os.ReadFile(filepath.Join("testdata", tc.name+".bin"))
+		if err != nil {
+			f.Fatalf("golden corpus missing (run -update-golden): %v", err)
+		}
+		frames = append(frames, data)
+	}
+	return frames
+}
+
+// FuzzBinaryDecode feeds arbitrary byte streams to the binary decoder.
+// Whatever the bytes — truncations, bit-flips, oversized length prefixes —
+// Decode must return a message or an error, never panic, and any message it
+// accepts must be valid and a canonical fixpoint: re-encoding the decode of
+// its own encoding reproduces the bytes exactly.
+func FuzzBinaryDecode(f *testing.F) {
+	frames := goldenFrames(f)
+	var full []byte
+	for _, fr := range frames {
+		f.Add(fr)
+		full = append(full, fr...)
+	}
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:3])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // hostile length prefix
+	corrupt := append([]byte(nil), full...)
+	corrupt[10] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewBinaryCodec(bytes.NewReader(data), nil)
+		for i := 0; i < 64; i++ { // bound work on streams with many messages
+			m, err := c.Decode()
+			if err != nil {
+				return
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("Decode returned invalid message: %v", err)
+			}
+			e1, err := AppendFrame(nil, m)
+			if err != nil {
+				t.Fatalf("accepted message failed to re-encode: %v", err)
+			}
+			m2, err := NewBinaryCodec(bytes.NewReader(e1), nil).Decode()
+			if err != nil {
+				t.Fatalf("re-encoded frame failed to decode: %v", err)
+			}
+			e2, err := AppendFrame(nil, m2)
+			if err != nil {
+				t.Fatalf("second re-encode failed: %v", err)
+			}
+			if !bytes.Equal(e1, e2) {
+				t.Fatalf("encoding not canonical:\n e1 % x\n e2 % x", e1, e2)
+			}
+		}
+	})
+}
+
+// muxStream prefixes each frame with its channel ID and the data frame
+// type, building a valid mux byte stream.
+func muxStream(ids []uint64, frames [][]byte) []byte {
+	var out []byte
+	for i, fr := range frames {
+		out = binary.AppendUvarint(out, ids[i%len(ids)])
+		out = append(out, muxFrameData)
+		out = append(out, fr...)
+	}
+	return out
+}
+
+// FuzzMuxFrames fuzzes the mux demux loop: interleaved channel frames,
+// close frames, truncations, bit-flips, and oversized prefixes must all
+// surface as errors or valid frames — never a panic — and every accepted
+// data frame must carry a valid, re-encodable message.
+func FuzzMuxFrames(f *testing.F) {
+	frames := goldenFrames(f)
+	f.Add(muxStream([]uint64{0}, frames))
+	f.Add(muxStream([]uint64{0, 1, 2}, frames)) // interleaved channels
+	withClose := muxStream([]uint64{7}, frames[:2])
+	withClose = binary.AppendUvarint(withClose, 7)
+	withClose = append(withClose, muxFrameClose)
+	f.Add(withClose)
+	full := muxStream([]uint64{0, 1}, frames)
+	f.Add(full[:len(full)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x00, muxFrameData, 0xff, 0xff, 0xff, 0xff}) // hostile length
+	f.Add([]byte{0x00, 0x7f})                                 // unknown frame type
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/3] ^= 0x80
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		for i := 0; i < 256; i++ {
+			id, typ, msg, nbuf, err := readMuxFrame(br, buf, 1<<20)
+			buf = nbuf
+			if err != nil {
+				return
+			}
+			if id > 1<<20 {
+				t.Fatalf("accepted out-of-range channel id %d", id)
+			}
+			if typ == muxFrameData {
+				if err := msg.Validate(); err != nil {
+					t.Fatalf("accepted invalid message: %v", err)
+				}
+				if _, err := AppendFrame(nil, msg); err != nil {
+					t.Fatalf("accepted message failed to re-encode: %v", err)
+				}
+			}
 		}
 	})
 }

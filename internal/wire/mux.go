@@ -1,0 +1,499 @@
+package wire
+
+// This file implements frame-level connection multiplexing: many agent
+// message streams share one byte stream (one TCP connection), so a platform
+// can hold thousands of agents without a socket and goroutine pair each.
+//
+// Mux frame layout (see docs/WIRE.md):
+//
+//	uvarint channel ID | 1-byte frame type | [binary message frame]
+//
+// Frame type 0 (data) is followed by one length-prefixed binary message
+// frame exactly as NewBinaryCodec produces; frame type 1 (close) has no
+// body and tears down the named channel on the receiving side.
+//
+// Flow control is sender-side: every channel owns a bounded queue of
+// pre-encoded frames, Send blocks only when its own channel's queue is
+// full, and a single writer goroutine drains the queues in round-robin
+// order, so one flooding channel cannot starve its siblings of the shared
+// connection. On the receive side the demux loop never blocks on a slow
+// consumer: frames are parked in the target channel's receive queue, and a
+// channel whose consumer stalls past RecvHighWater fails alone with
+// ErrRecvOverflow while its siblings keep flowing.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Mux frame types.
+const (
+	muxFrameData  = 0x00
+	muxFrameClose = 0x01
+)
+
+// Mux session errors.
+var (
+	// ErrMuxClosed reports an operation on a closed mux session.
+	ErrMuxClosed = errors.New("wire: mux closed")
+	// ErrChannelClosed reports an operation on a closed mux channel.
+	ErrChannelClosed = errors.New("wire: mux channel closed")
+	// ErrRecvOverflow fails a channel whose consumer stalled long enough
+	// for RecvHighWater undelivered messages to pile up. Only the stalled
+	// channel fails; its siblings keep flowing.
+	ErrRecvOverflow = errors.New("wire: mux channel receive queue overflow (stalled consumer)")
+)
+
+// MuxOptions tunes a mux session. The zero value selects the defaults.
+type MuxOptions struct {
+	// SendQueue is the per-channel send-queue capacity in frames; a Send on
+	// a full channel blocks until the writer drains it (backpressure).
+	// Default 16.
+	SendQueue int
+	// RecvHighWater is the per-channel receive-queue cap. The protocol
+	// bounds per-channel in-flight traffic to a handful of messages, so
+	// hitting this means the consumer is stuck (or the peer is flooding);
+	// the channel fails with ErrRecvOverflow rather than blocking siblings.
+	// Default 4096.
+	RecvHighWater int
+	// MaxChannelID bounds channel IDs accepted from the peer; hostile IDs
+	// above it kill the session. Default 1<<20.
+	MaxChannelID uint32
+	// MaxChannels bounds the number of distinct channels a session holds.
+	// Default 1<<16.
+	MaxChannels int
+}
+
+func (o MuxOptions) withDefaults() MuxOptions {
+	if o.SendQueue <= 0 {
+		o.SendQueue = 16
+	}
+	if o.RecvHighWater <= 0 {
+		o.RecvHighWater = 4096
+	}
+	if o.MaxChannelID == 0 {
+		o.MaxChannelID = 1 << 20
+	}
+	if o.MaxChannels <= 0 {
+		o.MaxChannels = 1 << 16
+	}
+	return o
+}
+
+// Mux multiplexes many message channels over one byte stream. Both ends of
+// a connection run a Mux; a channel is identified by the same ID on both
+// sides (this protocol uses the user ID). All channel operations are safe
+// for concurrent use.
+type Mux struct {
+	rw   io.ReadWriteCloser
+	opts MuxOptions
+
+	mu      sync.Mutex
+	wcond   sync.Cond // wakes the writer when a queue becomes non-empty
+	acond   sync.Cond // wakes Accept when a new channel arrives
+	dcond   sync.Cond // wakes Drain when the writer goes idle
+	chans   map[uint32]*MuxChannel
+	ring    []*MuxChannel // creation order; the writer's round-robin ring
+	rr      int           // next ring slot the writer inspects
+	accept  []*MuxChannel
+	writing bool // a popped frame is being written outside the lock
+	err     error
+}
+
+// NewMux starts a mux session over rw and its reader/writer goroutines.
+// Close the mux (or the underlying stream) to stop them.
+func NewMux(rw io.ReadWriteCloser, opts MuxOptions) *Mux {
+	m := &Mux{rw: rw, opts: opts.withDefaults(), chans: map[uint32]*MuxChannel{}}
+	m.wcond.L = &m.mu
+	m.acond.L = &m.mu
+	m.dcond.L = &m.mu
+	go m.writeLoop()
+	go m.readLoop()
+	return m
+}
+
+// MuxChannel is one multiplexed message stream. It satisfies the same
+// Send/Recv/Close contract as the Conn transports in package distributed,
+// so the retry, dedup, fault-injection, and tracing decorators compose over
+// it unchanged.
+type MuxChannel struct {
+	mux     *Mux
+	id      uint32
+	claimed bool // handed out via Channel or Accept
+
+	// All fields below are guarded by mux.mu.
+	sendq       [][]byte
+	sendWait    sync.Cond
+	recvWait    sync.Cond
+	rq          []*Message
+	localClosed bool
+	peerClosed  bool
+	failed      error
+}
+
+// channelLocked returns the channel with the given ID, creating it if new.
+func (m *Mux) channelLocked(id uint32) (*MuxChannel, error) {
+	if c, ok := m.chans[id]; ok {
+		return c, nil
+	}
+	if len(m.chans) >= m.opts.MaxChannels {
+		return nil, fmt.Errorf("wire: mux channel limit %d exceeded", m.opts.MaxChannels)
+	}
+	c := &MuxChannel{mux: m, id: id}
+	c.sendWait.L = &m.mu
+	c.recvWait.L = &m.mu
+	m.chans[id] = c
+	m.ring = append(m.ring, c)
+	return c, nil
+}
+
+// Channel returns the channel with the given ID, creating it if necessary.
+// Both sides of a connection address a stream by the same ID, so no
+// handshake is needed: frames sent here surface on the peer's channel with
+// the same ID.
+func (m *Mux) Channel(id uint32) (*MuxChannel, error) {
+	if id > m.opts.MaxChannelID {
+		return nil, fmt.Errorf("wire: mux channel id %d exceeds limit %d", id, m.opts.MaxChannelID)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, m.err
+	}
+	c, err := m.channelLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	c.claimed = true
+	return c, nil
+}
+
+// Accept blocks until the peer opens a channel this side has not claimed
+// yet (its first frame arrives), and returns it. It fails once the session
+// dies.
+func (m *Mux) Accept() (*MuxChannel, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for len(m.accept) > 0 {
+			c := m.accept[0]
+			m.accept = m.accept[1:]
+			if c.claimed {
+				continue // claimed via Channel before Accept got to it
+			}
+			c.claimed = true
+			return c, nil
+		}
+		if m.err != nil {
+			return nil, m.err
+		}
+		m.acond.Wait()
+	}
+}
+
+// Err returns the session's terminal error, or nil while it is healthy.
+func (m *Mux) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Close tears down the session: all channels fail, both loops stop, and the
+// underlying stream is closed. Queued outgoing frames are dropped; call
+// Drain first for a graceful shutdown.
+func (m *Mux) Close() error {
+	m.fail(ErrMuxClosed)
+	return nil
+}
+
+// Drain blocks until every queued outgoing frame has been handed to the
+// underlying stream, so a Close immediately after cannot drop in-flight
+// messages. It returns early with the session error if the session dies.
+func (m *Mux) Drain() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.err != nil {
+			return m.err
+		}
+		pending := m.writing
+		for _, c := range m.ring {
+			if len(c.sendq) > 0 {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			return nil
+		}
+		m.dcond.Wait()
+	}
+}
+
+// fail records the session's terminal error (first one wins), wakes every
+// waiter, and closes the underlying stream to unblock parked I/O.
+func (m *Mux) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	for _, c := range m.ring {
+		c.recvWait.Broadcast()
+		c.sendWait.Broadcast()
+	}
+	m.wcond.Broadcast()
+	m.acond.Broadcast()
+	m.mu.Unlock()
+	m.rw.Close()
+}
+
+// nextLocked picks the next channel with a queued frame, round-robin from
+// just past the previously served channel, so a busy channel cannot starve
+// its siblings.
+func (m *Mux) nextLocked() *MuxChannel {
+	n := len(m.ring)
+	for i := 0; i < n; i++ {
+		c := m.ring[(m.rr+i)%n]
+		if len(c.sendq) > 0 {
+			m.rr = (m.rr + i + 1) % n
+			return c
+		}
+	}
+	return nil
+}
+
+// writeLoop is the single writer: it drains per-channel queues fairly and
+// serializes frames onto the shared stream.
+func (m *Mux) writeLoop() {
+	for {
+		m.mu.Lock()
+		var c *MuxChannel
+		for {
+			if m.err != nil {
+				m.mu.Unlock()
+				return
+			}
+			if c = m.nextLocked(); c != nil {
+				break
+			}
+			m.wcond.Wait()
+		}
+		frame := c.sendq[0]
+		copy(c.sendq, c.sendq[1:])
+		c.sendq[len(c.sendq)-1] = nil
+		c.sendq = c.sendq[:len(c.sendq)-1]
+		c.sendWait.Signal()
+		m.writing = true
+		m.mu.Unlock()
+		_, err := m.rw.Write(frame)
+		m.mu.Lock()
+		m.writing = false
+		m.dcond.Broadcast()
+		m.mu.Unlock()
+		if err != nil {
+			m.fail(fmt.Errorf("wire: mux write: %w", err))
+			return
+		}
+	}
+}
+
+// readLoop is the single demux reader: it parses frames off the shared
+// stream and parks them in the target channel's receive queue. It never
+// blocks on a slow consumer (see MuxOptions.RecvHighWater), so one stalled
+// channel cannot head-of-line-block its siblings.
+func (m *Mux) readLoop() {
+	br := bufio.NewReader(m.rw)
+	var buf []byte
+	for {
+		id, typ, msg, nbuf, err := readMuxFrame(br, buf, m.opts.MaxChannelID)
+		buf = nbuf
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("wire: mux connection closed: %w", err)
+			}
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		c, cerr := m.channelLocked(id)
+		if cerr != nil {
+			m.mu.Unlock()
+			m.fail(cerr)
+			return
+		}
+		if !c.claimed {
+			m.accept = append(m.accept, c)
+			m.acond.Broadcast()
+		}
+		switch typ {
+		case muxFrameClose:
+			c.peerClosed = true
+			c.recvWait.Broadcast()
+			c.sendWait.Broadcast()
+		case muxFrameData:
+			switch {
+			case c.failed != nil || c.localClosed:
+				// Channel already dead on this side; drop.
+			case len(c.rq) >= m.opts.RecvHighWater:
+				c.failed = ErrRecvOverflow
+				c.recvWait.Broadcast()
+				c.sendWait.Broadcast()
+			default:
+				c.rq = append(c.rq, msg)
+				c.recvWait.Signal()
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// readMuxFrame reads one mux frame: channel ID, frame type, and (for data
+// frames) a fully parsed message in fresh storage. buf is the caller's
+// reusable frame scratch, returned possibly grown. Malformed input of any
+// shape — truncation, bad varints, oversized lengths, unknown frame types,
+// corrupt message frames — returns an error, never panics.
+func readMuxFrame(br *bufio.Reader, buf []byte, maxID uint32) (uint32, byte, *Message, []byte, error) {
+	id, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, nil, buf, err
+	}
+	if id > uint64(maxID) {
+		return 0, 0, nil, buf, fmt.Errorf("wire: mux channel id %d exceeds limit %d", id, maxID)
+	}
+	typ, err := br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, buf, err
+	}
+	switch typ {
+	case muxFrameClose:
+		return uint32(id), typ, nil, buf, nil
+	case muxFrameData:
+		var lenb [4]byte
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			return 0, 0, nil, buf, fmt.Errorf("wire: mux frame length: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(lenb[:])
+		if n < binaryHeaderLen {
+			return 0, 0, nil, buf, fmt.Errorf("wire: mux frame: %w (%d bytes)", errShortFrame, n)
+		}
+		if n > MaxFrameLen {
+			return 0, 0, nil, buf, fmt.Errorf("wire: mux frame: %w (%d bytes)", ErrFrameTooLarge, n)
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		frame := buf[:n]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return 0, 0, nil, buf, fmt.Errorf("wire: mux frame body: %w", err)
+		}
+		msg := new(Message)
+		if err := parseFrame(frame, msg); err != nil {
+			return 0, 0, nil, buf, fmt.Errorf("wire: mux decode: %w", err)
+		}
+		if err := msg.Validate(); err != nil {
+			return 0, 0, nil, buf, err
+		}
+		return uint32(id), typ, msg, buf, nil
+	default:
+		return 0, 0, nil, buf, fmt.Errorf("wire: unknown mux frame type %#x", typ)
+	}
+}
+
+// ID returns the channel's identifier.
+func (c *MuxChannel) ID() uint32 { return c.id }
+
+// Send encodes msg and enqueues it on this channel's send queue, blocking
+// while the queue is at capacity. Backpressure is per-channel: a Send
+// parked here never stops sibling channels from draining.
+func (c *MuxChannel) Send(msg *Message) error {
+	if err := msg.Validate(); err != nil {
+		return err
+	}
+	frame := binary.AppendUvarint(nil, uint64(c.id))
+	frame = append(frame, muxFrameData)
+	frame, _, err := appendFrame(frame, msg, nil)
+	if err != nil {
+		return err
+	}
+	m := c.mux
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.err != nil {
+			return m.err
+		}
+		if c.failed != nil {
+			return c.failed
+		}
+		if c.localClosed || c.peerClosed {
+			return ErrChannelClosed
+		}
+		if len(c.sendq) < m.opts.SendQueue {
+			break
+		}
+		c.sendWait.Wait()
+	}
+	c.sendq = append(c.sendq, frame)
+	m.wcond.Signal()
+	return nil
+}
+
+// Recv returns the next message delivered to this channel. Messages already
+// queued are drained before a peer close surfaces as an error.
+func (c *MuxChannel) Recv() (*Message, error) {
+	m := c.mux
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if len(c.rq) > 0 {
+			msg := c.rq[0]
+			copy(c.rq, c.rq[1:])
+			c.rq[len(c.rq)-1] = nil
+			c.rq = c.rq[:len(c.rq)-1]
+			return msg, nil
+		}
+		if c.failed != nil {
+			return nil, c.failed
+		}
+		if m.err != nil {
+			return nil, m.err
+		}
+		if c.peerClosed {
+			return nil, fmt.Errorf("wire: mux channel %d closed by peer", c.id)
+		}
+		if c.localClosed {
+			return nil, ErrChannelClosed
+		}
+		c.recvWait.Wait()
+	}
+}
+
+// Close closes this channel only: pending outgoing frames still drain,
+// followed by a close frame telling the peer, and local waiters wake with
+// an error. The mux session and sibling channels are unaffected.
+func (c *MuxChannel) Close() error {
+	m := c.mux
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c.localClosed {
+		return nil
+	}
+	c.localClosed = true
+	if m.err == nil {
+		frame := binary.AppendUvarint(nil, uint64(c.id))
+		frame = append(frame, muxFrameClose)
+		// Control frames bypass the queue cap so Close never blocks.
+		c.sendq = append(c.sendq, frame)
+		m.wcond.Signal()
+	}
+	c.recvWait.Broadcast()
+	c.sendWait.Broadcast()
+	return nil
+}

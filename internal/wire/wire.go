@@ -1,7 +1,12 @@
 // Package wire defines the message vocabulary spoken between the platform
-// (Algorithm 2) and the user agents (Algorithm 1), and a gob codec for
-// carrying it over byte streams (TCP). The same messages flow over
-// in-process channel transports in package distributed.
+// (Algorithm 2) and the user agents (Algorithm 1), and two codecs for
+// carrying it over byte streams (TCP): the hand-rolled binary codec
+// (binary.go, the production transport encoding, allocation-free in steady
+// state) and the original gob Codec, retained as the differential-testing
+// oracle the binary format is proven against. A frame-level multiplexer
+// (mux.go) carries many agent streams over one connection. The same
+// messages flow over in-process channel transports in package distributed.
+// See docs/WIRE.md for the frame layout and compatibility policy.
 //
 // The protocol is deliberately information-minimal, matching the paper's
 // privacy argument: a user never learns other users' identities, routes, or
@@ -165,8 +170,21 @@ type Message struct {
 	Terminate *Terminate
 }
 
-// Validate checks that the payload matches the kind.
+// Validate checks that exactly one payload is set and that it matches the
+// kind. Rejecting extra payloads (not just a missing one) keeps the two
+// codecs equivalent: the binary encoding carries only the payload named by
+// Kind, so a message smuggling additional payloads would silently lose
+// them on the wire.
 func (m *Message) Validate() error {
+	n := 0
+	for _, set := range [...]bool{
+		m.Hello != nil, m.Init != nil, m.SlotInfo != nil, m.Request != nil,
+		m.Grant != nil, m.Decision != nil, m.Terminate != nil,
+	} {
+		if set {
+			n++
+		}
+	}
 	var ok bool
 	switch m.Kind {
 	case KindHello:
@@ -186,6 +204,9 @@ func (m *Message) Validate() error {
 	}
 	if !ok {
 		return fmt.Errorf("wire: message kind %v with missing or mismatched payload", m.Kind)
+	}
+	if n != 1 {
+		return fmt.Errorf("wire: message kind %v carries %d payloads, want exactly 1", m.Kind, n)
 	}
 	return nil
 }

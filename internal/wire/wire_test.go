@@ -7,33 +7,84 @@ import (
 )
 
 func TestKindString(t *testing.T) {
-	kinds := []Kind{KindHello, KindInit, KindSlotInfo, KindRequest, KindGrant, KindDecision, KindTerminate}
-	names := []string{"hello", "init", "slotinfo", "request", "grant", "decision", "terminate"}
-	for i, k := range kinds {
-		if k.String() != names[i] {
-			t.Errorf("Kind %d String = %q, want %q", k, k.String(), names[i])
-		}
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{KindInvalid, "invalid"},
+		{KindHello, "hello"},
+		{KindInit, "init"},
+		{KindSlotInfo, "slotinfo"},
+		{KindRequest, "request"},
+		{KindGrant, "grant"},
+		{KindDecision, "decision"},
+		{KindTerminate, "terminate"},
+		// Out-of-range values, both directions.
+		{Kind(-1), "invalid"},
+		{Kind(8), "invalid"},
+		{Kind(99), "invalid"},
 	}
-	if KindInvalid.String() != "invalid" || Kind(99).String() != "invalid" {
-		t.Error("invalid kind string wrong")
+	for _, tc := range cases {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tc.k), got, tc.want)
+		}
 	}
 }
 
+// payloadSetters covers every payload field; attaching setter i to a
+// message makes exactly that payload non-nil.
+var payloadSetters = []struct {
+	kind Kind
+	set  func(*Message)
+}{
+	{KindHello, func(m *Message) { m.Hello = &Hello{} }},
+	{KindInit, func(m *Message) { m.Init = &Init{} }},
+	{KindSlotInfo, func(m *Message) { m.SlotInfo = &SlotInfo{} }},
+	{KindRequest, func(m *Message) { m.Request = &Request{} }},
+	{KindGrant, func(m *Message) { m.Grant = &Grant{} }},
+	{KindDecision, func(m *Message) { m.Decision = &Decision{} }},
+	{KindTerminate, func(m *Message) { m.Terminate = &Terminate{} }},
+}
+
+// TestValidate exhaustively crosses every kind (including KindInvalid and
+// out-of-range kinds) with every single-payload combination: a message is
+// valid exactly when it carries the one payload its kind names.
 func TestValidate(t *testing.T) {
-	good := &Message{Kind: KindHello, Hello: &Hello{User: 3}}
-	if err := good.Validate(); err != nil {
-		t.Errorf("valid message rejected: %v", err)
+	kinds := []Kind{KindInvalid, KindHello, KindInit, KindSlotInfo, KindRequest,
+		KindGrant, KindDecision, KindTerminate, Kind(-1), Kind(99)}
+	for _, k := range kinds {
+		// No payload at all: always invalid.
+		if err := (&Message{Kind: k}).Validate(); err == nil {
+			t.Errorf("kind %v with no payload accepted", k)
+		}
+		for _, p := range payloadSetters {
+			m := &Message{Kind: k}
+			p.set(m)
+			err := m.Validate()
+			if k == p.kind {
+				if err != nil {
+					t.Errorf("kind %v with matching payload rejected: %v", k, err)
+				}
+			} else if err == nil {
+				t.Errorf("kind %v with %v payload accepted", k, p.kind)
+			}
+		}
 	}
-	bad := &Message{Kind: KindHello, Init: &Init{}}
-	if err := bad.Validate(); err == nil {
-		t.Error("mismatched payload accepted")
-	}
-	empty := &Message{Kind: KindGrant}
-	if err := empty.Validate(); err == nil {
-		t.Error("missing payload accepted")
-	}
-	if err := (&Message{Kind: KindInvalid}).Validate(); err == nil {
-		t.Error("invalid kind accepted")
+	// Exactly-one-payload rule: a matching payload plus any extra one is
+	// invalid (the wire carries only the payload named by Kind, so extras
+	// would be silently lost).
+	for _, p := range payloadSetters {
+		for _, extra := range payloadSetters {
+			if extra.kind == p.kind {
+				continue
+			}
+			m := &Message{Kind: p.kind}
+			p.set(m)
+			extra.set(m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("kind %v carrying extra %v payload accepted", p.kind, extra.kind)
+			}
+		}
 	}
 }
 
