@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-routing bench-tracing bench-wire bench-chaos repro check fmt clean
+.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-routing bench-tracing bench-wire bench-federation bench-chaos repro check fmt clean
 
 all: build vet test
 
@@ -48,6 +48,7 @@ ci: build vet test race fuzz
 	$(MAKE) bench-routing BENCHTIME=20ms BENCH_ROUTING_OUT=/tmp/BENCH_routing.json
 	$(MAKE) bench-tracing BENCHTIME=20ms BENCH_TRACING_OUT=/tmp/BENCH_tracing.json
 	$(MAKE) bench-wire BENCHTIME=20ms BENCH_WIRE_OUT=/tmp/BENCH_wire.json
+	$(MAKE) bench-federation FED_M=2000 FED_ROUNDS=8 BENCH_FED_OUT=/tmp/BENCH_federation.json
 
 # One benchmark per table/figure plus ablations; -benchtime=1x exercises
 # each once (raise for stable timings).
@@ -90,6 +91,19 @@ BENCH_WIRE_OUT ?= BENCH_wire.json
 bench-wire:
 	$(GO) run ./cmd/benchcore -suite wire -benchtime $(BENCHTIME) \
 		-min-wire-speedup 3 -gate-wire-allocs -wire-o $(BENCH_WIRE_OUT)
+
+# Machine-readable baseline for the sharded federation: the full in-process
+# protocol at K in {1,2,4,8} shards over the same M-user world, recording
+# aggregate shard-slot throughput, written to BENCH_federation.json. Fails
+# if the K=4 federation is <2x the K=1 slot throughput (the coordination +
+# gossip tax must stay under half the ideal xK scaling). The committed
+# baseline uses FED_M=50000; the ci smoke run shrinks the world.
+BENCH_FED_OUT ?= BENCH_federation.json
+FED_M ?= 50000
+FED_ROUNDS ?= 10
+bench-federation:
+	$(GO) run ./cmd/benchcore -suite federation -fed-m $(FED_M) -fed-rounds $(FED_ROUNDS) \
+		-fed-shards 1,2,4,8 -min-fed-speedup 2 -fed-o $(BENCH_FED_OUT)
 
 # Convergence-slot overhead of the standard fault profile vs clean links.
 bench-chaos:

@@ -9,6 +9,9 @@
 //     paths and flight-recorder throughput → BENCH_tracing.json
 //   - wire: the hand-rolled binary codec vs the gob oracle per message
 //     kind, plus multiplexer throughput → BENCH_wire.json
+//   - federation: the full in-process distributed protocol at shard
+//     counts K ∈ {1,2,4,8}, recording aggregate shard-slot throughput
+//     → BENCH_federation.json
 //
 // Examples:
 //
@@ -21,6 +24,8 @@
 //	    -tracing-o BENCH_tracing.json                             # 0 allocs gate
 //	go run ./cmd/benchcore -suite wire -min-wire-speedup 3 \
 //	    -gate-wire-allocs -wire-o BENCH_wire.json                 # codec gates
+//	go run ./cmd/benchcore -suite federation -fed-m 50000 \
+//	    -min-fed-speedup 2 -fed-o BENCH_federation.json           # shard gate
 package main
 
 import (
@@ -37,11 +42,16 @@ import (
 
 func main() {
 	var (
-		suite      = flag.String("suite", "core", "which suite to run: core, routing, tracing, wire, or all")
+		suite      = flag.String("suite", "core", "which suite to run: core, routing, tracing, wire, federation, or all")
 		out        = flag.String("o", "BENCH_incremental.json", "output path for the core-suite JSON report")
 		routingOut = flag.String("routing-o", "BENCH_routing.json", "output path for the routing-suite JSON report")
 		tracingOut = flag.String("tracing-o", "BENCH_tracing.json", "output path for the tracing-suite JSON report")
 		wireOut    = flag.String("wire-o", "BENCH_wire.json", "output path for the wire-suite JSON report")
+		fedOut     = flag.String("fed-o", "BENCH_federation.json", "output path for the federation-suite JSON report")
+		fedM       = flag.Int("fed-m", 50000, "user count the federation suite runs at")
+		fedRounds  = flag.Int("fed-rounds", 10, "decision rounds each federation run is bounded to")
+		fedShards  = flag.String("fed-shards", "1,2,4,8", "comma-separated shard counts the federation suite sweeps")
+		minFed     = flag.Float64("min-fed-speedup", 0, "fail unless federated slot throughput at K=4 reaches this factor of the K=1 baseline (0 disables)")
 		gateTrace  = flag.Bool("gate-tracing-allocs", false, "fail unless every gated tracer hot path is allocation-free")
 		gateWire   = flag.Bool("gate-wire-allocs", false, "fail unless the binary codec's per-slot encode/decode paths are allocation-free")
 		minWire    = flag.Float64("min-wire-speedup", 0, "fail unless the binary codec beats gob by this factor on SlotInfo/Request encode and decode (0 disables)")
@@ -61,8 +71,9 @@ func main() {
 	runRouting := *suite == "routing" || *suite == "all"
 	runTracing := *suite == "tracing" || *suite == "all"
 	runWire := *suite == "wire" || *suite == "all"
-	if !runCore && !runRouting && !runTracing && !runWire {
-		fmt.Fprintf(os.Stderr, "benchcore: unknown -suite %q (want core, routing, tracing, wire, or all)\n", *suite)
+	runFed := *suite == "federation" || *suite == "all"
+	if !runCore && !runRouting && !runTracing && !runWire && !runFed {
+		fmt.Fprintf(os.Stderr, "benchcore: unknown -suite %q (want core, routing, tracing, wire, federation, or all)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -190,6 +201,41 @@ func main() {
 		if *minWire > 0 {
 			if err := rep.CheckWireSpeedups(*minWire); err != nil {
 				fmt.Fprintf(os.Stderr, "benchcore: wire speedup gate: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if runFed {
+		var ks []int
+		for _, f := range strings.Split(*fedShards, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || k <= 0 {
+				fmt.Fprintf(os.Stderr, "benchcore: bad -fed-shards element %q\n", f)
+				os.Exit(2)
+			}
+			ks = append(ks, k)
+		}
+		rep, err := benchcore.RunFederationSuite(*fedM, *fedRounds, ks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
+			os.Exit(1)
+		}
+
+		for _, e := range rep.Entries {
+			fmt.Printf("Federation/K%-2d M=%-7d %3d rounds %8.3f s %12.1f slots/sec %9d gossip batches\n",
+				e.Shards, rep.M, e.Rounds, e.SlotSeconds, e.SlotsPerSec, e.GossipBatches)
+		}
+		for _, s := range rep.Speedups {
+			fmt.Printf("speedup federation K=%-2d %8.2fx (K=1 %.1f slots/sec, K=%d %.1f slots/sec)\n",
+				s.Shards, s.Speedup, s.BaseSlots, s.Shards, s.ShardSlots)
+		}
+
+		writeJSON(*fedOut, &rep)
+
+		if *minFed > 0 {
+			if err := rep.CheckFederationSpeedup(*minFed); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcore: federation gate: %v\n", err)
 				os.Exit(1)
 			}
 		}

@@ -12,6 +12,12 @@
 //	platformd -addr :7700 -dataset Shanghai -seed 9 -users 8 -tasks 20 -policy PUU
 //	# then launch 8 agents:
 //	for i in $(seq 0 7); do useragent -addr :7700 -user $i -dataset Shanghai -seed 9 -users 8 -tasks 20 & done
+//
+// With -shards K the platform runs as a K-shard federation: users are
+// partitioned spatially, each shard drives the slot protocol for its own
+// users, and the shared per-task counts are replicated shard-to-shard by
+// epoch-stamped gossip. Agents connect exactly as before; with -http the
+// shard topology is served at /api/v1/shards.
 package main
 
 import (
@@ -79,7 +85,8 @@ func main() {
 		users     = flag.Int("users", 8, "number of users (agents expected to connect)")
 		tasks     = flag.Int("tasks", 20, "number of sensing tasks")
 		policy    = flag.String("policy", "SUU", "user update selection: SUU or PUU")
-		muxFlag   = flag.Int("mux", 0, "accept this many multiplexed agent connections (see useragent -mux-users) instead of one TCP connection per agent; 0 = per-agent connections")
+		muxFlag   = flag.Int("mux", 0, "accept this many multiplexed agent connections (see useragent -mux) instead of one TCP connection per agent; 0 = per-agent connections")
+		shards    = flag.Int("shards", 0, "partition users spatially across this many platform shards (federated slot loops with gossip-replicated counts); 0 or 1 = single platform")
 		instance  = flag.String("instance", "", "load the game instance from a JSON file instead of building a scenario")
 		dump      = flag.String("dump-instance", "", "write the game instance as JSON to this file before serving")
 		httpAddr  = flag.String("http", "", "serve the monitoring API (/api/v1/*, /metrics, /healthz) on this address")
@@ -90,6 +97,11 @@ func main() {
 		traceCap  = flag.Int("trace-capacity", tracing.DefaultCapacity, "flight recorder capacity in events (with -trace-dir)")
 	)
 	flag.Parse()
+
+	if *shards > 1 && *muxFlag > 0 {
+		fmt.Fprintln(os.Stderr, "platformd: -shards and -mux cannot be combined")
+		os.Exit(2)
+	}
 
 	var in *core.Instance
 	var err error
@@ -163,9 +175,23 @@ func main() {
 		}
 	}
 	var stats distributed.RunStats
-	if *muxFlag > 0 {
+	switch {
+	case *shards > 1:
+		fopts := distributed.FederatedOptions{Shards: *shards, Platform: pcfg}
+		if mon != nil {
+			fopts.OnTopology = mon.SetTopology
+			fopts.ShardObserver = mon.ShardObserver()
+		}
+		var fs distributed.FederatedStats
+		fs, err = distributed.ServeTCPFederated(ln, in, fopts)
+		stats = fs.RunStats
+		if err == nil {
+			fmt.Printf("federation     %d shards, %d gossip batches (max peer lag %d)\n",
+				fs.Shards, fs.GossipBatches, fs.MaxPeerLag)
+		}
+	case *muxFlag > 0:
 		stats, err = distributed.ServeTCPMux(ln, in, pcfg, *muxFlag)
-	} else {
+	default:
 		stats, err = distributed.ServeTCP(ln, in, pcfg)
 	}
 	if tracer != nil {

@@ -9,7 +9,9 @@
 //	useragent -addr :7700 -user 3 -dataset Shanghai -seed 9 -users 8 -tasks 20
 //	useragent -addr :7700 -user 3 -alpha 0.8 -beta 0.2 -gamma 0.1
 //	# run a whole fleet over one multiplexed connection (platformd -mux 1):
-//	useragent -addr :7700 -mux-users 0,1,2,3,4,5,6,7 -dataset Shanghai -seed 9
+//	useragent -addr :7700 -mux 0,1,2,3,4,5,6,7 -dataset Shanghai -seed 9
+//
+// -mux-users is a deprecated alias of -mux, kept for one release.
 package main
 
 import (
@@ -60,12 +62,19 @@ func main() {
 		gamma    = flag.Float64("gamma", 0, "explicit γ_i (0 = derive from scenario)")
 		instance = flag.String("instance", "", "derive weights from this instance JSON (written by platformd -dump-instance)")
 		traceDir = flag.String("trace-dir", "", "record this agent's transport spans (under the platform's trace IDs) and write the flight recorder here on exit")
-		muxUsers = flag.String("mux-users", "", "comma-separated user IDs to run over one multiplexed connection (requires platformd -mux); overrides -user")
+		muxList  = flag.String("mux", "", "comma-separated user IDs to run over one multiplexed connection (requires platformd -mux); overrides -user")
+		muxOld   = flag.String("mux-users", "", "deprecated alias of -mux")
 	)
 	flag.Parse()
 
-	if *muxUsers != "" {
-		runMux(*addr, *muxUsers, *instance, *dataset, *seed, *users, *tasks, *traceDir)
+	if *muxOld != "" {
+		fmt.Fprintln(os.Stderr, "useragent: -mux-users is deprecated, use -mux (same value syntax)")
+		if *muxList == "" {
+			*muxList = *muxOld
+		}
+	}
+	if *muxList != "" {
+		runMux(*addr, *muxList, *instance, *dataset, *seed, *users, *tasks, *traceDir)
 		return
 	}
 	if *user < 0 {
@@ -174,7 +183,7 @@ func loadSharedInstance(instance, dataset string, seed uint64, users, tasks int)
 func runMux(addr, muxUsers, instance, dataset string, seed uint64, users, tasks int, traceDir string) {
 	ids, err := parseUserList(muxUsers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "useragent: -mux-users: %v\n", err)
+		fmt.Fprintf(os.Stderr, "useragent: -mux: %v\n", err)
 		os.Exit(2)
 	}
 	in, err := loadSharedInstance(instance, dataset, seed, users, tasks)

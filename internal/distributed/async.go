@@ -36,41 +36,42 @@ type asyncEvent struct {
 	err  error
 }
 
-// AsyncPlatform drives the asynchronous protocol.
-type AsyncPlatform struct {
+// asyncPlatform drives the asynchronous protocol. Build it through New
+// with WithAsync (or the deprecated AsyncPlatform wrapper).
+type asyncPlatform struct {
 	in      *core.Instance
 	conns   []Conn
 	nk      []int
 	choices []int
 	version int
-	// Observer, when non-nil, is invoked after initialization and after
+	// observer, when non-nil, is invoked after initialization and after
 	// every applied update with an Observation — the same struct the
 	// synchronous platform reports, with Slot carrying the counts version.
 	// The chaos tests use it to assert the potential ascends across
 	// applied updates (Theorem 2).
-	Observer func(Observation)
-	// Tracer, when non-nil, records the run into the distributed tracer:
+	observer func(Observation)
+	// tracer, when non-nil, records the run into the distributed tracer:
 	// the whole asynchronous run is one trace (there are no slots to cut
 	// it at), with one move event per applied update carrying ΔP_i/ΔΦ
 	// from an incrementally maintained profile.
-	Tracer *tracing.Tracer
+	tracer *tracing.Tracer
 
 	traceCtx tracing.SpanContext
 	prof     *core.Profile
 }
 
-// NewAsyncPlatform prepares an asynchronous run over conns. The
+// newAsyncPlatform prepares an asynchronous run over conns. The
 // connections are wrapped (sequence dedup, and transport-span tracing when
-// Tracer is set) at the start of Run, so the Observer and Tracer fields
-// can be assigned after construction.
-func NewAsyncPlatform(in *core.Instance, conns []Conn) (*AsyncPlatform, error) {
+// the tracer is set) at the start of Run, so observer and tracer can be
+// assigned after construction.
+func newAsyncPlatform(in *core.Instance, conns []Conn) (*asyncPlatform, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("distributed: %w", err)
 	}
 	if len(conns) != in.NumUsers() {
 		return nil, fmt.Errorf("distributed: %d connections for %d users", len(conns), in.NumUsers())
 	}
-	return &AsyncPlatform{
+	return &asyncPlatform{
 		in:      in,
 		conns:   append([]Conn(nil), conns...),
 		nk:      make([]int, in.NumTasks()),
@@ -79,14 +80,14 @@ func NewAsyncPlatform(in *core.Instance, conns []Conn) (*AsyncPlatform, error) {
 }
 
 // send stamps the run's trace context onto m and sends it to user u.
-func (p *AsyncPlatform) send(u int, m *wire.Message) error {
+func (p *asyncPlatform) send(u int, m *wire.Message) error {
 	StampTrace(m, p.traceCtx)
 	return p.conns[u].Send(m)
 }
 
 // traceMove records one applied update as a move event with exact
 // ΔP_i/ΔΦ, keeping the tracing profile in lockstep.
-func (p *AsyncPlatform) traceMove(u, oldRoute, newRoute int) {
+func (p *asyncPlatform) traceMove(u, oldRoute, newRoute int) {
 	if p.prof == nil || newRoute == oldRoute {
 		return
 	}
@@ -95,16 +96,16 @@ func (p *AsyncPlatform) traceMove(u, oldRoute, newRoute int) {
 	before := p.prof.Potential()
 	p.prof.SetChoice(uid, newRoute)
 	dPhi := p.prof.Potential() - before
-	p.Tracer.RecordMove(p.traceCtx, u, p.version, oldRoute, newRoute, dP, dPhi)
+	p.tracer.RecordMove(p.traceCtx, u, p.version, oldRoute, newRoute, dP, dPhi)
 }
 
 // initMsg/slotMsg mirror the synchronous platform's views.
-func (p *AsyncPlatform) initMsg(u, currentRoute int) *wire.Message {
+func (p *asyncPlatform) initMsg(u, currentRoute int) *wire.Message {
 	sync := Platform{in: p.in}
 	return sync.initMsg(u, currentRoute)
 }
 
-func (p *AsyncPlatform) viewMsg(u int) *wire.Message {
+func (p *asyncPlatform) viewMsg(u int) *wire.Message {
 	counts := map[int]int{}
 	for _, r := range p.in.Users[u].Routes {
 		for _, k := range r.Tasks {
@@ -114,7 +115,7 @@ func (p *AsyncPlatform) viewMsg(u int) *wire.Message {
 	return &wire.Message{Kind: wire.KindSlotInfo, SlotInfo: &wire.SlotInfo{Slot: p.version, Counts: counts}}
 }
 
-func (p *AsyncPlatform) applyDecision(u, c int, initial bool) error {
+func (p *asyncPlatform) applyDecision(u, c int, initial bool) error {
 	if c < 0 || c >= len(p.in.Users[u].Routes) {
 		return fmt.Errorf("distributed: user %d decided out-of-range route %d", u, c)
 	}
@@ -131,15 +132,15 @@ func (p *AsyncPlatform) applyDecision(u, c int, initial bool) error {
 }
 
 // Run executes the asynchronous protocol to convergence.
-func (p *AsyncPlatform) Run() (AsyncStats, error) {
+func (p *asyncPlatform) Run() (AsyncStats, error) {
 	var stats AsyncStats
 	n := len(p.conns)
 	for i, c := range p.conns {
-		p.conns[i] = WithSeq(WithTrace(c, p.Tracer, i), -1)
+		p.conns[i] = WithSeq(WithTrace(c, p.tracer, i), -1)
 	}
 	// The whole asynchronous run is one trace; the init span covers the
 	// handshake and parents every later event.
-	runSpan := p.Tracer.StartSpan(p.Tracer.StartTrace(), tracing.KindInit, -1, 0)
+	runSpan := p.tracer.StartSpan(p.tracer.StartTrace(), tracing.KindInit, -1, 0)
 	p.traceCtx = runSpan.Context()
 	// Handshake, synchronous per user as in the slotted protocol.
 	for u := 0; u < n; u++ {
@@ -166,7 +167,7 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 			return stats, err
 		}
 	}
-	if p.Tracer.Enabled() {
+	if p.tracer.Enabled() {
 		prof, err := core.NewProfile(p.in, p.choices)
 		if err != nil {
 			return stats, fmt.Errorf("distributed: tracing profile: %w", err)
@@ -296,7 +297,7 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 			}
 		case wire.KindHello:
 			// Mid-run restart: re-init and resend the current view.
-			p.Tracer.RecordReconnect(p.traceCtx, ev.user, p.version)
+			p.tracer.RecordReconnect(p.traceCtx, ev.user, p.version)
 			if err := p.send(ev.user, p.initMsg(ev.user, p.choices[ev.user])); err != nil {
 				return stats, err
 			}
@@ -320,8 +321,8 @@ func (p *AsyncPlatform) Run() (AsyncStats, error) {
 // observe invokes the configured observer with this version's Observation
 // (Slot carries the counts version; grantedUsers the applied updater, if
 // any).
-func (p *AsyncPlatform) observe(grantedUsers []int) {
-	if p.Observer == nil {
+func (p *asyncPlatform) observe(grantedUsers []int) {
+	if p.observer == nil {
 		return
 	}
 	o := Observation{
@@ -332,7 +333,7 @@ func (p *AsyncPlatform) observe(grantedUsers []int) {
 	if len(grantedUsers) > 0 {
 		o.GrantedUsers = append([]int(nil), grantedUsers...)
 	}
-	p.Observer(o)
+	p.observer(o)
 }
 
 // AsyncAgent is the user-side loop for the asynchronous protocol. Unlike
@@ -443,12 +444,10 @@ func RunAsyncInProcessOpts(in *core.Instance, opts AsyncRunOptions) (AsyncStats,
 		}
 		platConns[i], agentConns[i] = pc, ac
 	}
-	plat, err := NewAsyncPlatform(in, platConns)
+	plat, err := New(in, platConns, WithAsync(), WithObserver(opts.Observer), WithTracer(opts.Tracer))
 	if err != nil {
 		return AsyncStats{}, err
 	}
-	plat.Observer = opts.Observer
-	plat.Tracer = opts.Tracer
 	errs := make([]error, n)
 	done := make(chan int, n)
 	for i := 0; i < n; i++ {
@@ -463,7 +462,7 @@ func RunAsyncInProcessOpts(in *core.Instance, opts AsyncRunOptions) (AsyncStats,
 			done <- i
 		}(i)
 	}
-	stats, perr := plat.Run()
+	stats, perr := plat.RunAsync()
 	for i := 0; i < n; i++ {
 		<-done
 	}

@@ -49,6 +49,17 @@ type ChaosOptions struct {
 	// channels multiplexed over one shared stream here. The fault, retry,
 	// dedup, and tracing decorators stack on top of whatever Links returns.
 	Links func(user int) (platform, agent Conn, err error)
+	// Shards, when > 1, runs the federated platform path: users are
+	// partitioned spatially across Shards shard slot loops with counts
+	// replicated by epoch-stamped gossip (see RunFederated). The agent-side
+	// fault and crash machinery is unchanged; every shard rides out its own
+	// users' faults locally.
+	Shards int
+	// GossipProfile decorates both ends of every shard-to-shard gossip
+	// link with seeded fault injection (duplicated batches, transient
+	// send/recv failures, delivery delays — i.e. shard-link stalls). Only
+	// meaningful when Shards > 1; DisconnectAfterOps is ignored.
+	GossipProfile FaultProfile
 }
 
 // DefaultMaxRestarts bounds per-agent restarts in RunChaos.
@@ -67,6 +78,9 @@ type ChaosStats struct {
 	Restarts int
 	// Faults tallies every injected fault across all links.
 	Faults map[FaultKind]int
+	// Federated carries the federation-level statistics (gossip volume,
+	// per-shard slot records) when the run used Shards > 1; nil otherwise.
+	Federated *FederatedStats
 }
 
 // RunChaos runs the full distributed protocol in-process under seeded fault
@@ -134,9 +148,37 @@ func runChaos(in *core.Instance, opts ChaosOptions) (ChaosStats, error) {
 		}
 	}
 
-	plat, err := NewPlatform(in, platConns, opts.Platform)
-	if err != nil {
-		return stats, err
+	// runPlatform starts the platform side: the classic single platform, or
+	// — when Shards > 1 — the federated coordinator with fault-injected
+	// gossip links. Gossip fault schedules are seeded past the user-link
+	// seed space so they never collide with an agent link's schedule.
+	runPlatform := func() (RunStats, error) {
+		if opts.Shards > 1 {
+			gossipProf := opts.GossipProfile
+			gossipProf.DisconnectAfterOps = 0
+			fs, ferr := RunFederated(in, platConns, FederatedOptions{
+				Shards:   opts.Shards,
+				Platform: opts.Platform,
+				GossipLinks: func(a, b int) (Conn, Conn, error) {
+					// Buffered links: an injected duplicate batch must never
+					// block the sender until the next round's drain (a
+					// synchronous pipe would deadlock the barrier when two
+					// peers both hold an unread duplicate).
+					ca, cb := ChanPair(64)
+					pair := n + a*opts.Shards + b
+					fa := NewFaultConn(ca, gossipProf, faultSeed(opts.Seed, pair, 0), log).WithTracer(tr, a)
+					fb := NewFaultConn(cb, gossipProf, faultSeed(opts.Seed, pair, 1), log).WithTracer(tr, b)
+					return WithRetryTraced(fa, opts.Retry, tr, a), WithRetryTraced(fb, opts.Retry, tr, b), nil
+				},
+			})
+			stats.Federated = &fs
+			return fs.RunStats, ferr
+		}
+		plat, perr := New(in, platConns, WithConfig(opts.Platform))
+		if perr != nil {
+			return RunStats{}, perr
+		}
+		return plat.Run()
 	}
 
 	var (
@@ -187,7 +229,7 @@ func runChaos(in *core.Instance, opts ChaosOptions) (ChaosStats, error) {
 		}(i)
 	}
 
-	run, perr := plat.Run()
+	run, perr := runPlatform()
 	if perr != nil {
 		// Unblock any agents still parked in Recv.
 		for i := 0; i < n; i++ {

@@ -1,0 +1,42 @@
+package distributed
+
+import (
+	"repro/internal/core"
+	"repro/internal/tracing"
+)
+
+// This file keeps the pre-options constructors compiling. Both are thin
+// shims over New; see CHANGES.md for the migration notes.
+
+// AsyncPlatform drives the asynchronous protocol variant.
+//
+// Deprecated: build with New(in, conns, WithAsync(), WithObserver(fn),
+// WithTracer(tr)) and run via Platform.RunAsync. This wrapper only
+// forwards its fields at Run time.
+type AsyncPlatform struct {
+	// Observer and Tracer are copied onto the underlying platform when Run
+	// is called, preserving the old assign-after-construction pattern.
+	Observer func(Observation)
+	Tracer   *tracing.Tracer
+
+	inner *asyncPlatform
+}
+
+// NewAsyncPlatform prepares an asynchronous run over conns; conns[i] must
+// be connected to the agent for user i.
+//
+// Deprecated: use New with WithAsync.
+func NewAsyncPlatform(in *core.Instance, conns []Conn) (*AsyncPlatform, error) {
+	ap, err := newAsyncPlatform(in, conns)
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncPlatform{inner: ap}, nil
+}
+
+// Run executes the asynchronous protocol to convergence.
+func (p *AsyncPlatform) Run() (AsyncStats, error) {
+	p.inner.observer = p.Observer
+	p.inner.tracer = p.Tracer
+	return p.inner.Run()
+}

@@ -1,0 +1,149 @@
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/spatial"
+)
+
+// Partition is a user-to-shard assignment.
+type Partition struct {
+	Shards int
+	// Assign maps user ID to owning shard.
+	Assign []int
+	// Owned lists each shard's user IDs in ascending order.
+	Owned [][]int
+}
+
+// Validate checks internal consistency against an instance.
+func (p Partition) Validate(in *core.Instance) error {
+	if p.Shards < 1 {
+		return fmt.Errorf("federation: partition has %d shards, want >= 1", p.Shards)
+	}
+	if len(p.Assign) != in.NumUsers() {
+		return fmt.Errorf("federation: partition assigns %d users, instance has %d", len(p.Assign), in.NumUsers())
+	}
+	if len(p.Owned) != p.Shards {
+		return fmt.Errorf("federation: partition lists %d shards, want %d", len(p.Owned), p.Shards)
+	}
+	seen := 0
+	for k, owned := range p.Owned {
+		prev := -1
+		for _, u := range owned {
+			if u < 0 || u >= len(p.Assign) || p.Assign[u] != k {
+				return fmt.Errorf("federation: shard %d claims user %d inconsistently", k, u)
+			}
+			if u <= prev {
+				return fmt.Errorf("federation: shard %d user list not ascending", k)
+			}
+			prev = u
+			seen++
+		}
+	}
+	if seen != len(p.Assign) {
+		return fmt.Errorf("federation: %d users assigned, %d owned", len(p.Assign), seen)
+	}
+	return nil
+}
+
+// ByIndex cuts users into shards contiguous near-equal ID ranges — the
+// geometry-free fallback, and the layout benchmarks use so shard loads
+// are exactly balanced.
+func ByIndex(numUsers, shards int) (Partition, error) {
+	if err := checkCounts(numUsers, shards); err != nil {
+		return Partition{}, err
+	}
+	order := make([]int, numUsers)
+	for i := range order {
+		order[i] = i
+	}
+	return fromOrder(order, shards), nil
+}
+
+// Spatial assigns users to shards by geography, keyed by the
+// internal/spatial quadtree: each user is placed at the centroid of the
+// tasks its recommended routes cover, all centroids are indexed, and the
+// quadtree's locality-preserving walk order is cut into shards
+// near-equal chunks. Users whose routes cover no tasks sort to the front
+// of the walk (the index clamps them to a corner), which is fine — shard
+// membership affects only load placement, never game outcomes.
+func Spatial(in *core.Instance, shards int) (Partition, error) {
+	if err := checkCounts(in.NumUsers(), shards); err != nil {
+		return Partition{}, err
+	}
+	items := make([]spatial.Item, in.NumUsers())
+	for u := range in.Users {
+		items[u] = spatial.Item{Pos: userCentroid(in, u), ID: u}
+	}
+	idx := spatial.FromItems(items)
+	order := make([]int, 0, len(items))
+	idx.Walk(func(it spatial.Item) {
+		order = append(order, it.ID)
+	})
+	return fromOrder(order, shards), nil
+}
+
+// userCentroid is the mean position of the tasks covered by any of the
+// user's recommended routes.
+func userCentroid(in *core.Instance, u int) geo.Point {
+	var sum geo.Point
+	n := 0
+	for _, r := range in.Users[u].Routes {
+		for _, t := range r.Tasks {
+			if int(t) < len(in.Tasks) {
+				sum.X += in.Tasks[t].Pos.X
+				sum.Y += in.Tasks[t].Pos.Y
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return geo.Pt(0, 0)
+	}
+	return geo.Pt(sum.X/float64(n), sum.Y/float64(n))
+}
+
+func checkCounts(numUsers, shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("federation: shard count %d, want >= 1", shards)
+	}
+	if numUsers < shards {
+		return fmt.Errorf("federation: %d users cannot fill %d shards", numUsers, shards)
+	}
+	return nil
+}
+
+// fromOrder chunks a visit order into shards contiguous pieces whose
+// sizes differ by at most one, then normalizes into a Partition.
+func fromOrder(order []int, shards int) Partition {
+	p := Partition{
+		Shards: shards,
+		Assign: make([]int, len(order)),
+		Owned:  make([][]int, shards),
+	}
+	base, rem := len(order)/shards, len(order)%shards
+	at := 0
+	for k := 0; k < shards; k++ {
+		n := base
+		if k < rem {
+			n++
+		}
+		chunk := order[at : at+n]
+		at += n
+		owned := append([]int(nil), chunk...)
+		// Ascending IDs inside a shard keep conn wiring and protocol
+		// traces readable; insertion sort, chunks are per-shard sized.
+		for i := 1; i < len(owned); i++ {
+			for j := i; j > 0 && owned[j] < owned[j-1]; j-- {
+				owned[j], owned[j-1] = owned[j-1], owned[j]
+			}
+		}
+		p.Owned[k] = owned
+		for _, u := range owned {
+			p.Assign[u] = k
+		}
+	}
+	return p
+}

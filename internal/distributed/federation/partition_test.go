@@ -1,0 +1,82 @@
+package federation
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestByIndex(t *testing.T) {
+	p, err := ByIndex(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.RandomInstance(core.DefaultRandomConfig(10, 6), rng.New(1))
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	wantSizes := []int{3, 3, 2, 2}
+	for k, owned := range p.Owned {
+		if len(owned) != wantSizes[k] {
+			t.Errorf("shard %d owns %d users, want %d", k, len(owned), wantSizes[k])
+		}
+	}
+	// Contiguous ranges in ID order.
+	if p.Assign[0] != 0 || p.Assign[2] != 0 || p.Assign[3] != 1 || p.Assign[9] != 3 {
+		t.Errorf("assignment not contiguous: %v", p.Assign)
+	}
+
+	if _, err := ByIndex(3, 4); err == nil {
+		t.Error("3 users across 4 shards accepted")
+	}
+	if _, err := ByIndex(3, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestSpatialPartition(t *testing.T) {
+	in := core.RandomInstance(core.DefaultRandomConfig(100, 40), rng.New(42))
+	for _, k := range []int{1, 2, 4, 8} {
+		p, err := Spatial(in, k)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := p.Validate(in); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		// Balanced within one user.
+		lo, hi := in.NumUsers(), 0
+		for _, owned := range p.Owned {
+			if len(owned) < lo {
+				lo = len(owned)
+			}
+			if len(owned) > hi {
+				hi = len(owned)
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("K=%d: shard sizes range %d..%d, want spread <= 1", k, lo, hi)
+		}
+	}
+	// Determinism: same instance, same partition.
+	p1, _ := Spatial(in, 4)
+	p2, _ := Spatial(in, 4)
+	for u := range p1.Assign {
+		if p1.Assign[u] != p2.Assign[u] {
+			t.Fatalf("spatial partition not deterministic at user %d", u)
+		}
+	}
+}
+
+func TestPartitionValidateRejectsCorrupt(t *testing.T) {
+	in := core.RandomInstance(core.DefaultRandomConfig(6, 4), rng.New(7))
+	p, err := ByIndex(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Assign[5] = 0 // shard 1 still lists user 5
+	if err := p.Validate(in); err == nil {
+		t.Error("inconsistent assignment validated")
+	}
+}

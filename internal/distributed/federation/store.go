@@ -1,0 +1,173 @@
+// Package federation holds the cross-shard state layer for the sharded
+// platform: a replicated per-task participation-count store synchronized
+// by batched, epoch-stamped delta gossip (wire.GossipDelta), and the
+// spatial user partitioner that decides which shard owns which users.
+//
+// The consistency model is deliberately simple — bounded staleness with a
+// round barrier. Each shard applies its own users' moves to its replica
+// immediately and buffers them as pending deltas; once per decision round
+// it flushes the pending batch (epoch-stamped, possibly empty) to every
+// peer and ingests every peer's batch before opening the next round.
+// Counts are therefore globally exact at every round boundary and stale
+// only within a round, which is exactly the window the potential-game
+// argument tolerates: simultaneously granted moves touch disjoint task
+// sets (Algorithm 3), so each mover's ΔΦ is unaffected by the others.
+package federation
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Store is one shard's replica of the shared per-task participation
+// counts n_k. It is safe for concurrent use; in the federated platform
+// the owning shard's slot loop writes while the web layer reads lag.
+type Store struct {
+	mu     sync.Mutex
+	shard  int
+	shards int
+	counts []int       // replica of n_k for every task
+	pend   map[int]int // local deltas not yet flushed to peers
+	epoch  int         // gossip epochs flushed so far
+	peers  []int       // highest epoch ingested from each peer shard
+}
+
+// NewStore creates shard shard's replica (of shards total) covering
+// numTasks tasks, with all counts zero and no gossip exchanged yet.
+func NewStore(numTasks, shard, shards int) (*Store, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("federation: shard count %d, want >= 1", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("federation: shard index %d out of range [0,%d)", shard, shards)
+	}
+	if numTasks < 0 {
+		return nil, fmt.Errorf("federation: negative task count %d", numTasks)
+	}
+	return &Store{
+		shard:  shard,
+		shards: shards,
+		counts: make([]int, numTasks),
+		pend:   make(map[int]int),
+		peers:  make([]int, shards),
+	}, nil
+}
+
+// Shard returns this replica's shard index.
+func (s *Store) Shard() int { return s.shard }
+
+// Shards returns the total shard count.
+func (s *Store) Shards() int { return s.shards }
+
+// Get returns the replicated count for one task.
+func (s *Store) Get(task int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[task]
+}
+
+// Add applies a locally owned move: the replica is updated immediately
+// and the delta is buffered for the next Flush. Deltas that cancel out
+// before a flush (a user moving away and back) drop out of the batch.
+func (s *Store) Add(task, delta int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[task] += delta
+	if v := s.pend[task] + delta; v == 0 {
+		delete(s.pend, task)
+	} else {
+		s.pend[task] = v
+	}
+}
+
+// View copies the full count vector into dst (grown as needed) and
+// returns it. Shard slot loops snapshot once per round so every SlotInfo
+// in a round quotes the same round-start counts.
+func (s *Store) View(dst []int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap(dst) < len(s.counts) {
+		dst = make([]int, len(s.counts))
+	}
+	dst = dst[:len(s.counts)]
+	copy(dst, s.counts)
+	return dst
+}
+
+// Flush closes the current gossip epoch: it returns the batch of local
+// deltas accumulated since the previous Flush, stamped with the next
+// epoch, and starts a fresh batch. The batch is returned even when empty
+// — an empty batch is how a shard tells its peers "my counts are
+// quiescent this round", which the round barrier relies on.
+func (s *Store) Flush() *wire.GossipDelta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	batch := s.pend
+	s.pend = make(map[int]int, len(batch))
+	return &wire.GossipDelta{Shard: s.shard, Epoch: s.epoch, Counts: batch}
+}
+
+// Epoch returns the number of batches flushed so far.
+func (s *Store) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Ingest applies one peer batch to the replica. Batches from each peer
+// must arrive in epoch order: a batch at or below the last ingested
+// epoch is a duplicate delivery and is dropped idempotently (nil error,
+// no double-apply); a batch that skips ahead reports a gap — the gossip
+// links are ordered streams, so a gap means lost state, and failing
+// loudly beats silently corrupting the replica.
+func (s *Store) Ingest(d *wire.GossipDelta) error {
+	if d == nil {
+		return fmt.Errorf("federation: nil gossip delta")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d.Shard < 0 || d.Shard >= s.shards {
+		return fmt.Errorf("federation: gossip from unknown shard %d (have %d shards)", d.Shard, s.shards)
+	}
+	if d.Shard == s.shard {
+		return fmt.Errorf("federation: shard %d received its own gossip", s.shard)
+	}
+	last := s.peers[d.Shard]
+	if d.Epoch <= last {
+		return nil // duplicate delivery
+	}
+	if d.Epoch != last+1 {
+		return fmt.Errorf("federation: gossip gap from shard %d: epoch %d after %d", d.Shard, d.Epoch, last)
+	}
+	for task, delta := range d.Counts {
+		if task < 0 || task >= len(s.counts) {
+			return fmt.Errorf("federation: gossip from shard %d names unknown task %d", d.Shard, task)
+		}
+		s.counts[task] += delta
+	}
+	s.peers[d.Shard] = d.Epoch
+	return nil
+}
+
+// PeerLag returns, per shard, how many epochs behind this replica's own
+// flush count that peer's ingested gossip is (own entry always 0). At a
+// round barrier every entry is 0 or 1 depending on whether the local
+// flush or the peer ingest happened first; larger values mean a stalled
+// shard link.
+func (s *Store) PeerLag() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lag := make([]int, s.shards)
+	for p := range lag {
+		if p == s.shard {
+			continue
+		}
+		if d := s.epoch - s.peers[p]; d > 0 {
+			lag[p] = d
+		}
+	}
+	return lag
+}

@@ -1,0 +1,200 @@
+package federation
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestNewStoreValidation(t *testing.T) {
+	cases := []struct {
+		name                 string
+		tasks, shard, shards int
+		wantErr              string
+	}{
+		{"ok", 4, 0, 1, ""},
+		{"ok-last-shard", 4, 3, 4, ""},
+		{"zero-shards", 4, 0, 0, "shard count 0"},
+		{"negative-shards", 4, 0, -1, "shard count -1"},
+		{"shard-too-big", 4, 4, 4, "shard index 4"},
+		{"shard-negative", 4, -1, 4, "shard index -1"},
+		{"negative-tasks", -1, 0, 1, "negative task count"},
+	}
+	for _, tc := range cases {
+		s, err := NewStore(tc.tasks, tc.shard, tc.shards)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			} else if s.Shard() != tc.shard || s.Shards() != tc.shards {
+				t.Errorf("%s: store reports shard %d/%d", tc.name, s.Shard(), s.Shards())
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestStoreLocalApplyAndFlush(t *testing.T) {
+	s, err := NewStore(5, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(1, 1)
+	s.Add(3, 1)
+	s.Add(3, -1) // cancels: must drop out of the batch
+	s.Add(4, 2)
+	if got := s.Get(1); got != 1 {
+		t.Errorf("Get(1) = %d, want 1", got)
+	}
+	if got := s.Get(3); got != 0 {
+		t.Errorf("Get(3) = %d, want 0", got)
+	}
+	d := s.Flush()
+	if d.Shard != 0 || d.Epoch != 1 {
+		t.Fatalf("flush stamped shard %d epoch %d, want 0/1", d.Shard, d.Epoch)
+	}
+	want := map[int]int{1: 1, 4: 2}
+	if len(d.Counts) != len(want) {
+		t.Fatalf("batch %v, want %v", d.Counts, want)
+	}
+	for k, v := range want {
+		if d.Counts[k] != v {
+			t.Fatalf("batch %v, want %v", d.Counts, want)
+		}
+	}
+	// Second flush with no new moves: empty but epoch-stamped.
+	d2 := s.Flush()
+	if d2.Epoch != 2 || len(d2.Counts) != 0 {
+		t.Errorf("quiescent flush = %+v, want epoch 2 with empty batch", d2)
+	}
+	if s.Epoch() != 2 {
+		t.Errorf("Epoch() = %d, want 2", s.Epoch())
+	}
+}
+
+func TestStoreIngestOrderingAndDups(t *testing.T) {
+	s, err := NewStore(3, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := &wire.GossipDelta{Shard: 1, Epoch: 1, Counts: map[int]int{0: 1, 2: 1}}
+	if err := s.Ingest(d1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(0); got != 1 {
+		t.Fatalf("after ingest Get(0) = %d, want 1", got)
+	}
+	// Duplicate delivery: dropped idempotently, counts unchanged.
+	if err := s.Ingest(d1); err != nil {
+		t.Fatalf("duplicate ingest errored: %v", err)
+	}
+	if got := s.Get(0); got != 1 {
+		t.Errorf("duplicate ingest double-applied: Get(0) = %d", got)
+	}
+	// Next epoch applies.
+	if err := s.Ingest(&wire.GossipDelta{Shard: 1, Epoch: 2, Counts: map[int]int{0: -1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(0); got != 0 {
+		t.Errorf("Get(0) = %d, want 0", got)
+	}
+	// Epoch gap is an error.
+	if err := s.Ingest(&wire.GossipDelta{Shard: 1, Epoch: 5}); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Errorf("epoch gap ingested: %v", err)
+	}
+	// Unknown shard, own shard, bad task, nil delta: all errors.
+	if err := s.Ingest(&wire.GossipDelta{Shard: 7, Epoch: 1}); err == nil {
+		t.Error("unknown shard accepted")
+	}
+	if err := s.Ingest(&wire.GossipDelta{Shard: 0, Epoch: 1}); err == nil {
+		t.Error("own gossip accepted")
+	}
+	if err := s.Ingest(&wire.GossipDelta{Shard: 2, Epoch: 1, Counts: map[int]int{9: 1}}); err == nil {
+		t.Error("out-of-range task accepted")
+	}
+	if err := s.Ingest(nil); err == nil {
+		t.Error("nil delta accepted")
+	}
+}
+
+func TestStorePeerLag(t *testing.T) {
+	s, err := NewStore(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	s.Flush()
+	if err := s.Ingest(&wire.GossipDelta{Shard: 0, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lag := s.PeerLag()
+	if lag[1] != 0 {
+		t.Errorf("own lag = %d, want 0", lag[1])
+	}
+	if lag[0] != 1 {
+		t.Errorf("lag behind shard 0 = %d, want 1 (ingested 1 of 2 epochs)", lag[0])
+	}
+	if lag[2] != 2 {
+		t.Errorf("lag behind shard 2 = %d, want 2 (nothing ingested)", lag[2])
+	}
+}
+
+// TestStoreViewSnapshot checks View copies: mutating the store after a
+// snapshot must not change the snapshot, and the snapshot reuses dst.
+func TestStoreViewSnapshot(t *testing.T) {
+	s, err := NewStore(3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(0, 5)
+	buf := make([]int, 0, 3)
+	v := s.View(buf)
+	if v[0] != 5 {
+		t.Fatalf("View = %v", v)
+	}
+	s.Add(0, 1)
+	if v[0] != 5 {
+		t.Error("snapshot aliases live counts")
+	}
+	v2 := s.View(v)
+	if &v2[0] != &v[0] {
+		t.Error("View did not reuse dst capacity")
+	}
+}
+
+// TestStoreConcurrentMirrors runs two stores mirroring each other from
+// concurrent writers under the race detector: after a final flush/ingest
+// exchange both replicas must agree exactly.
+func TestStoreConcurrentMirrors(t *testing.T) {
+	const tasks, rounds = 8, 50
+	a, _ := NewStore(tasks, 0, 2)
+	b, _ := NewStore(tasks, 1, 2)
+	var wg sync.WaitGroup
+	ab := make(chan *wire.GossipDelta, rounds)
+	ba := make(chan *wire.GossipDelta, rounds)
+	work := func(s *Store, out chan<- *wire.GossipDelta, in <-chan *wire.GossipDelta, sign int) {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			s.Add(r%tasks, sign)
+			out <- s.Flush()
+			if err := s.Ingest(<-in); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go work(a, ab, ba, 1)
+	go work(b, ba, ab, -1)
+	wg.Wait()
+	va, vb := a.View(nil), b.View(nil)
+	for k := range va {
+		if va[k] != vb[k] {
+			t.Fatalf("replicas diverged at task %d: %d vs %d (%v vs %v)", k, va[k], vb[k], va, vb)
+		}
+	}
+}

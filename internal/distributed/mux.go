@@ -120,7 +120,7 @@ func ServeTCPMux(ln net.Listener, in *core.Instance, cfg PlatformConfig, session
 		}
 		conns[l.user] = l.conn
 	}
-	plat, err := NewPlatform(in, conns, cfg)
+	plat, err := New(in, conns, WithConfig(cfg))
 	if err != nil {
 		return RunStats{}, err
 	}

@@ -1,10 +1,12 @@
 package distributed
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/distributed/federation"
 	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
@@ -25,6 +27,11 @@ const (
 	// tests against a sequential reference run.
 	Deterministic SelectionPolicy = "DET"
 )
+
+// ErrNoConvergence reports a run that exhausted its slot budget before
+// reaching equilibrium. Callers that bound a run deliberately (benchmarks
+// measuring fixed slot counts) match it with errors.Is.
+var ErrNoConvergence = errors.New("no convergence within slot budget")
 
 // Observation is one per-slot report delivered to the Observer hook. The
 // struct form (rather than positional arguments) keeps the hook extensible:
@@ -51,7 +58,10 @@ type Observation struct {
 	PotentialValid bool
 }
 
-// PlatformConfig configures a platform run.
+// PlatformConfig configures a platform run. It remains the configuration
+// carrier for the runner option structs (InProcessOptions, ChaosOptions);
+// direct construction should use New with functional options, which
+// accepts a whole PlatformConfig via WithConfig.
 type PlatformConfig struct {
 	Policy   SelectionPolicy
 	MaxSlots int // 0 = engine.DefaultMaxSlots
@@ -90,16 +100,58 @@ type RunStats struct {
 	MessagesSent, MessagesReceived int
 }
 
+// countStore abstracts where the per-task participation counts n_k live:
+// a plain slice for a standalone platform, or a gossip-replicated
+// federation.Store when the platform is one shard of a federated run.
+type countStore interface {
+	// Add applies a local move's delta to one task count.
+	Add(task, delta int)
+	// View returns the full count vector, reusing dst when possible. A
+	// sharded platform snapshots once per slot so every SlotInfo of a
+	// round quotes the same round-start counts.
+	View(dst []int) []int
+}
+
+// sliceCounts is the standalone store: a bare slice, viewed in place.
+type sliceCounts []int
+
+func (s sliceCounts) Add(task, delta int) { s[task] += delta }
+func (s sliceCounts) View([]int) []int    { return s }
+
+// appliedMove records one granted decision after it was applied; the
+// federated coordinator uses it to maintain the global choice profile.
+type appliedMove struct {
+	User, Route int
+	Changed     bool
+}
+
 // Platform is the platform-side state machine of Algorithm 2. It knows the
 // full instance topology (routes, tasks, costs) but never the users'
 // preference weights, which stay on the agents.
+//
+// A Platform serves either the whole user population (the classic layout)
+// or, when built with WithShard, the subset of users a federation shard
+// owns: the slot protocol below is entirely shard-local, with the shared
+// participation counts read through the replicated store.
 type Platform struct {
 	in    *core.Instance
 	conns []Conn
 	cfg   PlatformConfig
 	rnd   *rng.Stream
 
-	nk      []int
+	// users[li] is the global user ID served by conns[li]; local[u] is the
+	// inverse (-1 for users owned by other shards).
+	users []int
+	local []int
+
+	// shard/shards identify this platform's slice of a federated run;
+	// shard is -1 for a standalone platform. fed is the replicated count
+	// store (nil when standalone).
+	shard, shards int
+	fed           *federation.Store
+
+	store   countStore
+	view    []int // per-slot snapshot of store counts
 	choices []int
 	// inited[u] is set once user u's initial decision is applied; until
 	// then a reconnecting agent is re-sent Init with CurrentRoute -1 so it
@@ -108,6 +160,10 @@ type Platform struct {
 	ctr    *Counter
 	tel    *platformTelemetry
 
+	// async, when non-nil, holds the asynchronous engine this Platform was
+	// configured with (WithAsync); Run delegates to it.
+	async *asyncPlatform
+
 	tr *tracing.Tracer
 	// traceCtx is the span context stamped onto every outgoing message:
 	// the init-phase span during initialization, then the current slot's
@@ -115,68 +171,53 @@ type Platform struct {
 	traceCtx tracing.SpanContext
 	// prof incrementally mirrors the applied decisions when tracing is on,
 	// so per-move events carry exact ΔP_i and ΔΦ (Eq. 8) without a
-	// from-scratch evaluation.
+	// from-scratch evaluation. It stays nil on shards: remote moves arrive
+	// only as count deltas, so no shard can price ΔΦ exactly.
 	prof *core.Profile
+
+	// slotSpan is the open tracing span of the slot in flight, started by
+	// collectRequests and finished by commitSlot or terminate.
+	slotSpan tracing.Span
+	// lastRequests carries the request count from collectRequests to the
+	// span finish in commitSlot.
+	lastRequests int
 }
 
 // NewPlatform creates a platform serving len(conns) users; conns[i] must be
-// connected to the agent for user i. Connections are wrapped with sequence
-// stamping and duplicate suppression.
+// connected to the agent for user i.
+//
+// Deprecated: use New with functional options; an existing PlatformConfig
+// carries over via WithConfig: New(in, conns, WithConfig(cfg)).
 func NewPlatform(in *core.Instance, conns []Conn, cfg PlatformConfig) (*Platform, error) {
-	if err := in.Validate(); err != nil {
-		return nil, fmt.Errorf("distributed: %w", err)
-	}
-	if len(conns) != in.NumUsers() {
-		return nil, fmt.Errorf("distributed: %d connections for %d users", len(conns), in.NumUsers())
-	}
-	reg := cfg.Telemetry
-	if reg == nil {
-		reg = telemetry.Default()
-	}
-	tel := newPlatformTelemetry(reg, len(conns))
-	ctr := &Counter{}
-	wrapped := make([]Conn, len(conns))
-	for i, c := range conns {
-		// Trace inside the sequence stamper so transport spans carry the
-		// final Seq, outside the counters so they time the real operation.
-		wrapped[i] = WithSeq(WithTrace(WithCounter(tel.wrap(c, i), ctr), cfg.Tracer, i), -1)
-	}
-	switch cfg.Policy {
-	case SUU, PUU, Deterministic:
-	case "":
-		cfg.Policy = SUU
-	default:
-		return nil, fmt.Errorf("distributed: unknown policy %q", cfg.Policy)
-	}
-	if cfg.MaxSlots <= 0 {
-		cfg.MaxSlots = engine.DefaultMaxSlots
-	}
-	return &Platform{
-		in:      in,
-		conns:   wrapped,
-		cfg:     cfg,
-		rnd:     rng.New(cfg.Seed),
-		nk:      make([]int, in.NumTasks()),
-		choices: make([]int, in.NumUsers()),
-		inited:  make([]bool, in.NumUsers()),
-		ctr:     ctr,
-		tel:     tel,
-		tr:      cfg.Tracer,
-	}, nil
+	return New(in, conns, WithConfig(cfg))
 }
 
-// send stamps the current trace context onto m and sends it to user u.
-// All platform-side sends go through here so reconnect resyncs inside
-// expect() are traced under the slot they interrupt.
-func (p *Platform) send(u int, m *wire.Message) error {
+// Shard returns the platform's shard index and total shard count; (-1, 0)
+// for a standalone platform.
+func (p *Platform) Shard() (shard, shards int) { return p.shard, p.shards }
+
+// Store returns the replicated federation store backing this shard's
+// counts, or nil for a standalone platform. Callers wiring their own
+// gossip exchange flush and ingest through it.
+func (p *Platform) Store() *federation.Store { return p.fed }
+
+// Users returns the global user IDs served by this platform, in
+// connection order.
+func (p *Platform) Users() []int { return append([]int(nil), p.users...) }
+
+// send stamps the current trace context onto m and sends it to the agent
+// on conns[li]. All platform-side sends go through here so reconnect
+// resyncs inside expect() are traced under the slot they interrupt.
+func (p *Platform) send(li int, m *wire.Message) error {
 	StampTrace(m, p.traceCtx)
-	return p.conns[u].Send(m)
+	return p.conns[li].Send(m)
 }
 
 // traceMove records one applied (non-initial) decision as a move event
 // with exact ΔP_i and ΔΦ from the incremental profile, keeping the profile
 // in lockstep with the authoritative choices/counts state. Returns the
-// move's ΔΦ (0 when tracing is off or the decision was a no-op).
+// move's ΔΦ (0 when tracing is off, the platform is sharded, or the
+// decision was a no-op).
 func (p *Platform) traceMove(u, oldRoute, newRoute, slot int) float64 {
 	if p.prof == nil || newRoute == oldRoute {
 		return 0
@@ -216,37 +257,40 @@ func (p *Platform) initMsg(u int, currentRoute int) *wire.Message {
 }
 
 // slotMsg builds the SlotInfo for user u: n_k restricted to tasks its
-// routes cover (Algorithm 2 line 4 / Algorithm 1 line 9).
+// routes cover (Algorithm 2 line 4 / Algorithm 1 line 9), read from the
+// slot's count snapshot.
 func (p *Platform) slotMsg(u, slot int) *wire.Message {
 	counts := map[int]int{}
 	for _, r := range p.in.Users[u].Routes {
 		for _, k := range r.Tasks {
-			counts[int(k)] = p.nk[k]
+			counts[int(k)] = p.view[k]
 		}
 	}
 	return &wire.Message{Kind: wire.KindSlotInfo, SlotInfo: &wire.SlotInfo{Slot: slot, Counts: counts}}
 }
 
-// applyDecision moves user u to route c, updating counts.
+// applyDecision moves user u to route c, updating counts through the
+// store (which, on a shard, also buffers the deltas for the next gossip
+// flush).
 func (p *Platform) applyDecision(u, c int, initial bool) error {
 	if c < 0 || c >= len(p.in.Users[u].Routes) {
 		return fmt.Errorf("distributed: user %d decided out-of-range route %d", u, c)
 	}
 	if !initial {
 		for _, k := range p.in.Users[u].Routes[p.choices[u]].Tasks {
-			p.nk[k]--
+			p.store.Add(int(k), -1)
 		}
 	}
 	for _, k := range p.in.Users[u].Routes[c].Tasks {
-		p.nk[k]++
+		p.store.Add(int(k), 1)
 	}
 	p.choices[u] = c
 	return nil
 }
 
-// expect reads messages from user u until one of the wanted kind arrives,
-// transparently riding out the disruptions the fault-injection harness can
-// produce:
+// expect reads messages from conns[li] until one of the wanted kind
+// arrives, transparently riding out the disruptions the fault-injection
+// harness can produce:
 //
 //   - A mid-run agent restart (Hello with Resume) re-initializes the agent:
 //     the platform re-sends Init with the recorded decision (or -1 before
@@ -256,9 +300,10 @@ func (p *Platform) applyDecision(u, c int, initial bool) error {
 //   - Stale Requests/Decisions (earlier slots, or a re-sent slot view
 //     answered twice across a restart) are dropped, making the platform
 //     idempotent under duplicated or replayed per-slot messages.
-func (p *Platform) expect(u int, kind wire.Kind, inSlot int, regrant bool) (*wire.Message, error) {
+func (p *Platform) expect(li int, kind wire.Kind, inSlot int, regrant bool) (*wire.Message, error) {
+	u := p.users[li]
 	for {
-		m, err := p.conns[u].Recv()
+		m, err := p.conns[li].Recv()
 		if err != nil {
 			return nil, fmt.Errorf("distributed: user %d: %w", u, err)
 		}
@@ -275,7 +320,7 @@ func (p *Platform) expect(u int, kind wire.Kind, inSlot int, regrant bool) (*wir
 			return m, nil
 		case m.Kind == wire.KindHello:
 			if m.Hello.User != u {
-				return nil, fmt.Errorf("distributed: conn %d claimed by user %d", u, m.Hello.User)
+				return nil, fmt.Errorf("distributed: conn for user %d claimed by user %d", u, m.Hello.User)
 			}
 			p.tel.reconnects.Inc()
 			p.tr.RecordReconnect(p.traceCtx, u, inSlot)
@@ -283,16 +328,16 @@ func (p *Platform) expect(u int, kind wire.Kind, inSlot int, regrant bool) (*wir
 			if p.inited[u] {
 				cur = p.choices[u]
 			}
-			if err := p.send(u, p.initMsg(u, cur)); err != nil {
+			if err := p.send(li, p.initMsg(u, cur)); err != nil {
 				return nil, err
 			}
 			if inSlot >= 1 && p.inited[u] {
-				if err := p.send(u, p.slotMsg(u, inSlot)); err != nil {
+				if err := p.send(li, p.slotMsg(u, inSlot)); err != nil {
 					return nil, err
 				}
 			}
 			if regrant {
-				if err := p.send(u, &wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: inSlot}}); err != nil {
+				if err := p.send(li, &wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: inSlot}}); err != nil {
 					return nil, err
 				}
 				p.tel.regrants.Inc()
@@ -312,89 +357,175 @@ func (p *Platform) expect(u int, kind wire.Kind, inSlot int, regrant bool) (*wir
 	}
 }
 
-// Run executes Algorithm 2 to completion and returns the run statistics.
+// runInit executes the initialization phase (Algorithm 2 lines 1–4):
+// greet every served user, send R_i, and collect initial decisions. The
+// whole phase is one trace.
+func (p *Platform) runInit() error {
+	initSpan := p.tr.StartSpan(p.tr.StartTrace(), tracing.KindInit, -1, 0)
+	p.traceCtx = initSpan.Context()
+	p.view = p.store.View(p.view)
+	for li := range p.conns {
+		m, err := p.expect(li, wire.KindHello, 0, false)
+		if err != nil {
+			return err
+		}
+		if m.Hello.User != p.users[li] {
+			return fmt.Errorf("distributed: conn for user %d claimed by user %d", p.users[li], m.Hello.User)
+		}
+		if err := p.send(li, p.initMsg(p.users[li], -1)); err != nil {
+			return err
+		}
+	}
+	for li := range p.conns {
+		m, err := p.expect(li, wire.KindDecision, 0, false)
+		if err != nil {
+			return err
+		}
+		u := p.users[li]
+		if err := p.applyDecision(u, m.Decision.Route, true); err != nil {
+			return err
+		}
+		p.inited[u] = true
+	}
+	if p.tr.Enabled() && p.shard < 0 {
+		// Track the applied decisions incrementally from here on so every
+		// move event carries its exact ΔP_i and ΔΦ. Shards skip this: they
+		// never see the full profile.
+		prof, err := core.NewProfile(p.in, p.choices)
+		if err != nil {
+			return fmt.Errorf("distributed: tracing profile: %w", err)
+		}
+		p.prof = prof
+	}
+	initSpan.FinishSlot(0, len(p.conns), 0)
+	return nil
+}
+
+// collectRequests opens decision slot `slot` for every served user: it
+// snapshots the count store, broadcasts SlotInfo views, and gathers one
+// Request per user, returning the improvement requests (Algorithm 2 lines
+// 5–7). The slot's tracing span stays open until commitSlot or terminate.
+func (p *Platform) collectRequests(slot int) ([]engine.Request, error) {
+	span := p.tr.StartSpan(p.tr.StartTrace(), tracing.KindSlot, -1, slot)
+	p.traceCtx = span.Context()
+	p.slotSpan = span
+	p.view = p.store.View(p.view)
+	rtSpan := telemetry.StartSpan(p.tel.slotRoundtrip)
+	for li := range p.conns {
+		if err := p.send(li, p.slotMsg(p.users[li], slot)); err != nil {
+			return nil, err
+		}
+	}
+	var requests []engine.Request
+	for li := range p.conns {
+		m, err := p.expect(li, wire.KindRequest, slot, false)
+		if err != nil {
+			return nil, err
+		}
+		r := m.Request
+		if r.Slot != slot {
+			return nil, fmt.Errorf("distributed: user %d replied for slot %d in slot %d", p.users[li], r.Slot, slot)
+		}
+		if r.HasUpdate {
+			requests = append(requests, engine.Request{
+				User: core.UserID(p.users[li]), Route: r.Route, Tau: r.Tau, B: r.B,
+			})
+		}
+	}
+	rtSpan.End()
+	p.tel.requests.Add(uint64(len(requests)))
+	p.lastRequests = len(requests)
+	return requests, nil
+}
+
+// commitSlot grants the slot's winners (all of which must be users this
+// platform serves), collects and applies their decisions, and closes the
+// slot (Algorithm 2 lines 8–10). It returns the applied moves and the
+// traced ΔΦ of the slot.
+func (p *Platform) commitSlot(slot int, winners []engine.Request) ([]appliedMove, float64, error) {
+	for _, w := range winners {
+		li := p.local[w.User]
+		if li < 0 {
+			return nil, 0, fmt.Errorf("distributed: winner %d not served by shard %d", w.User, p.shard)
+		}
+		if err := p.send(li, &wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: slot}}); err != nil {
+			return nil, 0, err
+		}
+	}
+	applied := make([]appliedMove, 0, len(winners))
+	var slotDPhi float64
+	for _, w := range winners {
+		li := p.local[w.User]
+		m, err := p.expect(li, wire.KindDecision, slot, true)
+		if err != nil {
+			return applied, 0, err
+		}
+		if m.Decision.Slot != slot {
+			return applied, 0, fmt.Errorf("distributed: user %d decision for slot %d in slot %d", p.users[li], m.Decision.Slot, slot)
+		}
+		u := int(w.User)
+		old := p.choices[u]
+		if err := p.applyDecision(u, m.Decision.Route, false); err != nil {
+			return applied, 0, err
+		}
+		applied = append(applied, appliedMove{User: u, Route: m.Decision.Route, Changed: m.Decision.Route != old})
+		slotDPhi += p.traceMove(u, old, m.Decision.Route, slot)
+	}
+	p.tel.slots.Inc()
+	p.tel.grants.Add(uint64(len(winners)))
+	p.slotSpan.FinishSlot(p.lastRequests, len(winners), slotDPhi)
+	p.slotSpan = tracing.Span{}
+	return applied, slotDPhi, nil
+}
+
+// terminate ends the protocol for every served user (Algorithm 2 lines
+// 11–12) and closes the slot span left open by collectRequests.
+func (p *Platform) terminate(slot int) error {
+	for li := range p.conns {
+		if err := p.send(li, &wire.Message{Kind: wire.KindTerminate, Terminate: &wire.Terminate{Slot: slot}}); err != nil {
+			return err
+		}
+	}
+	p.slotSpan.Finish()
+	p.slotSpan = tracing.Span{}
+	return nil
+}
+
+// Run executes the protocol to completion and returns the run statistics.
+// A platform built with WithAsync runs the asynchronous variant (see
+// RunAsync for the async-specific statistics); otherwise this is
+// Algorithm 2 over the served users.
 func (p *Platform) Run() (stats RunStats, err error) {
+	if p.async != nil {
+		as, err := p.async.Run()
+		return RunStats{
+			Slots:        as.Versions,
+			Converged:    as.Converged,
+			Choices:      as.Choices,
+			TotalUpdates: as.TotalUpdates,
+		}, err
+	}
 	defer func() {
 		stats.MessagesSent = p.ctr.Sent()
 		stats.MessagesReceived = p.ctr.Recv()
 	}()
 	runStart := time.Now()
-	// Initialization: greet every user, send R_i, and collect initial
-	// decisions (Algorithm 2 lines 1–4). The whole phase is one trace.
-	initSpan := p.tr.StartSpan(p.tr.StartTrace(), tracing.KindInit, -1, 0)
-	p.traceCtx = initSpan.Context()
-	for u := range p.conns {
-		m, err := p.expect(u, wire.KindHello, 0, false)
-		if err != nil {
-			return stats, err
-		}
-		if m.Hello.User != u {
-			return stats, fmt.Errorf("distributed: conn %d claimed by user %d", u, m.Hello.User)
-		}
-		if err := p.send(u, p.initMsg(u, -1)); err != nil {
-			return stats, err
-		}
+	if err := p.runInit(); err != nil {
+		return stats, err
 	}
-	for u := range p.conns {
-		m, err := p.expect(u, wire.KindDecision, 0, false)
-		if err != nil {
-			return stats, err
-		}
-		if err := p.applyDecision(u, m.Decision.Route, true); err != nil {
-			return stats, err
-		}
-		p.inited[u] = true
-	}
-	if p.tr.Enabled() {
-		// Track the applied decisions incrementally from here on so every
-		// move event carries its exact ΔP_i and ΔΦ.
-		prof, err := core.NewProfile(p.in, p.choices)
-		if err != nil {
-			return stats, fmt.Errorf("distributed: tracing profile: %w", err)
-		}
-		p.prof = prof
-	}
-	initSpan.FinishSlot(0, len(p.conns), 0)
 	p.observe(0, 0, nil, time.Since(runStart))
 	// Decision slots (Algorithm 2 lines 5–10).
 	for slot := 1; slot <= p.cfg.MaxSlots; slot++ {
-		slotSpan := telemetry.StartSpan(p.tel.slotDuration)
-		// Each decision slot is its own trace, sampled independently; its
-		// span context rides on every message of the slot.
-		span := p.tr.StartSpan(p.tr.StartTrace(), tracing.KindSlot, -1, slot)
-		p.traceCtx = span.Context()
-		rtSpan := telemetry.StartSpan(p.tel.slotRoundtrip)
-		for u := range p.conns {
-			if err := p.send(u, p.slotMsg(u, slot)); err != nil {
-				return stats, err
-			}
+		slotTimer := telemetry.StartSpan(p.tel.slotDuration)
+		requests, err := p.collectRequests(slot)
+		if err != nil {
+			return stats, err
 		}
-		var requests []engine.Request
-		for u := range p.conns {
-			m, err := p.expect(u, wire.KindRequest, slot, false)
-			if err != nil {
-				return stats, err
-			}
-			r := m.Request
-			if r.Slot != slot {
-				return stats, fmt.Errorf("distributed: user %d replied for slot %d in slot %d", u, r.Slot, slot)
-			}
-			if r.HasUpdate {
-				requests = append(requests, engine.Request{
-					User: core.UserID(u), Route: r.Route, Tau: r.Tau, B: r.B,
-				})
-			}
-		}
-		rtSpan.End()
-		p.tel.requests.Add(uint64(len(requests)))
 		if len(requests) == 0 {
 			// Algorithm 2 lines 11–12: equilibrium; terminate everyone.
-			for u := range p.conns {
-				if err := p.send(u, &wire.Message{Kind: wire.KindTerminate, Terminate: &wire.Terminate{Slot: slot}}); err != nil {
-					return stats, err
-				}
+			if err := p.terminate(slot); err != nil {
+				return stats, err
 			}
-			span.Finish()
 			stats.Converged = true
 			stats.Choices = append([]int(nil), p.choices...)
 			return stats, nil
@@ -402,39 +533,26 @@ func (p *Platform) Run() (stats RunStats, err error) {
 		stats.Slots = slot
 		stats.RequestsPerSlot = append(stats.RequestsPerSlot, len(requests))
 		selSpan := telemetry.StartSpan(p.tel.selectionTime)
-		winners := p.selectWinners(requests)
+		winners := selectWinners(p.cfg.Policy, p.rnd, requests)
 		selSpan.End()
 		stats.SelectedPerSlot = append(stats.SelectedPerSlot, len(winners))
 		stats.TotalUpdates += len(winners)
-		for _, w := range winners {
-			u := int(w.User)
-			if err := p.send(u, &wire.Message{Kind: wire.KindGrant, Grant: &wire.Grant{Slot: slot}}); err != nil {
-				return stats, err
-			}
+		if _, _, err := p.commitSlot(slot, winners); err != nil {
+			return stats, err
 		}
-		var slotDPhi float64
-		for _, w := range winners {
-			u := int(w.User)
-			m, err := p.expect(u, wire.KindDecision, slot, true)
-			if err != nil {
-				return stats, err
-			}
-			if m.Decision.Slot != slot {
-				return stats, fmt.Errorf("distributed: user %d decision for slot %d in slot %d", u, m.Decision.Slot, slot)
-			}
-			old := p.choices[u]
-			if err := p.applyDecision(u, m.Decision.Route, false); err != nil {
-				return stats, err
-			}
-			slotDPhi += p.traceMove(u, old, m.Decision.Route, slot)
-		}
-		p.tel.slots.Inc()
-		p.tel.grants.Add(uint64(len(winners)))
-		span.FinishSlot(len(requests), len(winners), slotDPhi)
-		p.observe(slot, len(requests), winners, slotSpan.End())
+		p.observe(slot, len(requests), winners, slotTimer.End())
 	}
 	stats.Choices = append([]int(nil), p.choices...)
-	return stats, fmt.Errorf("distributed: no convergence within %d slots", p.cfg.MaxSlots)
+	return stats, fmt.Errorf("distributed: %w (%d slots)", ErrNoConvergence, p.cfg.MaxSlots)
+}
+
+// RunAsync executes the asynchronous protocol on a platform built with
+// WithAsync, returning the async-specific statistics.
+func (p *Platform) RunAsync() (AsyncStats, error) {
+	if p.async == nil {
+		return AsyncStats{}, errors.New("distributed: RunAsync on a slot-synchronous platform (build with WithAsync)")
+	}
+	return p.async.Run()
 }
 
 // observe builds this slot's Observation (with copies of the mutable
@@ -464,10 +582,12 @@ func (p *Platform) observe(slot, requests int, winners []engine.Request, elapsed
 	p.cfg.Observer(o)
 }
 
-// selectWinners applies the configured selection policy to the slot's
-// requests (Algorithm 2 line 8).
-func (p *Platform) selectWinners(requests []engine.Request) []engine.Request {
-	switch p.cfg.Policy {
+// selectWinners applies a selection policy to a slot's requests
+// (Algorithm 2 line 8). It is shared by the standalone platform and the
+// federated coordinator, which selects over the merged cross-shard
+// request set.
+func selectWinners(policy SelectionPolicy, rnd *rng.Stream, requests []engine.Request) []engine.Request {
+	switch policy {
 	case PUU:
 		return engine.SelectPUU(requests)
 	case Deterministic:
@@ -479,6 +599,6 @@ func (p *Platform) selectWinners(requests []engine.Request) []engine.Request {
 		}
 		return []engine.Request{best}
 	default: // SUU
-		return []engine.Request{requests[p.rnd.Intn(len(requests))]}
+		return []engine.Request{requests[rnd.Intn(len(requests))]}
 	}
 }

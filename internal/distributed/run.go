@@ -40,7 +40,7 @@ func RunInProcess(in *core.Instance, opts InProcessOptions) (RunStats, error) {
 		}
 		platConns[i], agentConns[i] = pc, ac
 	}
-	plat, err := NewPlatform(in, platConns, opts.Platform)
+	plat, err := New(in, platConns, WithConfig(opts.Platform))
 	if err != nil {
 		return RunStats{}, err
 	}
@@ -106,7 +106,7 @@ func ServeTCP(ln net.Listener, in *core.Instance, cfg PlatformConfig) (RunStats,
 		}
 		conns[u] = &pushbackConn{Conn: conn, pending: []*wire.Message{m}}
 	}
-	plat, err := NewPlatform(in, conns, cfg)
+	plat, err := New(in, conns, WithConfig(cfg))
 	if err != nil {
 		return RunStats{}, err
 	}

@@ -52,24 +52,35 @@ type platformTelemetry struct {
 	linkRecv      []*telemetry.Counter
 }
 
-func newPlatformTelemetry(reg *telemetry.Registry, users int) *platformTelemetry {
-	t := &platformTelemetry{
-		slotDuration:  reg.Histogram("distributed_slot_duration_seconds", nil),
-		slotRoundtrip: reg.Histogram("distributed_slot_roundtrip_seconds", nil),
-		selectionTime: reg.Histogram("distributed_selection_seconds", nil),
-		slots:         reg.Counter("distributed_slots_total"),
-		requests:      reg.Counter("distributed_requests_total"),
-		grants:        reg.Counter("distributed_grants_total"),
-		reconnects:    reg.Counter("distributed_reconnects_total"),
-		regrants:      reg.Counter("distributed_regrants_total"),
-		sentAll:       reg.Counter("distributed_sent_total"),
-		recvAll:       reg.Counter("distributed_recv_total"),
-		linkSent:      make([]*telemetry.Counter, users),
-		linkRecv:      make([]*telemetry.Counter, users),
+// newPlatformTelemetry resolves the metric handles for a platform serving
+// the given global user IDs. A federated shard (shard >= 0) gets a
+// {shard="k"} label on every aggregate metric so per-shard load is
+// separable in one registry; per-link counters always carry the global
+// user ID.
+func newPlatformTelemetry(reg *telemetry.Registry, users []int, shard int) *platformTelemetry {
+	suffix := ""
+	linkFmt := `{user="%d"}`
+	if shard >= 0 {
+		suffix = fmt.Sprintf(`{shard="%d"}`, shard)
+		linkFmt = fmt.Sprintf(`{shard="%d",user="%%d"}`, shard)
 	}
-	for u := 0; u < users; u++ {
-		t.linkSent[u] = reg.Counter(fmt.Sprintf("distributed_link_sent_total{user=\"%d\"}", u))
-		t.linkRecv[u] = reg.Counter(fmt.Sprintf("distributed_link_recv_total{user=\"%d\"}", u))
+	t := &platformTelemetry{
+		slotDuration:  reg.Histogram("distributed_slot_duration_seconds"+suffix, nil),
+		slotRoundtrip: reg.Histogram("distributed_slot_roundtrip_seconds"+suffix, nil),
+		selectionTime: reg.Histogram("distributed_selection_seconds"+suffix, nil),
+		slots:         reg.Counter("distributed_slots_total" + suffix),
+		requests:      reg.Counter("distributed_requests_total" + suffix),
+		grants:        reg.Counter("distributed_grants_total" + suffix),
+		reconnects:    reg.Counter("distributed_reconnects_total" + suffix),
+		regrants:      reg.Counter("distributed_regrants_total" + suffix),
+		sentAll:       reg.Counter("distributed_sent_total" + suffix),
+		recvAll:       reg.Counter("distributed_recv_total" + suffix),
+		linkSent:      make([]*telemetry.Counter, len(users)),
+		linkRecv:      make([]*telemetry.Counter, len(users)),
+	}
+	for li, u := range users {
+		t.linkSent[li] = reg.Counter(fmt.Sprintf("distributed_link_sent_total"+linkFmt, u))
+		t.linkRecv[li] = reg.Counter(fmt.Sprintf("distributed_link_recv_total"+linkFmt, u))
 	}
 	return t
 }

@@ -122,6 +122,26 @@ func (n *node) childFor(p geo.Point) *node {
 	return &n.children[i]
 }
 
+// Walk visits every stored item in depth-first quadrant order (SW, SE,
+// NW, NE at each split). Items sharing a quadtree cell are visited
+// consecutively, so the visit order clusters spatial neighbors — the
+// property the shard partitioner in distributed/federation relies on to
+// cut a user population into spatially coherent contiguous ranges.
+func (x *Index) Walk(fn func(Item)) {
+	x.root.walk(fn)
+}
+
+func (n *node) walk(fn func(Item)) {
+	for _, it := range n.items {
+		fn(it)
+	}
+	if n.children != nil {
+		for i := range n.children {
+			n.children[i].walk(fn)
+		}
+	}
+}
+
 // WithinRadiusOfPoint appends to dst the IDs of items within r of p.
 func (x *Index) WithinRadiusOfPoint(p geo.Point, r float64, dst []int) []int {
 	query := geo.Rect{Min: geo.Pt(p.X-r, p.Y-r), Max: geo.Pt(p.X+r, p.Y+r)}

@@ -6,6 +6,8 @@
 //	GET /api/v1/status        -> Status as JSON (uptime, last slot, choices)
 //	GET /api/v1/metrics.json  -> telemetry registry snapshot as JSON
 //	GET /api/v1/slots         -> recent per-slot records (ring buffer)
+//	GET /api/v1/shards        -> shard topology + live per-shard state
+//	                             (federation.go; empty for standalone runs)
 //	GET /api/v1/trace/...     -> flight recorder + anomaly dumps (trace.go)
 //	GET /metrics              -> Prometheus text exposition
 //	GET /api/status           -> deprecated alias of /api/v1/status
@@ -63,6 +65,9 @@ type Status struct {
 	// Potential is the weighted potential Φ after the last slot, when the
 	// platform computes it (PlatformConfig.ObservePotential).
 	Potential *float64 `json:"potential,omitempty"`
+	// Shards is the federation's shard count K; 0 means standalone. The
+	// per-shard topology and live state live at /api/v1/shards.
+	Shards int `json:"shards,omitempty"`
 }
 
 // SlotSample is one entry of the /api/v1/slots ring buffer.
@@ -93,6 +98,9 @@ type Server struct {
 	reg    *telemetry.Registry
 	tracer *tracing.Tracer
 	pprof  bool
+	// shards holds per-shard topology and live state when the platform is
+	// federated (see federation.go); empty for standalone runs.
+	shards []ShardStatus
 }
 
 // Option customizes a Server.
@@ -280,6 +288,7 @@ func (s *Server) Handler() http.Handler {
 			Slots []SlotSample `json:"slots"`
 		}{Slots: samples})
 	}))
+	s.registerShards(mux)
 	s.registerTrace(mux)
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -303,6 +312,9 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "last requests  %d\n", st.Requests)
 		fmt.Fprintf(w, "last granted   %d\n", st.Granted)
 		fmt.Fprintf(w, "total updates  %d\n", st.TotalUpdates)
+		if st.Shards > 0 {
+			fmt.Fprintf(w, "shards         %d\n", st.Shards)
+		}
 		if len(st.Choices) > 0 {
 			fmt.Fprintf(w, "choices        %v\n", st.Choices)
 		}

@@ -55,8 +55,8 @@ const (
 	binaryMagic1 = 'c'
 	// BinaryVersion is the wire-format version stamped into every frame.
 	// Decoders reject frames from other versions; see docs/WIRE.md for the
-	// compatibility policy.
-	BinaryVersion = 1
+	// compatibility policy. v2 added KindGossipDelta (shard federation).
+	BinaryVersion = 2
 	// binaryHeaderLen is the fixed envelope header inside every frame.
 	binaryHeaderLen = 41
 	// MaxFrameLen bounds the length prefix a decoder honors. Protocol
@@ -288,6 +288,24 @@ func appendBody(dst []byte, m *Message, keys []int) ([]byte, []int, error) {
 		dst = binary.AppendVarint(dst, int64(m.Decision.Route))
 	case KindTerminate:
 		dst = binary.AppendVarint(dst, int64(m.Terminate.Slot))
+	case KindGossipDelta:
+		g := m.GossipDelta
+		dst = binary.AppendVarint(dst, int64(g.Shard))
+		dst = binary.AppendVarint(dst, int64(g.Epoch))
+		if g.Counts == nil {
+			dst = append(dst, 0)
+		} else {
+			keys = keys[:0]
+			for k := range g.Counts {
+				keys = append(keys, k)
+			}
+			slices.Sort(keys)
+			dst = binary.AppendUvarint(dst, uint64(len(keys))+1)
+			for _, k := range keys {
+				dst = binary.AppendVarint(dst, int64(k))
+				dst = binary.AppendVarint(dst, int64(g.Counts[k]))
+			}
+		}
 	default:
 		return dst, keys, fmt.Errorf("wire: encode: unknown kind %d", m.Kind)
 	}
@@ -429,6 +447,8 @@ func parseFrame(frame []byte, m *Message) error {
 		err = parseDecision(&r, m, old.Decision)
 	case KindTerminate:
 		err = parseTerminate(&r, m, old.Terminate)
+	case KindGossipDelta:
+		err = parseGossipDelta(&r, m, old.GossipDelta)
 	default:
 		return fmt.Errorf("unknown kind %d", frame[3])
 	}
@@ -643,5 +663,48 @@ func parseTerminate(r *frameReader, m *Message, old *Terminate) error {
 	}
 	*old = Terminate{Slot: int(slot)}
 	m.Terminate = old
+	return nil
+}
+
+func parseGossipDelta(r *frameReader, m *Message, old *GossipDelta) error {
+	if old == nil {
+		old = new(GossipDelta)
+	}
+	shard, err := r.varint()
+	if err != nil {
+		return err
+	}
+	epoch, err := r.varint()
+	if err != nil {
+		return err
+	}
+	// A counts entry is at least a 1-byte key plus a 1-byte value.
+	n, nilMap, err := r.mapLength(2)
+	if err != nil {
+		return err
+	}
+	counts := old.Counts
+	if nilMap {
+		counts = nil
+	} else {
+		if counts == nil {
+			counts = make(map[int]int, n)
+		} else {
+			clear(counts)
+		}
+		for i := 0; i < n; i++ {
+			k, err := r.varint()
+			if err != nil {
+				return err
+			}
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			counts[int(k)] = int(v)
+		}
+	}
+	*old = GossipDelta{Shard: int(shard), Epoch: int(epoch), Counts: counts}
+	m.GossipDelta = old
 	return nil
 }

@@ -48,6 +48,9 @@ func goldenCases() []struct {
 		{"grant", &Message{Kind: KindGrant, Seq: 5, From: -1, Grant: &Grant{Slot: 5}}},
 		{"decision", &Message{Kind: KindDecision, Seq: 6, From: 2, Decision: &Decision{Slot: 5, Route: 1}}},
 		{"terminate", &Message{Kind: KindTerminate, Seq: 7, From: -1, Terminate: &Terminate{Slot: 6}}},
+		{"gossipdelta", &Message{Kind: KindGossipDelta, Seq: 8, Epoch: 2, From: -1,
+			TraceID: 0xdeadbeefcafef00d, SpanID: 0x1236, TraceFlags: 1,
+			GossipDelta: &GossipDelta{Shard: 3, Epoch: 12, Counts: map[int]int{0: 2, 4: -1, -7: 1}}}},
 		// Edge cases.
 		{"init_nil", &Message{Kind: KindInit, From: -1, Init: &Init{User: 0, Routes: nil, Tasks: nil, CurrentRoute: -1}}},
 		{"request_empty_b", &Message{Kind: KindRequest, Seq: 9, From: 3,
@@ -58,6 +61,11 @@ func goldenCases() []struct {
 		{"max_varints", &Message{Kind: KindRequest, Seq: ^uint64(0), Epoch: ^uint32(0), From: math.MinInt64,
 			Request: &Request{Slot: math.MaxInt64, HasUpdate: true, Route: math.MinInt64,
 				Tau: math.MaxFloat64, B: []int{math.MaxInt64, math.MinInt64, 0}}}},
+		// Nil vs empty delta batches are distinct too (same map rule).
+		{"gossipdelta_nil_counts", &Message{Kind: KindGossipDelta, Seq: 12, From: -1,
+			GossipDelta: &GossipDelta{Shard: 0, Epoch: 1}}},
+		{"gossipdelta_empty_counts", &Message{Kind: KindGossipDelta, Seq: 12, From: -1,
+			GossipDelta: &GossipDelta{Shard: 0, Epoch: 1, Counts: map[int]int{}}}},
 		{"trace_zero", &Message{Kind: KindGrant, Seq: 11, From: -1, Grant: &Grant{Slot: 3}}},
 		{"trace_sampled", &Message{Kind: KindGrant, Seq: 11, From: -1,
 			TraceID: ^uint64(0), SpanID: ^uint64(0), TraceFlags: 0xff, Grant: &Grant{Slot: 3}}},
@@ -202,7 +210,7 @@ func randIntSlice(s *rng.Stream, maxLen int) []int {
 // full-range header fields and randomized payload shapes.
 func randomMessage(s *rng.Stream) *Message {
 	m := &Message{
-		Kind:       Kind(s.IntRange(int(KindHello), int(KindTerminate))),
+		Kind:       Kind(s.IntRange(int(KindHello), int(KindGossipDelta))),
 		Seq:        u64(s),
 		Epoch:      uint32(u64(s)),
 		From:       randInt(s),
@@ -261,6 +269,19 @@ func randomMessage(s *rng.Stream) *Message {
 		m.Decision = &Decision{Slot: randInt(s), Route: randInt(s)}
 	case KindTerminate:
 		m.Terminate = &Terminate{Slot: randInt(s)}
+	case KindGossipDelta:
+		g := &GossipDelta{Shard: s.Intn(16), Epoch: s.Intn(1 << 20)}
+		switch s.Intn(4) {
+		case 0: // nil map
+		case 1:
+			g.Counts = map[int]int{}
+		default:
+			g.Counts = map[int]int{}
+			for i := s.Intn(10); i > 0; i-- {
+				g.Counts[randInt(s)] = randInt(s)
+			}
+		}
+		m.GossipDelta = g
 	}
 	return m
 }
@@ -475,7 +496,7 @@ func TestBinaryDecodeAdversarial(t *testing.T) {
 		"body-cut":  mutate(func(b []byte) []byte { b[0]--; return b[:len(b)-1] }),
 		// Valid header, slot 0, then a ~4-billion-entry count claim: the
 		// length check must reject it before allocating anything.
-		"huge-count": append([]byte{47, 0, 0, 0, 'v', 'c', 1, byte(KindSlotInfo)}, append(make([]byte, 37), 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f)...),
+		"huge-count": append([]byte{47, 0, 0, 0, 'v', 'c', BinaryVersion, byte(KindSlotInfo)}, append(make([]byte, 37), 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f)...),
 	}
 	for name, data := range cases {
 		c := NewBinaryCodec(bytes.NewReader(data), nil)

@@ -33,6 +33,8 @@ func corpusMessages() []*Message {
 		{Kind: KindGrant, Seq: 5, From: -1, Grant: &Grant{Slot: 5}},
 		{Kind: KindDecision, Seq: 6, From: 2, Decision: &Decision{Slot: 5, Route: 1}},
 		{Kind: KindTerminate, Seq: 7, From: -1, Terminate: &Terminate{Slot: 6}},
+		{Kind: KindGossipDelta, Seq: 8, Epoch: 1, From: -1,
+			GossipDelta: &GossipDelta{Shard: 1, Epoch: 3, Counts: map[int]int{0: 1, 4: -1}}},
 	}
 }
 

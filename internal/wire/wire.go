@@ -49,6 +49,12 @@ const (
 	// KindTerminate ends the protocol: an equilibrium was reached
 	// (Algorithm 2 line 12).
 	KindTerminate
+	// KindGossipDelta carries a batch of per-task participation-count
+	// deltas between platform shards (package distributed/federation): the
+	// net n_k changes a shard applied since its previous batch, stamped
+	// with the sender's gossip epoch so receivers can drop duplicates and
+	// detect gaps.
+	KindGossipDelta
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +74,8 @@ func (k Kind) String() string {
 		return "decision"
 	case KindTerminate:
 		return "terminate"
+	case KindGossipDelta:
+		return "gossipdelta"
 	}
 	return "invalid"
 }
@@ -136,6 +144,20 @@ type Terminate struct {
 	Slot int
 }
 
+// GossipDelta is one batched count-replication message between platform
+// shards. Counts maps task ID to the net change in n_k the sending shard
+// applied since its previous batch. Epoch is the sender's gossip epoch:
+// it starts at 1 and increments by exactly one per batch, so a receiver
+// drops re-deliveries (epoch ≤ last seen) and flags gaps (epoch jumps by
+// more than one) instead of silently corrupting its replica. A batch may
+// be empty — shards flush every round, moves or not, because the empty
+// batch is what tells peers the sender's counts are quiescent.
+type GossipDelta struct {
+	Shard  int
+	Epoch  int
+	Counts map[int]int // task ID -> n_k delta
+}
+
 // Message is the single on-the-wire envelope. Exactly one payload field is
 // non-nil, matching Kind.
 type Message struct {
@@ -161,13 +183,14 @@ type Message struct {
 	SpanID     uint64
 	TraceFlags uint8
 
-	Hello     *Hello
-	Init      *Init
-	SlotInfo  *SlotInfo
-	Request   *Request
-	Grant     *Grant
-	Decision  *Decision
-	Terminate *Terminate
+	Hello       *Hello
+	Init        *Init
+	SlotInfo    *SlotInfo
+	Request     *Request
+	Grant       *Grant
+	Decision    *Decision
+	Terminate   *Terminate
+	GossipDelta *GossipDelta
 }
 
 // Validate checks that exactly one payload is set and that it matches the
@@ -180,6 +203,7 @@ func (m *Message) Validate() error {
 	for _, set := range [...]bool{
 		m.Hello != nil, m.Init != nil, m.SlotInfo != nil, m.Request != nil,
 		m.Grant != nil, m.Decision != nil, m.Terminate != nil,
+		m.GossipDelta != nil,
 	} {
 		if set {
 			n++
@@ -201,6 +225,8 @@ func (m *Message) Validate() error {
 		ok = m.Decision != nil
 	case KindTerminate:
 		ok = m.Terminate != nil
+	case KindGossipDelta:
+		ok = m.GossipDelta != nil
 	}
 	if !ok {
 		return fmt.Errorf("wire: message kind %v with missing or mismatched payload", m.Kind)

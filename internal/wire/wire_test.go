@@ -19,9 +19,10 @@ func TestKindString(t *testing.T) {
 		{KindGrant, "grant"},
 		{KindDecision, "decision"},
 		{KindTerminate, "terminate"},
+		{KindGossipDelta, "gossipdelta"},
 		// Out-of-range values, both directions.
 		{Kind(-1), "invalid"},
-		{Kind(8), "invalid"},
+		{Kind(9), "invalid"},
 		{Kind(99), "invalid"},
 	}
 	for _, tc := range cases {
@@ -44,6 +45,7 @@ var payloadSetters = []struct {
 	{KindGrant, func(m *Message) { m.Grant = &Grant{} }},
 	{KindDecision, func(m *Message) { m.Decision = &Decision{} }},
 	{KindTerminate, func(m *Message) { m.Terminate = &Terminate{} }},
+	{KindGossipDelta, func(m *Message) { m.GossipDelta = &GossipDelta{} }},
 }
 
 // TestValidate exhaustively crosses every kind (including KindInvalid and
@@ -51,7 +53,7 @@ var payloadSetters = []struct {
 // valid exactly when it carries the one payload its kind names.
 func TestValidate(t *testing.T) {
 	kinds := []Kind{KindInvalid, KindHello, KindInit, KindSlotInfo, KindRequest,
-		KindGrant, KindDecision, KindTerminate, Kind(-1), Kind(99)}
+		KindGrant, KindDecision, KindTerminate, KindGossipDelta, Kind(-1), Kind(99)}
 	for _, k := range kinds {
 		// No payload at all: always invalid.
 		if err := (&Message{Kind: k}).Validate(); err == nil {
@@ -119,6 +121,8 @@ func TestRoundTripAllKinds(t *testing.T) {
 		{Kind: KindGrant, Seq: 5, From: -1, Grant: &Grant{Slot: 7}},
 		{Kind: KindDecision, Seq: 6, From: 4, Decision: &Decision{Slot: 7, Route: 1}},
 		{Kind: KindTerminate, Seq: 7, From: -1, Terminate: &Terminate{Slot: 9}},
+		{Kind: KindGossipDelta, Seq: 8, Epoch: 1, From: -1,
+			GossipDelta: &GossipDelta{Shard: 2, Epoch: 5, Counts: map[int]int{1: -1, 3: 2}}},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
