@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz ci bench bench-core bench-routing bench-tracing bench-wire bench-federation bench-chaos repro check fmt clean
+.PHONY: all build vet test race chaos soak-multinode fuzz ci bench bench-core bench-routing bench-tracing bench-wire bench-federation bench-chaos repro check fmt clean
 
 all: build vet test
 
@@ -22,10 +22,19 @@ race:
 	$(GO) test -race ./...
 
 # Chaos/soak suite under the race detector: seeded fault injection, agent
-# crash-and-reconnect, and the >=100-run soak sweep (TestChaosSoak is
-# skipped by -short elsewhere; here it runs in full).
+# crash-and-reconnect, the >=100-run soak sweep (TestChaosSoak is skipped
+# by -short elsewhere; here it runs in full), and the full multi-process
+# multi-node harness including the kill -9 crash/recovery soak.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestAsyncPotential' -count=1 ./internal/distributed
+	$(GO) test -race -count=1 -timeout 600s ./internal/distributed/e2e
+
+# Multi-process soak of the multi-node TCP federation on its own: real
+# platformd/useragent binaries, K-shard clusters behind the front door,
+# DET determinism against the in-process federation, SIGTERM shutdown,
+# and the kill -9 crash/recovery cycle, repeated to shake out timing.
+soak-multinode:
+	$(GO) test -race -count=5 -timeout 600s ./internal/distributed/e2e
 
 # Short fuzz pass over the wire codec and the routing engine (corpus + a few
 # seconds of mutation per target). Extend -fuzztime locally for deeper
@@ -44,6 +53,7 @@ fuzz:
 # timings).
 ci: build vet test race fuzz
 	$(GO) test -race -short -count=1 ./internal/distributed ./internal/wire
+	$(GO) test -race -short -count=1 -timeout 300s ./internal/distributed/e2e
 	$(MAKE) bench-core BENCHTIME=20ms BENCH_OUT=/tmp/BENCH_incremental.json
 	$(MAKE) bench-routing BENCHTIME=20ms BENCH_ROUTING_OUT=/tmp/BENCH_routing.json
 	$(MAKE) bench-tracing BENCHTIME=20ms BENCH_TRACING_OUT=/tmp/BENCH_tracing.json

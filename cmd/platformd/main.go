@@ -13,11 +13,26 @@
 //	# then launch 8 agents:
 //	for i in $(seq 0 7); do useragent -addr :7700 -user $i -dataset Shanghai -seed 9 -users 8 -tasks 20 & done
 //
-// With -shards K the platform runs as a K-shard federation: users are
-// partitioned spatially, each shard drives the slot protocol for its own
-// users, and the shared per-task counts are replicated shard-to-shard by
-// epoch-stamped gossip. Agents connect exactly as before; with -http the
-// shard topology is served at /api/v1/shards.
+// With -shards K the platform runs as a K-shard federation IN ONE
+// process: users are partitioned spatially, each shard drives the slot
+// protocol for its own users, and the shared per-task counts are
+// replicated shard-to-shard by epoch-stamped gossip. Agents connect
+// exactly as before; with -http the shard topology is served at
+// /api/v1/shards.
+//
+// With -shard k/K the process runs ONE node of a multi-node federation:
+// the peer mesh (one TCP link per peer pair, addresses from -peers) carries
+// request broadcasts, gossip batches, and recovery snapshots, while -addr
+// keeps serving this node's own agents. A crashed node rejoins with
+// -resume, replaying the replicated count store from any live peer:
+//
+//	platformd -shard 0/3 -peers :7801,:7802,:7803 -addr :7700 -policy PUU &
+//	platformd -shard 1/3 -peers :7801,:7802,:7803 -addr :7710 -policy PUU &
+//	platformd -shard 2/3 -peers :7801,:7802,:7803 -addr :7720 -policy PUU &
+//
+// With -frontdoor addr0,...,addrK-1 the process is instead the thin agent
+// entry point of such a cluster: agents dial -addr as if it were a
+// standalone platform and are routed to the shard owning their user.
 package main
 
 import (
@@ -26,6 +41,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/distributed"
@@ -37,6 +55,25 @@ import (
 	"repro/internal/tracing"
 	"repro/internal/web"
 )
+
+// parseShardSpec parses -shard's "k/K" form.
+func parseShardSpec(s string) (k, K int, err error) {
+	if n, _ := fmt.Sscanf(s, "%d/%d", &k, &K); n != 2 || K < 1 || k < 0 || k >= K {
+		return 0, 0, fmt.Errorf("bad -shard %q, want k/K with 0 <= k < K", s)
+	}
+	return k, K, nil
+}
+
+// splitAddrs parses a comma-separated address list.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
 
 // newTracer builds the flight-recorder tracer for -trace-dir: anomaly dumps
 // are written to dir the moment a detector trips, and the caller writes a
@@ -87,6 +124,12 @@ func main() {
 		policy    = flag.String("policy", "SUU", "user update selection: SUU or PUU")
 		muxFlag   = flag.Int("mux", 0, "accept this many multiplexed agent connections (see useragent -mux) instead of one TCP connection per agent; 0 = per-agent connections")
 		shards    = flag.Int("shards", 0, "partition users spatially across this many platform shards (federated slot loops with gossip-replicated counts); 0 or 1 = single platform")
+		shardSpec = flag.String("shard", "", "run as node k of a K-node multi-node federation, written k/K (requires -peers)")
+		peers     = flag.String("peers", "", "comma-separated peer-mesh addresses for all K shards, indexed by shard (with -shard); this node listens on its own entry")
+		resume    = flag.Bool("resume", false, "rejoin a running federation after a crash, recovering the count store from a live peer (with -shard)")
+		transcr   = flag.String("transcript", "", "write the selection transcript to this file (with -shard; appended when -resume)")
+		slotDelay = flag.Duration("slot-delay", 0, "pause before each decision slot (with -shard; stretches runs for chaos testing)")
+		frontdoor = flag.String("frontdoor", "", "run as the agent front door of a multi-node cluster: comma-separated shard agent addresses, indexed by shard")
 		instance  = flag.String("instance", "", "load the game instance from a JSON file instead of building a scenario")
 		dump      = flag.String("dump-instance", "", "write the game instance as JSON to this file before serving")
 		httpAddr  = flag.String("http", "", "serve the monitoring API (/api/v1/*, /metrics, /healthz) on this address")
@@ -102,6 +145,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "platformd: -shards and -mux cannot be combined")
 		os.Exit(2)
 	}
+	if *shardSpec != "" && (*shards > 1 || *muxFlag > 0 || *frontdoor != "") {
+		fmt.Fprintln(os.Stderr, "platformd: -shard cannot be combined with -shards, -mux, or -frontdoor")
+		os.Exit(2)
+	}
+	if *frontdoor != "" && (*shards > 1 || *muxFlag > 0) {
+		fmt.Fprintln(os.Stderr, "platformd: -frontdoor cannot be combined with -shards or -mux")
+		os.Exit(2)
+	}
+	if *shardSpec == "" && (*peers != "" || *resume || *transcr != "" || *slotDelay != 0) {
+		fmt.Fprintln(os.Stderr, "platformd: -peers, -resume, -transcript, and -slot-delay require -shard")
+		os.Exit(2)
+	}
+
+	// A multi-node shard is a long-lived cluster member; SIGTERM is its
+	// normal decommission path and must read as a clean exit, not a crash
+	// (kill -9 is the crash path the chaos harness exercises).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("platformd: received %v, shutting down\n", sig)
+		os.Exit(0)
+	}()
 
 	var in *core.Instance
 	var err error
@@ -139,6 +205,23 @@ func main() {
 		os.Exit(1)
 	}
 	defer ln.Close()
+	if *frontdoor != "" {
+		shardAddrs := splitAddrs(*frontdoor)
+		fmt.Printf("platformd: front door listening on %s, routing %d users to %d shards\n",
+			ln.Addr(), in.NumUsers(), len(shardAddrs))
+		err := distributed.ServeFrontDoor(ln, in, distributed.FrontDoorOptions{
+			ShardAddrs: shardAddrs,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "platformd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "platformd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("platformd: listening on %s, waiting for %d agents (%s, seed %d)\n",
 		ln.Addr(), in.NumUsers(), *dataset, *seed)
 
@@ -175,7 +258,54 @@ func main() {
 		}
 	}
 	var stats distributed.RunStats
+	var node *distributed.NodeStats
 	switch {
+	case *shardSpec != "":
+		k, K, perr := parseShardSpec(*shardSpec)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "platformd: %v\n", perr)
+			os.Exit(2)
+		}
+		peerAddrs := splitAddrs(*peers)
+		if len(peerAddrs) != K {
+			fmt.Fprintf(os.Stderr, "platformd: -peers lists %d addresses, -shard %s needs %d\n", len(peerAddrs), *shardSpec, K)
+			os.Exit(2)
+		}
+		peerLn, lerr := net.Listen("tcp", peerAddrs[k])
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "platformd: peer mesh: %v\n", lerr)
+			os.Exit(1)
+		}
+		nopts := distributed.NodeOptions{
+			Shard: k, Shards: K, PeerAddrs: peerAddrs,
+			Platform:  pcfg,
+			Resume:    *resume,
+			SlotDelay: *slotDelay,
+		}
+		if *transcr != "" {
+			mode := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+			if *resume {
+				// A rejoining incarnation continues its predecessor's file:
+				// the init section restarts, the slot section resumes.
+				mode = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+			}
+			tf, terr := os.OpenFile(*transcr, mode, 0o644)
+			if terr != nil {
+				fmt.Fprintf(os.Stderr, "platformd: %v\n", terr)
+				os.Exit(1)
+			}
+			defer tf.Close()
+			nopts.Transcript = tf
+		}
+		if mon != nil {
+			nopts.OnTopology = mon.SetTopology
+			nopts.ShardObserver = mon.ShardObserver()
+			nopts.PeerObserver = mon.PeerObserver()
+		}
+		fmt.Printf("platformd: shard %d/%d, peer mesh on %s\n", k, K, peerAddrs[k])
+		var ns distributed.NodeStats
+		ns, err = distributed.ServeNode(ln, peerLn, in, nopts)
+		stats, node = ns.RunStats, &ns
 	case *shards > 1:
 		fopts := distributed.FederatedOptions{Shards: *shards, Platform: pcfg}
 		if mon != nil {
@@ -210,6 +340,23 @@ func main() {
 	}
 	if mon != nil {
 		mon.Finish(stats.Choices)
+	}
+	if node != nil {
+		// A shard only knows its own users' routes; global Nash and profit
+		// are asserted by the harness that aggregates all shards' output.
+		if node.Resumed {
+			fmt.Printf("resumed        rejoined the federation at round %d\n", node.RejoinRound)
+		}
+		fmt.Printf("node           shard %d/%d, %d gossip batches, %d peer reconnects\n",
+			node.Shard, node.Shards, node.GossipBatches, node.Reconnects)
+		fmt.Printf("converged      %v after %d decision slots (%d updates)\n", stats.Converged, stats.Slots, stats.TotalUpdates)
+		fmt.Printf("counts         %v\n", node.Counts)
+		for u, c := range node.Choices {
+			if c >= 0 {
+				fmt.Printf("  user %-2d -> route %d\n", u, c)
+			}
+		}
+		return
 	}
 	p, err := core.NewProfile(in, stats.Choices)
 	if err != nil {

@@ -10,8 +10,6 @@
 //	useragent -addr :7700 -user 3 -alpha 0.8 -beta 0.2 -gamma 0.1
 //	# run a whole fleet over one multiplexed connection (platformd -mux 1):
 //	useragent -addr :7700 -mux 0,1,2,3,4,5,6,7 -dataset Shanghai -seed 9
-//
-// -mux-users is a deprecated alias of -mux, kept for one release.
 package main
 
 import (
@@ -63,16 +61,9 @@ func main() {
 		instance = flag.String("instance", "", "derive weights from this instance JSON (written by platformd -dump-instance)")
 		traceDir = flag.String("trace-dir", "", "record this agent's transport spans (under the platform's trace IDs) and write the flight recorder here on exit")
 		muxList  = flag.String("mux", "", "comma-separated user IDs to run over one multiplexed connection (requires platformd -mux); overrides -user")
-		muxOld   = flag.String("mux-users", "", "deprecated alias of -mux")
 	)
 	flag.Parse()
 
-	if *muxOld != "" {
-		fmt.Fprintln(os.Stderr, "useragent: -mux-users is deprecated, use -mux (same value syntax)")
-		if *muxList == "" {
-			*muxList = *muxOld
-		}
-	}
 	if *muxList != "" {
 		runMux(*addr, *muxList, *instance, *dataset, *seed, *users, *tasks, *traceDir)
 		return

@@ -32,6 +32,14 @@ type Store struct {
 	pend   map[int]int // local deltas not yet flushed to peers
 	epoch  int         // gossip epochs flushed so far
 	peers  []int       // highest epoch ingested from each peer shard
+	// contrib is the per-shard contribution ledger: contrib[q][t] is the
+	// cumulative count shard q has contributed to task t through its
+	// flushed batches, as known to this replica. The consistent prefix of
+	// the replica always satisfies counts − pend = Σ_q contrib[q]; the
+	// ledger is what a Snapshot ships so a crash-restarted shard can both
+	// rebuild its replica and compute exact catch-up deltas for peers
+	// that missed the dead shard's final batches.
+	contrib [][]int
 }
 
 // NewStore creates shard shard's replica (of shards total) covering
@@ -46,12 +54,17 @@ func NewStore(numTasks, shard, shards int) (*Store, error) {
 	if numTasks < 0 {
 		return nil, fmt.Errorf("federation: negative task count %d", numTasks)
 	}
+	contrib := make([][]int, shards)
+	for q := range contrib {
+		contrib[q] = make([]int, numTasks)
+	}
 	return &Store{
-		shard:  shard,
-		shards: shards,
-		counts: make([]int, numTasks),
-		pend:   make(map[int]int),
-		peers:  make([]int, shards),
+		shard:   shard,
+		shards:  shards,
+		counts:  make([]int, numTasks),
+		pend:    make(map[int]int),
+		peers:   make([]int, shards),
+		contrib: contrib,
 	}, nil
 }
 
@@ -107,6 +120,9 @@ func (s *Store) Flush() *wire.GossipDelta {
 	s.epoch++
 	batch := s.pend
 	s.pend = make(map[int]int, len(batch))
+	for task, delta := range batch {
+		s.contrib[s.shard][task] += delta
+	}
 	return &wire.GossipDelta{Shard: s.shard, Epoch: s.epoch, Counts: batch}
 }
 
@@ -142,14 +158,163 @@ func (s *Store) Ingest(d *wire.GossipDelta) error {
 	if d.Epoch != last+1 {
 		return fmt.Errorf("federation: gossip gap from shard %d: epoch %d after %d", d.Shard, d.Epoch, last)
 	}
-	for task, delta := range d.Counts {
+	for task := range d.Counts {
 		if task < 0 || task >= len(s.counts) {
 			return fmt.Errorf("federation: gossip from shard %d names unknown task %d", d.Shard, task)
 		}
+	}
+	for task, delta := range d.Counts {
 		s.counts[task] += delta
+		s.contrib[d.Shard][task] += delta
 	}
 	s.peers[d.Shard] = d.Epoch
 	return nil
+}
+
+// Snapshot captures the replica's consistent state for a crash-recovering
+// peer: the counts with local unflushed deltas excluded (so they equal
+// Σ_q contrib[q]), the epoch vector (own flushed epoch at the shard's own
+// index, highest ingested epoch elsewhere), and a deep copy of the
+// contribution ledger. round is the decision slot the caller is currently
+// executing; the restarted shard uses the minimum across live peers to
+// rejoin the BSP round structure.
+func (s *Store) Snapshot(round int) *wire.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := make([]int, len(s.counts))
+	copy(counts, s.counts)
+	for task, delta := range s.pend {
+		counts[task] -= delta
+	}
+	epochs := make([]int, s.shards)
+	copy(epochs, s.peers)
+	epochs[s.shard] = s.epoch
+	contrib := make([][]int, s.shards)
+	for q := range contrib {
+		contrib[q] = make([]int, len(s.counts))
+		copy(contrib[q], s.contrib[q])
+	}
+	return &wire.Snapshot{Shard: s.shard, Round: round, Epochs: epochs, Counts: counts, Contrib: contrib}
+}
+
+// Restore adopts a peer snapshot wholesale: counts, epoch vector, and
+// contribution ledger. Any local state — including unflushed deltas — is
+// discarded; a restarted shard restores before accepting agents, then
+// calls RebaseSelf to retract its own pre-crash contribution. The
+// snapshot's own-shard epoch entry becomes this replica's flush epoch, so
+// subsequent Flush calls continue the dead incarnation's epoch sequence
+// without a gap.
+func (s *Store) Restore(sn *wire.Snapshot) error {
+	if sn == nil {
+		return fmt.Errorf("federation: nil snapshot")
+	}
+	if len(sn.Epochs) != s.shards || len(sn.Contrib) != s.shards {
+		return fmt.Errorf("federation: snapshot for %d shards, replica has %d", max(len(sn.Epochs), len(sn.Contrib)), s.shards)
+	}
+	if len(sn.Counts) != 0 && len(sn.Counts) != len(s.counts) {
+		return fmt.Errorf("federation: snapshot covers %d tasks, replica has %d", len(sn.Counts), len(s.counts))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for t := range s.counts {
+		s.counts[t] = 0
+	}
+	copy(s.counts, sn.Counts)
+	s.pend = make(map[int]int)
+	s.epoch = sn.Epochs[s.shard]
+	copy(s.peers, sn.Epochs)
+	s.peers[s.shard] = 0
+	for q := range s.contrib {
+		row := s.contrib[q]
+		for t := range row {
+			row[t] = 0
+		}
+		if len(sn.Contrib[q]) > len(row) {
+			return fmt.Errorf("federation: snapshot contribution row %d covers %d tasks, replica has %d", q, len(sn.Contrib[q]), len(row))
+		}
+		copy(row, sn.Contrib[q])
+	}
+	return nil
+}
+
+// RebaseSelf retracts this shard's own cumulative contribution from the
+// replica: the counts drop by contrib[self] and the retraction is buffered
+// as pending deltas, so the next Flush broadcasts it to every peer (and
+// zeroes the own-contribution row as a side effect of applying the batch).
+// A restarted shard calls this after Restore: its agents reconnect fresh
+// and re-report initial decisions, so the dead incarnation's counts must
+// come out of the global state exactly once, everywhere.
+func (s *Store) RebaseSelf() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for task, v := range s.contrib[s.shard] {
+		if v == 0 {
+			continue
+		}
+		s.counts[task] -= v
+		if nv := s.pend[task] - v; nv == 0 {
+			delete(s.pend, task)
+		} else {
+			s.pend[task] = nv
+		}
+	}
+}
+
+// CatchUp synthesizes the gossip batches a stale peer missed from shard
+// self's pre-crash incarnation. adopted is the snapshot the restarted
+// shard restored (the one with the highest Epochs[self]); stale is the
+// lagging peer's snapshot. The first synthesized batch carries the whole
+// contribution diff; the remaining epochs up to the adopted one are empty
+// fillers that close the peer's epoch-continuity gap. Returns nil when the
+// peer is already current.
+func CatchUp(self int, adopted, stale *wire.Snapshot) ([]*wire.GossipDelta, error) {
+	if self < 0 || self >= len(adopted.Epochs) || self >= len(stale.Epochs) {
+		return nil, fmt.Errorf("federation: catch-up shard %d outside snapshot epoch vectors (%d, %d)", self, len(adopted.Epochs), len(stale.Epochs))
+	}
+	low, high := stale.Epochs[self], adopted.Epochs[self]
+	if low > high {
+		return nil, fmt.Errorf("federation: stale snapshot ahead of adopted one (epoch %d > %d)", low, high)
+	}
+	if low == high {
+		return nil, nil
+	}
+	diff := make(map[int]int)
+	var have []int
+	if self < len(adopted.Contrib) {
+		have = adopted.Contrib[self]
+	}
+	for t, v := range have {
+		if w := staleContrib(stale, self, t); v != w {
+			diff[t] = v - w
+		}
+	}
+	out := make([]*wire.GossipDelta, 0, high-low)
+	out = append(out, &wire.GossipDelta{Shard: self, Epoch: low + 1, Counts: diff})
+	for e := low + 2; e <= high; e++ {
+		out = append(out, &wire.GossipDelta{Shard: self, Epoch: e, Counts: map[int]int{}})
+	}
+	return out, nil
+}
+
+// staleContrib reads stale.Contrib[self][t], tolerating short or nil rows
+// (zero-length inner slices decode to nil on the wire).
+func staleContrib(stale *wire.Snapshot, self, t int) int {
+	if self >= len(stale.Contrib) || t >= len(stale.Contrib[self]) {
+		return 0
+	}
+	return stale.Contrib[self][t]
+}
+
+// PeerEpochs returns, per shard, the highest gossip epoch ingested from
+// that peer (own entry: the replica's own flushed epoch). The web layer
+// reports it as peer liveness next to PeerLag.
+func (s *Store) PeerEpochs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epochs := make([]int, s.shards)
+	copy(epochs, s.peers)
+	epochs[s.shard] = s.epoch
+	return epochs
 }
 
 // PeerLag returns, per shard, how many epochs behind this replica's own

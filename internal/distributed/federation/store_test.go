@@ -166,6 +166,252 @@ func TestStoreViewSnapshot(t *testing.T) {
 	}
 }
 
+// consistentCounts returns the store's counts with unflushed deltas
+// excluded, via a snapshot.
+func consistentCounts(s *Store) []int {
+	return s.Snapshot(0).Counts
+}
+
+// TestSnapshotLedgerInvariant drives two replicas through several
+// flush/ingest rounds and checks the ledger invariant on every snapshot:
+// the consistent counts equal the column sums of the contribution ledger.
+func TestSnapshotLedgerInvariant(t *testing.T) {
+	const tasks = 4
+	a, _ := NewStore(tasks, 0, 2)
+	b, _ := NewStore(tasks, 1, 2)
+	moves := []struct {
+		s     *Store
+		task  int
+		delta int
+	}{
+		{a, 0, 1}, {a, 2, 1}, {b, 2, 1}, {b, 3, 1},
+		{a, 0, -1}, {a, 1, 1}, {b, 3, -1}, {b, 0, 1},
+	}
+	for i, mv := range moves {
+		mv.s.Add(mv.task, mv.delta)
+		if i%3 == 2 {
+			if err := b.Ingest(a.Flush()); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Ingest(b.Flush()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, s := range []*Store{a, b} {
+			sn := s.Snapshot(7)
+			if sn.Shard != s.Shard() || sn.Round != 7 {
+				t.Fatalf("snapshot stamped shard %d round %d", sn.Shard, sn.Round)
+			}
+			for task := 0; task < tasks; task++ {
+				sum := 0
+				for q := range sn.Contrib {
+					sum += sn.Contrib[q][task]
+				}
+				if sum != sn.Counts[task] {
+					t.Fatalf("shard %d move %d: ledger sum %d != consistent count %d at task %d\n%+v",
+						s.Shard(), i, sum, sn.Counts[task], task, sn)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotExcludesPending: unflushed local deltas are visible in the
+// replica (Get/View) but not in the snapshot's consistent counts.
+func TestSnapshotExcludesPending(t *testing.T) {
+	s, _ := NewStore(2, 0, 2)
+	s.Add(0, 1)
+	s.Flush()
+	s.Add(1, 1) // pending, not flushed
+	if got := s.Get(1); got != 1 {
+		t.Fatalf("Get(1) = %d, want 1", got)
+	}
+	sn := s.Snapshot(0)
+	if sn.Counts[0] != 1 || sn.Counts[1] != 0 {
+		t.Errorf("snapshot counts %v, want [1 0] (pending delta excluded)", sn.Counts)
+	}
+	if sn.Epochs[0] != 1 {
+		t.Errorf("snapshot own epoch %d, want 1", sn.Epochs[0])
+	}
+}
+
+// TestRestoreContinuesEpochSequence: a fresh replica restored from a peer
+// snapshot matches the peer's consistent state exactly, and its next flush
+// continues the dead incarnation's epoch sequence without a gap.
+func TestRestoreContinuesEpochSequence(t *testing.T) {
+	a, _ := NewStore(3, 0, 2)
+	b, _ := NewStore(3, 1, 2)
+	a.Add(0, 1)
+	a.Add(2, 1)
+	if err := b.Ingest(a.Flush()); err != nil {
+		t.Fatal(err)
+	}
+	b.Add(1, 1)
+	if err := a.Ingest(b.Flush()); err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 "crashes"; its replacement restores from b's snapshot.
+	a2, _ := NewStore(3, 0, 2)
+	if err := a2.Restore(b.Snapshot(3)); err != nil {
+		t.Fatal(err)
+	}
+	want := consistentCounts(b)
+	got := consistentCounts(a2)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("restored counts %v, want %v", got, want)
+		}
+	}
+	if a2.Epoch() != 1 {
+		t.Fatalf("restored epoch %d, want 1 (a flushed once)", a2.Epoch())
+	}
+	// The restored replica's next flush must ingest cleanly at b: epoch 2
+	// after b's last-seen epoch 1.
+	a2.Add(1, 1)
+	d := a2.Flush()
+	if d.Epoch != 2 {
+		t.Fatalf("post-restore flush epoch %d, want 2", d.Epoch)
+	}
+	if err := b.Ingest(d); err != nil {
+		t.Fatalf("peer rejected post-restore flush: %v", err)
+	}
+}
+
+// TestRebaseSelfRetractsOwnContribution: after restore + rebase, the
+// replica no longer carries the dead incarnation's own counts, and the
+// rebase flush retracts them at every peer too.
+func TestRebaseSelfRetractsOwnContribution(t *testing.T) {
+	a, _ := NewStore(3, 0, 2)
+	b, _ := NewStore(3, 1, 2)
+	a.Add(0, 1)
+	a.Add(2, 1)
+	b.Add(1, 1)
+	if err := b.Ingest(a.Flush()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Ingest(b.Flush()); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := NewStore(3, 0, 2)
+	if err := a2.Restore(b.Snapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	a2.RebaseSelf()
+	// Locally: only shard 1's contribution remains.
+	if got := a2.View(nil); got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("rebased counts %v, want [0 1 0]", got)
+	}
+	// The rebase travels to the peer via the next flush, and the ledger
+	// row zeroes out.
+	if err := b.Ingest(a2.Flush()); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.View(nil); got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("peer counts after rebase flush %v, want [0 1 0]", got)
+	}
+	sn := a2.Snapshot(0)
+	for task, v := range sn.Contrib[0] {
+		if v != 0 {
+			t.Fatalf("own ledger row not zeroed after rebase flush: task %d = %d", task, v)
+		}
+	}
+}
+
+// TestCatchUpClosesStaleGap reconstructs the crash scenario: shard 0's
+// final pre-crash batch reached shard 1 but not shard 2. The restarted
+// shard 0 adopts shard 1's snapshot and synthesizes catch-up deltas for
+// shard 2; after ingesting them (plus replayed duplicates, which must
+// drop), all replicas agree exactly.
+func TestCatchUpClosesStaleGap(t *testing.T) {
+	a, _ := NewStore(3, 0, 3)
+	b, _ := NewStore(3, 1, 3)
+	c, _ := NewStore(3, 2, 3)
+	// Round 1: everyone sees everyone.
+	a.Add(0, 1)
+	d := a.Flush()
+	for _, s := range []*Store{b, c} {
+		if err := s.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := b.Flush()
+	dc := c.Flush()
+	for _, s := range []*Store{a, c} {
+		if err := s.Ingest(db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []*Store{a, b} {
+		if err := s.Ingest(dc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round 2: a's flush reaches b but NOT c, then a crashes.
+	a.Add(2, 1)
+	a.Add(0, -1)
+	d2 := a.Flush()
+	if err := b.Ingest(d2); err != nil {
+		t.Fatal(err)
+	}
+	// Restart: adopt the freshest snapshot (b's: Epochs[0]=2 > c's 1).
+	snB, snC := b.Snapshot(2), c.Snapshot(2)
+	if snB.Epochs[0] != 2 || snC.Epochs[0] != 1 {
+		t.Fatalf("unexpected epoch vectors: b %v, c %v", snB.Epochs, snC.Epochs)
+	}
+	a2, _ := NewStore(3, 0, 3)
+	if err := a2.Restore(snB); err != nil {
+		t.Fatal(err)
+	}
+	// Catch shard 2 up with synthesized deltas.
+	ds, err := CatchUp(0, snB, snC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("catch-up synthesized %d batches, want 1", len(ds))
+	}
+	for _, d := range ds {
+		if err := c.Ingest(d); err != nil {
+			t.Fatalf("catch-up ingest: %v", err)
+		}
+	}
+	// A replayed duplicate of the original lost batch must drop.
+	if err := c.Ingest(d2); err != nil {
+		t.Fatal(err)
+	}
+	// The already-current peer needs no catch-up.
+	if ds, err := CatchUp(0, snB, snB); err != nil || ds != nil {
+		t.Fatalf("catch-up for current peer = %v, %v", ds, err)
+	}
+	wa, wb, wc := consistentCounts(a2), consistentCounts(b), consistentCounts(c)
+	for k := range wa {
+		if wa[k] != wb[k] || wb[k] != wc[k] {
+			t.Fatalf("replicas diverged after catch-up: %v %v %v", wa, wb, wc)
+		}
+	}
+	if wa[0] != 0 || wa[2] != 1 {
+		t.Fatalf("converged counts %v, want task0=0 task2=1", wa)
+	}
+}
+
+// TestRestoreValidation rejects mis-shaped snapshots.
+func TestRestoreValidation(t *testing.T) {
+	s, _ := NewStore(3, 0, 2)
+	if err := s.Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	if err := s.Restore(&wire.Snapshot{Epochs: []int{1}, Contrib: [][]int{{0}}}); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	if err := s.Restore(&wire.Snapshot{Epochs: []int{1, 1}, Counts: []int{1, 2, 3, 4}, Contrib: [][]int{{0}, {0}}}); err == nil {
+		t.Error("wrong task count accepted")
+	}
+	// Wire-normalized nil counts/rows (all-zero state) restore cleanly.
+	if err := s.Restore(&wire.Snapshot{Epochs: []int{1, 1}, Contrib: [][]int{nil, nil}}); err != nil {
+		t.Errorf("empty-state snapshot rejected: %v", err)
+	}
+}
+
 // TestStoreConcurrentMirrors runs two stores mirroring each other from
 // concurrent writers under the race detector: after a final flush/ingest
 // exchange both replicas must agree exactly.

@@ -42,12 +42,36 @@ type ShardStatus struct {
 	UpdatedAt time.Time `json:"updated_at,omitempty"`
 }
 
+// PeerStatus is one peer link's entry in the /api/v1/shards payload,
+// present only on a multi-node federation member (platformd -shard): link
+// liveness plus the peer's replication progress as seen from this node.
+type PeerStatus struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// Connected is the link state at the last observation; Reconnects
+	// counts re-establishments after the first connect (0 on a mesh that
+	// never dropped).
+	Connected  bool `json:"connected"`
+	Reconnects int  `json:"reconnects"`
+	// LastContact is when the peer last delivered a frame.
+	LastContact time.Time `json:"last_contact,omitempty"`
+	// Epoch is the peer's highest gossip epoch ingested here; Lag is how
+	// far it trails this node's own epoch (0 on a healthy mesh).
+	Epoch int `json:"epoch"`
+	Lag   int `json:"lag"`
+	// UpdatedAt is the time of the last peer observation.
+	UpdatedAt time.Time `json:"updated_at,omitempty"`
+}
+
 // ShardsPayload is the /api/v1/shards document.
 type ShardsPayload struct {
 	// Shards is the shard count K; 0 means the platform is not federated
 	// (standalone runs never call SetTopology).
 	Shards int           `json:"shards"`
 	Detail []ShardStatus `json:"detail,omitempty"`
+	// Peers reports this node's peer links in a multi-node federation;
+	// empty for in-process federations and standalone runs.
+	Peers []PeerStatus `json:"peers,omitempty"`
 }
 
 // SetTopology installs the resolved user partition; plug it into
@@ -85,6 +109,33 @@ func (s *Server) ShardObserver() func(distributed.ShardObservation) {
 	}
 }
 
+// PeerObserver returns the callback to plug into
+// distributed.NodeOptions.PeerObserver on a multi-node federation member.
+// Observations are keyed by peer shard index; the slice grows on demand,
+// so no topology call is needed before the first link comes up.
+func (s *Server) PeerObserver() func(distributed.PeerStatus) {
+	return func(o distributed.PeerStatus) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if o.Shard < 0 {
+			return
+		}
+		for len(s.peers) <= o.Shard {
+			s.peers = append(s.peers, PeerStatus{Shard: len(s.peers)})
+		}
+		s.peers[o.Shard] = PeerStatus{
+			Shard:       o.Shard,
+			Addr:        o.Addr,
+			Connected:   o.Connected,
+			Reconnects:  o.Reconnects,
+			LastContact: o.LastContact,
+			Epoch:       o.Epoch,
+			Lag:         o.Lag,
+			UpdatedAt:   s.now(),
+		}
+	}
+}
+
 // ShardsSnapshot returns a copy of the current federation state.
 func (s *Server) ShardsSnapshot() ShardsPayload {
 	s.mu.Lock()
@@ -94,6 +145,12 @@ func (s *Server) ShardsSnapshot() ShardsPayload {
 		sh.UserIDs = append([]int(nil), sh.UserIDs...)
 		sh.PeerLag = append([]int(nil), sh.PeerLag...)
 		p.Detail = append(p.Detail, sh)
+	}
+	for _, pe := range s.peers {
+		if pe.Addr == "" && !pe.Connected {
+			continue // grow-on-demand placeholder, never observed
+		}
+		p.Peers = append(p.Peers, pe)
 	}
 	return p
 }

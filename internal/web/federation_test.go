@@ -132,3 +132,33 @@ func TestShardsEndToEnd(t *testing.T) {
 		t.Errorf("per-shard updates sum to %d, run reports %d", updates, stats.TotalUpdates)
 	}
 }
+
+// TestShardsPeers feeds the peer observer by hand and checks the peers
+// section of the payload: observed links only, keyed by shard, latest
+// observation winning.
+func TestShardsPeers(t *testing.T) {
+	s, ts := testServer()
+	defer ts.Close()
+
+	po := s.PeerObserver()
+	po(distributed.PeerStatus{Shard: 2, Addr: "127.0.0.1:9902", Connected: true, Epoch: 4, Lag: 0})
+	po(distributed.PeerStatus{Shard: 0, Addr: "127.0.0.1:9900", Connected: false, Reconnects: 1, Epoch: 3, Lag: 1})
+	po(distributed.PeerStatus{Shard: 2, Addr: "127.0.0.1:9902", Connected: true, Reconnects: 0, Epoch: 5, Lag: 0})
+	po(distributed.PeerStatus{Shard: -1}) // invalid: ignored
+
+	p := getShards(t, ts.URL)
+	// Shard 1 (self) was never observed and must not appear.
+	if len(p.Peers) != 2 {
+		t.Fatalf("peers = %+v, want 2 entries", p.Peers)
+	}
+	p0, p2 := p.Peers[0], p.Peers[1]
+	if p0.Shard != 0 || p0.Connected || p0.Reconnects != 1 || p0.Lag != 1 {
+		t.Errorf("peer 0 = %+v", p0)
+	}
+	if p2.Shard != 2 || !p2.Connected || p2.Epoch != 5 || p2.Addr != "127.0.0.1:9902" {
+		t.Errorf("peer 2 = %+v", p2)
+	}
+	if p0.UpdatedAt.IsZero() || p2.UpdatedAt.IsZero() {
+		t.Error("peer observations missing UpdatedAt")
+	}
+}

@@ -101,6 +101,9 @@ type Server struct {
 	// shards holds per-shard topology and live state when the platform is
 	// federated (see federation.go); empty for standalone runs.
 	shards []ShardStatus
+	// peers holds this node's peer-link liveness when the shard runs as a
+	// multi-node federation member (platformd -shard); empty otherwise.
+	peers []PeerStatus
 }
 
 // Option customizes a Server.

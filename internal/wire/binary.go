@@ -55,8 +55,9 @@ const (
 	binaryMagic1 = 'c'
 	// BinaryVersion is the wire-format version stamped into every frame.
 	// Decoders reject frames from other versions; see docs/WIRE.md for the
-	// compatibility policy. v2 added KindGossipDelta (shard federation).
-	BinaryVersion = 2
+	// compatibility policy. v2 added KindGossipDelta (shard federation);
+	// v3 added KindShardRequests and KindSnapshot (multi-node federation).
+	BinaryVersion = 3
 	// binaryHeaderLen is the fixed envelope header inside every frame.
 	binaryHeaderLen = 41
 	// MaxFrameLen bounds the length prefix a decoder honors. Protocol
@@ -165,6 +166,47 @@ func (c *BinaryCodec) readFrame() ([]byte, error) {
 		return nil, fmt.Errorf("wire: decode: reading frame body: %w", err)
 	}
 	return buf, nil
+}
+
+// ReadRawFrame reads one length-prefixed frame from r and returns the
+// complete encoded bytes, including the 4-byte length prefix — exactly what
+// a relay writes verbatim to another stream. The front-door router uses it
+// to capture an agent's Hello, decode it for routing, and replay the
+// original bytes to the owning shard without re-encoding.
+func ReadRawFrame(r io.Reader) ([]byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: decode: reading frame length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n < binaryHeaderLen {
+		return nil, fmt.Errorf("wire: decode: %w (%d bytes)", errShortFrame, n)
+	}
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("wire: decode: %w (%d bytes)", ErrFrameTooLarge, n)
+	}
+	buf := make([]byte, 4+int(n))
+	copy(buf, lenb[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return nil, fmt.Errorf("wire: decode: reading frame body: %w", err)
+	}
+	return buf, nil
+}
+
+// DecodeRawFrame decodes a frame captured by ReadRawFrame (length prefix
+// included) into a freshly allocated Message.
+func DecodeRawFrame(raw []byte) (*Message, error) {
+	if len(raw) < 4+binaryHeaderLen {
+		return nil, fmt.Errorf("wire: decode: %w (%d bytes)", errShortFrame, len(raw))
+	}
+	m := new(Message)
+	if err := parseFrame(raw[4:], m); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return m, nil
 }
 
 // AppendFrame appends m encoded as one length-prefixed binary frame to dst
@@ -305,6 +347,29 @@ func appendBody(dst []byte, m *Message, keys []int) ([]byte, []int, error) {
 				dst = binary.AppendVarint(dst, int64(k))
 				dst = binary.AppendVarint(dst, int64(g.Counts[k]))
 			}
+		}
+	case KindShardRequests:
+		sr := m.ShardRequests
+		dst = binary.AppendVarint(dst, int64(sr.Shard))
+		dst = binary.AppendVarint(dst, int64(sr.Slot))
+		dst = appendBool(dst, sr.Terminating)
+		dst = binary.AppendUvarint(dst, uint64(len(sr.Reqs)))
+		for i := range sr.Reqs {
+			q := &sr.Reqs[i]
+			dst = binary.AppendVarint(dst, int64(q.User))
+			dst = binary.AppendVarint(dst, int64(q.Route))
+			dst = appendFloat(dst, q.Tau)
+			dst = appendIntSlice(dst, q.B)
+		}
+	case KindSnapshot:
+		sn := m.Snapshot
+		dst = binary.AppendVarint(dst, int64(sn.Shard))
+		dst = binary.AppendVarint(dst, int64(sn.Round))
+		dst = appendIntSlice(dst, sn.Epochs)
+		dst = appendIntSlice(dst, sn.Counts)
+		dst = binary.AppendUvarint(dst, uint64(len(sn.Contrib)))
+		for _, row := range sn.Contrib {
+			dst = appendIntSlice(dst, row)
 		}
 	default:
 		return dst, keys, fmt.Errorf("wire: encode: unknown kind %d", m.Kind)
@@ -449,6 +514,10 @@ func parseFrame(frame []byte, m *Message) error {
 		err = parseTerminate(&r, m, old.Terminate)
 	case KindGossipDelta:
 		err = parseGossipDelta(&r, m, old.GossipDelta)
+	case KindShardRequests:
+		err = parseShardRequests(&r, m, old.ShardRequests)
+	case KindSnapshot:
+		err = parseSnapshot(&r, m, old.Snapshot)
 	default:
 		return fmt.Errorf("unknown kind %d", frame[3])
 	}
@@ -706,5 +775,107 @@ func parseGossipDelta(r *frameReader, m *Message, old *GossipDelta) error {
 	}
 	*old = GossipDelta{Shard: int(shard), Epoch: int(epoch), Counts: counts}
 	m.GossipDelta = old
+	return nil
+}
+
+func parseShardRequests(r *frameReader, m *Message, old *ShardRequests) error {
+	if old == nil {
+		old = new(ShardRequests)
+	}
+	shard, err := r.varint()
+	if err != nil {
+		return err
+	}
+	slot, err := r.varint()
+	if err != nil {
+		return err
+	}
+	term, err := r.bool()
+	if err != nil {
+		return err
+	}
+	// A request encodes at least user, route, a float64 τ, and a B length.
+	n, err := r.length(11)
+	if err != nil {
+		return err
+	}
+	reqs := old.Reqs
+	if n == 0 {
+		reqs = nil
+	} else {
+		if cap(reqs) >= n {
+			reqs = reqs[:n]
+		} else {
+			reqs = make([]ShardRequest, n)
+		}
+		for i := range reqs {
+			user, err := r.varint()
+			if err != nil {
+				return err
+			}
+			route, err := r.varint()
+			if err != nil {
+				return err
+			}
+			tau, err := r.float()
+			if err != nil {
+				return err
+			}
+			b, err := r.intSlice(reqs[i].B)
+			if err != nil {
+				return err
+			}
+			reqs[i] = ShardRequest{User: int(user), Route: int(route), Tau: tau, B: b}
+		}
+	}
+	*old = ShardRequests{Shard: int(shard), Slot: int(slot), Terminating: term, Reqs: reqs}
+	m.ShardRequests = old
+	return nil
+}
+
+func parseSnapshot(r *frameReader, m *Message, old *Snapshot) error {
+	if old == nil {
+		old = new(Snapshot)
+	}
+	shard, err := r.varint()
+	if err != nil {
+		return err
+	}
+	round, err := r.varint()
+	if err != nil {
+		return err
+	}
+	epochs, err := r.intSlice(old.Epochs)
+	if err != nil {
+		return err
+	}
+	counts, err := r.intSlice(old.Counts)
+	if err != nil {
+		return err
+	}
+	// A contribution row encodes at least its length byte.
+	n, err := r.length(1)
+	if err != nil {
+		return err
+	}
+	contrib := old.Contrib
+	if n == 0 {
+		contrib = nil
+	} else {
+		if cap(contrib) >= n {
+			contrib = contrib[:n]
+		} else {
+			contrib = make([][]int, n)
+		}
+		for i := range contrib {
+			row, err := r.intSlice(contrib[i])
+			if err != nil {
+				return err
+			}
+			contrib[i] = row
+		}
+	}
+	*old = Snapshot{Shard: int(shard), Round: int(round), Epochs: epochs, Counts: counts, Contrib: contrib}
+	m.Snapshot = old
 	return nil
 }

@@ -51,6 +51,15 @@ func goldenCases() []struct {
 		{"gossipdelta", &Message{Kind: KindGossipDelta, Seq: 8, Epoch: 2, From: -1,
 			TraceID: 0xdeadbeefcafef00d, SpanID: 0x1236, TraceFlags: 1,
 			GossipDelta: &GossipDelta{Shard: 3, Epoch: 12, Counts: map[int]int{0: 2, 4: -1, -7: 1}}}},
+		{"shardrequests", &Message{Kind: KindShardRequests, Seq: 13, Epoch: 3, From: -1,
+			TraceID: 0xdeadbeefcafef00d, SpanID: 0x1237, TraceFlags: 1,
+			ShardRequests: &ShardRequests{Shard: 1, Slot: 4, Reqs: []ShardRequest{
+				{User: 3, Route: 2, Tau: 0.75, B: []int{1, 3}},
+				{User: 5, Route: 0, Tau: 0.25, B: nil},
+			}}}},
+		{"snapshot", &Message{Kind: KindSnapshot, Seq: 14, From: -1,
+			Snapshot: &Snapshot{Shard: 0, Round: 6, Epochs: []int{7, 6, 6},
+				Counts: []int{2, 0, 1}, Contrib: [][]int{{1, 0, 1}, {1, 0, 0}, {0, 0, 0}}}}},
 		// Edge cases.
 		{"init_nil", &Message{Kind: KindInit, From: -1, Init: &Init{User: 0, Routes: nil, Tasks: nil, CurrentRoute: -1}}},
 		{"request_empty_b", &Message{Kind: KindRequest, Seq: 9, From: 3,
@@ -66,6 +75,10 @@ func goldenCases() []struct {
 			GossipDelta: &GossipDelta{Shard: 0, Epoch: 1}}},
 		{"gossipdelta_empty_counts", &Message{Kind: KindGossipDelta, Seq: 12, From: -1,
 			GossipDelta: &GossipDelta{Shard: 0, Epoch: 1, Counts: map[int]int{}}}},
+		{"shardrequests_terminating", &Message{Kind: KindShardRequests, Seq: 15, From: -1,
+			ShardRequests: &ShardRequests{Shard: 0, Slot: 9, Terminating: true}}},
+		{"snapshot_empty", &Message{Kind: KindSnapshot, Seq: 16, From: -1,
+			Snapshot: &Snapshot{Shard: 2, Round: 1}}},
 		{"trace_zero", &Message{Kind: KindGrant, Seq: 11, From: -1, Grant: &Grant{Slot: 3}}},
 		{"trace_sampled", &Message{Kind: KindGrant, Seq: 11, From: -1,
 			TraceID: ^uint64(0), SpanID: ^uint64(0), TraceFlags: 0xff, Grant: &Grant{Slot: 3}}},
@@ -210,7 +223,7 @@ func randIntSlice(s *rng.Stream, maxLen int) []int {
 // full-range header fields and randomized payload shapes.
 func randomMessage(s *rng.Stream) *Message {
 	m := &Message{
-		Kind:       Kind(s.IntRange(int(KindHello), int(KindGossipDelta))),
+		Kind:       Kind(s.IntRange(int(KindHello), int(KindSnapshot))),
 		Seq:        u64(s),
 		Epoch:      uint32(u64(s)),
 		From:       randInt(s),
@@ -282,6 +295,33 @@ func randomMessage(s *rng.Stream) *Message {
 			}
 		}
 		m.GossipDelta = g
+	case KindShardRequests:
+		sr := &ShardRequests{Shard: s.Intn(16), Slot: randInt(s), Terminating: s.Bool(0.2)}
+		nr := s.Intn(6)
+		for i := 0; i < nr; i++ {
+			sr.Reqs = append(sr.Reqs, ShardRequest{
+				User:  randInt(s),
+				Route: randInt(s),
+				Tau:   randFloat(s),
+				B:     randIntSlice(s, 6),
+			})
+		}
+		m.ShardRequests = sr
+	case KindSnapshot:
+		sn := &Snapshot{
+			Shard:  s.Intn(16),
+			Round:  randInt(s),
+			Epochs: randIntSlice(s, 8),
+			Counts: randIntSlice(s, 12),
+		}
+		// Contribution rows exercise nil, empty, and populated inner
+		// slices — gob normalizes empty rows to nil and the binary codec
+		// must agree.
+		nc := s.Intn(5)
+		for i := 0; i < nc; i++ {
+			sn.Contrib = append(sn.Contrib, randIntSlice(s, 8))
+		}
+		m.Snapshot = sn
 	}
 	return m
 }

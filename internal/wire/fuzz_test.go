@@ -35,6 +35,13 @@ func corpusMessages() []*Message {
 		{Kind: KindTerminate, Seq: 7, From: -1, Terminate: &Terminate{Slot: 6}},
 		{Kind: KindGossipDelta, Seq: 8, Epoch: 1, From: -1,
 			GossipDelta: &GossipDelta{Shard: 1, Epoch: 3, Counts: map[int]int{0: 1, 4: -1}}},
+		{Kind: KindShardRequests, Seq: 9, Epoch: 1, From: -1,
+			ShardRequests: &ShardRequests{Shard: 1, Slot: 5, Reqs: []ShardRequest{
+				{User: 2, Route: 1, Tau: 0.5, B: []int{0, 4}},
+			}}},
+		{Kind: KindSnapshot, Seq: 10, From: -1,
+			Snapshot: &Snapshot{Shard: 0, Round: 5, Epochs: []int{6, 5},
+				Counts: []int{1, 0, 2}, Contrib: [][]int{{1, 0, 0}, {0, 0, 2}}}},
 	}
 }
 

@@ -55,6 +55,16 @@ const (
 	// with the sender's gossip epoch so receivers can drop duplicates and
 	// detect gaps.
 	KindGossipDelta
+	// KindShardRequests carries one shard's full per-slot batch of agent
+	// improvement requests to its federation peers (multi-node mode): every
+	// shard broadcasts its own batch, then all shards deterministically
+	// compute the identical global winner set from the merged batches.
+	KindShardRequests
+	// KindSnapshot is a full-state transfer of the replicated count store,
+	// served to a peer that reconnects after a crash: consistent counts,
+	// the sender's epoch vector, and the per-shard contribution ledger the
+	// restarted shard rebuilds its replica (and catch-up deltas) from.
+	KindSnapshot
 )
 
 // String implements fmt.Stringer.
@@ -76,6 +86,10 @@ func (k Kind) String() string {
 		return "terminate"
 	case KindGossipDelta:
 		return "gossipdelta"
+	case KindShardRequests:
+		return "shardrequests"
+	case KindSnapshot:
+		return "snapshot"
 	}
 	return "invalid"
 }
@@ -158,6 +172,50 @@ type GossipDelta struct {
 	Counts map[int]int // task ID -> n_k delta
 }
 
+// ShardRequest is one user's pending improvement request as relayed
+// between federation shards: the proposed route plus the PUU metadata
+// (τ_i, B_i) the global selection policies need. It mirrors the agent-side
+// Request but names the user explicitly, since the batch aggregates many.
+type ShardRequest struct {
+	User  int
+	Route int
+	Tau   float64
+	B     []int
+}
+
+// ShardRequests is one shard's complete improvement-request batch for one
+// decision slot, broadcast to every federation peer in multi-node mode.
+// Requests are listed in ascending user order; the receiving shard merges
+// the batches in shard order, so every shard derives the same global
+// ordering — and therefore the same winner set — without a coordinator.
+// Terminating is a farewell marker: the sender saw an empty global merge
+// at Slot-1 and has terminated, so a peer still running at Slot knows the
+// federation diverged (possible only inside a crash fault window) and can
+// fail fast instead of waiting for a batch that will never come.
+type ShardRequests struct {
+	Shard       int
+	Slot        int
+	Terminating bool
+	Reqs        []ShardRequest
+}
+
+// Snapshot transfers the full replicated count-store state to a shard that
+// reconnects after a crash. Counts is the sender's consistent (flushed)
+// per-task state; Epochs[q] is the sender's view of shard q's gossip epoch
+// (its own flushed epoch at index Shard); Contrib[q] is shard q's
+// cumulative per-task contribution, satisfying Counts = Σ_q Contrib[q].
+// Round is the decision slot the sender is currently executing, which the
+// restarted shard uses to rejoin the BSP round structure. The contribution
+// ledger is what lets the restarted shard synthesize exact catch-up deltas
+// for peers that missed its final pre-crash batches.
+type Snapshot struct {
+	Shard   int
+	Round   int
+	Epochs  []int
+	Counts  []int
+	Contrib [][]int
+}
+
 // Message is the single on-the-wire envelope. Exactly one payload field is
 // non-nil, matching Kind.
 type Message struct {
@@ -183,14 +241,16 @@ type Message struct {
 	SpanID     uint64
 	TraceFlags uint8
 
-	Hello       *Hello
-	Init        *Init
-	SlotInfo    *SlotInfo
-	Request     *Request
-	Grant       *Grant
-	Decision    *Decision
-	Terminate   *Terminate
-	GossipDelta *GossipDelta
+	Hello         *Hello
+	Init          *Init
+	SlotInfo      *SlotInfo
+	Request       *Request
+	Grant         *Grant
+	Decision      *Decision
+	Terminate     *Terminate
+	GossipDelta   *GossipDelta
+	ShardRequests *ShardRequests
+	Snapshot      *Snapshot
 }
 
 // Validate checks that exactly one payload is set and that it matches the
@@ -203,7 +263,7 @@ func (m *Message) Validate() error {
 	for _, set := range [...]bool{
 		m.Hello != nil, m.Init != nil, m.SlotInfo != nil, m.Request != nil,
 		m.Grant != nil, m.Decision != nil, m.Terminate != nil,
-		m.GossipDelta != nil,
+		m.GossipDelta != nil, m.ShardRequests != nil, m.Snapshot != nil,
 	} {
 		if set {
 			n++
@@ -227,6 +287,10 @@ func (m *Message) Validate() error {
 		ok = m.Terminate != nil
 	case KindGossipDelta:
 		ok = m.GossipDelta != nil
+	case KindShardRequests:
+		ok = m.ShardRequests != nil
+	case KindSnapshot:
+		ok = m.Snapshot != nil
 	}
 	if !ok {
 		return fmt.Errorf("wire: message kind %v with missing or mismatched payload", m.Kind)

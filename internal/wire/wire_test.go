@@ -20,9 +20,11 @@ func TestKindString(t *testing.T) {
 		{KindDecision, "decision"},
 		{KindTerminate, "terminate"},
 		{KindGossipDelta, "gossipdelta"},
+		{KindShardRequests, "shardrequests"},
+		{KindSnapshot, "snapshot"},
 		// Out-of-range values, both directions.
 		{Kind(-1), "invalid"},
-		{Kind(9), "invalid"},
+		{Kind(11), "invalid"},
 		{Kind(99), "invalid"},
 	}
 	for _, tc := range cases {
@@ -46,6 +48,8 @@ var payloadSetters = []struct {
 	{KindDecision, func(m *Message) { m.Decision = &Decision{} }},
 	{KindTerminate, func(m *Message) { m.Terminate = &Terminate{} }},
 	{KindGossipDelta, func(m *Message) { m.GossipDelta = &GossipDelta{} }},
+	{KindShardRequests, func(m *Message) { m.ShardRequests = &ShardRequests{} }},
+	{KindSnapshot, func(m *Message) { m.Snapshot = &Snapshot{} }},
 }
 
 // TestValidate exhaustively crosses every kind (including KindInvalid and
@@ -53,7 +57,8 @@ var payloadSetters = []struct {
 // valid exactly when it carries the one payload its kind names.
 func TestValidate(t *testing.T) {
 	kinds := []Kind{KindInvalid, KindHello, KindInit, KindSlotInfo, KindRequest,
-		KindGrant, KindDecision, KindTerminate, KindGossipDelta, Kind(-1), Kind(99)}
+		KindGrant, KindDecision, KindTerminate, KindGossipDelta,
+		KindShardRequests, KindSnapshot, Kind(-1), Kind(99)}
 	for _, k := range kinds {
 		// No payload at all: always invalid.
 		if err := (&Message{Kind: k}).Validate(); err == nil {
@@ -123,6 +128,14 @@ func TestRoundTripAllKinds(t *testing.T) {
 		{Kind: KindTerminate, Seq: 7, From: -1, Terminate: &Terminate{Slot: 9}},
 		{Kind: KindGossipDelta, Seq: 8, Epoch: 1, From: -1,
 			GossipDelta: &GossipDelta{Shard: 2, Epoch: 5, Counts: map[int]int{1: -1, 3: 2}}},
+		{Kind: KindShardRequests, Seq: 9, Epoch: 2, From: -1,
+			ShardRequests: &ShardRequests{Shard: 1, Slot: 4, Reqs: []ShardRequest{
+				{User: 3, Route: 2, Tau: 0.75, B: []int{1, 3}},
+				{User: 5, Route: 0, Tau: 0.25, B: nil},
+			}}},
+		{Kind: KindSnapshot, Seq: 10, From: -1,
+			Snapshot: &Snapshot{Shard: 0, Round: 6, Epochs: []int{7, 6},
+				Counts: []int{2, 0, 1}, Contrib: [][]int{{1, 0, 1}, {1, 0, 0}}}},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
