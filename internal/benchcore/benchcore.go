@@ -262,6 +262,7 @@ type Report struct {
 	GOOS          string    `json:"goos"`
 	GOARCH        string    `json:"goarch"`
 	NumCPU        int       `json:"num_cpu"`
+	GoMaxProcs    int       `json:"gomaxprocs"`
 	BenchTime     string    `json:"bench_time"`
 	Ms            []int     `json:"m_values"`
 	NaiveMaxM     int       `json:"naive_max_m"`
@@ -300,6 +301,7 @@ func RunSuite(ms []int, naiveMaxM int, benchTime string) Report {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		BenchTime:     benchTime,
 		Ms:            ms,
 		NaiveMaxM:     naiveMaxM,

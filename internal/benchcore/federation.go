@@ -64,6 +64,7 @@ type FederationReport struct {
 	GOOS          string              `json:"goos"`
 	GOARCH        string              `json:"goarch"`
 	NumCPU        int                 `json:"num_cpu"`
+	GoMaxProcs    int                 `json:"gomaxprocs"`
 	M             int                 `json:"m"`
 	Tasks         int                 `json:"tasks"`
 	Rounds        int                 `json:"rounds"`
@@ -82,6 +83,7 @@ func RunFederationSuite(m, rounds int, ks []int) (FederationReport, error) {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		M:             m,
 		Rounds:        rounds,
 	}

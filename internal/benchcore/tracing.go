@@ -119,6 +119,7 @@ type TracingReport struct {
 	GOOS          string         `json:"goos"`
 	GOARCH        string         `json:"goarch"`
 	NumCPU        int            `json:"num_cpu"`
+	GoMaxProcs    int            `json:"gomaxprocs"`
 	BenchTime     string         `json:"bench_time"`
 	Entries       []TracingEntry `json:"benchmarks"`
 }
@@ -153,6 +154,7 @@ func RunTracingSuite(benchTime string) TracingReport {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		BenchTime:     benchTime,
 	}
 	for _, f := range tracingSuite() {

@@ -224,6 +224,7 @@ type WireReport struct {
 	GOOS          string        `json:"goos"`
 	GOARCH        string        `json:"goarch"`
 	NumCPU        int           `json:"num_cpu"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
 	BenchTime     string        `json:"bench_time"`
 	Entries       []WireEntry   `json:"benchmarks"`
 	Speedups      []WireSpeedup `json:"speedups"`
@@ -239,6 +240,7 @@ func RunWireSuite(benchTime string) WireReport {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		BenchTime:     benchTime,
 	}
 	record := func(name string, body func(*testing.B), msgs bool) WireEntry {

@@ -1,0 +1,710 @@
+package roadnet
+
+import (
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// This file implements contraction-hierarchy (CH) preprocessing: the
+// prove-then-speed rung above the ALT engine for continent-scale graphs.
+// Preprocessing contracts nodes in rounds of (priority, NodeID)-minimal
+// independent sets, inserting witness-checked shortcut edges so that every
+// shortest path of the original graph keeps an "up-down" representation:
+// a path that first climbs to its highest-ranked node through upward CH
+// edges and then descends through downward ones. Queries (ch_query.go) are
+// then a bidirectional Dijkstra over just the upward/downward edge sets.
+//
+// # Determinism under parallel contraction
+//
+// Each round is three phases. Phase 1 recomputes contraction priorities for
+// nodes whose neighborhood changed; phase 2 selects the independent set
+// (a node is contracted iff its (priority, NodeID) pair is strictly minimal
+// among its uncontracted overlay neighbors — a pure function of round-start
+// state); phase 3 runs the witness searches that decide each contracted
+// node's shortcuts. All three phases are read-only against the round-start
+// overlay, so they parallelize freely across internal/parallel with
+// index-ordered results. Every mutation — arc removal, shortcut insertion,
+// rank assignment, CH-edge numbering — happens in a single sequential merge
+// in ascending contracted-NodeID order. The hierarchy (ordering, shortcut
+// set, CSR layout) is therefore bit-identical at any worker count, which
+// TestHierarchyBuildDeterministic enforces at 1, 4, and 8 workers.
+//
+// # Exactness contract (strict witnessing + tie taint)
+//
+// A shortcut u→w over contracted v is pruned only when a witness path
+// shorter than w(u,v)+w(v,w) beyond the chTieRel tie band exists; an equal
+// or near-equal witness does NOT prune. This keeps every shortest path —
+// not just one per OD pair, and robustly under float association error —
+// representable, which is what lets the query detect all exact-cost ties
+// and delegate those queries to the canonical engine (see ch_query.go).
+// The one place equal-cost alternatives are collapsed is the overlay's
+// one-arc-per-node-pair invariant: when an upsert meets an existing arc of
+// exactly equal weight, the earlier (lower CH-edge index, matching the
+// lowest-EdgeID contract) arc is kept and marked tie-tainted, and taint
+// propagates into every shortcut built on top of it. Relaxing a tainted
+// edge at query time counts as a tie, so the ambiguity can never leak into
+// an answered path.
+
+const (
+	// chSimWitnessSettles caps the witness Dijkstras of the priority
+	// estimation (re-run for most remaining nodes every round, so it must
+	// stay cheap); chContractWitnessSettles caps the contraction-time
+	// searches, whose prune quality keeps the overlay sparse. Hitting a cap
+	// conservatively keeps the shortcut (more edges, never a wrong
+	// distance), and fixed caps keep the searches deterministic.
+	chSimWitnessSettles      = 16
+	chContractWitnessSettles = 500
+
+	// chCoreMaxAvgDeg stops contraction once the remaining overlay's mean
+	// degree (in+out arcs per node) exceeds this bound. Grid-like graphs
+	// have Θ(√n) treewidth, so full contraction necessarily densifies the
+	// tail into a quasi-clique whose witness searches dominate the whole
+	// build superlinearly; freezing that residue as an uncontracted core
+	// the query searches like plain bidirectional Dijkstra keeps
+	// preprocessing near-linear while queries outside the core still climb
+	// the hierarchy. Purely a build/query trade-off — correctness and
+	// determinism are unaffected by where the cut lands.
+	chCoreMaxAvgDeg = 24
+
+	// chTieRel is the relative width of the tie band: two path costs
+	// within chTieRel·max(a,b) of each other are treated as tied. Exact
+	// equality is not enough — the reference sums edge costs left to
+	// right while the CH query sums shortcut trees, and float addition is
+	// non-associative, so two paths with bit-equal left-associated sums
+	// can differ by a few ulps in tree order. Association error is
+	// bounded by ~n·ε ≈ 1e-14 relative for realistic path lengths, two
+	// orders of magnitude inside the band; genuine cost differences on
+	// jittered graphs are ≥1e-6 relative, six orders outside it. A
+	// band-tie only ever delegates to the exact engine — it never changes
+	// an answer, only who computes it.
+	chTieRel = 1e-12
+)
+
+// chNearEqual reports whether a and b are within the relative tie band
+// (exact equality included).
+func chNearEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= chTieRel*m
+}
+
+// chEdge is one edge of the hierarchy search graph: either an original
+// graph edge (mid < 0, orig = its EdgeID) or a shortcut standing for the
+// two-edge path left+right over the contracted middle node mid.
+type chEdge struct {
+	from, to    int32
+	mid         int32 // contracted middle node (shortcuts), -1 for originals
+	left, right int32 // constituent chEdge indices (shortcuts only)
+	orig        int32 // original EdgeID (originals only), -1 for shortcuts
+	weight      float64
+}
+
+// Hierarchy is an immutable contraction hierarchy over one graph and one
+// edge weight. Build with BuildHierarchy, attach with Graph.AttachHierarchy;
+// plain engine queries under the matching weight then run on it
+// automatically. Safe for concurrent queries.
+type Hierarchy struct {
+	w    Weight
+	n    int
+	rank []int32 // rank[node] = contraction order (higher = later)
+
+	edges []chEdge
+	taint []bool // taint[e]: e's unpacking collapsed an exact-cost tie
+
+	// CSR adjacency of the search graph. upArc[upOff[v]:upOff[v+1]] lists
+	// CH edges leaving v toward higher-ranked nodes (forward search);
+	// downArc[downOff[v]:downOff[v+1]] lists CH edges entering v from
+	// higher-ranked nodes (backward search).
+	upOff, downOff []int32
+	upArc, downArc []int32
+
+	shortcuts    int
+	buildTies    int
+	rounds       int
+	core         int
+	buildSeconds float64
+}
+
+// NumShortcuts returns the number of shortcut edges in the hierarchy.
+func (h *Hierarchy) NumShortcuts() int { return h.shortcuts }
+
+// Rounds returns the number of independent-set contraction rounds the
+// build took.
+func (h *Hierarchy) Rounds() int { return h.rounds }
+
+// BuildTies returns how many exact-cost ties preprocessing collapsed (and
+// taint-marked). Zero on graphs with distinct path costs; large on
+// deliberately tie-heavy graphs such as unit grids.
+func (h *Hierarchy) BuildTies() int { return h.buildTies }
+
+// CoreSize returns how many nodes were left uncontracted as the dense core
+// (zero when the graph contracted fully).
+func (h *Hierarchy) CoreSize() int { return h.core }
+
+// BuildSeconds returns the wall-clock preprocessing time.
+func (h *Hierarchy) BuildSeconds() float64 { return h.buildSeconds }
+
+// Weight returns the edge weight the hierarchy was preprocessed for.
+func (h *Hierarchy) Weight() Weight { return h.w }
+
+// Bytes returns the resident size of the hierarchy's arrays, the number
+// BENCH_routing.json reports as preprocessing cost.
+func (h *Hierarchy) Bytes() int64 {
+	b := int64(cap(h.rank)) * 4
+	b += int64(cap(h.edges)) * 40
+	b += int64(cap(h.taint))
+	b += int64(cap(h.upOff)+cap(h.downOff)+cap(h.upArc)+cap(h.downArc)) * 4
+	return b
+}
+
+// overlayArc is one arc of the contraction overlay: the remaining graph
+// over uncontracted nodes, with at most one (lightest, earliest) arc per
+// ordered node pair.
+type overlayArc struct {
+	to int32
+	ch int32
+	w  float64
+}
+
+// chBuilder holds the mutable contraction state.
+type chBuilder struct {
+	g       *Graph
+	w       Weight
+	n       int
+	workers int
+
+	adjOut, adjIn [][]overlayArc
+	edges         []chEdge
+	taint         []bool
+
+	rank      []int32 // -1 while uncontracted
+	nextRank  int32
+	pri       []int64
+	deleted   []int32 // deleted-neighbors term of the priority
+	dirty     []bool  // priority must be recomputed
+	remaining []int32 // uncontracted nodes, ascending
+	inSet     []bool
+
+	// Per-node CH arcs frozen at contraction time (become the CSRs).
+	upList, downList [][]int32
+
+	witness   chan *witnessScratch // reusable witness-search scratches
+	shortcuts int
+	buildTies int
+	rounds    int
+	core      int
+}
+
+// witnessScratch is the generation-stamped local-Dijkstra state one worker
+// uses for witness searches.
+type witnessScratch struct {
+	dist []float64
+	gen  []uint32
+	id   uint32
+	heap []pqEntry
+	// Target stamps for multi-target early exit (separate generation space
+	// from the distance labels).
+	tgen []uint32
+	tid  uint32
+	// shortcut records accumulated for one contracted node.
+	recs []shortcutRec
+}
+
+// shortcutRec is one shortcut decided in the parallel phase, applied in the
+// sequential merge.
+type shortcutRec struct {
+	u, w       int32
+	uvCh, vwCh int32
+	weight     float64
+}
+
+// BuildHierarchy preprocesses g under w into a contraction hierarchy using
+// the given worker count (<= 0 selects parallel.DefaultWorkers). The result
+// is independent of the worker count. Building does not mutate g; attach
+// the result with Graph.AttachHierarchy to route engine queries through it.
+func BuildHierarchy(g *Graph, w Weight, workers int) *Hierarchy {
+	start := time.Now()
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	n := g.NumNodes()
+	b := &chBuilder{g: g, w: w, n: n, workers: workers}
+	b.init()
+	for len(b.remaining) > 0 && !b.coreDense() {
+		b.rounds++
+		b.refreshPriorities()
+		set := b.independentSet()
+		recs := b.computeShortcuts(set)
+		b.merge(set, recs)
+		b.compactRemaining()
+	}
+	b.freezeCore()
+	h := b.finish()
+	h.buildSeconds = time.Since(start).Seconds()
+	chBuilds.Inc()
+	return h
+}
+
+// init seeds the overlay from the original edges, deduplicating parallel
+// arcs per ordered pair (lightest wins; exact ties keep the lowest EdgeID
+// and taint it, matching the canonical tie-breaking contract).
+func (b *chBuilder) init() {
+	n := b.n
+	b.adjOut = make([][]overlayArc, n)
+	b.adjIn = make([][]overlayArc, n)
+	b.edges = make([]chEdge, 0, len(b.g.Edges))
+	b.taint = make([]bool, 0, len(b.g.Edges))
+	b.rank = make([]int32, n)
+	b.pri = make([]int64, n)
+	b.deleted = make([]int32, n)
+	b.dirty = make([]bool, n)
+	b.inSet = make([]bool, n)
+	b.upList = make([][]int32, n)
+	b.downList = make([][]int32, n)
+	b.remaining = make([]int32, n)
+	for i := range b.rank {
+		b.rank[i] = -1
+		b.dirty[i] = true
+		b.remaining[i] = int32(i)
+	}
+	b.witness = make(chan *witnessScratch, b.workers)
+	for i := 0; i < b.workers; i++ {
+		b.witness <- &witnessScratch{
+			dist: make([]float64, n),
+			gen:  make([]uint32, n),
+			tgen: make([]uint32, n),
+		}
+	}
+	for i := range b.g.Edges {
+		e := &b.g.Edges[i]
+		if e.From == e.To {
+			continue // self-loops are never on a shortest path (lengths > 0)
+		}
+		id := int32(len(b.edges))
+		b.edges = append(b.edges, chEdge{
+			from: int32(e.From), to: int32(e.To),
+			mid: -1, left: -1, right: -1,
+			orig: int32(e.ID), weight: b.w.cost(*e),
+		})
+		b.taint = append(b.taint, false)
+		b.upsertArc(int32(e.From), int32(e.To), id, b.edges[id].weight)
+	}
+}
+
+// upsertArc installs arc u→v into the overlay, keeping at most one arc per
+// pair: strictly lighter replaces, exactly equal keeps the earlier edge and
+// taints it, heavier is dropped (a dropped shortcut is also removed from
+// the edge store — only arcs that ever lived in the overlay are real CH
+// edges). Returns whether the arc was installed.
+func (b *chBuilder) upsertArc(u, v, ch int32, wgt float64) bool {
+	out := b.adjOut[u]
+	for i := range out {
+		if out[i].to != v {
+			continue
+		}
+		if chNearEqual(wgt, out[i].w) {
+			// Tied alternative collapsed: the kept edge's unpacking is no
+			// longer canonically unique.
+			b.taint[out[i].ch] = true
+			b.buildTies++
+			return false
+		}
+		if wgt > out[i].w {
+			return false
+		}
+		out[i].ch, out[i].w = ch, wgt
+		in := b.adjIn[v]
+		for j := range in {
+			if in[j].to == u {
+				in[j].ch, in[j].w = ch, wgt
+				break
+			}
+		}
+		return true
+	}
+	b.adjOut[u] = append(out, overlayArc{to: v, ch: ch, w: wgt})
+	b.adjIn[v] = append(b.adjIn[v], overlayArc{to: u, ch: ch, w: wgt})
+	return true
+}
+
+// refreshPriorities recomputes the contraction priority of every dirty
+// uncontracted node, in parallel. Priority is the classic edge-difference +
+// deleted-neighbors heuristic: 2·(shortcuts a contraction would insert) −
+// (arcs it removes) + 2·(already-contracted former neighbors). Lower
+// contracts earlier.
+func (b *chBuilder) refreshPriorities() {
+	rem := b.remaining
+	if err := parallel.ForEach(len(rem), b.workers, func(i int) error {
+		v := rem[i]
+		if !b.dirty[v] {
+			return nil
+		}
+		ws := <-b.witness
+		sc := b.simulate(ws, v, chSimWitnessSettles, false)
+		b.witness <- ws
+		b.pri[v] = 2*int64(sc) - int64(len(b.adjIn[v])+len(b.adjOut[v])) + 2*int64(b.deleted[v])
+		b.dirty[v] = false
+		return nil
+	}); err != nil {
+		panic(err) // the worker fn never errors
+	}
+}
+
+// independentSet returns, in ascending NodeID order, the uncontracted nodes
+// whose (priority, NodeID) is strictly minimal among all their overlay
+// neighbors. Members are pairwise non-adjacent (the pair order is total),
+// so their contractions touch disjoint arc sets and the round-start overlay
+// is valid input for every member's witness searches.
+func (b *chBuilder) independentSet() []int32 {
+	rem := b.remaining
+	if err := parallel.ForEach(len(rem), b.workers, func(i int) error {
+		v := rem[i]
+		b.inSet[v] = b.localMin(v)
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	set := make([]int32, 0, len(rem)/4+1)
+	for _, v := range rem {
+		if b.inSet[v] {
+			set = append(set, v)
+		}
+	}
+	return set
+}
+
+// localMin reports whether v's (priority, NodeID) beats every overlay
+// neighbor's.
+func (b *chBuilder) localMin(v int32) bool {
+	pv := b.pri[v]
+	for _, a := range b.adjOut[v] {
+		if pu := b.pri[a.to]; pu < pv || (pu == pv && a.to < v) {
+			return false
+		}
+	}
+	for _, a := range b.adjIn[v] {
+		if pu := b.pri[a.to]; pu < pv || (pu == pv && a.to < v) {
+			return false
+		}
+	}
+	return true
+}
+
+// computeShortcuts runs the contraction witness searches for every member
+// of the independent set in parallel (read-only against the round-start
+// overlay) and returns each member's shortcut records in index order.
+func (b *chBuilder) computeShortcuts(set []int32) [][]shortcutRec {
+	recs, err := parallel.Map(len(set), b.workers, func(i int) ([]shortcutRec, error) {
+		ws := <-b.witness
+		ws.recs = ws.recs[:0]
+		b.simulate(ws, set[i], chContractWitnessSettles, true)
+		out := append([]shortcutRec(nil), ws.recs...)
+		b.witness <- ws
+		return out, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return recs
+}
+
+// simulate contracts v against the current overlay without mutating it:
+// for every in-neighbor u it runs a bounded witness Dijkstra avoiding v and
+// counts (and, when record is set, collects into ws.recs) the shortcuts u→w
+// that survive — those with no strictly shorter witness. Equal-cost
+// witnesses keep the shortcut so every shortest path stays representable.
+// The settle cap trades effort for prune quality: priority estimation runs
+// with a small cap, contraction with a generous one.
+func (b *chBuilder) simulate(ws *witnessScratch, v int32, settleCap int, record bool) int {
+	outs := b.adjOut[v]
+	if len(outs) == 0 || len(b.adjIn[v]) == 0 {
+		return 0
+	}
+	count := 0
+	for _, ia := range b.adjIn[v] {
+		u := ia.to
+		// Distance horizon: beyond the heaviest possible shortcut from u,
+		// witnesses cannot matter. Stamp the shortcut targets so the search
+		// can stop as soon as all of them have settled.
+		ws.tid++
+		if ws.tid == 0 {
+			for i := range ws.tgen {
+				ws.tgen[i] = 0
+			}
+			ws.tid = 1
+		}
+		limit := 0.0
+		targets := 0
+		for _, oa := range outs {
+			if oa.to != u {
+				if c := ia.w + oa.w; c > limit {
+					limit = c
+				}
+				ws.tgen[oa.to] = ws.tid
+				targets++
+			}
+		}
+		if targets == 0 {
+			continue // only a back-arc to u itself
+		}
+		b.witnessSearch(ws, u, v, limit, targets, settleCap)
+		for _, oa := range outs {
+			if oa.to == u {
+				continue
+			}
+			sc := ia.w + oa.w
+			if ws.gen[oa.to] == ws.id && ws.dist[oa.to] < sc && !chNearEqual(ws.dist[oa.to], sc) {
+				continue // witness shorter beyond the tie band: pruned
+			}
+			count++
+			if record {
+				ws.recs = append(ws.recs, shortcutRec{
+					u: u, w: oa.to, uvCh: ia.ch, vwCh: oa.ch, weight: sc,
+				})
+			}
+		}
+	}
+	return count
+}
+
+// nextID advances the scratch generation, zeroing stamps on wraparound.
+func (ws *witnessScratch) nextID() {
+	ws.id++
+	if ws.id == 0 {
+		for i := range ws.gen {
+			ws.gen[i] = 0
+		}
+		ws.id = 1
+	}
+}
+
+// witnessSearch runs a bounded Dijkstra from src over the overlay, skipping
+// node skip, until all tgen-stamped targets settle, settleCap nodes settle,
+// or the frontier passes limit. Labels are generation-stamped in ws;
+// unsettled labels are upper bounds, which is sound for pruning (an upper
+// bound already strictly below the shortcut proves a strictly shorter
+// witness), and settled labels are final, so stopping once every target has
+// settled changes no prune decision.
+func (b *chBuilder) witnessSearch(ws *witnessScratch, src, skip int32, limit float64, targets, settleCap int) {
+	ws.nextID()
+	ws.heap = ws.heap[:0]
+	ws.dist[src] = 0
+	ws.gen[src] = ws.id
+	ws.heap = pushEntry(ws.heap, 0, NodeID(src))
+	settled := 0
+	for len(ws.heap) > 0 && settled < settleCap {
+		var top pqEntry
+		ws.heap, top = popEntry(ws.heap)
+		if top.key > limit {
+			break
+		}
+		u := int32(top.node)
+		if top.key > ws.dist[u] {
+			continue // stale
+		}
+		settled++
+		if ws.tgen[u] == ws.tid {
+			if targets--; targets == 0 {
+				break
+			}
+		}
+		for _, a := range b.adjOut[u] {
+			if a.to == skip {
+				continue
+			}
+			nd := top.key + a.w
+			if nd > limit {
+				continue
+			}
+			if ws.gen[a.to] != ws.id || nd < ws.dist[a.to] {
+				ws.dist[a.to] = nd
+				ws.gen[a.to] = ws.id
+				ws.heap = pushEntry(ws.heap, nd, NodeID(a.to))
+			}
+		}
+	}
+}
+
+// merge applies one round's contractions sequentially in ascending NodeID
+// order: freeze each member's arcs as its CH search edges, detach it from
+// the overlay, insert its shortcuts, and assign its rank. This is the only
+// phase that mutates shared state, which is what makes the whole build
+// worker-count-invariant.
+func (b *chBuilder) merge(set []int32, recs [][]shortcutRec) {
+	for i, v := range set {
+		b.inSet[v] = false
+		for _, a := range b.adjIn[v] {
+			b.downList[v] = append(b.downList[v], a.ch)
+			b.removeArc(b.adjOut, a.to, v)
+			b.deleted[a.to]++
+			b.dirty[a.to] = true
+		}
+		for _, a := range b.adjOut[v] {
+			b.upList[v] = append(b.upList[v], a.ch)
+			b.removeArc(b.adjIn, a.to, v)
+			b.deleted[a.to]++
+			b.dirty[a.to] = true
+		}
+		b.adjIn[v], b.adjOut[v] = nil, nil
+		for _, r := range recs[i] {
+			id := int32(len(b.edges))
+			b.edges = append(b.edges, chEdge{
+				from: r.u, to: r.w, mid: v,
+				left: r.uvCh, right: r.vwCh, orig: -1, weight: r.weight,
+			})
+			b.taint = append(b.taint, b.taint[r.uvCh] || b.taint[r.vwCh])
+			if !b.upsertArc(r.u, r.w, id, r.weight) {
+				// Dropped (heavier or equal to an existing arc): not a CH
+				// edge after all.
+				b.edges = b.edges[:id]
+				b.taint = b.taint[:id]
+			} else {
+				b.shortcuts++
+				b.dirty[r.u] = true
+				b.dirty[r.w] = true
+			}
+		}
+		b.rank[v] = b.nextRank
+		b.nextRank++
+	}
+}
+
+// removeArc deletes the arc toward node v from adj[u] (swap-remove; the
+// mutation order is the sequential merge order, so list order stays
+// deterministic).
+func (b *chBuilder) removeArc(adj [][]overlayArc, u, v int32) {
+	list := adj[u]
+	for i := range list {
+		if list[i].to == v {
+			last := len(list) - 1
+			list[i] = list[last]
+			adj[u] = list[:last]
+			return
+		}
+	}
+}
+
+// compactRemaining drops freshly contracted nodes from the worklist.
+func (b *chBuilder) compactRemaining() {
+	keep := b.remaining[:0]
+	for _, v := range b.remaining {
+		if b.rank[v] < 0 {
+			keep = append(keep, v)
+		}
+	}
+	b.remaining = keep
+}
+
+// coreDense reports whether the remaining overlay has densified past
+// chCoreMaxAvgDeg — the point where further contraction costs more (in
+// witness work and quadratic shortcut fill) than it will ever save at query
+// time. A pure function of the overlay, so the cut is worker-count-invariant.
+func (b *chBuilder) coreDense() bool {
+	arcs := 0
+	for _, v := range b.remaining {
+		arcs += len(b.adjOut[v]) + len(b.adjIn[v])
+	}
+	return arcs > chCoreMaxAvgDeg*len(b.remaining)
+}
+
+// freezeCore assigns the uncontracted residue its ranks (ascending NodeID,
+// above every contracted node) and exposes every remaining overlay arc to
+// both query directions: the forward search may traverse a core arc and the
+// backward search may traverse it reversed, so inside the core the query
+// degrades gracefully to plain bidirectional Dijkstra. No arcs are removed
+// and no shortcuts are added — the quadratic fill full contraction would
+// have paid here is exactly what the core cut avoids.
+func (b *chBuilder) freezeCore() {
+	b.core = len(b.remaining)
+	for _, v := range b.remaining {
+		for _, a := range b.adjOut[v] {
+			b.upList[v] = append(b.upList[v], a.ch)
+		}
+		for _, a := range b.adjIn[v] {
+			b.downList[v] = append(b.downList[v], a.ch)
+		}
+		b.rank[v] = b.nextRank
+		b.nextRank++
+	}
+	b.remaining = b.remaining[:0]
+}
+
+// finish packs the per-node CH arc lists into the CSR form the query walks.
+func (b *chBuilder) finish() *Hierarchy {
+	h := &Hierarchy{
+		w: b.w, n: b.n,
+		rank:      b.rank,
+		edges:     b.edges,
+		taint:     b.taint,
+		shortcuts: b.shortcuts,
+		buildTies: b.buildTies,
+		rounds:    b.rounds,
+		core:      b.core,
+	}
+	h.upOff = make([]int32, b.n+1)
+	h.downOff = make([]int32, b.n+1)
+	var upTotal, downTotal int32
+	for v := 0; v < b.n; v++ {
+		h.upOff[v] = upTotal
+		h.downOff[v] = downTotal
+		upTotal += int32(len(b.upList[v]))
+		downTotal += int32(len(b.downList[v]))
+	}
+	h.upOff[b.n] = upTotal
+	h.downOff[b.n] = downTotal
+	h.upArc = make([]int32, upTotal)
+	h.downArc = make([]int32, downTotal)
+	for v := 0; v < b.n; v++ {
+		copy(h.upArc[h.upOff[v]:], b.upList[v])
+		copy(h.downArc[h.downOff[v]:], b.downList[v])
+	}
+	return h
+}
+
+// pushEntry and popEntry are the manual binary-heap primitives shared by
+// the witness and CH query searches (same discipline as SearchScratch's
+// heap, usable on any backing slice).
+func pushEntry(h []pqEntry, key float64, n NodeID) []pqEntry {
+	h = append(h, pqEntry{key: key, node: n})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].key <= h[i].key {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+func popEntry(h []pqEntry) ([]pqEntry, pqEntry) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h[l].key < h[small].key {
+			small = l
+		}
+		if r < last && h[r].key < h[small].key {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return h, top
+}

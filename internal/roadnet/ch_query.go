@@ -1,0 +1,417 @@
+package roadnet
+
+import "math"
+
+// This file implements the contraction-hierarchy query: a bidirectional
+// Dijkstra where the forward search only climbs upward CH edges from src and
+// the backward search only climbs downward CH edges from dst (toward their
+// tails). Strict witnessing (ch.go) guarantees every shortest path of the
+// original graph has such an up-down representation, so the best meeting
+// node closes an exact shortest path, and unpacking its shortcuts emits the
+// original edge sequence.
+//
+// # The bit-identity contract
+//
+// The engine promises paths bit-identical to the frozen reference Dijkstra,
+// whose tie rule (lowest optimal predecessor EdgeID) is inherently
+// left-to-right and not locally decomposable inside a bidirectional search
+// over shortcuts. The CH query therefore does not try to re-derive the
+// canonical path under ties — it detects them. Whenever the search observes
+// two path costs inside the chTieRel band (a relaxation landing within the
+// band of an existing label, two meeting nodes with band-equal totals that
+// close different CH-edge sequences — see sameMeetPath — or a
+// tie-tainted edge from preprocessing), the query reports chTie and the
+// engine transparently re-runs it on the canonical ALT/Dijkstra core. The
+// band, not exact equality, is what makes detection sound: float addition
+// is non-associative, so two paths with bit-equal left-associated sums can
+// differ by ulps when summed over shortcut trees. If no band-tie is
+// observed the shortest path is unique beyond association error, the
+// canonical path and the CH path are the same object, and the recomputed
+// left-associated cost sum equals the reference's float-for-float. Jittered
+// real-valued graphs (the generated cities, the benchmark ladder) are
+// tie-free in practice and run at full CH speed; deliberately tie-heavy
+// unit grids delegate and stay bit-identical by construction.
+//
+// The warm query path performs zero heap allocations: all state lives in a
+// generation-stamped chScratch hung off the engine's SearchScratch.
+
+// chActive reports whether a frontier at key must keep settling given the
+// best meeting total mu: anything at or below mu, plus the tie band above
+// it, can still participate in a tied optimal path.
+func chActive(key, mu float64) bool { return key <= mu || chNearEqual(key, mu) }
+
+// chStatus is the outcome of one CH query attempt.
+type chStatus int
+
+const (
+	chHit         chStatus = iota // unique shortest path found and unpacked
+	chTie                         // exact-cost tie observed: delegate
+	chUnreachable                 // dst not reachable from src
+)
+
+// chScratch is the reusable state of the bidirectional CH query, following
+// the SearchScratch generation-stamp pattern: O(1) reset per query, arrays
+// zeroed only on uint32 wraparound.
+type chScratch struct {
+	gen          uint32
+	distF, distB []float64
+	genF, genB   []uint32
+	parF, parB   []int32 // best-known incoming CH edge, -1 at the roots
+
+	heapF, heapB []pqEntry
+	chain        []int32 // up-segment CH edges, collected meet→src
+	stack        []int32 // shortcut unpacking stack
+	cmpA, cmpB   []int32 // candidate/incumbent CH-edge sequences (tie check)
+}
+
+// ensure sizes the scratch for n nodes.
+func (cs *chScratch) ensure(n int) {
+	if len(cs.distF) < n {
+		cs.distF = make([]float64, n)
+		cs.distB = make([]float64, n)
+		cs.genF = make([]uint32, n)
+		cs.genB = make([]uint32, n)
+		cs.parF = make([]int32, n)
+		cs.parB = make([]int32, n)
+	}
+}
+
+// nextGen starts a new query generation.
+func (cs *chScratch) nextGen() {
+	cs.gen++
+	if cs.gen == 0 {
+		for i := range cs.genF {
+			cs.genF[i] = 0
+			cs.genB[i] = 0
+		}
+		cs.gen = 1
+	}
+}
+
+// pathEdges collects the full src→dst CH-edge sequence of the path that
+// meets at u — forward parent chain reversed into travel order, then the
+// backward chain — into out, reusing its backing.
+func (cs *chScratch) pathEdges(h *Hierarchy, u NodeID, out []int32) []int32 {
+	out = out[:0]
+	for x := u; cs.parF[x] >= 0; {
+		ei := cs.parF[x]
+		out = append(out, ei)
+		x = NodeID(h.edges[ei].from)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	for x := u; cs.parB[x] >= 0; {
+		ei := cs.parB[x]
+		out = append(out, ei)
+		x = NodeID(h.edges[ei].to)
+	}
+	return out
+}
+
+// sameMeetPath reports whether the path meeting at u and the incumbent
+// meeting at m are the same CH-edge sequence. Band-equal meeting candidates
+// on one physical path are routine — every node the two searches share on
+// the optimal path closes the same path with an association-error total,
+// which happens systematically inside the uncontracted core (both
+// directions traverse the same residual arcs) — and must not be mistaken
+// for a genuine tie. Identical CH-edge sequences unpack to identical
+// original paths, so skipping them cannot change the answer; any genuinely
+// different band-equal path still compares unequal against the incumbent
+// and delegates.
+func (cs *chScratch) sameMeetPath(h *Hierarchy, u, m NodeID) bool {
+	cs.cmpA = cs.pathEdges(h, u, cs.cmpA)
+	cs.cmpB = cs.pathEdges(h, m, cs.cmpB)
+	if len(cs.cmpA) != len(cs.cmpB) {
+		return false
+	}
+	for i, e := range cs.cmpA {
+		if e != cs.cmpB[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chQuery answers src→dst (src != dst) on the attached hierarchy h,
+// appending the unpacked original-edge sequence to buf on a hit. The
+// returned cost is recomputed as the left-associated sum over the emitted
+// edges — the exact float the reference Dijkstra's distance label carries.
+func (s *SearchScratch) chQuery(h *Hierarchy, buf []EdgeID, src, dst NodeID, w Weight) ([]EdgeID, float64, chStatus) {
+	cs := s.chs
+	if cs == nil {
+		cs = &chScratch{}
+		s.chs = cs
+	}
+	cs.ensure(h.n)
+	cs.nextGen()
+	gen := cs.gen
+	cs.heapF = cs.heapF[:0]
+	cs.heapB = cs.heapB[:0]
+	cs.distF[src] = 0
+	cs.genF[src] = gen
+	cs.parF[src] = -1
+	cs.heapF = pushEntry(cs.heapF, 0, src)
+	cs.distB[dst] = 0
+	cs.genB[dst] = gen
+	cs.parB[dst] = -1
+	cs.heapB = pushEntry(cs.heapB, 0, dst)
+
+	mu := math.Inf(1)
+	meet := int32(-1)
+	tie := false
+
+	// Both directions keep settling while their frontier is at or below
+	// the best meeting total plus the tie band. Popping through the whole
+	// band (not stopping strictly below μ) is what makes tie detection
+	// complete: every node on any optimal up-down representation has a
+	// label within the band of μ*, so all competing representations are
+	// fully explored and any ambiguity surfaces as a band-equal
+	// relaxation or a band-equal meeting candidate.
+	for {
+		fActive := len(cs.heapF) > 0 && chActive(cs.heapF[0].key, mu)
+		bActive := len(cs.heapB) > 0 && chActive(cs.heapB[0].key, mu)
+		if !fActive && !bActive {
+			break
+		}
+		forward := fActive && (!bActive || cs.heapF[0].key <= cs.heapB[0].key)
+		if forward {
+			var it pqEntry
+			cs.heapF, it = popEntry(cs.heapF)
+			u := it.node
+			if it.key > cs.distF[u] {
+				continue // stale
+			}
+			if cs.genB[u] == gen {
+				cand := cs.distF[u] + cs.distB[u]
+				if meet >= 0 && meet != int32(u) && chNearEqual(cand, mu) &&
+					!cs.sameMeetPath(h, u, NodeID(meet)) {
+					tie = true
+				}
+				if cand < mu {
+					mu, meet = cand, int32(u)
+				}
+			}
+			for i := h.upOff[u]; i < h.upOff[u+1]; i++ {
+				if cs.relaxCH(h, i, true, it.key, gen) {
+					tie = true
+				}
+			}
+		} else {
+			var it pqEntry
+			cs.heapB, it = popEntry(cs.heapB)
+			u := it.node
+			if it.key > cs.distB[u] {
+				continue
+			}
+			if cs.genF[u] == gen {
+				cand := cs.distF[u] + cs.distB[u]
+				if meet >= 0 && meet != int32(u) && chNearEqual(cand, mu) &&
+					!cs.sameMeetPath(h, u, NodeID(meet)) {
+					tie = true
+				}
+				if cand < mu {
+					mu, meet = cand, int32(u)
+				}
+			}
+			for i := h.downOff[u]; i < h.downOff[u+1]; i++ {
+				if cs.relaxCH(h, i, false, it.key, gen) {
+					tie = true
+				}
+			}
+		}
+	}
+
+	if meet < 0 {
+		return buf, 0, chUnreachable
+	}
+	if tie {
+		return buf, 0, chTie
+	}
+
+	// Unpack: up-segment src→meet (parF chain is meet→src, reversed via
+	// cs.chain), then down-segment meet→dst (parB chain is already in
+	// travel order).
+	start := len(buf)
+	cs.chain = cs.chain[:0]
+	for x := NodeID(meet); cs.parF[x] >= 0; {
+		ei := cs.parF[x]
+		cs.chain = append(cs.chain, ei)
+		x = NodeID(h.edges[ei].from)
+	}
+	for i := len(cs.chain) - 1; i >= 0; i-- {
+		buf = h.unpackAppend(buf, cs.chain[i], &cs.stack)
+	}
+	for x := NodeID(meet); cs.parB[x] >= 0; {
+		ei := cs.parB[x]
+		buf = h.unpackAppend(buf, ei, &cs.stack)
+		x = NodeID(h.edges[ei].to)
+	}
+
+	// Recompute the cost as the reference does: left-associated over the
+	// original edges, with the same per-edge cost expression as the search
+	// cores.
+	g := s.g
+	var cost float64
+	for _, eid := range buf[start:] {
+		e := &g.Edges[eid]
+		if w == ByTime {
+			cost += e.Length / e.Speed
+		} else {
+			cost += e.Length
+		}
+	}
+	return buf, cost, chHit
+}
+
+// relaxCH relaxes the CSR arc at index i (upward when fwd, downward
+// otherwise) from a node settled at key du. It reports whether the
+// relaxation observed an exact-cost tie (equal label or tainted edge).
+func (cs *chScratch) relaxCH(h *Hierarchy, i int32, fwd bool, du float64, gen uint32) bool {
+	var ei int32
+	if fwd {
+		ei = h.upArc[i]
+	} else {
+		ei = h.downArc[i]
+	}
+	e := &h.edges[ei]
+	var v NodeID
+	if fwd {
+		v = NodeID(e.to)
+	} else {
+		v = NodeID(e.from)
+	}
+	nd := du + e.weight
+	tie := h.taint[ei]
+	if fwd {
+		if cs.genF[v] != gen {
+			cs.distF[v] = nd
+			cs.genF[v] = gen
+			cs.parF[v] = ei
+			cs.heapF = pushEntry(cs.heapF, nd, v)
+			return tie
+		}
+		if chNearEqual(nd, cs.distF[v]) {
+			tie = true
+		}
+		if nd < cs.distF[v] {
+			cs.distF[v] = nd
+			cs.parF[v] = ei
+			cs.heapF = pushEntry(cs.heapF, nd, v)
+		}
+	} else {
+		if cs.genB[v] != gen {
+			cs.distB[v] = nd
+			cs.genB[v] = gen
+			cs.parB[v] = ei
+			cs.heapB = pushEntry(cs.heapB, nd, v)
+			return tie
+		}
+		if chNearEqual(nd, cs.distB[v]) {
+			tie = true
+		}
+		if nd < cs.distB[v] {
+			cs.distB[v] = nd
+			cs.parB[v] = ei
+			cs.heapB = pushEntry(cs.heapB, nd, v)
+		}
+	}
+	return tie
+}
+
+// unpackAppend expands one CH edge into its original-edge sequence,
+// appending to buf. Iterative with an explicit stack (right child pushed
+// first so left pops first), reusing the caller's stack backing.
+func (h *Hierarchy) unpackAppend(buf []EdgeID, ei int32, stack *[]int32) []EdgeID {
+	st := (*stack)[:0]
+	st = append(st, ei)
+	for len(st) > 0 {
+		e := st[len(st)-1]
+		st = st[:len(st)-1]
+		ed := &h.edges[e]
+		if ed.orig >= 0 {
+			buf = append(buf, EdgeID(ed.orig))
+			continue
+		}
+		st = append(st, ed.right, ed.left)
+	}
+	*stack = st
+	return buf
+}
+
+// RawQuery runs the bidirectional CH search for the src→dst distance
+// without delegation or unpacking, reporting the distance (as summed over
+// shortcut weights), whether dst was reached, and whether the search
+// observed an exact-cost tie. Exposed for differential tests: on graphs
+// with exact arithmetic (unit grids) the raw distance must equal the
+// reference Dijkstra's even when path extraction would delegate.
+func (h *Hierarchy) RawQuery(src, dst NodeID) (dist float64, reached, tied bool) {
+	if int(src) >= h.n || int(dst) >= h.n || src < 0 || dst < 0 {
+		return 0, false, false
+	}
+	if src == dst {
+		return 0, true, false
+	}
+	cs := &chScratch{}
+	cs.ensure(h.n)
+	cs.nextGen()
+	gen := cs.gen
+	cs.distF[src] = 0
+	cs.genF[src] = gen
+	cs.parF[src] = -1
+	cs.heapF = pushEntry(cs.heapF, 0, src)
+	cs.distB[dst] = 0
+	cs.genB[dst] = gen
+	cs.parB[dst] = -1
+	cs.heapB = pushEntry(cs.heapB, 0, dst)
+	mu := math.Inf(1)
+	meet := int32(-1)
+	for {
+		fActive := len(cs.heapF) > 0 && chActive(cs.heapF[0].key, mu)
+		bActive := len(cs.heapB) > 0 && chActive(cs.heapB[0].key, mu)
+		if !fActive && !bActive {
+			break
+		}
+		forward := fActive && (!bActive || cs.heapF[0].key <= cs.heapB[0].key)
+		var it pqEntry
+		if forward {
+			cs.heapF, it = popEntry(cs.heapF)
+			if it.key > cs.distF[it.node] {
+				continue
+			}
+		} else {
+			cs.heapB, it = popEntry(cs.heapB)
+			if it.key > cs.distB[it.node] {
+				continue
+			}
+		}
+		u := it.node
+		if (forward && cs.genB[u] == gen) || (!forward && cs.genF[u] == gen) {
+			cand := cs.distF[u] + cs.distB[u]
+			if meet >= 0 && meet != int32(u) && chNearEqual(cand, mu) &&
+				!cs.sameMeetPath(h, u, NodeID(meet)) {
+				tied = true
+			}
+			if cand < mu {
+				mu, meet = cand, int32(u)
+			}
+		}
+		if forward {
+			for i := h.upOff[u]; i < h.upOff[u+1]; i++ {
+				if cs.relaxCH(h, i, true, it.key, gen) {
+					tied = true
+				}
+			}
+		} else {
+			for i := h.downOff[u]; i < h.downOff[u+1]; i++ {
+				if cs.relaxCH(h, i, false, it.key, gen) {
+					tied = true
+				}
+			}
+		}
+	}
+	if meet < 0 {
+		return 0, false, tied
+	}
+	return mu, true, tied
+}

@@ -1,0 +1,410 @@
+package roadnet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// randomJitterGrid builds a rows×cols grid with continuously jittered edge
+// lengths — the opposite of randomUnitGrid: shortest-path costs are distinct
+// floats in practice, so CH queries answer directly instead of delegating.
+func randomJitterGrid(tb testing.TB, rows, cols int, s *rng.Stream) *Graph {
+	tb.Helper()
+	g := NewGraph()
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(geo.Pt(float64(c)*100, float64(r)*100))
+		}
+	}
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	addBoth := func(a, b NodeID) {
+		for _, pair := range [][2]NodeID{{a, b}, {b, a}} {
+			l := s.Uniform(80, 120)
+			sp := s.Uniform(5, 20)
+			if _, err := g.AddEdge(pair[0], pair[1], l, sp, sp); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				addBoth(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				addBoth(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// assertSameHierarchy fails unless the two hierarchies are structurally
+// identical: same node ordering, same CH edge store (including shortcut
+// trees, weights, and taint marks), and same CSR layout.
+func assertSameHierarchy(t *testing.T, ctx string, got, want *Hierarchy) {
+	t.Helper()
+	if !reflect.DeepEqual(got.rank, want.rank) {
+		t.Fatalf("%s: node orderings differ", ctx)
+	}
+	if !reflect.DeepEqual(got.edges, want.edges) {
+		t.Fatalf("%s: CH edge stores differ (%d vs %d edges)", ctx, len(got.edges), len(want.edges))
+	}
+	if !reflect.DeepEqual(got.taint, want.taint) {
+		t.Fatalf("%s: taint marks differ", ctx)
+	}
+	if !reflect.DeepEqual(got.upOff, want.upOff) || !reflect.DeepEqual(got.upArc, want.upArc) ||
+		!reflect.DeepEqual(got.downOff, want.downOff) || !reflect.DeepEqual(got.downArc, want.downArc) {
+		t.Fatalf("%s: CSR adjacency differs", ctx)
+	}
+	if got.shortcuts != want.shortcuts || got.buildTies != want.buildTies || got.rounds != want.rounds {
+		t.Fatalf("%s: stats differ: shortcuts %d/%d ties %d/%d rounds %d/%d",
+			ctx, got.shortcuts, want.shortcuts, got.buildTies, want.buildTies, got.rounds, want.rounds)
+	}
+}
+
+// TestHierarchyBuildDeterministic is the parallel-preprocessing acceptance
+// test: the hierarchy must be bit-identical at 1, 4, and 8 workers, on both
+// tie-heavy and tie-free graphs, under both weights.
+func TestHierarchyBuildDeterministic(t *testing.T) {
+	s := rng.New(501)
+	graphs := map[string]*Graph{
+		"unitGrid":   randomUnitGrid(t, 10, 10, s.Child()),
+		"jitterGrid": randomJitterGrid(t, 10, 10, s.Child()),
+		"city":       GenerateCity(DefaultCity(GridCity), s.Child()),
+	}
+	for name, g := range graphs {
+		for _, w := range []Weight{ByLength, ByTime} {
+			want := BuildHierarchy(g, w, 1)
+			for _, workers := range []int{4, 8} {
+				got := BuildHierarchy(g, w, workers)
+				assertSameHierarchy(t, name, got, want)
+			}
+		}
+	}
+}
+
+// TestCHMatchesReferenceOnUnitGrids checks bit-identity on the tie-heavy
+// grids: here nearly every query observes an exact-cost tie and delegates to
+// the canonical core, and the answers must remain indistinguishable from a
+// graph without a hierarchy.
+func TestCHMatchesReferenceOnUnitGrids(t *testing.T) {
+	forceALT(t)
+	s := rng.New(502)
+	for _, size := range [][2]int{{4, 4}, {7, 5}, {12, 12}} {
+		g := randomUnitGrid(t, size[0], size[1], s.Child())
+		for _, w := range []Weight{ByLength, ByTime} {
+			if err := g.AttachHierarchy(BuildHierarchy(g, w, 3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := g.NumNodes()
+		for trial := 0; trial < 60; trial++ {
+			src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+			for _, w := range []Weight{ByLength, ByTime} {
+				want, err1 := ReferenceShortestPath(g, src, dst, w)
+				got, err2 := g.ShortestPath(src, dst, w)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("error mismatch for %d->%d: ref=%v engine=%v", src, dst, err1, err2)
+				}
+				if err1 == nil {
+					assertSamePath(t, "ch-grid", got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCHMatchesReferenceOnCities checks bit-identity on all three generated
+// city geometries with hierarchies attached for both weights.
+func TestCHMatchesReferenceOnCities(t *testing.T) {
+	s := rng.New(503)
+	for _, kind := range []CityKind{GridCity, RadialCity, HillCity} {
+		g := GenerateCity(DefaultCity(kind), s.Child())
+		for _, w := range []Weight{ByLength, ByTime} {
+			if err := g.AttachHierarchy(BuildHierarchy(g, w, 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := g.NumNodes()
+		for trial := 0; trial < 60; trial++ {
+			src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+			for _, w := range []Weight{ByLength, ByTime} {
+				want, err1 := ReferenceShortestPath(g, src, dst, w)
+				got, err2 := g.ShortestPath(src, dst, w)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("unexpected error on strongly connected city: %v / %v", err1, err2)
+				}
+				assertSamePath(t, kind.String(), got, want)
+			}
+		}
+	}
+}
+
+// TestCHAnswersDirectlyOnJitteredGraphs verifies the hierarchy actually
+// answers (no delegation) on graphs with distinct float costs — the regime
+// the |V|=1M benchmark ladder and its ≥5× speedup floor run in — and that
+// the direct answers are bit-identical to the reference.
+func TestCHAnswersDirectlyOnJitteredGraphs(t *testing.T) {
+	s := rng.New(504)
+	g := randomJitterGrid(t, 12, 12, s.Child())
+	h := BuildHierarchy(g, ByLength, 2)
+	if h.BuildTies() != 0 {
+		t.Fatalf("jittered grid produced %d build-time ties, expected none", h.BuildTies())
+	}
+	if err := g.AttachHierarchy(h); err != nil {
+		t.Fatal(err)
+	}
+	sc := g.NewSearchScratch()
+	n := g.NumNodes()
+	hits := 0
+	for trial := 0; trial < 120; trial++ {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		if src == dst {
+			continue
+		}
+		edges, cost, st := sc.chQuery(h, nil, src, dst, ByLength)
+		if st == chHit {
+			hits++
+			want, err := ReferenceShortestPath(g, src, dst, ByLength)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := g.NewPath(edges)
+			if err != nil {
+				t.Fatalf("CH emitted a discontinuous path: %v", err)
+			}
+			assertSamePath(t, "ch-direct", got, want)
+			if cost != want.Length {
+				t.Fatalf("CH cost %v != reference length %v", cost, want.Length)
+			}
+		}
+	}
+	if hits < 100 {
+		t.Fatalf("only %d/120 queries answered directly on a tie-free graph", hits)
+	}
+}
+
+// TestCHRawDistanceMatchesReference checks the bidirectional search itself
+// (before any delegation) computes exact shortest distances: on unit grids
+// under ByLength all arithmetic is small-integer-exact, so the shortcut-tree
+// sums must equal the reference distance even though path extraction
+// delegates on these graphs.
+func TestCHRawDistanceMatchesReference(t *testing.T) {
+	s := rng.New(505)
+	g := randomUnitGrid(t, 9, 9, s.Child())
+	h := BuildHierarchy(g, ByLength, 2)
+	if h.BuildTies() == 0 {
+		t.Fatal("unit grid produced no build-time ties; the taint path is untested")
+	}
+	n := g.NumNodes()
+	for trial := 0; trial < 120; trial++ {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		want, err := ReferenceShortestPath(g, src, dst, ByLength)
+		dist, reached, _ := h.RawQuery(src, dst)
+		if (err == nil) != reached {
+			t.Fatalf("reachability mismatch %d->%d: ref err=%v, CH reached=%v", src, dst, err, reached)
+		}
+		if err == nil && dist != want.Length {
+			t.Fatalf("raw CH distance %v != reference %v for %d->%d", dist, want.Length, src, dst)
+		}
+	}
+}
+
+// TestCHUnreachable checks the CH path reports unreachability exactly like
+// the engine and reference do.
+func TestCHUnreachable(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0))
+	b := g.AddNode(geo.Pt(1, 0))
+	c := g.AddNode(geo.Pt(2, 0))
+	if _, err := g.AddEdge(a, b, 1, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachHierarchy(BuildHierarchy(g, ByLength, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, errRef := ReferenceShortestPath(g, a, c, ByLength)
+	_, errCH := g.ShortestPath(g.Nodes[a].ID, c, ByLength)
+	if errRef == nil || errCH == nil {
+		t.Fatalf("expected unreachable errors, got ref=%v ch=%v", errRef, errCH)
+	}
+	if errRef.Error() != errCH.Error() {
+		t.Fatalf("error text diverged: ref=%q ch=%q", errRef, errCH)
+	}
+}
+
+// TestCHZeroAllocWarmQuery is the 0 allocs/op acceptance gate for the warm
+// CH query path, including shortcut unpacking into the caller's buffer.
+func TestCHZeroAllocWarmQuery(t *testing.T) {
+	s := rng.New(506)
+	g := randomJitterGrid(t, 16, 16, s.Child())
+	h := BuildHierarchy(g, ByLength, 2)
+	if err := g.AttachHierarchy(h); err != nil {
+		t.Fatal(err)
+	}
+	sc := g.NewSearchScratch()
+	n := g.NumNodes()
+	type od struct{ src, dst NodeID }
+	ods := make([]od, 32)
+	for i := range ods {
+		ods[i] = od{NodeID(s.Intn(n)), NodeID(s.Intn(n))}
+	}
+	buf := make([]EdgeID, 0, 4*n)
+	for _, o := range ods {
+		var err error
+		if buf, _, err = sc.AppendShortestPath(buf[:0], o.src, o.dst, ByLength); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		o := ods[i%len(ods)]
+		i++
+		buf, _, _ = sc.AppendShortestPath(buf[:0], o.src, o.dst, ByLength)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm CH query allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAttachHierarchyValidates covers attach-time validation and
+// mutation-driven detachment.
+func TestAttachHierarchyValidates(t *testing.T) {
+	s := rng.New(507)
+	g := randomJitterGrid(t, 4, 4, s.Child())
+	if err := g.AttachHierarchy(nil); err == nil {
+		t.Fatal("nil hierarchy attached")
+	}
+	other := randomJitterGrid(t, 5, 5, s.Child())
+	if err := g.AttachHierarchy(BuildHierarchy(other, ByLength, 1)); err == nil {
+		t.Fatal("hierarchy with mismatched node count attached")
+	}
+	h := BuildHierarchy(g, ByLength, 1)
+	if err := g.AttachHierarchy(h); err != nil {
+		t.Fatal(err)
+	}
+	if g.AttachedHierarchy(ByLength) != h {
+		t.Fatal("hierarchy not attached")
+	}
+	if g.AttachedHierarchy(ByTime) != nil {
+		t.Fatal("ByTime hierarchy reported attached after ByLength attach")
+	}
+	// Mutation must detach: the hierarchy no longer describes the graph.
+	g.AddNode(geo.Pt(1e6, 1e6))
+	if g.AttachedHierarchy(ByLength) != nil {
+		t.Fatal("stale hierarchy survived graph mutation")
+	}
+}
+
+// TestCHWeightMismatchFallsBack: with only a ByLength hierarchy attached,
+// ByTime queries must run on the ALT/exact core and stay bit-identical.
+func TestCHWeightMismatchFallsBack(t *testing.T) {
+	s := rng.New(508)
+	g := randomJitterGrid(t, 10, 10, s.Child())
+	if err := g.AttachHierarchy(BuildHierarchy(g, ByLength, 2)); err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	before := chQueries.Value()
+	for trial := 0; trial < 40; trial++ {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		want, err1 := ReferenceShortestPath(g, src, dst, ByTime)
+		got, err2 := g.ShortestPath(src, dst, ByTime)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unexpected error: %v / %v", err1, err2)
+		}
+		assertSamePath(t, "bytime-no-ch", got, want)
+	}
+	if d := chQueries.Value() - before; d != 0 {
+		t.Fatalf("%d ByTime queries consulted the ByLength hierarchy", d)
+	}
+}
+
+// TestBannedQueriesBypassCH: banned-edge/banned-node queries change the
+// metric away from the preprocessed one, so they must bypass the hierarchy
+// entirely (no CH query attempts) and stay bit-identical to the reference.
+func TestBannedQueriesBypassCH(t *testing.T) {
+	forceALT(t)
+	s := rng.New(509)
+	g := randomUnitGrid(t, 8, 8, s.Child())
+	if err := g.AttachHierarchy(BuildHierarchy(g, ByLength, 2)); err != nil {
+		t.Fatal(err)
+	}
+	n, m := g.NumNodes(), g.NumEdges()
+	before := chQueries.Value()
+	for trial := 0; trial < 60; trial++ {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		bannedEdges := map[EdgeID]bool{}
+		for i := 0; i < s.Intn(6); i++ {
+			bannedEdges[EdgeID(s.Intn(m))] = true
+		}
+		want, err1 := referenceShortestPathBanned(g, src, dst, ByLength, bannedEdges, nil)
+		got, err2 := g.shortestPathBanned(src, dst, ByLength, bannedEdges, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch for %d->%d: ref=%v engine=%v", src, dst, err1, err2)
+		}
+		if err1 == nil {
+			assertSamePath(t, "banned-with-ch", got, want)
+		}
+	}
+	if d := chQueries.Value() - before; d != 0 {
+		t.Fatalf("%d banned queries consulted the hierarchy, want 0", d)
+	}
+}
+
+// TestAlternativesAndRouteCacheWithCHAttached is the satellite coverage for
+// the recommendation stack over a CH-attached graph: the first route rides
+// the hierarchy, the penalized follow-ups ride the fallback core, results
+// stay bit-identical to the reference, and cached answers are independent of
+// whether a hierarchy was attached when they were computed (same RouteKey →
+// same canonical paths, so CH and fallback answers can never collide under
+// one key).
+func TestAlternativesAndRouteCacheWithCHAttached(t *testing.T) {
+	s := rng.New(510)
+	build := func(seed uint64) *Graph {
+		return randomJitterGrid(t, 10, 10, rng.New(seed))
+	}
+	gCH := build(77)
+	gPlain := build(77)
+	if err := gCH.AttachHierarchy(BuildHierarchy(gCH, ByLength, 2)); err != nil {
+		t.Fatal(err)
+	}
+	cacheCH := NewRouteCache(gCH)
+	cachePlain := NewRouteCache(gPlain)
+	n := gCH.NumNodes()
+	for trial := 0; trial < 25; trial++ {
+		src, dst := NodeID(s.Intn(n)), NodeID(s.Intn(n))
+		k := 1 + s.Intn(4)
+		want, err1 := ReferenceAlternativeRoutes(gCH, src, dst, k, 0.4)
+		got, err2 := cacheCH.AlternativeRoutes(src, dst, k, 0.4)
+		if (err1 == nil) != (err2 == nil) || len(want) != len(got) {
+			t.Fatalf("alternatives mismatch: ref=%d/%v engine=%d/%v", len(want), err1, len(got), err2)
+		}
+		for i := range got {
+			assertSamePath(t, "alt-with-ch", got[i], want[i])
+		}
+		// The same key on the CH-less twin graph must produce the identical
+		// canonical answer: cache contents are engine-independent.
+		plain, err3 := cachePlain.AlternativeRoutes(src, dst, k, 0.4)
+		if err3 != nil || len(plain) != len(got) {
+			t.Fatalf("plain twin diverged: %v, %d vs %d routes", err3, len(plain), len(got))
+		}
+		for i := range got {
+			assertSamePath(t, "ch-vs-plain-cache", got[i], plain[i])
+		}
+		// Singleflight hit on the second read, same slice identity.
+		again, err4 := cacheCH.AlternativeRoutes(src, dst, k, 0.4)
+		if err4 != nil || len(again) != len(got) {
+			t.Fatal("cache re-read diverged")
+		}
+		for i := range again {
+			if &again[i] != &got[i] {
+				t.Fatal("cache re-read returned a different slice (recomputed?)")
+			}
+		}
+	}
+}

@@ -52,6 +52,16 @@ type CityConfig struct {
 	// Jitter perturbs node positions by up to this fraction of BlockLen to
 	// avoid perfectly degenerate tie distances.
 	Jitter float64
+	// ArterialEvery promotes every k-th grid row and column to an arterial
+	// and every k²-th to an expressway (GridCity only), mirroring the road
+	// tiers of real street networks. Zero (the default) leaves the grid
+	// single-tier. Contraction hierarchies need this structure at scale:
+	// a uniform grid has Θ(√n) treewidth and no witnesses worth pruning
+	// with, which is the known worst case for CH preprocessing.
+	ArterialEvery int
+	// ArterialSpeedup multiplies both the congested and free-flow speed of
+	// arterial roads; expressways get twice this multiplier.
+	ArterialSpeedup float64
 }
 
 // DefaultCity returns the standard configuration for each city kind, sized
@@ -118,14 +128,17 @@ func jitterPos(cfg CityConfig, s *rng.Stream, p geo.Point) geo.Point {
 
 func generateGrid(cfg CityConfig, s *rng.Stream) *Graph {
 	g := NewGraph()
-	ids := make([][]NodeID, cfg.Rows)
+	// Exact-size reservation plus positional node IDs (row-major, so
+	// id(r,c) needs no side table): million-node grids build in O(|V|)
+	// memory with no slice-growth spikes and no O(|V|) scaffolding.
+	g.Reserve(cfg.Rows*cfg.Cols, 2*(cfg.Rows*(cfg.Cols-1)+(cfg.Rows-1)*cfg.Cols))
 	for r := 0; r < cfg.Rows; r++ {
-		ids[r] = make([]NodeID, cfg.Cols)
 		for c := 0; c < cfg.Cols; c++ {
 			p := geo.Pt(float64(c)*cfg.BlockLen, float64(r)*cfg.BlockLen)
-			ids[r][c] = g.AddNode(jitterPos(cfg, s, p))
+			g.AddNode(jitterPos(cfg, s, p))
 		}
 	}
+	id := func(r, c int) NodeID { return NodeID(r*cfg.Cols + c) }
 	// Central blocks are more congested, like a CBD.
 	centerR, centerC := float64(cfg.Rows-1)/2, float64(cfg.Cols-1)/2
 	bias := func(r, c int) float64 {
@@ -134,15 +147,28 @@ func generateGrid(cfg CityConfig, s *rng.Stream) *Graph {
 		dist := math.Hypot(dr, dc)
 		return 0.35 * math.Max(0, 1-dist) // up to +0.35 congestion downtown
 	}
+	// tier returns the speed multiplier of a grid line: 1 for local
+	// streets, ArterialSpeedup for arterials, twice that for expressways.
+	tier := func(line int) float64 {
+		if cfg.ArterialEvery <= 0 || line%cfg.ArterialEvery != 0 {
+			return 1
+		}
+		if line%(cfg.ArterialEvery*cfg.ArterialEvery) == 0 {
+			return 2 * cfg.ArterialSpeedup
+		}
+		return cfg.ArterialSpeedup
+	}
 	for r := 0; r < cfg.Rows; r++ {
 		for c := 0; c < cfg.Cols; c++ {
 			if c+1 < cfg.Cols {
 				sp := edgeSpeed(cfg, s, bias(r, c))
-				mustRoad(g, ids[r][c], ids[r][c+1], sp, cfg.FreeSpeed)
+				m := tier(r)
+				mustRoad(g, id(r, c), id(r, c+1), sp*m, cfg.FreeSpeed*m)
 			}
 			if r+1 < cfg.Rows {
 				sp := edgeSpeed(cfg, s, bias(r, c))
-				mustRoad(g, ids[r][c], ids[r+1][c], sp, cfg.FreeSpeed)
+				m := tier(c)
+				mustRoad(g, id(r, c), id(r+1, c), sp*m, cfg.FreeSpeed*m)
 			}
 		}
 	}
@@ -151,6 +177,7 @@ func generateGrid(cfg CityConfig, s *rng.Stream) *Graph {
 
 func generateRadial(cfg CityConfig, s *rng.Stream) *Graph {
 	g := NewGraph()
+	g.Reserve(1+cfg.Rings*cfg.Spokes, 2*cfg.Spokes*(1+2*cfg.Rings))
 	center := g.AddNode(geo.Pt(0, 0))
 	// rings[i][j] is node on ring i (1-based rings), spoke j.
 	rings := make([][]NodeID, cfg.Rings)
@@ -186,6 +213,7 @@ func generateRadial(cfg CityConfig, s *rng.Stream) *Graph {
 
 func generateHill(cfg CityConfig, s *rng.Stream) *Graph {
 	g := NewGraph()
+	g.Reserve(cfg.Rows*cfg.Cols, 2*(cfg.Rows*(cfg.Cols-1)+(cfg.Rows-1)*cfg.Cols)+2*minInt(cfg.Rows, cfg.Cols))
 	ids := make([][]NodeID, cfg.Rows)
 	// Hills: a few random district centers slow nearby roads.
 	type hill struct {

@@ -83,6 +83,12 @@ type graphCaches struct {
 	lmOnce [2]sync.Once // indexed by Weight
 	lm     [2]*Landmarks
 
+	// ch holds the attached contraction hierarchy per weight (nil when
+	// none). Living on the cache struct means any mutation detaches it
+	// along with every other derived structure, so a stale hierarchy can
+	// never answer queries on a changed graph.
+	ch [2]atomic.Pointer[Hierarchy]
+
 	scratch sync.Pool // *SearchScratch
 }
 
@@ -106,6 +112,62 @@ func (g *Graph) invalidate() { g.caches.Store(nil) }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph { return &Graph{} }
+
+// Reserve pre-sizes the node and edge backing arrays. Generators that know
+// their output size call this once so million-node builds stay O(|V|) in
+// memory with no growth-reallocation spikes.
+func (g *Graph) Reserve(nodes, edges int) {
+	if cap(g.Nodes)-len(g.Nodes) < nodes {
+		grown := make([]Node, len(g.Nodes), len(g.Nodes)+nodes)
+		copy(grown, g.Nodes)
+		g.Nodes = grown
+		out := make([][]EdgeID, len(g.out), len(g.out)+nodes)
+		copy(out, g.out)
+		g.out = out
+	}
+	if cap(g.Edges)-len(g.Edges) < edges {
+		grown := make([]Edge, len(g.Edges), len(g.Edges)+edges)
+		copy(grown, g.Edges)
+		g.Edges = grown
+	}
+}
+
+// AttachHierarchy installs a contraction hierarchy built by BuildHierarchy
+// over this graph. Plain (un-banned, un-penalized) engine queries under the
+// hierarchy's weight then run on it automatically; every other query mode,
+// and any query whose exact-cost tie the hierarchy cannot canonically
+// resolve, falls back to the ALT/Dijkstra core. Mutating the graph detaches
+// the hierarchy.
+func (g *Graph) AttachHierarchy(h *Hierarchy) error {
+	if h == nil {
+		return fmt.Errorf("roadnet: nil hierarchy")
+	}
+	if h.n != g.NumNodes() {
+		return fmt.Errorf("roadnet: hierarchy built for %d nodes, graph has %d", h.n, g.NumNodes())
+	}
+	g.cachesFor().ch[h.w].Store(h)
+	return nil
+}
+
+// DetachHierarchy removes the attached hierarchy for w, if any.
+func (g *Graph) DetachHierarchy(w Weight) {
+	if c := g.caches.Load(); c != nil {
+		c.ch[w].Store(nil)
+	}
+}
+
+// AttachedHierarchy returns the hierarchy currently attached for w, or nil.
+func (g *Graph) AttachedHierarchy(w Weight) *Hierarchy { return g.hierarchyFor(w) }
+
+// hierarchyFor is the query-path accessor: two atomic loads, no cache
+// construction.
+func (g *Graph) hierarchyFor(w Weight) *Hierarchy {
+	c := g.caches.Load()
+	if c == nil {
+		return nil
+	}
+	return c.ch[w].Load()
+}
 
 // AddNode appends a node at the given position and returns its ID.
 func (g *Graph) AddNode(p geo.Point) NodeID {
