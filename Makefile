@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos soak-multinode fuzz ci bench bench-core bench-routing bench-tracing bench-wire bench-federation bench-chaos repro check fmt clean
+.PHONY: all build vet test race chaos soak-multinode fuzz ci bench bench-core bench-routing bench-tracing bench-wire bench-federation bench-series bench-chaos repro check fmt clean
 
 all: build vet test
 
@@ -61,6 +61,7 @@ ci: build vet test race fuzz
 	$(MAKE) bench-tracing BENCHTIME=20ms BENCH_TRACING_OUT=/tmp/BENCH_tracing.json
 	$(MAKE) bench-wire BENCHTIME=20ms BENCH_WIRE_OUT=/tmp/BENCH_wire.json
 	$(MAKE) bench-federation FED_M=2000 FED_ROUNDS=8 BENCH_FED_OUT=/tmp/BENCH_federation.json
+	$(MAKE) bench-series BENCHTIME=20ms BENCH_SERIES_OUT=/tmp/BENCH_series.json
 
 # One benchmark per table/figure plus ablations; -benchtime=1x exercises
 # each once (raise for stable timings).
@@ -118,6 +119,16 @@ FED_ROUNDS ?= 10
 bench-federation:
 	$(GO) run ./cmd/benchcore -suite federation -fed-m $(FED_M) -fed-rounds $(FED_ROUNDS) \
 		-fed-shards 1,2,4,8 -min-fed-speedup 2 -fed-o $(BENCH_FED_OUT)
+
+# Machine-readable baseline for the time-series telemetry store: the
+# per-observation append path (steady-state, bucket-roll, and contended),
+# segment-flush throughput in closed buckets/sec, and range-query latency
+# at native and downsampled resolution, written to BENCH_series.json.
+# Fails if any append path allocates.
+BENCH_SERIES_OUT ?= BENCH_series.json
+bench-series:
+	$(GO) run ./cmd/benchcore -suite series -benchtime $(BENCHTIME) \
+		-gate-series-allocs -series-o $(BENCH_SERIES_OUT)
 
 # Convergence-slot overhead of the standard fault profile vs clean links.
 bench-chaos:

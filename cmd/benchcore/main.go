@@ -12,6 +12,8 @@
 //   - federation: the full in-process distributed protocol at shard
 //     counts K ∈ {1,2,4,8}, recording aggregate shard-slot throughput
 //     → BENCH_federation.json
+//   - series: the time-series telemetry store's append/flush/query hot
+//     paths → BENCH_series.json
 //
 // Examples:
 //
@@ -26,6 +28,8 @@
 //	    -gate-wire-allocs -wire-o BENCH_wire.json                 # codec gates
 //	go run ./cmd/benchcore -suite federation -fed-m 50000 \
 //	    -min-fed-speedup 2 -fed-o BENCH_federation.json           # shard gate
+//	go run ./cmd/benchcore -suite series -gate-series-allocs \
+//	    -series-o BENCH_series.json                               # append gate
 package main
 
 import (
@@ -42,12 +46,14 @@ import (
 
 func main() {
 	var (
-		suite      = flag.String("suite", "core", "which suite to run: core, routing, tracing, wire, federation, or all")
+		suite      = flag.String("suite", "core", "which suite to run: core, routing, tracing, wire, federation, series, or all")
 		out        = flag.String("o", "BENCH_incremental.json", "output path for the core-suite JSON report")
 		routingOut = flag.String("routing-o", "BENCH_routing.json", "output path for the routing-suite JSON report")
 		tracingOut = flag.String("tracing-o", "BENCH_tracing.json", "output path for the tracing-suite JSON report")
 		wireOut    = flag.String("wire-o", "BENCH_wire.json", "output path for the wire-suite JSON report")
 		fedOut     = flag.String("fed-o", "BENCH_federation.json", "output path for the federation-suite JSON report")
+		seriesOut  = flag.String("series-o", "BENCH_series.json", "output path for the series-suite JSON report")
+		gateSeries = flag.Bool("gate-series-allocs", false, "fail unless every series-store append path is allocation-free")
 		fedM       = flag.Int("fed-m", 50000, "user count the federation suite runs at")
 		fedRounds  = flag.Int("fed-rounds", 10, "decision rounds each federation run is bounded to")
 		fedShards  = flag.String("fed-shards", "1,2,4,8", "comma-separated shard counts the federation suite sweeps")
@@ -73,8 +79,9 @@ func main() {
 	runTracing := *suite == "tracing" || *suite == "all"
 	runWire := *suite == "wire" || *suite == "all"
 	runFed := *suite == "federation" || *suite == "all"
-	if !runCore && !runRouting && !runTracing && !runWire && !runFed {
-		fmt.Fprintf(os.Stderr, "benchcore: unknown -suite %q (want core, routing, tracing, wire, federation, or all)\n", *suite)
+	runSeries := *suite == "series" || *suite == "all"
+	if !runCore && !runRouting && !runTracing && !runWire && !runFed && !runSeries {
+		fmt.Fprintf(os.Stderr, "benchcore: unknown -suite %q (want core, routing, tracing, wire, federation, series, or all)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -252,6 +259,32 @@ func main() {
 		if *minFed > 0 {
 			if err := rep.CheckFederationSpeedup(*minFed); err != nil {
 				fmt.Fprintf(os.Stderr, "benchcore: federation gate: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if runSeries {
+		rep := benchcore.RunSeriesSuite(*benchTime)
+
+		for _, e := range rep.Entries {
+			line := fmt.Sprintf("%-20s %12.1f ns/op %8d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+			switch {
+			case e.AppendsPerSec > 0:
+				line += fmt.Sprintf(" %14.0f appends/sec", e.AppendsPerSec)
+			case e.BucketsPerSec > 0:
+				line += fmt.Sprintf(" %14.0f buckets/sec", e.BucketsPerSec)
+			case e.QueriesPerSec > 0:
+				line += fmt.Sprintf(" %14.0f queries/sec", e.QueriesPerSec)
+			}
+			fmt.Println(line)
+		}
+
+		writeJSON(*seriesOut, &rep)
+
+		if *gateSeries {
+			if err := rep.CheckSeriesAllocs(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcore: series alloc gate: %v\n", err)
 				os.Exit(1)
 			}
 		}

@@ -44,6 +44,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/distributed"
@@ -53,8 +54,28 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tracing"
+	"repro/internal/tsdb"
 	"repro/internal/web"
 )
+
+// chainObservers fans one Observation out to every non-nil observer;
+// PlatformConfig.Observer holds a single func.
+func chainObservers(obs ...func(distributed.Observation)) func(distributed.Observation) {
+	var live []func(distributed.Observation)
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return func(o distributed.Observation) {
+		for _, fn := range live {
+			fn(o)
+		}
+	}
+}
 
 // parseShardSpec parses -shard's "k/K" form.
 func parseShardSpec(s string) (k, K int, err error) {
@@ -138,6 +159,10 @@ func main() {
 		traceDir  = flag.String("trace-dir", "", "enable the distributed tracer; anomaly dumps and the final flight-recorder snapshot are written here (JSONL + Chrome trace-event)")
 		traceRate = flag.Float64("trace-sample", 1, "head-based trace sampling rate in [0,1] (with -trace-dir)")
 		traceCap  = flag.Int("trace-capacity", tracing.DefaultCapacity, "flight recorder capacity in events (with -trace-dir)")
+
+		seriesDir   = flag.String("series-dir", "", "persist the time-series telemetry store in this directory (append-only segments, replayed on restart); served at /api/v1/series on the monitoring address")
+		seriesFlush = flag.Duration("series-flush", time.Second, "series store flush cadence (with -series-dir)")
+		seriesRet   = flag.String("series-retention", "1s:1h,10s:12h,60s:168h", "series retention tiers, comma-separated interval:retention pairs (with -series-dir)")
 	)
 	flag.Parse()
 
@@ -236,6 +261,31 @@ func main() {
 		pcfg.Tracer = tracer
 		fmt.Printf("platformd: tracing to %s (sample rate %g, capacity %d events)\n", *traceDir, *traceRate, *traceCap)
 	}
+	var series *tsdb.Store
+	var recorder *tsdb.Recorder
+	if *seriesDir != "" {
+		tiers, terr := tsdb.ParseTiers(*seriesRet)
+		if terr != nil {
+			fmt.Fprintf(os.Stderr, "platformd: -series-retention: %v\n", terr)
+			os.Exit(2)
+		}
+		series, err = tsdb.Open(tsdb.WithDir(*seriesDir), tsdb.WithTiers(tiers))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "platformd: series store: %v\n", err)
+			os.Exit(1)
+		}
+		recorder = tsdb.NewRecorder(series)
+		stopFlush := series.StartFlusher(*seriesFlush)
+		stopCapture := recorder.StartRegistryCapture(telemetry.Default(), *seriesFlush)
+		defer func() {
+			stopCapture()
+			stopFlush()
+			if cerr := series.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "platformd: series store: %v\n", cerr)
+			}
+		}()
+		fmt.Printf("platformd: series store at %s (flush every %v, tiers %s)\n", *seriesDir, *seriesFlush, *seriesRet)
+	}
 	var mon *web.Server
 	if *httpAddr != "" {
 		// Publish process runtime health (goroutines, heap, GC pauses) next
@@ -244,6 +294,9 @@ func main() {
 		opts := []web.Option{web.WithRegistry(telemetry.Default()), web.WithTracer(tracer)}
 		if *pprofFlag {
 			opts = append(opts, web.WithPprof())
+		}
+		if series != nil {
+			opts = append(opts, web.WithSeriesStore(series))
 		}
 		mon = web.NewServer(in.NumUsers(), opts...)
 		pcfg.Observer = mon.Observer()
@@ -256,6 +309,9 @@ func main() {
 		if *pprofFlag {
 			fmt.Printf("platformd: profiling at http://%s/debug/pprof/\n", *httpAddr)
 		}
+	}
+	if recorder != nil {
+		pcfg.Observer = chainObservers(pcfg.Observer, recorder.Observer())
 	}
 	var stats distributed.RunStats
 	var node *distributed.NodeStats

@@ -1,0 +1,306 @@
+package benchcore
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// This file is the time-series-store counterpart of the tracing suite: it
+// measures the internal/tsdb hot paths and serializes BENCH_series.json.
+// The contract: the per-observation append path — the one the platform's
+// Observation stream hits every slot — must be allocation-free (bucket
+// and tier rings are preallocated at series creation), flushing must
+// sustain a healthy closed-buckets/sec rate to disk, and range queries
+// over retained data must answer in microseconds.
+
+// seriesClock is a deterministic unix-seconds clock advancing one second
+// every perSec calls, so benchmarks control the bucket-roll frequency
+// without time.Now variance.
+func seriesClock(perSec int) func() time.Time {
+	n := 0
+	return func() time.Time {
+		n++
+		return time.Unix(int64(n/perSec), 0)
+	}
+}
+
+// benchTiers keeps the rings small enough to preallocate instantly while
+// preserving the three-tier shape of the production ladder.
+var benchTiers = []tsdb.Tier{
+	{Interval: time.Second, Retention: time.Hour},
+	{Interval: 10 * time.Second, Retention: 2 * time.Hour},
+	{Interval: time.Minute, Retention: 4 * time.Hour},
+}
+
+// SeriesAppendHot measures the steady-state append: many observations
+// fold into the open bucket, which rolls into the tier rings once per
+// thousand.
+func SeriesAppendHot() func(b *testing.B) {
+	return func(b *testing.B) {
+		st, err := tsdb.Open(tsdb.WithTiers(benchTiers), tsdb.WithNow(seriesClock(1000)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := st.Series("bench_gauge", tsdb.KindGauge)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Observe(float64(i))
+		}
+	}
+}
+
+// SeriesAppendRoll measures the worst-case append: every observation
+// closes the open bucket and pushes it through all three tier rings.
+func SeriesAppendRoll() func(b *testing.B) {
+	return func(b *testing.B) {
+		st, err := tsdb.Open(tsdb.WithTiers(benchTiers), tsdb.WithNow(seriesClock(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := st.Series("bench_gauge", tsdb.KindGauge)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Observe(float64(i))
+		}
+	}
+}
+
+// SeriesAppendParallel measures contended appends across goroutines and
+// series — the lock-sharded index plus per-series mutexes under load.
+func SeriesAppendParallel() func(b *testing.B) {
+	return func(b *testing.B) {
+		st, err := tsdb.Open(tsdb.WithTiers(benchTiers), tsdb.WithNow(seriesClock(1000)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := make([]*tsdb.Series, 64)
+		for i := range series {
+			series[i] = st.Series(fmt.Sprintf("bench_gauge_%d", i), tsdb.KindGauge)
+		}
+		var next atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			// Each goroutine owns a distinct series so timestamps stay
+			// per-series monotone; contention lands on the shard locks.
+			s := series[int(next.Add(1))%len(series)]
+			i := 0
+			for pb.Next() {
+				i++
+				s.ObserveAt(int64(i/1000), float64(i))
+			}
+		})
+	}
+}
+
+// seriesFlushSeries is how many distinct series the flush benchmark
+// closes one bucket of per iteration.
+const seriesFlushSeries = 100
+
+// SeriesFlushDisk measures one flush cadence persisting closed buckets
+// for seriesFlushSeries series to the segment log: encode + CRC + write
+// + sync, amortized per bucket via BucketsPerSec.
+func SeriesFlushDisk() func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "bench-series-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		sec := int64(0)
+		st, err := tsdb.Open(
+			tsdb.WithTiers(benchTiers), tsdb.WithDir(dir),
+			tsdb.WithNow(func() time.Time { return time.Unix(sec, 0) }))
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := make([]*tsdb.Series, seriesFlushSeries)
+		for i := range series {
+			series[i] = st.Series(fmt.Sprintf("bench_flush_%d", i), tsdb.KindGauge)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range series {
+				s.Observe(float64(i))
+			}
+			sec++ // closes the bucket, making it flushable
+			if err := st.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st.Close()
+	}
+}
+
+// seriesQueryStore builds a store holding one hour of 1s buckets.
+func seriesQueryStore(b *testing.B) *tsdb.Store {
+	b.Helper()
+	st, err := tsdb.Open(tsdb.WithTiers(benchTiers), tsdb.WithNow(func() time.Time { return time.Unix(3600, 0) }))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := st.Series("bench_gauge", tsdb.KindGauge)
+	for t := int64(0); t < 3600; t++ {
+		s.ObserveAt(t, float64(t%600))
+	}
+	return st
+}
+
+// SeriesQueryRange measures a 15-minute range query at the native tier-0
+// resolution (900 points).
+func SeriesQueryRange() func(b *testing.B) {
+	return func(b *testing.B) {
+		st := seriesQueryStore(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Query("bench_gauge", 2700, 3599, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// SeriesQueryDownsample measures the full-hour query downsampled to 60s
+// points — the fold over 3600 base buckets into 60 output points.
+func SeriesQueryDownsample() func(b *testing.B) {
+	return func(b *testing.B) {
+		st := seriesQueryStore(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Query("bench_gauge", 0, 3599, 60, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Machine-readable report (BENCH_series.json) ---
+
+// SeriesEntry is one recorded series-store benchmark measurement.
+type SeriesEntry struct {
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AppendsPerSec float64 `json:"appends_per_sec,omitempty"`
+	BucketsPerSec float64 `json:"buckets_per_sec,omitempty"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+}
+
+// SeriesReport is the BENCH_series.json document.
+type SeriesReport struct {
+	Schema        string        `json:"schema"`
+	GeneratedUnix int64         `json:"generated_unix"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	NumCPU        int           `json:"num_cpu"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	BenchTime     string        `json:"bench_time"`
+	Entries       []SeriesEntry `json:"benchmarks"`
+}
+
+// seriesSuite lists the benchmark families; rate marks which throughput
+// figure each one reports.
+func seriesSuite() []struct {
+	name string
+	rate string // "appends", "buckets", "queries", or ""
+	body func() func(*testing.B)
+} {
+	return []struct {
+		name string
+		rate string
+		body func() func(*testing.B)
+	}{
+		{name: "Append/hot", rate: "appends", body: SeriesAppendHot},
+		{name: "Append/roll", rate: "appends", body: SeriesAppendRoll},
+		{name: "Append/parallel", rate: "appends", body: SeriesAppendParallel},
+		{name: "Flush/disk", rate: "buckets", body: SeriesFlushDisk},
+		{name: "Query/range", rate: "queries", body: SeriesQueryRange},
+		{name: "Query/downsample", rate: "queries", body: SeriesQueryDownsample},
+	}
+}
+
+// RunSeriesSuite executes the series suite under testing.Benchmark.
+// Callers must have invoked testing.Init beforehand.
+func RunSeriesSuite(benchTime string) SeriesReport {
+	rep := SeriesReport{
+		Schema:        "repro/bench-series/v1",
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		BenchTime:     benchTime,
+	}
+	for _, f := range seriesSuite() {
+		r := testing.Benchmark(f.body())
+		e := SeriesEntry{
+			Name:        f.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if e.NsPerOp > 0 {
+			switch f.rate {
+			case "appends":
+				e.AppendsPerSec = 1e9 / e.NsPerOp
+			case "buckets":
+				// One iteration flushes one closed bucket per series.
+				e.BucketsPerSec = 1e9 / e.NsPerOp * seriesFlushSeries
+			case "queries":
+				e.QueriesPerSec = 1e9 / e.NsPerOp
+			}
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep
+}
+
+// SeriesEntryFor returns the named entry, or nil when it was not measured.
+func (r *SeriesReport) SeriesEntryFor(name string) *SeriesEntry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// SeriesZeroAllocNames are the entries the CI gate requires to be
+// allocation-free: every variant of the per-observation append path.
+var SeriesZeroAllocNames = []string{
+	"Append/hot",
+	"Append/roll",
+	"Append/parallel",
+}
+
+// CheckSeriesAllocs returns an error naming the first gated entry that
+// allocated.
+func (r *SeriesReport) CheckSeriesAllocs() error {
+	for _, name := range SeriesZeroAllocNames {
+		e := r.SeriesEntryFor(name)
+		if e == nil {
+			return fmt.Errorf("missing gated entry %s", name)
+		}
+		if e.AllocsPerOp != 0 {
+			return fmt.Errorf("%s allocates %d objects/op (%d bytes), want 0", name, e.AllocsPerOp, e.BytesPerOp)
+		}
+	}
+	return nil
+}

@@ -172,7 +172,7 @@ func TestAgentRestart(t *testing.T) {
 	for i := 0; i < n; i++ {
 		platConns[i], agentConns[i] = ChanPair(64)
 	}
-	plat, err := NewPlatform(in, platConns, PlatformConfig{Policy: Deterministic})
+	plat, err := New(in, platConns, WithPolicy(Deterministic))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,15 +286,15 @@ func TestTCPTransport(t *testing.T) {
 	}
 }
 
-func TestNewPlatformValidation(t *testing.T) {
+func TestNewValidation(t *testing.T) {
 	in := randomInstance(7, 4, 6)
-	if _, err := NewPlatform(&core.Instance{}, nil, PlatformConfig{}); err == nil {
+	if _, err := New(&core.Instance{}, nil); err == nil {
 		t.Error("invalid instance accepted")
 	}
-	if _, err := NewPlatform(in, make([]Conn, 2), PlatformConfig{}); err == nil {
+	if _, err := New(in, make([]Conn, 2)); err == nil {
 		t.Error("wrong conn count accepted")
 	}
-	if _, err := NewPlatform(in, make([]Conn, 4), PlatformConfig{Policy: "BOGUS"}); err == nil {
+	if _, err := New(in, make([]Conn, 4), WithPolicy("BOGUS")); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -401,7 +401,7 @@ func TestPlatformRejectsWrongHello(t *testing.T) {
 	for i := range platConns {
 		platConns[i], agentConns[i] = ChanPair(8)
 	}
-	plat, err := NewPlatform(in, platConns, PlatformConfig{})
+	plat, err := New(in, platConns)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,8 +34,7 @@ func (s *settings) fail(format string, args ...any) {
 }
 
 // WithConfig adopts a whole PlatformConfig, including its zero-value
-// defaults. It is the migration path from the deprecated NewPlatform
-// constructor and the runner option structs that still carry a config
+// defaults. Use it when a runner option struct already carries a config
 // bag; later options override individual fields.
 func WithConfig(cfg PlatformConfig) Option {
 	return func(s *settings) { s.cfg = cfg }

@@ -175,72 +175,3 @@ func TestNewRunsWithOptions(t *testing.T) {
 		t.Fatal("async run not Nash")
 	}
 }
-
-// TestDeprecatedConstructors keeps the pre-options constructors working:
-// they must compile and produce functioning platforms.
-func TestDeprecatedConstructors(t *testing.T) {
-	in := randomInstance(53, 5, 4)
-	n := in.NumUsers()
-	platConns := make([]Conn, n)
-	agentConns := make([]Conn, n)
-	for i := 0; i < n; i++ {
-		platConns[i], agentConns[i] = ChanPair(16)
-	}
-	p, err := NewPlatform(in, platConns, PlatformConfig{Policy: Deterministic})
-	if err != nil {
-		t.Fatal(err)
-	}
-	done := make(chan error, n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			done <- NewAgent(agentConns[i], AgentConfig{
-				User:  i,
-				Alpha: in.Users[i].Alpha, Beta: in.Users[i].Beta, Gamma: in.Users[i].Gamma,
-				Seed: 7 + uint64(i), Deterministic: true,
-			}).Run()
-		}(i)
-	}
-	stats, err := p.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < n; i++ {
-		if err := <-done; err != nil {
-			t.Fatal(err)
-		}
-	}
-	if !stats.Converged || !profileOf(t, in, stats.Choices).IsNash() {
-		t.Fatal("deprecated sync constructor produced a broken platform")
-	}
-
-	for i := 0; i < n; i++ {
-		platConns[i], agentConns[i] = ChanPair(16)
-	}
-	ap, err := NewAsyncPlatform(in, platConns)
-	if err != nil {
-		t.Fatal(err)
-	}
-	calls := 0
-	ap.Observer = func(Observation) { calls++ }
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			done <- NewAsyncAgent(agentConns[i], AgentConfig{
-				User:  i,
-				Alpha: in.Users[i].Alpha, Beta: in.Users[i].Beta, Gamma: in.Users[i].Gamma,
-				Seed: 7 + uint64(i), Deterministic: true,
-			}).Run()
-		}(i)
-	}
-	astats, err := ap.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < n; i++ {
-		if err := <-done; err != nil {
-			t.Fatal(err)
-		}
-	}
-	if !astats.Converged || calls == 0 {
-		t.Fatal("deprecated async wrapper lost its Observer wiring")
-	}
-}

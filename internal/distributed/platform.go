@@ -183,15 +183,6 @@ type Platform struct {
 	lastRequests int
 }
 
-// NewPlatform creates a platform serving len(conns) users; conns[i] must be
-// connected to the agent for user i.
-//
-// Deprecated: use New with functional options; an existing PlatformConfig
-// carries over via WithConfig: New(in, conns, WithConfig(cfg)).
-func NewPlatform(in *core.Instance, conns []Conn, cfg PlatformConfig) (*Platform, error) {
-	return New(in, conns, WithConfig(cfg))
-}
-
 // Shard returns the platform's shard index and total shard count; (-1, 0)
 // for a standalone platform.
 func (p *Platform) Shard() (shard, shards int) { return p.shard, p.shards }

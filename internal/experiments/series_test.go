@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/tsdb"
+)
+
+func TestCaptureConvergence(t *testing.T) {
+	in := core.RandomInstance(core.DefaultRandomConfig(8, 12), rng.New(5))
+	c, err := CaptureConvergence(in, CurveOptions{SlotsPerSecond: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Stats.Converged {
+		t.Fatal("capture run did not converge")
+	}
+	if len(c.Points) == 0 {
+		t.Fatal("no curve points")
+	}
+	// The curve is the Theorem-2 ascent: non-decreasing across buckets,
+	// ending at the potential of the converged profile.
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].Min < c.Points[i-1].Max-1e-9 {
+			t.Errorf("potential decreased between buckets %d and %d", i-1, i)
+		}
+	}
+	p, err := core.NewProfile(in, c.Stats.Choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Points[len(c.Points)-1].Last, p.Potential(); got != want {
+		t.Errorf("final curve potential %g, converged profile %g", got, want)
+	}
+	// The slot series rode along in the same store.
+	if _, err := c.Store.Query(tsdb.SeriesSlotRequests, 0, 1<<40, 0, 0); err != nil {
+		t.Errorf("slot request series missing: %v", err)
+	}
+
+	// Same instance and seeds: bit-identical curve.
+	c2, err := CaptureConvergence(in, CurveOptions{SlotsPerSecond: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Points, c2.Points) {
+		t.Error("capture is not deterministic")
+	}
+}

@@ -1,0 +1,172 @@
+package tsdb
+
+import (
+	"fmt"
+	"time"
+)
+
+// Point is one aggregated interval of a range query. T is the interval
+// start in unix seconds; the interval width is QueryResult.Step. Mean is
+// Sum/Count; Rate is Sum divided by the step in seconds (the per-second
+// increment rate — meaningful for counter series).
+type Point struct {
+	T     int64   `json:"t"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	Last  float64 `json:"last"`
+	Rate  float64 `json:"rate"`
+}
+
+// QueryResult is the payload of one range query.
+type QueryResult struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Tier is the index of the retention tier the query read.
+	Tier int `json:"tier"`
+	// TierIntervalSeconds is that tier's native bucket width.
+	TierIntervalSeconds int64 `json:"tier_interval_seconds"`
+	// Step is the returned point width in seconds (>= the tier interval).
+	Step int64 `json:"step_seconds"`
+	// From and To echo the clamped query range.
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+	// Points holds the non-empty intervals, oldest first.
+	Points []Point `json:"points"`
+}
+
+// SeriesInfo is one entry of List: the series identity plus per-tier
+// retained bucket counts and the covered time range.
+type SeriesInfo struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Buckets []int   `json:"tier_buckets"`
+	Oldest  int64   `json:"oldest,omitempty"`
+	Newest  int64   `json:"newest,omitempty"`
+	Last    float64 `json:"last,omitempty"`
+}
+
+// List describes every series sorted by name.
+func (st *Store) List() []SeriesInfo {
+	series := st.all()
+	out := make([]SeriesInfo, 0, len(series))
+	for _, s := range series {
+		info := SeriesInfo{Name: s.name, Kind: s.kind.String()}
+		s.mu.Lock()
+		for i := range s.tiers {
+			r := &s.tiers[i]
+			info.Buckets = append(info.Buckets, r.n)
+		}
+		// The base tier plus the open bucket bound the covered range; the
+		// coarsest tier holds the oldest data.
+		last := &s.tiers[len(s.tiers)-1]
+		last.scan(func(b *bucket) {
+			if info.Oldest == 0 {
+				info.Oldest = b.t
+			}
+		})
+		s.tiers[0].scan(func(b *bucket) {
+			info.Newest = b.t
+			info.Last = b.last
+		})
+		if s.curT >= 0 {
+			if info.Oldest == 0 {
+				info.Oldest = s.curT
+			}
+			info.Newest = s.curT
+			info.Last = s.cur.last
+		}
+		s.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
+}
+
+// pickTier returns the finest tier whose retention still covers from
+// (relative to now). When even the coarsest tier has aged the start out,
+// the coarsest wins and the query simply starts later.
+func (st *Store) pickTier(from, now int64) int {
+	for i, t := range st.tiers {
+		if now-int64(t.Retention/time.Second) <= from {
+			return i
+		}
+	}
+	return len(st.tiers) - 1
+}
+
+// Query aggregates the series' buckets over [from, to] (unix seconds,
+// inclusive) into points of step seconds. step <= 0 means the tier's
+// native interval; steps are rounded up to a multiple of it. tier selects
+// a retention tier explicitly; tier < 0 picks the finest one whose
+// retention covers from. The open (not yet closed) base bucket
+// participates, so queries do not lag the flush cadence. Downsampling is a
+// deterministic fold in time order: equal data always yields equal points.
+func (st *Store) Query(name string, from, to, step int64, tier int) (QueryResult, error) {
+	s := st.lookup(name)
+	if s == nil {
+		return QueryResult{}, fmt.Errorf("tsdb: no series %q", name)
+	}
+	if to < from {
+		return QueryResult{}, fmt.Errorf("tsdb: query to %d before from %d", to, from)
+	}
+	if tier >= len(st.tiers) {
+		return QueryResult{}, fmt.Errorf("tsdb: tier %d, store has %d", tier, len(st.tiers))
+	}
+	if tier < 0 {
+		tier = st.pickTier(from, st.nowUnix())
+	}
+	interval := int64(st.tiers[tier].Interval / time.Second)
+	if step <= 0 {
+		step = interval
+	}
+	if rem := step % interval; rem != 0 {
+		step += interval - rem
+	}
+
+	res := QueryResult{
+		Name: s.name, Kind: s.kind.String(),
+		Tier: tier, TierIntervalSeconds: interval,
+		Step: step, From: from, To: to,
+	}
+	var open *bucket
+	flush := func(b *bucket) {
+		if b.count == 0 {
+			return
+		}
+		p := Point{T: b.t, Count: b.count, Sum: b.sum, Min: b.min, Max: b.max, Last: b.last}
+		p.Mean = b.sum / float64(b.count)
+		p.Rate = b.sum / float64(step)
+		res.Points = append(res.Points, p)
+	}
+	add := func(b *bucket) {
+		if b.t < from || b.t > to {
+			return
+		}
+		aligned := b.t - b.t%step
+		if open != nil && open.t == aligned {
+			open.merge(*b)
+			return
+		}
+		if open != nil {
+			flush(open)
+		}
+		open = &bucket{t: aligned}
+		open.merge(*b)
+	}
+
+	s.mu.Lock()
+	s.tiers[tier].scan(add)
+	// The open base bucket extends the finest tier only: coarser tiers
+	// would double-count it once it rolls in.
+	if tier == 0 && s.curT >= 0 {
+		cur := s.cur
+		add(&cur)
+	}
+	s.mu.Unlock()
+	if open != nil {
+		flush(open)
+	}
+	return res, nil
+}

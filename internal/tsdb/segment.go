@@ -1,0 +1,336 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The on-disk segment log is append-only and length-prefixed, following
+// the internal/wire framing discipline: a fixed magic header per file,
+// then records of
+//
+//	uvarint bodyLen | body | uint32 CRC32-Castagnoli(body)
+//
+// with the body
+//
+//	kind byte | uvarint len(name) | name | uvarint t | uvarint count |
+//	float64bits sum | min | max | last          (LE, 8 bytes each)
+//
+// Each record is one closed base-tier bucket. A torn tail — a partial
+// record from a crash mid-write, or a CRC mismatch from a torn sector — is
+// tolerated on replay: reading stops at the last intact record and the
+// file is truncated there before new appends, so one kill -9 never
+// poisons the log. Files rotate at maxSize and are pruned once every
+// record they hold has aged past the coarsest tier's retention.
+
+// segMagic opens every segment file.
+var segMagic = []byte("TSDBSEG1")
+
+// DefaultMaxSegmentSize rotates segment files at 8 MiB.
+const DefaultMaxSegmentSize = 8 << 20
+
+// maxRecordLen bounds one record's body so a corrupt length prefix cannot
+// ask replay to allocate gigabytes (same defensive cap as wire.MaxFrameLen).
+const maxRecordLen = 1 << 16
+
+var segCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// segmentLog manages the numbered segment files of one directory. All
+// methods are called with Store.segMu held.
+type segmentLog struct {
+	dir     string
+	maxSize int64
+	f       *os.File
+	size    int64
+	seq     int // sequence number of the active file
+	scratch []byte
+	frame   []byte
+	// firstT[seq] is the oldest record time of each known file; prune
+	// deletes a file when the NEXT file's firstT has aged out, which means
+	// the older file holds nothing newer.
+	firstT map[int]int64
+	// activeFirst mirrors firstT for the active file (0 = none yet).
+	activeFirst int64
+}
+
+// segName formats the numbered file name.
+func segName(seq int) string { return fmt.Sprintf("segment-%08d.tsdb", seq) }
+
+// segSeq parses a segment file name, returning -1 for foreign files.
+func segSeq(name string) int {
+	if !strings.HasPrefix(name, "segment-") || !strings.HasSuffix(name, ".tsdb") {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "segment-"), ".tsdb"))
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// openSegmentLog prepares the directory; replay must run before append.
+func openSegmentLog(dir string, maxSize int64) (*segmentLog, error) {
+	if maxSize <= 0 {
+		maxSize = DefaultMaxSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	return &segmentLog{dir: dir, maxSize: maxSize, firstT: map[int]int64{}}, nil
+}
+
+// segments lists the directory's segment sequence numbers in order.
+func (l *segmentLog) segments() ([]int, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		if n := segSeq(e.Name()); n >= 0 {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// replay streams every intact record through fn in file order, truncates a
+// torn tail off the newest file, and positions the log to append there.
+func (l *segmentLog) replay(fn func(name string, kind Kind, b bucket)) error {
+	seqs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	l.seq = 0
+	for i, seq := range seqs {
+		last := i == len(seqs)-1
+		path := filepath.Join(l.dir, segName(seq))
+		good, first, err := replayFile(path, fn)
+		if err != nil {
+			return err
+		}
+		if first != 0 {
+			l.firstT[seq] = first
+		}
+		if last {
+			// Reopen for appending past the last intact record; anything
+			// after it (torn write, corruption) is cut off.
+			f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+			if err != nil {
+				return fmt.Errorf("tsdb: %w", err)
+			}
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return fmt.Errorf("tsdb: %w", err)
+			}
+			if _, err := f.Seek(good, io.SeekStart); err != nil {
+				f.Close()
+				return fmt.Errorf("tsdb: %w", err)
+			}
+			l.f, l.size, l.seq = f, good, seq
+			l.activeFirst = first
+		}
+	}
+	return nil
+}
+
+// replayFile reads one segment, returning the offset just past the last
+// intact record and the first record's bucket time (0 when empty). Torn or
+// corrupt tails stop the scan without error; a bad magic header skips the
+// whole file.
+func replayFile(path string, fn func(name string, kind Kind, b bucket)) (good int64, first int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("tsdb: %w", err)
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != string(segMagic) {
+		return 0, 0, nil
+	}
+	off := int64(len(segMagic))
+	rest := data[off:]
+	for len(rest) > 0 {
+		bodyLen, n := binary.Uvarint(rest)
+		if n <= 0 || bodyLen == 0 || bodyLen > maxRecordLen {
+			break
+		}
+		total := n + int(bodyLen) + 4
+		if len(rest) < total {
+			break
+		}
+		body := rest[n : n+int(bodyLen)]
+		want := binary.LittleEndian.Uint32(rest[n+int(bodyLen):])
+		if crc32.Checksum(body, segCRC) != want {
+			break
+		}
+		name, kind, b, ok := decodeRecord(body)
+		if !ok {
+			break
+		}
+		if first == 0 {
+			first = b.t
+		}
+		fn(name, kind, b)
+		off += int64(total)
+		rest = rest[total:]
+	}
+	return off, first, nil
+}
+
+// decodeRecord parses one record body.
+func decodeRecord(body []byte) (name string, kind Kind, b bucket, ok bool) {
+	if len(body) < 2 {
+		return "", 0, bucket{}, false
+	}
+	kind = Kind(body[0])
+	if kind != KindGauge && kind != KindCounter {
+		return "", 0, bucket{}, false
+	}
+	rest := body[1:]
+	nameLen, n := binary.Uvarint(rest)
+	if n <= 0 || int(nameLen) > len(rest)-n {
+		return "", 0, bucket{}, false
+	}
+	rest = rest[n:]
+	name = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	t, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return "", 0, bucket{}, false
+	}
+	rest = rest[n:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || len(rest)-n != 32 {
+		return "", 0, bucket{}, false
+	}
+	rest = rest[n:]
+	b = bucket{
+		t:     int64(t),
+		count: count,
+		sum:   math.Float64frombits(binary.LittleEndian.Uint64(rest[0:])),
+		min:   math.Float64frombits(binary.LittleEndian.Uint64(rest[8:])),
+		max:   math.Float64frombits(binary.LittleEndian.Uint64(rest[16:])),
+		last:  math.Float64frombits(binary.LittleEndian.Uint64(rest[24:])),
+	}
+	if name == "" || b.t < 0 {
+		return "", 0, bucket{}, false
+	}
+	return name, kind, b, true
+}
+
+// rotate opens the next numbered segment file.
+func (l *segmentLog) rotate() error {
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("tsdb: %w", err)
+		}
+		l.seq++
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.seq)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	l.f, l.size, l.activeFirst = f, int64(len(segMagic)), 0
+	return nil
+}
+
+// append encodes one closed bucket and writes the framed record. The
+// encode buffer is reused across calls.
+func (l *segmentLog) append(name string, kind Kind, b bucket) error {
+	if l.f == nil || l.size >= l.maxSize {
+		if l.activeFirst != 0 {
+			l.firstT[l.seq] = l.activeFirst
+		}
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	buf := l.scratch[:0]
+	buf = append(buf, byte(kind))
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	buf = binary.AppendUvarint(buf, uint64(b.t))
+	buf = binary.AppendUvarint(buf, b.count)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.sum))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.min))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.max))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.last))
+	body := len(buf)
+
+	frame := binary.AppendUvarint(l.frame[:0], uint64(body))
+	frame = append(frame, buf...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(buf[:body], segCRC))
+	l.scratch, l.frame = buf, frame
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	l.size += int64(len(frame))
+	if l.activeFirst == 0 {
+		l.activeFirst = b.t
+	}
+	return nil
+}
+
+// sync pushes buffered writes to the OS.
+func (l *segmentLog) sync() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	return nil
+}
+
+// prune deletes every non-active segment file whose successor's first
+// record is already older than cutoff — i.e. files that cannot hold
+// anything a tier still retains.
+func (l *segmentLog) prune(cutoff int64) error {
+	seqs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(seqs); i++ {
+		if seqs[i] == l.seq {
+			break
+		}
+		nextFirst, ok := l.firstT[seqs[i+1]]
+		if !ok || nextFirst == 0 || nextFirst > cutoff {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(seqs[i]))); err != nil {
+			return fmt.Errorf("tsdb: %w", err)
+		}
+		delete(l.firstT, seqs[i])
+	}
+	return nil
+}
+
+// close syncs and closes the active file.
+func (l *segmentLog) close() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	err := l.f.Close()
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package tsdb
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fill writes count seconds of data (value = sec) starting at startSec,
+// flushing every 20 buckets the way the cadence flusher would — the log
+// only persists what a flush still finds in the base ring, so flushes must
+// outpace tier-0 retention exactly as they do in production.
+func fill(t *testing.T, st *Store, clk *fakeClock, name string, startSec, count int64) {
+	t.Helper()
+	s := st.Series(name, KindGauge)
+	for sec := startSec; sec < startSec+count; sec++ {
+		clk.Set(sec)
+		s.Observe(float64(sec))
+		if (sec-startSec)%20 == 19 {
+			if err := st.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	clk.Set(startSec + count)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	st := testStore(t, clk, WithDir(dir))
+	fill(t, st, clk, "rt", 100, 90)
+	st.Series("ctr", KindCounter).Observe(5)
+	clk.Advance(2 * time.Second)
+	before, err := st.Query("rt", 0, 1000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := testStore(t, clk, WithDir(dir))
+	after, err := st2.Query("rt", 0, 1000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before.Points, after.Points) {
+		t.Errorf("replayed points differ:\n%v\n%v", before.Points, after.Points)
+	}
+	if got := st2.lookup("ctr"); got == nil || got.Kind() != KindCounter {
+		t.Error("counter series lost its kind across replay")
+	}
+	// Replay must also repopulate the coarse tiers deterministically.
+	b1, _ := st.Query("rt", 0, 1000, 0, 2)
+	b2, _ := st2.Query("rt", 0, 1000, 0, 2)
+	if !reflect.DeepEqual(b1.Points, b2.Points) {
+		t.Errorf("tier-2 replay differs:\n%v\n%v", b1.Points, b2.Points)
+	}
+}
+
+// activeSegment returns the newest segment file path.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newest string
+	for _, e := range entries {
+		if segSeq(e.Name()) >= 0 {
+			newest = filepath.Join(dir, e.Name())
+		}
+	}
+	if newest == "" {
+		t.Fatal("no segment files")
+	}
+	return newest
+}
+
+func TestReplayTruncatedFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	st := testStore(t, clk, WithDir(dir))
+	fill(t, st, clk, "tr", 0, 30)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill -9 mid-append: chop bytes off the final record.
+	path := activeSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := testStore(t, clk, WithDir(dir))
+	res, err := st2.Query("tr", 0, 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 records were written; the torn one (sec 29) is dropped, the rest
+	// replay intact.
+	if len(res.Points) != 29 {
+		t.Fatalf("replayed %d points after truncation, want 29", len(res.Points))
+	}
+	if res.Points[28].T != 28 {
+		t.Errorf("last surviving point = %+v", res.Points[28])
+	}
+
+	// The log must keep appending cleanly after the truncation repair.
+	fill(t, st2, clk, "tr", 40, 5)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3 := testStore(t, clk, WithDir(dir))
+	res, err = st3.Query("tr", 0, 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 34 {
+		t.Fatalf("points after repair+append = %d, want 34", len(res.Points))
+	}
+}
+
+func TestReplayCorruptCRC(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	st := testStore(t, clk, WithDir(dir))
+	fill(t, st, clk, "crc", 0, 10)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := activeSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the middle of the final record's body.
+	data[len(data)-10] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := testStore(t, clk, WithDir(dir))
+	res, err := st2.Query("crc", 0, 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 9 {
+		t.Fatalf("replayed %d points past a bad CRC, want 9", len(res.Points))
+	}
+}
+
+func TestSegmentRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	// Tiny segments force rotation every few records; the coarsest test
+	// tier retains 30 minutes.
+	st := testStore(t, clk, WithDir(dir), WithMaxSegmentSize(512))
+	fill(t, st, clk, "rot", 0, 120)
+	seqs, err := st.seg.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 3 {
+		t.Fatalf("segments after 120 records at 512B cap = %d, want >= 3", len(seqs))
+	}
+
+	// Advance the clock past the coarsest retention and flush: every
+	// non-active file must be pruned.
+	clk.Set(120 + 1900)
+	st.Series("rot", KindGauge).Observe(1)
+	clk.Advance(2 * time.Second)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := st.seg.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) >= len(seqs) {
+		t.Errorf("prune kept %d of %d segments", len(pruned), len(seqs))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay of the pruned log still yields the retained recent data.
+	st2 := testStore(t, clk, WithDir(dir))
+	res, err := st2.Query("rot", 0, 5000, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points after pruned replay")
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "segment-bogus.tsdb"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{}
+	st := testStore(t, clk, WithDir(dir))
+	fill(t, st, clk, "ok", 0, 3)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := testStore(t, clk, WithDir(dir))
+	res, err := st2.Query("ok", 0, 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Errorf("points = %d, want 3", len(res.Points))
+	}
+}

@@ -1,0 +1,575 @@
+// Package tsdb is an aggregating time-series store for the platform's
+// operational history — the retained counterpart of the point-in-time
+// telemetry registry. It follows the batsd design the ROADMAP named (see
+// DESIGN.md, "Retention tiers"): raw observations are aggregated into
+// fixed-width base intervals (count/sum/min/max/last per interval), the
+// closed intervals roll deterministically into coarser retention tiers
+// (e.g. 1s×1h, 10s×12h, 60s×7d), and a flush cadence appends the closed
+// base buckets to an append-only on-disk segment log (segment.go) that is
+// replayed on start, so series survive platformd restarts and kill -9.
+//
+// The hot path is Series.Observe: resolve the *Series handle once (like a
+// telemetry.Counter), then every observation is a mutex-guarded in-place
+// update of preallocated ring buffers — zero allocations, no global lock.
+// Series handles are created through a lock-sharded name index modeled on
+// the tracing flight recorder's shard layout, so concurrent first-use
+// lookups of different names rarely contend either.
+//
+// Presentation differs by kind: counter series report the per-interval
+// increment sum as a rate (sum/interval), gauge series report
+// last/min/max/mean. Range queries (query.go) pick the finest tier whose
+// retention still covers the requested start and downsample further to any
+// caller step, deterministically: downsampling is a fold over buckets in
+// time order, so the same data always yields the same points.
+package tsdb
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind distinguishes how a series' per-interval aggregates are presented.
+type Kind uint8
+
+const (
+	// KindGauge series record sampled values; queries expose
+	// last/min/max/mean per interval.
+	KindGauge Kind = iota
+	// KindCounter series record increments; queries expose the
+	// per-interval sum as a rate.
+	KindCounter
+)
+
+// String returns the JSON/CSV exposition name of the kind.
+func (k Kind) String() string {
+	if k == KindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// Tier is one retention level: buckets of Interval width kept for
+// Retention. Both must be whole seconds; Interval of every tier after the
+// first must be a multiple of the base (first) tier's interval so roll-ups
+// stay aligned.
+type Tier struct {
+	Interval  time.Duration
+	Retention time.Duration
+}
+
+// buckets returns the ring capacity of the tier.
+func (t Tier) buckets() int { return int(t.Retention / t.Interval) }
+
+// DefaultTiers is the production retention ladder: 1s buckets for an hour,
+// 10s for half a day, one minute for a week.
+var DefaultTiers = []Tier{
+	{Interval: time.Second, Retention: time.Hour},
+	{Interval: 10 * time.Second, Retention: 12 * time.Hour},
+	{Interval: time.Minute, Retention: 7 * 24 * time.Hour},
+}
+
+// validateTiers enforces the alignment contract documented on Tier.
+func validateTiers(tiers []Tier) error {
+	if len(tiers) == 0 {
+		return fmt.Errorf("tsdb: no retention tiers")
+	}
+	base := tiers[0].Interval
+	for i, t := range tiers {
+		if t.Interval < time.Second || t.Interval%time.Second != 0 {
+			return fmt.Errorf("tsdb: tier %d interval %v, want whole seconds >= 1s", i, t.Interval)
+		}
+		if t.Retention < t.Interval || t.Retention%t.Interval != 0 {
+			return fmt.Errorf("tsdb: tier %d retention %v, want a multiple of its %v interval", i, t.Retention, t.Interval)
+		}
+		if t.Interval%base != 0 {
+			return fmt.Errorf("tsdb: tier %d interval %v, want a multiple of the base %v", i, t.Interval, base)
+		}
+		if i > 0 && t.Interval <= tiers[i-1].Interval {
+			return fmt.Errorf("tsdb: tier %d interval %v, want coarser than tier %d (%v)", i, t.Interval, i-1, tiers[i-1].Interval)
+		}
+	}
+	return nil
+}
+
+// ParseTiers parses the -series-retention flag syntax: comma-separated
+// interval:retention pairs in Go duration notation, e.g.
+// "1s:1h,10s:12h,60s:168h".
+func ParseTiers(spec string) ([]Tier, error) {
+	var tiers []Tier
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		iv, ret, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("tsdb: bad tier %q, want interval:retention", part)
+		}
+		interval, err := time.ParseDuration(iv)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: bad tier interval %q: %v", iv, err)
+		}
+		retention, err := time.ParseDuration(ret)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: bad tier retention %q: %v", ret, err)
+		}
+		tiers = append(tiers, Tier{Interval: interval, Retention: retention})
+	}
+	if err := validateTiers(tiers); err != nil {
+		return nil, err
+	}
+	return tiers, nil
+}
+
+// bucket is one aggregated interval: T is the interval start (unix
+// seconds, aligned to the owning tier's interval).
+type bucket struct {
+	t     int64
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+	last  float64
+}
+
+// observe folds one value into the bucket.
+func (b *bucket) observe(v float64) {
+	if b.count == 0 {
+		b.min, b.max = v, v
+	} else {
+		if v < b.min {
+			b.min = v
+		}
+		if v > b.max {
+			b.max = v
+		}
+	}
+	b.count++
+	b.sum += v
+	b.last = v
+}
+
+// merge folds a later (or equal-time) bucket into b. Merging in time order
+// keeps last deterministic.
+func (b *bucket) merge(o bucket) {
+	if b.count == 0 {
+		t := b.t
+		*b = o
+		b.t = t
+		return
+	}
+	if o.count == 0 {
+		return
+	}
+	b.count += o.count
+	b.sum += o.sum
+	if o.min < b.min {
+		b.min = o.min
+	}
+	if o.max > b.max {
+		b.max = o.max
+	}
+	b.last = o.last
+}
+
+// ring is a fixed-capacity chronological buffer of closed buckets for one
+// tier. buf is preallocated at series creation so steady-state writes
+// never allocate.
+type ring struct {
+	interval int64 // seconds
+	buf      []bucket
+	next     int // next write slot
+	n        int // valid buckets (== len(buf) once wrapped)
+}
+
+// latest returns the most recent bucket, or nil when empty.
+func (r *ring) latest() *bucket {
+	if r.n == 0 {
+		return nil
+	}
+	i := r.next - 1
+	if i < 0 {
+		i = len(r.buf) - 1
+	}
+	return &r.buf[i]
+}
+
+// add folds a closed base bucket into the tier: merged into the latest
+// bucket when it lands in the same aligned interval, appended (evicting
+// the oldest) when it starts a later one. Out-of-order buckets older than
+// the latest interval are merged by a backwards scan when retained and
+// dropped otherwise — replay is the only source of those and segments are
+// time-ordered per series, so the scan is a rare-corruption fallback, not
+// a steady-state path.
+func (r *ring) add(b bucket) {
+	aligned := b.t - b.t%r.interval
+	b.t = aligned
+	if l := r.latest(); l != nil {
+		switch {
+		case aligned == l.t:
+			l.merge(b)
+			return
+		case aligned < l.t:
+			for off := 2; off <= r.n; off++ {
+				i := (r.next - off + 2*len(r.buf)) % len(r.buf)
+				if r.buf[i].t == aligned {
+					r.buf[i].merge(b)
+					return
+				}
+				if r.buf[i].t < aligned {
+					break
+				}
+			}
+			return
+		}
+	}
+	r.buf[r.next] = b
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// scan calls fn for each retained bucket in chronological order.
+func (r *ring) scan(fn func(*bucket)) {
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		fn(&r.buf[(start+i)%len(r.buf)])
+	}
+}
+
+// Series is one named sequence of observations. Resolve the handle once
+// via Store.Series, then Observe from any goroutine.
+type Series struct {
+	name string
+	kind Kind
+	st   *Store
+
+	mu    sync.Mutex
+	cur   bucket // open accumulation bucket of the current base interval
+	curT  int64  // base-aligned start of cur; -1 when cur is empty
+	tiers []ring
+	// flushedT is the newest base-bucket start already persisted to the
+	// segment log; the flusher only appends buckets newer than this.
+	flushedT int64
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Kind returns the series kind.
+func (s *Series) Kind() Kind { return s.kind }
+
+// Observe records v at the store clock's current time. Zero allocations:
+// the open bucket and every tier ring are preallocated and updated in
+// place.
+func (s *Series) Observe(v float64) {
+	s.ObserveAt(s.st.nowUnix(), v)
+}
+
+// ObserveAt records v at the given unix-seconds timestamp. Timestamps must
+// be non-decreasing per series (the store clock guarantees this; replay
+// feeds time-ordered segments).
+func (s *Series) ObserveAt(sec int64, v float64) {
+	base := s.tiers[0].interval
+	t := sec - sec%base
+	s.mu.Lock()
+	if s.curT != t {
+		if s.curT >= 0 && t > s.curT {
+			s.closeCurLocked()
+		}
+		if s.curT < 0 || t > s.curT {
+			s.curT = t
+			s.cur = bucket{t: t}
+		}
+		// t < curT: a stale timestamp after a clock step; fold it into the
+		// open bucket rather than corrupting ring order.
+	}
+	s.cur.observe(v)
+	s.mu.Unlock()
+}
+
+// closeCurLocked rolls the open bucket into every tier ring. Callers hold
+// s.mu and have checked curT >= 0.
+func (s *Series) closeCurLocked() {
+	for i := range s.tiers {
+		s.tiers[i].add(s.cur)
+	}
+	s.curT = -1
+}
+
+// advanceTo closes the open bucket when now has moved past its interval,
+// making it visible to queries and eligible for flushing.
+func (s *Series) advanceTo(sec int64) {
+	base := s.tiers[0].interval
+	t := sec - sec%base
+	s.mu.Lock()
+	if s.curT >= 0 && s.curT < t {
+		s.closeCurLocked()
+	}
+	s.mu.Unlock()
+}
+
+// ingest merges an already-aggregated base bucket (segment replay) into
+// the tier rings directly, bypassing the open bucket.
+func (s *Series) ingest(b bucket) {
+	s.mu.Lock()
+	for i := range s.tiers {
+		s.tiers[i].add(b)
+	}
+	if b.t > s.flushedT {
+		s.flushedT = b.t
+	}
+	s.mu.Unlock()
+}
+
+// unflushed appends every closed tier-0 bucket newer than flushedT to dst
+// and marks them flushed. Buckets are returned in time order.
+func (s *Series) unflushed(dst []bucket) []bucket {
+	s.mu.Lock()
+	r := &s.tiers[0]
+	r.scan(func(b *bucket) {
+		if b.t > s.flushedT {
+			dst = append(dst, *b)
+		}
+	})
+	if n := len(dst); n > 0 {
+		s.flushedT = dst[n-1].t
+	}
+	s.mu.Unlock()
+	return dst
+}
+
+// storeShards is the series-index shard count (power of two).
+const storeShards = 16
+
+// storeShard is one lock shard of the series index.
+type storeShard struct {
+	mu     sync.Mutex
+	series map[string]*Series
+	_      [32]byte
+}
+
+// Store holds the series of one process. Create with Open; the zero value
+// is not usable.
+type Store struct {
+	tiers  []Tier
+	now    func() time.Time
+	shards [storeShards]storeShard
+	seed   maphash.Seed
+
+	segMu sync.Mutex
+	seg   *segmentLog // nil when the store is memory-only
+	// scratch reuses the flush staging buffer across cadences.
+	scratch []bucket
+}
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	tiers      []Tier
+	now        func() time.Time
+	dir        string
+	maxSegment int64
+}
+
+// WithTiers selects the retention ladder (default DefaultTiers).
+func WithTiers(tiers []Tier) Option { return func(c *config) { c.tiers = tiers } }
+
+// WithNow injects the clock, making collection and bucket alignment
+// deterministic in tests. Every Observe and Flush reads time through it.
+func WithNow(fn func() time.Time) Option { return func(c *config) { c.now = fn } }
+
+// WithDir enables the on-disk segment log in dir: existing segments are
+// replayed into the tiers on Open, and Flush appends closed base buckets.
+func WithDir(dir string) Option { return func(c *config) { c.dir = dir } }
+
+// WithMaxSegmentSize caps one segment file's size in bytes before the log
+// rotates (default DefaultMaxSegmentSize).
+func WithMaxSegmentSize(n int64) Option { return func(c *config) { c.maxSegment = n } }
+
+// Open creates a store and, when WithDir is set, replays the existing
+// segment log so the tiers resume where the previous process stopped.
+func Open(opts ...Option) (*Store, error) {
+	cfg := config{tiers: DefaultTiers, now: time.Now, maxSegment: DefaultMaxSegmentSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := validateTiers(cfg.tiers); err != nil {
+		return nil, err
+	}
+	st := &Store{tiers: cfg.tiers, now: cfg.now, seed: maphash.MakeSeed()}
+	for i := range st.shards {
+		st.shards[i].series = map[string]*Series{}
+	}
+	if cfg.dir != "" {
+		seg, err := openSegmentLog(cfg.dir, cfg.maxSegment)
+		if err != nil {
+			return nil, err
+		}
+		if err := seg.replay(func(name string, kind Kind, b bucket) {
+			st.Series(name, kind).ingest(b)
+		}); err != nil {
+			return nil, err
+		}
+		st.seg = seg
+	}
+	return st, nil
+}
+
+// nowUnix returns the injected clock as unix seconds.
+func (st *Store) nowUnix() int64 { return st.now().Unix() }
+
+// Tiers returns the retention ladder.
+func (st *Store) Tiers() []Tier { return append([]Tier(nil), st.tiers...) }
+
+// Series returns the series registered under name, creating it on first
+// use. The kind is fixed at creation; later calls return the existing
+// series regardless of the kind argument (matching the telemetry registry
+// contract).
+func (st *Store) Series(name string, kind Kind) *Series {
+	if name == "" {
+		panic("tsdb: empty series name")
+	}
+	var h maphash.Hash
+	h.SetSeed(st.seed)
+	h.WriteString(name)
+	sh := &st.shards[h.Sum64()&(storeShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.series[name]; ok {
+		return s
+	}
+	s := &Series{name: name, kind: kind, st: st, curT: -1, flushedT: -1}
+	s.tiers = make([]ring, len(st.tiers))
+	for i, t := range st.tiers {
+		s.tiers[i] = ring{interval: int64(t.Interval / time.Second), buf: make([]bucket, t.buckets())}
+	}
+	sh.series[name] = s
+	return s
+}
+
+// lookup returns the series under name, or nil.
+func (st *Store) lookup(name string) *Series {
+	var h maphash.Hash
+	h.SetSeed(st.seed)
+	h.WriteString(name)
+	sh := &st.shards[h.Sum64()&(storeShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.series[name]
+}
+
+// all returns every series sorted by name — the deterministic iteration
+// order of Flush and List.
+func (st *Store) all() []*Series {
+	var out []*Series
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.series {
+			out = append(out, s)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Flush closes every base bucket the clock has moved past and appends the
+// newly closed buckets to the segment log (when one is attached), in
+// series-name order. Memory-only stores still advance their buckets so
+// queries see closed intervals.
+func (st *Store) Flush() error {
+	sec := st.nowUnix()
+	st.segMu.Lock()
+	defer st.segMu.Unlock()
+	for _, s := range st.all() {
+		s.advanceTo(sec)
+		if st.seg == nil {
+			continue
+		}
+		st.scratch = s.unflushed(st.scratch[:0])
+		for _, b := range st.scratch {
+			if err := st.seg.append(s.name, s.kind, b); err != nil {
+				return err
+			}
+		}
+	}
+	if st.seg == nil {
+		return nil
+	}
+	if err := st.seg.sync(); err != nil {
+		return err
+	}
+	return st.seg.prune(sec - int64(st.tiers[len(st.tiers)-1].Retention/time.Second))
+}
+
+// StartFlusher flushes on the given cadence until the returned stop
+// function is called (which runs one final flush).
+func (st *Store) StartFlusher(every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = st.Flush()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+			_ = st.Flush()
+		})
+	}
+}
+
+// Close seals the open buckets, flushes, and closes the segment log. The
+// store stays queryable. Sealing matters for short runs: a process that
+// exits mid-interval would otherwise lose the final bucket, since the
+// cadence flusher only persists closed buckets. The ring merges
+// same-interval buckets, so a restart observing into the sealed interval
+// stays correct.
+func (st *Store) Close() error {
+	for _, s := range st.all() {
+		s.mu.Lock()
+		if s.curT >= 0 {
+			s.closeCurLocked()
+		}
+		s.mu.Unlock()
+	}
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	st.segMu.Lock()
+	defer st.segMu.Unlock()
+	if st.seg == nil {
+		return nil
+	}
+	err := st.seg.close()
+	st.seg = nil
+	return err
+}

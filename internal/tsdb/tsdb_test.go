@@ -1,0 +1,266 @@
+package tsdb
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable deterministic clock for WithNow.
+type fakeClock struct {
+	mu  sync.Mutex
+	sec int64
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Unix(c.sec, 0)
+}
+
+func (c *fakeClock) Set(sec int64) {
+	c.mu.Lock()
+	c.sec = sec
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.sec += int64(d / time.Second)
+	c.mu.Unlock()
+}
+
+// testTiers is a small ladder exercising all three levels without
+// megabyte rings: 1s×60s, 10s×600s, 30s×1800s.
+var testTiers = []Tier{
+	{Interval: time.Second, Retention: time.Minute},
+	{Interval: 10 * time.Second, Retention: 10 * time.Minute},
+	{Interval: 30 * time.Second, Retention: 30 * time.Minute},
+}
+
+func testStore(t *testing.T, clk *fakeClock, opts ...Option) *Store {
+	t.Helper()
+	st, err := Open(append([]Option{WithTiers(testTiers), WithNow(clk.Now)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestBucketAggregation(t *testing.T) {
+	clk := &fakeClock{sec: 1000}
+	st := testStore(t, clk)
+	s := st.Series("g", KindGauge)
+	for _, v := range []float64{3, 1, 4, 1.5} {
+		s.Observe(v)
+	}
+	res, err := st.Query("g", 0, 2000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(res.Points))
+	}
+	p := res.Points[0]
+	if p.T != 1000 || p.Count != 4 || p.Sum != 9.5 || p.Min != 1 || p.Max != 4 || p.Last != 1.5 {
+		t.Errorf("point = %+v", p)
+	}
+	if p.Mean != 9.5/4 {
+		t.Errorf("mean = %v", p.Mean)
+	}
+}
+
+func TestTierRollupAndDownsampleDeterminism(t *testing.T) {
+	clk := &fakeClock{sec: 0}
+	st := testStore(t, clk)
+	s := st.Series("v", KindGauge)
+	// 120 seconds of data, one observation per second: value = sec.
+	for sec := int64(0); sec < 120; sec++ {
+		clk.Set(sec)
+		s.Observe(float64(sec))
+	}
+	clk.Set(121)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tier 1 (10s buckets) must hold exactly the deterministic downsample
+	// of the raw data, including intervals the 60s tier-0 ring has already
+	// evicted.
+	res, err := st.Query("v", 0, 119, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 12 {
+		t.Fatalf("tier-1 points = %d, want 12", len(res.Points))
+	}
+	for i, p := range res.Points {
+		base := int64(i * 10)
+		wantSum := float64(10*base + 45) // sum of base..base+9
+		if p.T != base || p.Count != 10 || p.Sum != wantSum || p.Min != float64(base) || p.Max != float64(base+9) || p.Last != float64(base+9) {
+			t.Fatalf("tier-1 point %d = %+v", i, p)
+		}
+	}
+
+	// Downsampling tier 1 at a 30s step must equal tier 2's native
+	// buckets: the fold is deterministic whichever tier it starts from.
+	from1, err := st.Query("v", 0, 119, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from2, err := st.Query("v", 0, 119, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from2.Step != 30 {
+		t.Fatalf("tier-2 step = %d", from2.Step)
+	}
+	if !reflect.DeepEqual(from1.Points, from2.Points) {
+		t.Errorf("tier-1@30s != tier-2 native:\n%v\n%v", from1.Points, from2.Points)
+	}
+	// Running the same query twice must be bit-identical.
+	again, err := st.Query("v", 0, 119, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(from1, again) {
+		t.Error("repeated query differed")
+	}
+}
+
+func TestAutoTierSelection(t *testing.T) {
+	clk := &fakeClock{sec: 10_000}
+	st := testStore(t, clk)
+	st.Series("x", KindGauge).Observe(1)
+
+	// from within the base tier's 60s retention -> tier 0.
+	if res, _ := st.Query("x", 9990, 10_000, 0, -1); res.Tier != 0 {
+		t.Errorf("recent query tier = %d, want 0", res.Tier)
+	}
+	// from 5 minutes back: only tiers 1+ retain it.
+	if res, _ := st.Query("x", 9700, 10_000, 0, -1); res.Tier != 1 {
+		t.Errorf("5m query tier = %d, want 1", res.Tier)
+	}
+	// from an hour back: past every retention, coarsest tier answers.
+	if res, _ := st.Query("x", 6000, 10_000, 0, -1); res.Tier != 2 {
+		t.Errorf("1h query tier = %d, want 2", res.Tier)
+	}
+}
+
+func TestQueryOpenBucketAndStepRounding(t *testing.T) {
+	clk := &fakeClock{sec: 500}
+	st := testStore(t, clk)
+	s := st.Series("open", KindCounter)
+	s.Observe(2)
+	s.Observe(3)
+	// No flush: the open bucket must still answer tier-0 queries.
+	res, err := st.Query("open", 0, 1000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Sum != 5 {
+		t.Fatalf("open-bucket query = %+v", res.Points)
+	}
+	// step 15 on a 10s tier rounds up to 20.
+	res, err = st.Query("open", 0, 1000, 15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Step != 20 {
+		t.Errorf("step = %d, want 20", res.Step)
+	}
+	if res.Kind != "counter" {
+		t.Errorf("kind = %q", res.Kind)
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	clk := &fakeClock{sec: 100}
+	st := testStore(t, clk)
+	s := st.Series("c", KindCounter)
+	for sec := int64(100); sec < 110; sec++ {
+		clk.Set(sec)
+		s.Observe(6) // 6 increments per second
+	}
+	clk.Set(111)
+	res, err := st.Query("c", 100, 109, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %+v", res.Points)
+	}
+	if got := res.Points[0].Rate; math.Abs(got-6) > 1e-12 {
+		t.Errorf("rate = %v, want 6/s", got)
+	}
+}
+
+func TestListAndLookup(t *testing.T) {
+	clk := &fakeClock{sec: 42}
+	st := testStore(t, clk)
+	st.Series("b_gauge", KindGauge).Observe(7)
+	st.Series("a_counter", KindCounter).Observe(1)
+	infos := st.List()
+	if len(infos) != 2 || infos[0].Name != "a_counter" || infos[1].Name != "b_gauge" {
+		t.Fatalf("list = %+v", infos)
+	}
+	if infos[0].Kind != "counter" || infos[1].Kind != "gauge" {
+		t.Errorf("kinds = %+v", infos)
+	}
+	if infos[1].Last != 7 || infos[1].Newest != 42 {
+		t.Errorf("gauge info = %+v", infos[1])
+	}
+	if _, err := st.Query("nope", 0, 1, 0, 0); err == nil {
+		t.Error("query of unknown series succeeded")
+	}
+}
+
+func TestParseTiers(t *testing.T) {
+	tiers, err := ParseTiers("1s:1h,10s:12h,60s:168h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tiers, DefaultTiers) {
+		t.Errorf("parsed = %+v", tiers)
+	}
+	for _, bad := range []string{
+		"",              // no tiers
+		"1s",            // missing retention
+		"0s:1h",         // sub-second interval
+		"500ms:1h",      // sub-second interval
+		"3s:10s",        // retention not a multiple of the interval
+		"10s:1h,1s:1h",  // later tier not coarser
+		"2s:1h,3s:1h",   // not a multiple of the base interval
+		"1s:1h,10s:25s", // retention not a multiple of the interval
+	} {
+		if _, err := ParseTiers(bad); err == nil {
+			t.Errorf("ParseTiers(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	clk := &fakeClock{sec: 1}
+	st := testStore(t, clk)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := st.Series("shared", KindCounter)
+			for i := 0; i < 1000; i++ {
+				s.Observe(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	res, err := st.Query("shared", 0, 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Count != 8000 {
+		t.Fatalf("concurrent result = %+v", res.Points)
+	}
+}

@@ -1,0 +1,162 @@
+package web
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// This file serves the time-series telemetry store (internal/tsdb) under
+// /api/v1/series:
+//
+//	GET /api/v1/series                 -> series catalog + retention tiers
+//	GET /api/v1/series/{name}          -> range query, JSON (default) or CSV
+//	    ?from=&to=     unix seconds (default: the last 15 minutes)
+//	    ?step=         point width: seconds or a Go duration ("30s", "5m")
+//	    ?tier=         retention tier index (default: auto-select)
+//	    ?format=csv    CSV exposition instead of JSON
+//
+// Both endpoints return 404 with a plain error when the platform runs
+// without a series store (platformd without -series-dir).
+
+// WithSeriesStore serves the given store under /api/v1/series.
+func WithSeriesStore(st *tsdb.Store) Option { return func(s *Server) { s.series = st } }
+
+// seriesListResponse is the /api/v1/series payload.
+type seriesListResponse struct {
+	Tiers  []seriesTier      `json:"tiers"`
+	Series []tsdb.SeriesInfo `json:"series"`
+}
+
+// seriesTier describes one retention tier of the store.
+type seriesTier struct {
+	Tier             int   `json:"tier"`
+	IntervalSeconds  int64 `json:"interval_seconds"`
+	RetentionSeconds int64 `json:"retention_seconds"`
+}
+
+// parseStep accepts whole seconds ("30") or a Go duration ("30s", "5m").
+func parseStep(q string) (int64, error) {
+	if q == "" {
+		return 0, nil
+	}
+	if n, err := strconv.ParseInt(q, 10, 64); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("negative step")
+		}
+		return n, nil
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad step %q", q)
+	}
+	return int64(d / time.Second), nil
+}
+
+// parseUnix accepts unix seconds or RFC 3339.
+func parseUnix(q string) (int64, error) {
+	if n, err := strconv.ParseInt(q, 10, 64); err == nil {
+		return n, nil
+	}
+	ts, err := time.Parse(time.RFC3339, q)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q", q)
+	}
+	return ts.Unix(), nil
+}
+
+// registerSeries mounts the series endpoints.
+func (s *Server) registerSeries(mux *http.ServeMux) {
+	mux.HandleFunc("/api/v1/series", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		if s.series == nil {
+			http.Error(w, "series store disabled", http.StatusNotFound)
+			return
+		}
+		resp := seriesListResponse{Series: s.series.List()}
+		for i, t := range s.series.Tiers() {
+			resp.Tiers = append(resp.Tiers, seriesTier{
+				Tier:             i,
+				IntervalSeconds:  int64(t.Interval / time.Second),
+				RetentionSeconds: int64(t.Retention / time.Second),
+			})
+		}
+		if resp.Series == nil {
+			resp.Series = []tsdb.SeriesInfo{}
+		}
+		writeJSON(w, resp)
+	}))
+	mux.HandleFunc("/api/v1/series/", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		if s.series == nil {
+			http.Error(w, "series store disabled", http.StatusNotFound)
+			return
+		}
+		name := strings.TrimPrefix(r.URL.Path, "/api/v1/series/")
+		if name == "" || strings.Contains(name, "/") {
+			http.NotFound(w, r)
+			return
+		}
+		q := r.URL.Query()
+		now := s.now().Unix()
+		from, to := now-900, now
+		var err error
+		if v := q.Get("from"); v != "" {
+			if from, err = parseUnix(v); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if v := q.Get("to"); v != "" {
+			if to, err = parseUnix(v); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		step, err := parseStep(q.Get("step"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		tier := -1
+		if v := q.Get("tier"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad tier", http.StatusBadRequest)
+				return
+			}
+			tier = n
+		}
+		res, err := s.series.Query(name, from, to, step, tier)
+		if err != nil {
+			code := http.StatusBadRequest
+			if strings.Contains(err.Error(), "no series") {
+				code = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		if q.Get("format") == "csv" {
+			writeSeriesCSV(w, res)
+			return
+		}
+		if res.Points == nil {
+			res.Points = []tsdb.Point{}
+		}
+		writeJSON(w, res)
+	}))
+}
+
+// writeSeriesCSV writes the query result as RFC 4180 CSV with a comment
+// header row naming the series and resolution.
+func writeSeriesCSV(w http.ResponseWriter, res tsdb.QueryResult) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	fmt.Fprintf(w, "# series=%s kind=%s tier=%d step=%ds\n", res.Name, res.Kind, res.Tier, res.Step)
+	fmt.Fprintln(w, "t,count,sum,min,max,mean,last,rate")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%d,%d,%g,%g,%g,%g,%g,%g\n",
+			p.T, p.Count, p.Sum, p.Min, p.Max, p.Mean, p.Last, p.Rate)
+	}
+}

@@ -1,0 +1,169 @@
+package web
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+var updateSeriesGolden = flag.Bool("update-series-golden", false, "rewrite internal/web/testdata series golden files")
+
+// seriesFixture builds a store with a deterministic clock and a fixed
+// gauge + counter workload, and a server sharing the same clock, so the
+// /api/v1/series responses are byte-stable golden files.
+func seriesFixture(t *testing.T) (*httptest.Server, int64) {
+	t.Helper()
+	tiers := []tsdb.Tier{
+		{Interval: time.Second, Retention: time.Minute},
+		{Interval: 10 * time.Second, Retention: 10 * time.Minute},
+	}
+	base := int64(1_700_000_000)
+	cur := base
+	now := func() time.Time { return time.Unix(cur, 0) }
+	st, err := tsdb.Open(tsdb.WithTiers(tiers), tsdb.WithNow(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pot := st.Series("platform_potential", tsdb.KindGauge)
+	req := st.Series("platform_slot_requests", tsdb.KindCounter)
+	for i := 0; i < 30; i++ {
+		cur = base + int64(i)
+		pot.Observe(float64(100 + i*i))
+		req.Observe(float64(1 + i%3))
+	}
+	cur = base + 30 // settle the clock past the last write
+
+	s := NewServer(5, WithNow(now), WithSeriesStore(st))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, base
+}
+
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateSeriesGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/web -run TestSeries -update-series-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func seriesGET(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+func TestSeriesListGolden(t *testing.T) {
+	ts, _ := seriesFixture(t)
+	code, hdr, body := seriesGET(t, ts.URL+"/api/v1/series")
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	goldenCompare(t, "series_list.json", body)
+}
+
+func TestSeriesRangeJSONGolden(t *testing.T) {
+	ts, base := seriesFixture(t)
+	url := ts.URL + "/api/v1/series/platform_potential?from=" +
+		itoa(base) + "&to=" + itoa(base+30) + "&step=5"
+	code, _, body := seriesGET(t, url)
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	goldenCompare(t, "series_range.json", body)
+
+	// Same range at the coarse tier: the counter as rate-per-interval.
+	url = ts.URL + "/api/v1/series/platform_slot_requests?from=" +
+		itoa(base) + "&to=" + itoa(base+30) + "&tier=1"
+	code, _, body = seriesGET(t, url)
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	goldenCompare(t, "series_counter_tier1.json", body)
+}
+
+func TestSeriesRangeCSVGolden(t *testing.T) {
+	ts, base := seriesFixture(t)
+	url := ts.URL + "/api/v1/series/platform_potential?from=" +
+		itoa(base) + "&to=" + itoa(base+30) + "&step=10&format=csv"
+	code, hdr, body := seriesGET(t, url)
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/csv; charset=utf-8" {
+		t.Errorf("content-type = %q", ct)
+	}
+	goldenCompare(t, "series_range.csv", body)
+}
+
+func TestSeriesErrors(t *testing.T) {
+	ts, base := seriesFixture(t)
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/api/v1/series/no_such_series", http.StatusNotFound},
+		{"/api/v1/series/platform_potential?from=bogus", http.StatusBadRequest},
+		{"/api/v1/series/platform_potential?step=-3", http.StatusBadRequest},
+		{"/api/v1/series/platform_potential?tier=9", http.StatusBadRequest},
+		{"/api/v1/series/platform_potential?tier=x", http.StatusBadRequest},
+		{"/api/v1/series/a/b", http.StatusNotFound},
+	} {
+		code, _, body := seriesGET(t, ts.URL+tc.path)
+		if code != tc.code {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.path, code, tc.code, body)
+		}
+	}
+	// from/to accepted as RFC 3339 too.
+	from := time.Unix(base, 0).UTC().Format(time.RFC3339)
+	code, _, body := seriesGET(t, ts.URL+"/api/v1/series/platform_potential?from="+from)
+	if code != 200 {
+		t.Errorf("RFC3339 from: status = %d (%s)", code, body)
+	}
+}
+
+func TestSeriesDisabled(t *testing.T) {
+	_, ts := testServer()
+	defer ts.Close()
+	for _, path := range []string{"/api/v1/series", "/api/v1/series/platform_potential"} {
+		code, _, _ := seriesGET(t, ts.URL+path)
+		if code != http.StatusNotFound {
+			t.Errorf("%s without store: status = %d, want 404", path, code)
+		}
+	}
+}
+
+func itoa(n int64) string { return strconv.FormatInt(n, 10) }

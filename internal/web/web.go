@@ -9,8 +9,10 @@
 //	GET /api/v1/shards        -> shard topology + live per-shard state
 //	                             (federation.go; empty for standalone runs)
 //	GET /api/v1/trace/...     -> flight recorder + anomaly dumps (trace.go)
+//	GET /api/v1/series...     -> retained time-series range queries
+//	                             (series.go; 404 without a series store)
 //	GET /metrics              -> Prometheus text exposition
-//	GET /api/status           -> deprecated alias of /api/v1/status
+//	GET /api/status           -> 410 Gone (sunset pre-v1 alias)
 //	GET /                     -> plain-text summary
 //
 // The server is fed through the distributed.PlatformConfig.Observer hook;
@@ -29,6 +31,7 @@ import (
 	"repro/internal/distributed"
 	"repro/internal/telemetry"
 	"repro/internal/tracing"
+	"repro/internal/tsdb"
 )
 
 // Status is the live run state served at /api/v1/status. It is a strict
@@ -104,6 +107,9 @@ type Server struct {
 	// peers holds this node's peer-link liveness when the shard runs as a
 	// multi-node federation member (platformd -shard); empty otherwise.
 	peers []PeerStatus
+	// series is the retained time-series store served under
+	// /api/v1/series (series.go); nil when the run keeps no history.
+	series *tsdb.Store
 }
 
 // Option customizes a Server.
@@ -260,13 +266,15 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, s.Snapshot())
 	})
 	mux.HandleFunc("/api/v1/status", statusHandler)
-	// Deprecated pre-v1 alias: same payload (v1 is a strict superset of
-	// the old shape), plus RFC 8594 deprecation signaling.
-	mux.HandleFunc("/api/status", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
+	// The pre-v1 alias served its RFC 8594 sunset window (announced with
+	// the v1 API) and is gone: a machine-readable 410 points the last
+	// stragglers at the successor.
+	mux.HandleFunc("/api/status", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Link", `</api/v1/status>; rel="successor-version"`)
-		statusHandler(w, r)
-	})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		fmt.Fprintln(w, `{"error":"gone","moved_to":"/api/v1/status"}`)
+	}))
 	mux.HandleFunc("/api/v1/metrics.json", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.reg.Snapshot())
 	}))
@@ -293,6 +301,7 @@ func (s *Server) Handler() http.Handler {
 	}))
 	s.registerShards(mux)
 	s.registerTrace(mux)
+	s.registerSeries(mux)
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -106,9 +106,9 @@ func TestStatusLifecycle(t *testing.T) {
 	}
 }
 
-// The deprecated pre-v1 path must keep serving the same payload and
-// advertise its successor.
-func TestDeprecatedStatusAlias(t *testing.T) {
+// The pre-v1 path finished its RFC 8594 sunset: it must answer 410 with a
+// machine-readable pointer at the successor, not serve status.
+func TestSunsetStatusAlias(t *testing.T) {
 	s, ts := testServer()
 	defer ts.Close()
 	s.Observer()(obs(3, 4, 1, []int{0, 1}))
@@ -117,11 +117,8 @@ func TestDeprecatedStatusAlias(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	if d := resp.Header.Get("Deprecation"); d != "true" {
-		t.Errorf("Deprecation header = %q", d)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("status = %d, want 410", resp.StatusCode)
 	}
 	if l := resp.Header.Get("Link"); !strings.Contains(l, "/api/v1/status") {
 		t.Errorf("Link header = %q", l)
@@ -130,17 +127,8 @@ func TestDeprecatedStatusAlias(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	// Strict superset of the old payload: every pre-v1 key must be present.
-	for _, key := range []string{"phase", "users", "slot", "requests", "granted", "total_updates", "choices", "updated_at"} {
-		if _, ok := got[key]; !ok {
-			t.Errorf("deprecated alias payload missing pre-v1 key %q", key)
-		}
-	}
-	// And it is the v1 payload, so the additions are there too.
-	for _, key := range []string{"uptime_seconds", "started_at", "last_slot_duration_ms"} {
-		if _, ok := got[key]; !ok {
-			t.Errorf("v1 payload missing %q", key)
-		}
+	if got["moved_to"] != "/api/v1/status" {
+		t.Errorf("body = %v, want a moved_to pointer", got)
 	}
 }
 
